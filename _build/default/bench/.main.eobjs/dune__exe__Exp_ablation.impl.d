@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Autarky Exp_common Harness List Metrics Oram Printf Sgx Workloads

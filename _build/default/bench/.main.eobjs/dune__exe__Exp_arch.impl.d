@@ -1,0 +1,1 @@
+bench/exp_arch.ml: Exp_common Harness List Metrics Printf Workloads

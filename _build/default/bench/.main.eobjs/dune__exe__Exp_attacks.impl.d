@@ -1,0 +1,1 @@
+bench/exp_attacks.ml: Array Attacks Autarky Exp_common Harness Hashtbl List Metrics Printf Sgx Sim_os Workloads

@@ -1,0 +1,1 @@
+bench/exp_common.ml: Autarky Harness List Metrics Oram Printf Sgx Workloads

@@ -1,0 +1,1 @@
+bench/exp_fig5.ml: Autarky Exp_common Harness List Metrics Printf Workloads

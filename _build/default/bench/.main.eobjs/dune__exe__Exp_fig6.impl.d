@@ -1,0 +1,1 @@
+bench/exp_fig6.ml: Autarky Exp_common Harness List Metrics Option Oram Printf Workloads

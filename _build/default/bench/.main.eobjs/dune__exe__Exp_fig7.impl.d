@@ -1,0 +1,1 @@
+bench/exp_fig7.ml: Autarky Exp_common Harness List Metrics Printf Sgx Workloads

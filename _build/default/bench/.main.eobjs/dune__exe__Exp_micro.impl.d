@@ -1,0 +1,1 @@
+bench/exp_micro.ml: Analyze Array Autarky Bechamel Benchmark Bytes Harness Hashtbl List Measure Metrics Oram Printf Sgx Sim_crypto Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/exp_table2.ml: Array Autarky Exp_common Harness List Metrics Printf Sgx Workloads

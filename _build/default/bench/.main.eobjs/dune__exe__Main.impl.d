@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablation Exp_arch Exp_attacks Exp_fig5 Exp_fig6 Exp_fig7 Exp_fig8 Exp_micro Exp_table2 List Printf Sys

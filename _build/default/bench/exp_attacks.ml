@@ -1,0 +1,272 @@
+(* Security evaluation: the published controlled-channel attacks against
+   the vulnerable workloads, on legacy SGX and on Autarky (§7.3).  The
+   paper's claim: every published attack is mitigated. *)
+
+let page = Exp_common.page
+
+let jpeg_attack ~self_paging =
+  let sys =
+    Harness.System.create ~epc_frames:512 ~epc_limit:256 ~enclave_pages:1_024
+      ~self_paging ~budget:128 ()
+  in
+  let vm = Harness.System.vm sys () in
+  let heap = Harness.System.allocator sys ~pages:128 ~cluster_pages:8 in
+  let alloc ~bytes = Autarky.Allocator.alloc heap ~bytes in
+  let codec = Workloads.Jpeg.create ~vm ~alloc ~blocks_w:48 ~blocks_h:24 in
+  if self_paging then
+    Harness.System.pin sys
+      (Workloads.Jpeg.code_pages codec @ Workloads.Jpeg.temp_pages codec);
+  let rng = Metrics.Rng.create ~seed:61L in
+  let image = Workloads.Jpeg.random_image ~rng ~blocks_w:48 ~blocks_h:24 () in
+  let fast = Workloads.Jpeg.fast_idct_page codec in
+  let full = Workloads.Jpeg.full_idct_page codec in
+  try
+    let _, attack =
+      Attacks.Controlled_channel.run ~os:(Harness.System.os sys)
+        ~proc:(Harness.System.proc sys) ~monitored:[ fast; full ] (fun () ->
+          Harness.System.run_in_enclave sys (fun () ->
+              Workloads.Jpeg.decode codec ~image ()))
+    in
+    let recovered =
+      Attacks.Oracle.recover
+        ~trace:(Attacks.Controlled_channel.trace attack)
+        ~signature_of:(fun vp ->
+          if vp = fast then Some Workloads.Jpeg.Smooth
+          else if vp = full then Some Workloads.Jpeg.Detailed
+          else None)
+    in
+    `Leaked
+      (Attacks.Oracle.accuracy
+         ~expected:(Workloads.Jpeg.expected_trace codec ~image)
+         ~recovered)
+  with Sgx.Types.Enclave_terminated _ -> `Detected
+
+let hunspell_attack ~self_paging =
+  let sys =
+    Harness.System.create ~epc_frames:512 ~epc_limit:256 ~enclave_pages:2_048
+      ~self_paging ~budget:160 ()
+  in
+  let vm = Harness.System.vm sys () in
+  let heap = Harness.System.allocator sys ~pages:512 ~cluster_pages:64 in
+  let alloc ~bytes = Autarky.Allocator.alloc heap ~bytes in
+  let rng = Metrics.Rng.create ~seed:62L in
+  let dict =
+    Workloads.Spellcheck.load_dictionary ~vm ~alloc ~rng ~name:"en"
+      ~n_words:1_000 ()
+  in
+  if self_paging then Harness.System.pin sys (Workloads.Spellcheck.pages dict);
+  let text = Workloads.Spellcheck.word_text ~rng ~vocabulary:1_000 ~length:400 in
+  try
+    let _, attack =
+      Attacks.Controlled_channel.run ~os:(Harness.System.os sys)
+        ~proc:(Harness.System.proc sys)
+        ~monitored:(Workloads.Spellcheck.pages dict) (fun () ->
+          Harness.System.run_in_enclave sys (fun () ->
+              Array.iter (fun w -> ignore (Workloads.Spellcheck.check dict ~word:w)) text))
+    in
+    let trace_set = Hashtbl.create 256 in
+    List.iter
+      (fun p -> Hashtbl.replace trace_set p ())
+      (Attacks.Controlled_channel.trace attack);
+    let distinct = Array.to_list text |> List.sort_uniq compare in
+    let recovered =
+      List.filter
+        (fun w ->
+          List.for_all (Hashtbl.mem trace_set)
+            (Workloads.Spellcheck.signature dict ~word:w))
+        distinct
+    in
+    `Leaked (float_of_int (List.length recovered) /. float_of_int (List.length distinct))
+  with Sgx.Types.Enclave_terminated _ -> `Detected
+
+let freetype_attack ~self_paging =
+  let sys =
+    Harness.System.create ~epc_frames:512 ~epc_limit:256 ~enclave_pages:1_024
+      ~self_paging ~budget:128 ()
+  in
+  let vm = Harness.System.vm sys () in
+  let heap = Harness.System.allocator sys ~pages:128 ~cluster_pages:8 in
+  let alloc ~bytes = Autarky.Allocator.alloc heap ~bytes in
+  let font = Workloads.Fontrender.create ~vm ~alloc ~glyphs:48 ~code_pages:12 in
+  if self_paging then
+    Harness.System.pin sys
+      (Workloads.Fontrender.code_pages font @ Workloads.Fontrender.bitmap_pages font);
+  let rng = Metrics.Rng.create ~seed:63L in
+  let text = Array.init 200 (fun _ -> Metrics.Rng.int rng 48) in
+  try
+    let _, attack =
+      Attacks.Controlled_channel.run ~os:(Harness.System.os sys)
+        ~proc:(Harness.System.proc sys)
+        ~monitored:(Workloads.Fontrender.code_pages font) (fun () ->
+          Harness.System.run_in_enclave sys (fun () ->
+              Workloads.Fontrender.render font text))
+    in
+    (* Glyph recovery: match each glyph's code-page signature against
+       the windowed trace. *)
+    let trace = Array.of_list (Attacks.Controlled_channel.trace attack) in
+    let recovered = ref 0 in
+    let pos = ref 0 in
+    Array.iter
+      (fun g ->
+        let s = Workloads.Fontrender.glyph_signature font g in
+        (* The signature appears as a subsequence starting near !pos
+           (consecutive duplicate pages collapse in the fault trace). *)
+        let matched = ref 0 in
+        let need = List.length s in
+        let i = ref !pos in
+        while !matched < need && !i < Array.length trace do
+          if List.mem trace.(!i) s then incr matched;
+          incr i
+        done;
+        if !matched = need then begin
+          incr recovered;
+          pos := !i
+        end)
+      text;
+    `Leaked (float_of_int !recovered /. float_of_int (Array.length text))
+  with Sgx.Types.Enclave_terminated _ -> `Detected
+
+let ad_bit_attack ~self_paging =
+  let sys =
+    Harness.System.create ~epc_frames:256 ~epc_limit:128 ~enclave_pages:512
+      ~self_paging ~budget:96 ()
+  in
+  let b = Harness.System.reserve sys ~pages:4 in
+  if self_paging then Harness.System.pin sys (List.init 4 (fun i -> b + i));
+  let vm = Harness.System.vm sys () in
+  let rng = Metrics.Rng.create ~seed:64L in
+  let secret = Array.init 64 (fun _ -> Metrics.Rng.int rng 4) in
+  (* Warm mappings first. *)
+  Harness.System.run_in_enclave sys (fun () ->
+      for i = 0 to 3 do
+        vm.Workloads.Vm.read ((b + i) * page)
+      done);
+  let att =
+    Attacks.Ad_bits.attach ~os:(Harness.System.os sys)
+      ~proc:(Harness.System.proc sys)
+      ~monitored:(List.init 4 (fun i -> b + i))
+      ()
+  in
+  Sgx.Cpu.set_preempt_interval (Harness.System.cpu sys) (Some 1);
+  try
+    Harness.System.run_in_enclave sys (fun () ->
+        Array.iter (fun s -> vm.Workloads.Vm.read ((b + s) * page)) secret);
+    Attacks.Ad_bits.detach att;
+    let flat =
+      List.concat_map
+        (fun o -> o.Attacks.Ad_bits.accessed)
+        (Attacks.Ad_bits.observations att)
+    in
+    let recovered =
+      Attacks.Oracle.recover ~trace:flat ~signature_of:(fun vp ->
+          let i = vp - b in
+          if i >= 0 && i < 4 then Some i else None)
+    in
+    let expected =
+      Array.to_list secret
+      |> List.fold_left
+           (fun acc s -> match acc with x :: _ when x = s -> acc | _ -> s :: acc)
+           []
+      |> List.rev
+    in
+    `Leaked (Attacks.Oracle.accuracy ~expected ~recovered)
+  with Sgx.Types.Enclave_terminated _ -> `Detected
+
+(* §5.2.3's in-text claim: "the probability of an attacker guessing the
+   accessed item given a cluster size is item_size/(cluster_size x
+   page_size), or 0.62% for 10 pages".  Measure it empirically: the
+   attacker watches which pages become resident (the demand-paging side
+   channel the OS always has) and guesses uniformly among the items the
+   fetched set holds. *)
+let cluster_leakage () =
+  Harness.Report.subheading
+    "cluster-size leakage: paper formula vs an empirical attacker";
+  let n_items = 8_192 and item_bytes = 256 in
+  let requests = 600 in
+  let run cluster_pages =
+    let sys =
+      Harness.System.create ~epc_frames:2_048 ~epc_limit:512 ~enclave_pages:4_096
+        ~self_paging:true ~budget:96 ()
+    in
+    let rt = Harness.System.runtime_exn sys in
+    let vm = Harness.System.vm sys () in
+    let heap = Harness.System.allocator sys ~pages:1_024 ~cluster_pages in
+    let alloc ~bytes = Autarky.Allocator.alloc heap ~bytes in
+    let rng = Metrics.Rng.create ~seed:77L in
+    let table =
+      Workloads.Uthash.create ~vm ~alloc ~rng ~n_items ~item_bytes ~target_chain:10
+    in
+    Harness.System.manage sys (Autarky.Allocator.allocated_pages heap);
+    let pc =
+      Autarky.Policy_clusters.create ~runtime:rt
+        ~clusters:(Autarky.Allocator.clusters heap)
+    in
+    Autarky.Runtime.set_policy rt (Autarky.Policy_clusters.policy pc);
+    let os = Harness.System.os sys and proc = Harness.System.proc sys in
+    let item_pages = Array.of_list (Workloads.Uthash.item_pages table) in
+    let items_per_page = Exp_common.page / item_bytes in
+    let resident_snapshot () =
+      Array.map (Sim_os.Kernel.resident os proc) item_pages
+    in
+    let score = Attacks.Leakage.create_score () in
+    for _ = 1 to requests do
+      let key = Metrics.Rng.int rng n_items in
+      let before = resident_snapshot () in
+      ignore (Workloads.Uthash.find table ~key);
+      let after = resident_snapshot () in
+      (* The fetched set: item pages that just became resident. *)
+      let fetched = ref [] in
+      Array.iteri
+        (fun i now -> if now && not before.(i) then fetched := item_pages.(i) :: !fetched)
+        after;
+      let candidates = List.length !fetched * items_per_page in
+      let accessed_in_set =
+        List.mem (Workloads.Uthash.item_page table ~key) !fetched
+      in
+      Attacks.Leakage.observe score ~candidates ~accessed_in_set
+        ~total_items:n_items
+    done;
+    Attacks.Leakage.guess_probability score
+  in
+  let rows =
+    List.map
+      (fun k ->
+        let formula =
+          Attacks.Leakage.cluster_guess_probability ~item_bytes ~cluster_pages:k
+            ~page_bytes:Exp_common.page
+        in
+        [ string_of_int k;
+          Printf.sprintf "%.3f%%" (100.0 *. formula);
+          Printf.sprintf "%.3f%%" (100.0 *. run k) ])
+      [ 1; 2; 5; 10; 20 ]
+  in
+  Harness.Report.table
+    ~header:[ "pages/cluster"; "formula (paper)"; "empirical attacker" ] ~rows;
+  Harness.Report.note
+    "paper quotes 0.62% for 10 pages; the empirical attacker does no better \
+     than the formula (hits on resident pages teach it nothing — it guesses \
+     blindly among all items)"
+
+let describe = function
+  | `Leaked acc -> Printf.sprintf "LEAKED (%.0f%% of secret recovered)" (100.0 *. acc)
+  | `Detected -> "DETECTED — enclave terminated, nothing leaked"
+
+let run () =
+  Harness.Report.heading "attacks — published controlled channels, legacy vs Autarky";
+  let cases =
+    [ ("libjpeg (IDCT path trace)", jpeg_attack);
+      ("Hunspell (word signatures)", hunspell_attack);
+      ("FreeType (glyph control flow)", freetype_attack);
+      ("A/D-bit stealthy trace", ad_bit_attack) ]
+  in
+  Harness.Report.table
+    ~header:[ "attack"; "legacy SGX"; "Autarky" ]
+    ~rows:
+      (List.map
+         (fun (name, f) ->
+           [ name; describe (f ~self_paging:false); describe (f ~self_paging:true) ])
+         cases);
+  Harness.Report.note
+    "termination/lack-of-faults channel: 1 bit per probe, each probe risks a \
+     detectable restart (§5.3)";
+  cluster_leakage ()

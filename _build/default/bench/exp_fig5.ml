@@ -1,0 +1,118 @@
+(* Figure 5: paging latency and its breakdown for the SGXv1
+   (driver/EWB+ELDU) and SGXv2 (in-enclave dynamic-memory) mechanisms,
+   normalized per page with the driver's 16-page batches.
+
+   The paper reports four bars (page fault and page evict, each for
+   SGXv1/v2), broken into: enclave preemption (AEX+ERESUME), PF-handler
+   invocation (EENTER+EEXIT), Autarky runtime overhead, and the SGX
+   paging work including encryption — with transitions accounting for
+   40-50% of fault latency, and SGXv2 costlier than SGXv1. *)
+
+let iterations = 2_000
+let batch = 16
+
+(* Per-page fetch/evict cost of the bare paging mechanism (no fault). *)
+let paging_only ~mech =
+  let sys =
+    Harness.System.create ~epc_frames:512 ~epc_limit:256 ~enclave_pages:1024
+      ~self_paging:true ~budget:64 ~mech ()
+  in
+  let rt = Harness.System.runtime_exn sys in
+  let pager = Autarky.Runtime.pager rt in
+  let _burn = Harness.System.reserve sys ~pages:256 in
+  let b = Harness.System.reserve sys ~pages:batch in
+  let pages = List.init batch (fun i -> b + i) in
+  Harness.System.manage sys pages;
+  (* Warm so SGXv2 measures real reloads. *)
+  Autarky.Pager.fetch pager pages;
+  Autarky.Pager.evict pager pages;
+  let clock = Harness.System.clock sys in
+  let fetch_total = ref 0 and evict_total = ref 0 in
+  for _ = 1 to iterations do
+    Metrics.Clock.reset clock;
+    Autarky.Pager.fetch pager pages;
+    fetch_total := !fetch_total + Metrics.Clock.now clock;
+    Metrics.Clock.reset clock;
+    Autarky.Pager.evict pager pages;
+    evict_total := !evict_total + Metrics.Clock.now clock
+  done;
+  let per_page total = total / iterations / batch in
+  (per_page !fetch_total, per_page !evict_total)
+
+(* Fault-path cost per page: a demand-paging fault through the full
+   architectural flow (AEX, blocked resume, EENTER handler, policy fetch
+   of one page, EEXIT, ERESUME), measured end to end. *)
+let fault_path ~mech =
+  let sys =
+    Harness.System.create ~epc_frames:1024 ~epc_limit:512 ~enclave_pages:2048
+      ~self_paging:true ~budget:64 ~mech ()
+  in
+  let rt = Harness.System.runtime_exn sys in
+  let rl = Autarky.Policy_rate_limit.create ~runtime:rt ~evict_batch:batch () in
+  Autarky.Runtime.set_policy rt (Autarky.Policy_rate_limit.policy rl);
+  let _burn = Harness.System.reserve sys ~pages:512 in
+  let n = 256 in
+  let b = Harness.System.reserve sys ~pages:n in
+  Harness.System.manage sys (List.init n (fun i -> b + i));
+  let vm = Harness.System.vm sys () in
+  let clock = Harness.System.clock sys in
+  (* Warm: fill the budget so steady-state faults include eviction. *)
+  for i = 0 to n - 1 do
+    vm.Workloads.Vm.read ((b + i) * Exp_common.page)
+  done;
+  Metrics.Clock.reset clock;
+  let faults0 =
+    Metrics.Counters.get (Harness.System.counters sys) "cpu.page_fault"
+  in
+  let rng = Metrics.Rng.create ~seed:55L in
+  for _ = 1 to iterations do
+    (* FIFO eviction + sequential sweep => every touch is a cold miss. *)
+    vm.Workloads.Vm.read ((b + Metrics.Rng.int rng n) * Exp_common.page)
+  done;
+  let faults =
+    Metrics.Counters.get (Harness.System.counters sys) "cpu.page_fault" - faults0
+  in
+  if faults = 0 then 0 else Metrics.Clock.now clock / faults
+
+let run () =
+  Harness.Report.heading
+    "fig5 — paging latency per page, SGXv1 vs SGXv2 (batch 16)";
+  let m = Metrics.Cost_model.default in
+  let preempt = m.aex + m.eresume in
+  let invoc = m.eenter + m.eexit in
+  let handler = m.runtime_handler in
+  let f1, e1 = paging_only ~mech:`Sgx1 in
+  let f2, e2 = paging_only ~mech:`Sgx2 in
+  let fault1 = fault_path ~mech:`Sgx1 in
+  let fault2 = fault_path ~mech:`Sgx2 in
+  Harness.Report.table
+    ~header:
+      [ "operation"; "total cyc/page"; "AEX+ERESUME"; "EENTER+EEXIT";
+        "handler"; "SGX paging (inc. crypto)" ]
+    ~rows:
+      [
+        [ "page fault SGX1"; string_of_int fault1; string_of_int preempt;
+          string_of_int invoc; string_of_int handler;
+          string_of_int (max 0 (fault1 - preempt - invoc - handler)) ];
+        [ "page fault SGX2"; string_of_int fault2; string_of_int preempt;
+          string_of_int invoc; string_of_int handler;
+          string_of_int (max 0 (fault2 - preempt - invoc - handler)) ];
+        [ "page evict SGX1"; string_of_int e1; "-"; "-"; "-"; string_of_int e1 ];
+        [ "page evict SGX2"; string_of_int e2; "-"; "-"; "-"; string_of_int e2 ];
+        [ "page fetch SGX1 (no fault)"; string_of_int f1; "-"; "-"; "-";
+          string_of_int f1 ];
+        [ "page fetch SGX2 (no fault)"; string_of_int f2; "-"; "-"; "-";
+          string_of_int f2 ];
+      ];
+  let frac = float_of_int (preempt + invoc) /. float_of_int fault1 in
+  Harness.Report.note
+    (Printf.sprintf
+       "transitions (preemption + handler invocation) = %s of SGX1 fault latency \
+        (paper: 40-50%%)"
+       (Harness.Report.pct frac));
+  Harness.Report.note
+    (Printf.sprintf "SGXv2 vs SGXv1: fetch %.2fx, evict %.2fx (paper: SGXv2 costlier)"
+       (float_of_int f2 /. float_of_int f1)
+       (float_of_int e2 /. float_of_int e1));
+  Harness.Report.note
+    "eliding AEX (proposed ISA opt) removes the first two components entirely"

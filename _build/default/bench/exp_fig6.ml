@@ -1,0 +1,181 @@
+(* Figure 6: effect of cluster size on hash-table (uthash) throughput,
+   against cached ORAM and the uncached (no-Autarky) ORAM baseline.
+
+   Paper setup: 431 MB of 256-byte items, <=10 items/bucket, 190 MB EPC,
+   128 MB ORAM cache over a 1 GB PathORAM range.  We run at 1/16 scale
+   (same ratios: data 1.74x the EPC allowance, cache 2/3 of it); the
+   uncached baseline keeps the full-size 1 GB PathORAM tree, as the
+   paper's own fallback experiment did.  Expected shapes: throughput
+   inversely proportional to cluster size; rehashing improves clusters
+   ~1.5x; cached ORAM crosses the cluster line at around 10 pages per
+   cluster; uncached ORAM is orders of magnitude slower. *)
+
+let n_items = 105_472
+let item_bytes = 256
+let target_chain = 10
+let heap_pages = 7_400
+let epc_limit = 2_900
+let oram_cache = 2_000
+let uncached_tree_blocks = 262_144 (* the full 1 GB range *)
+let warmup = 300
+let requests = 2_000
+
+let measure_requests (b : Exp_common.built) table =
+  let rng = Metrics.Rng.create ~seed:404L in
+  for _ = 1 to warmup do
+    ignore (Workloads.Uthash.find table ~key:(Metrics.Rng.int rng n_items))
+  done;
+  let r =
+    Harness.Measure.run b.Exp_common.sys (fun () ->
+        for _ = 1 to requests do
+          ignore (Workloads.Uthash.find table ~key:(Metrics.Rng.int rng n_items))
+        done)
+  in
+  Harness.Measure.throughput r ~ops:requests
+
+let run_cluster_config cluster_size =
+  let b =
+    Exp_common.build ~scheme:(Exp_common.Clusters cluster_size)
+      ~epc_frames:(epc_limit + 512) ~epc_limit ~enclave_pages:16_384
+      ~heap_pages ~budget:(epc_limit - 200) ()
+  in
+  let rng = Metrics.Rng.create ~seed:42L in
+  let alloc ~bytes = Autarky.Allocator.alloc b.Exp_common.heap ~bytes in
+  let table =
+    Workloads.Uthash.create ~vm:b.Exp_common.vm ~alloc ~rng ~n_items ~item_bytes
+      ~target_chain
+  in
+  b.Exp_common.finish ();
+  let before = measure_requests b table in
+  Workloads.Uthash.rehash table;
+  let after = measure_requests b table in
+  (before, after)
+
+let run_oram_cached () =
+  let b =
+    Exp_common.build ~scheme:Exp_common.Oram_cached ~epc_frames:(epc_limit + 512)
+      ~epc_limit ~enclave_pages:16_384 ~heap_pages
+      ~budget:(epc_limit - 200) ~oram_cache_pages:oram_cache ()
+  in
+  let rng = Metrics.Rng.create ~seed:42L in
+  let alloc ~bytes = Autarky.Allocator.alloc b.Exp_common.heap ~bytes in
+  let table =
+    Workloads.Uthash.create ~vm:b.Exp_common.vm ~alloc ~rng ~n_items ~item_bytes
+      ~target_chain
+  in
+  b.Exp_common.finish ();
+  measure_requests b table
+
+(* The no-Autarky baseline: CoSMIX-style instrumentation with oblivious
+   metadata scans and no EPC cache, over the full-size tree.  Every
+   word-granularity load/store runs the full ORAM protocol; like the
+   paper, we measure 100 random requests (the full run would not
+   complete) against a table built outside the measurement. *)
+let run_oram_uncached () =
+  let clock = Metrics.Clock.create Metrics.Cost_model.default in
+  let oram =
+    Oram.Path_oram.create ~clock ~rng:(Metrics.Rng.create ~seed:5L)
+      ~metadata:`Oblivious_scan ~n_blocks:uncached_tree_blocks ()
+  in
+  (* Build the table off-line (free): only the request phase is timed. *)
+  let next = ref 0 in
+  let alloc ~bytes =
+    let addr = !next in
+    next := addr + ((bytes + 255) / 256 * 256);
+    addr
+  in
+  let words_per_line = 8 in
+  let vm =
+    {
+      Workloads.Vm.read =
+        (fun a ->
+          let block = a / Exp_common.page mod uncached_tree_blocks in
+          for _ = 1 to words_per_line do
+            Oram.Path_oram.access oram ~block (fun _ -> ())
+          done);
+      write =
+        (fun a ->
+          let block = a / Exp_common.page mod uncached_tree_blocks in
+          for _ = 1 to words_per_line do
+            Oram.Path_oram.access oram ~block (fun _ -> ())
+          done);
+      exec = ignore;
+      compute = Metrics.Clock.charge clock;
+      progress = (fun () -> ());
+    }
+  in
+  let rng = Metrics.Rng.create ~seed:42L in
+  let table =
+    Workloads.Uthash.create ~vm:Workloads.Vm.null
+      ~alloc ~rng ~n_items ~item_bytes ~target_chain
+  in
+  (* Rebind the table's VM is not possible; instead drive the request
+     phase through a twin find that touches the same pages. *)
+  let find key =
+    List.iter
+      (fun p -> vm.Workloads.Vm.read (p * Exp_common.page))
+      (Workloads.Uthash.probe_pages table ~key)
+  in
+  Metrics.Clock.reset clock;
+  let reqs = 100 in
+  for _ = 1 to reqs do
+    find (Metrics.Rng.int rng n_items)
+  done;
+  float_of_int reqs
+  /. Metrics.Cost_model.seconds Metrics.Cost_model.default (Metrics.Clock.now clock)
+
+let cluster_sizes = [ 1; 2; 5; 10; 20; 50; 100 ]
+
+let run () =
+  Harness.Report.heading
+    "fig6 — uthash throughput vs cluster size, vs ORAM (1/16 scale)";
+  Printf.printf
+    "items=%d x %dB (%.0f MB data), EPC allowance %.0f MB, ORAM cache %.0f MB\n"
+    n_items item_bytes
+    (float_of_int (n_items * item_bytes) /. 1048576.0)
+    (float_of_int (epc_limit * 4096) /. 1048576.0)
+    (float_of_int (oram_cache * 4096) /. 1048576.0);
+  let cluster_rows =
+    List.map
+      (fun k ->
+        let before, after = run_cluster_config k in
+        Printf.printf "  clusters(%3d pages): %9.0f req/s   after rehash: %9.0f req/s\n%!"
+          k before after;
+        (k, before, after))
+      cluster_sizes
+  in
+  let oram_tp = run_oram_cached () in
+  Printf.printf "  cached ORAM        : %9.0f req/s\n%!" oram_tp;
+  let uncached_tp = run_oram_uncached () in
+  Printf.printf "  uncached ORAM      : %9.0f req/s\n%!" uncached_tp;
+  Harness.Report.series ~title:"clusters (before rehash)" ~xlabel:"pages/cluster"
+    ~ylabel:"req/s"
+    (List.map (fun (k, b, _) -> (float_of_int k, b)) cluster_rows);
+  Harness.Report.series ~title:"clusters (after rehash)" ~xlabel:"pages/cluster"
+    ~ylabel:"req/s"
+    (List.map (fun (k, _, a) -> (float_of_int k, a)) cluster_rows);
+  Harness.Report.series ~title:"ORAM" ~xlabel:"pages/cluster" ~ylabel:"req/s"
+    (List.map (fun (k, _, _) -> (float_of_int k, oram_tp)) cluster_rows);
+  Harness.Report.series ~title:"ORAM uncached" ~xlabel:"pages/cluster"
+    ~ylabel:"req/s"
+    (List.map (fun (k, _, _) -> (float_of_int k, uncached_tp)) cluster_rows);
+  (* Crossover: first cluster size whose throughput falls below ORAM. *)
+  let crossover =
+    List.find_opt (fun (_, b, _) -> b < oram_tp) cluster_rows
+    |> Option.map (fun (k, _, _) -> k)
+  in
+  (match crossover with
+  | Some k ->
+    Harness.Report.note
+      (Printf.sprintf "clusters and cached ORAM break even near %d pages/cluster \
+                       (paper: ~10)" k)
+  | None ->
+    Harness.Report.note "clusters stayed above cached ORAM for all sizes tested");
+  Harness.Report.note
+    (Printf.sprintf "uncached ORAM is %.0fx slower than cached (paper: 232x)"
+       (oram_tp /. uncached_tp));
+  let _, r1, a1 = List.nth cluster_rows 3 in
+  Harness.Report.note
+    (Printf.sprintf "rehashing improves cluster throughput ~%.2fx at 10 pages \
+                     (paper: ~1.5x)"
+       (a1 /. r1))

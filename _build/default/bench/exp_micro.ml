@@ -1,0 +1,98 @@
+(* Bechamel microbenchmarks of the core primitives — real wall-clock
+   cost of the simulator's hot paths (the virtual-clock numbers the
+   other experiments report are orthogonal to these). *)
+
+open Bechamel
+
+let make_tests () =
+  (* MMU translate on a warm TLB. *)
+  let m = Sgx.Machine.create ~epc_frames:64 () in
+  let e = Sgx.Instructions.ecreate m ~size_pages:16 ~self_paging:true in
+  let pt = Sgx.Page_table.create () in
+  for i = 0 to 15 do
+    let vp = e.Sgx.Enclave.base_vpage + i in
+    let frame =
+      Sgx.Instructions.eadd m e ~vpage:vp ~data:(Sgx.Page_data.create ())
+        ~perms:Sgx.Types.perms_rwx ~ptype:Sgx.Types.Pt_reg
+    in
+    Sgx.Page_table.map pt ~vpage:vp ~frame ~perms:Sgx.Types.perms_rwx
+      ~accessed:true ~dirty:true ()
+  done;
+  Sgx.Instructions.einit m e;
+  let va = Sgx.Enclave.base_vaddr e in
+  let mmu_test =
+    Test.make ~name:"mmu-translate-hit"
+      (Staged.stage (fun () -> Sgx.Mmu.translate m pt e va Sgx.Types.Read))
+  in
+  (* PathORAM access. *)
+  let clock = Metrics.Clock.create Metrics.Cost_model.default in
+  let rng = Metrics.Rng.create ~seed:3L in
+  let oram = Oram.Path_oram.create ~clock ~rng ~n_blocks:1024 () in
+  let counter = ref 0 in
+  let oram_test =
+    Test.make ~name:"path-oram-access"
+      (Staged.stage (fun () ->
+           incr counter;
+           Oram.Path_oram.access oram ~block:(!counter land 1023) (fun _ -> ())))
+  in
+  (* Sealer round trip on a 64-byte payload. *)
+  let sealer = Sim_crypto.Sealer.create ~master_key:"bench" in
+  let payload = Bytes.make 64 'p' in
+  let seal_test =
+    Test.make ~name:"sealer-seal-unseal"
+      (Staged.stage (fun () ->
+           let s = Sim_crypto.Sealer.seal sealer ~vaddr:64L ~version:1L payload in
+           match Sim_crypto.Sealer.unseal sealer ~vaddr:64L ~expected_version:1L s with
+           | Ok _ -> ()
+           | Error _ -> assert false))
+  in
+  (* SipHash of a 64-byte message. *)
+  let key = Sim_crypto.Siphash.key_of_bytes (Bytes.make 16 'k') in
+  let sip_test =
+    Test.make ~name:"siphash-64B"
+      (Staged.stage (fun () -> ignore (Sim_crypto.Siphash.hash key payload)))
+  in
+  (* Cluster transitive fetch-set over a 64-cluster sharing graph. *)
+  let cl = Autarky.Clusters.create () in
+  let ids = Array.init 64 (fun _ -> Autarky.Clusters.new_cluster cl ()) in
+  Array.iteri
+    (fun i id ->
+      Autarky.Clusters.ay_add_page cl ~cluster:id (i * 10);
+      Autarky.Clusters.ay_add_page cl ~cluster:id ((i * 10) + 1);
+      (* chain neighbours through a shared page *)
+      if i > 0 then Autarky.Clusters.ay_add_page cl ~cluster:ids.(i - 1) (i * 10))
+    ids;
+  let cluster_test =
+    Test.make ~name:"clusters-fetch-set-64"
+      (Staged.stage (fun () -> ignore (Autarky.Clusters.fetch_set cl 0)))
+  in
+  Test.make_grouped ~name:"micro"
+    [ mmu_test; oram_test; seal_test; sip_test; cluster_test ]
+
+let run () =
+  Harness.Report.heading "micro — bechamel wall-clock of core primitives";
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ instance ] (make_tests ()) in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let ns =
+          match Analyze.OLS.estimates ols_result with
+          | Some (t :: _) -> Printf.sprintf "%.1f ns" t
+          | _ -> "n/a"
+        in
+        let r2 =
+          match Analyze.OLS.r_square ols_result with
+          | Some r -> Printf.sprintf "%.4f" r
+          | None -> "n/a"
+        in
+        [ name; ns; r2 ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  Harness.Report.table ~header:[ "primitive"; "time/run"; "r²" ] ~rows

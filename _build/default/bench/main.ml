@@ -1,0 +1,46 @@
+(* The reproduction harness: one entry per table/figure of the paper's
+   evaluation (§7).  With no arguments every experiment runs; pass
+   experiment ids to run a subset.
+
+     dune exec bench/main.exe                  # everything
+     dune exec bench/main.exe -- fig6 fig8     # a subset
+*)
+
+let experiments =
+  [
+    ("arch-overhead", "§7 nbench: per-TLB-fill A/D check (geomean 0.07%)",
+     Exp_arch.run);
+    ("fig5", "Figure 5: paging latency breakdown, SGXv1 vs SGXv2", Exp_fig5.run);
+    ("fig6", "Figure 6: uthash — cluster size vs ORAM", Exp_fig6.run);
+    ("fig7", "Figure 7: rate-limited paging, Phoenix/PARSEC", Exp_fig7.run);
+    ("table2", "Table 2: libjpeg / Hunspell / FreeType end-to-end", Exp_table2.run);
+    ("fig8", "Figure 8: Memcached, four distributions x four schemes", Exp_fig8.run);
+    ("attacks", "§7.3 security: published attacks, legacy vs Autarky",
+     Exp_attacks.run);
+    ("micro", "bechamel microbenchmarks of core primitives", Exp_micro.run);
+    ("ablation", "design-choice sweeps (batch size, cache size, check cost, write-back)",
+     Exp_ablation.run);
+  ]
+
+let usage () =
+  print_endline "usage: main.exe [experiment ...]";
+  print_endline "experiments:";
+  List.iter (fun (id, descr, _) -> Printf.printf "  %-14s %s\n" id descr) experiments
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "--help" ] | [ "-h" ] | [ "help" ] -> usage ()
+  | [] ->
+    print_endline "Autarky reproduction bench — all experiments";
+    List.iter (fun (_, _, run) -> run ()) experiments
+  | ids ->
+    List.iter
+      (fun id ->
+        match List.find_opt (fun (i, _, _) -> i = id) experiments with
+        | Some (_, _, run) -> run ()
+        | None ->
+          Printf.eprintf "unknown experiment %S\n" id;
+          usage ();
+          exit 1)
+      ids

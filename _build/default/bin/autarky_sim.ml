@@ -1,0 +1,298 @@
+(* autarky_sim — command-line driver for the Autarky simulator.
+
+     autarky_sim costs                      print the cycle-cost model
+     autarky_sim run [options]              run a workload under a scheme
+     autarky_sim attack [options]           mount the controlled channel
+     autarky_sim kernels                    list the Fig. 7 applications
+
+   Examples:
+     autarky_sim run --workload kvstore --scheme clusters --cluster-pages 10
+     autarky_sim run --workload kernel:canneal --scheme rate-limit
+     autarky_sim attack --workload jpeg --autarky
+*)
+
+open Cmdliner
+
+let page = Sgx.Types.page_bytes
+
+(* --- costs ------------------------------------------------------------ *)
+
+let costs_cmd =
+  let doc = "Print the calibrated cycle-cost model." in
+  let run () =
+    let m = Metrics.Cost_model.default in
+    let rows =
+      [ ("EENTER", m.eenter); ("EEXIT", m.eexit); ("AEX", m.aex);
+        ("ERESUME", m.eresume); ("EWB", m.ewb); ("ELDU", m.eldu);
+        ("EAUG", m.eaug); ("EACCEPT", m.eaccept); ("EACCEPTCOPY", m.eacceptcopy);
+        ("EMODPR", m.emodpr); ("EMODT", m.emodt); ("EREMOVE", m.eremove);
+        ("exitless host call", m.exitless_call); ("syscall", m.syscall);
+        ("OS fault handler", m.os_fault_handler);
+        ("TLB shootdown", m.tlb_shootdown);
+        ("runtime handler", m.runtime_handler);
+        ("AEX-elided entry", m.aex_elided_entry);
+        ("in-enclave resume", m.inenclave_resume);
+        ("memory access", m.mem_access); ("DRAM access", m.dram_access);
+        ("TLB walk", m.tlb_walk); ("A/D check", m.ad_check) ]
+    in
+    Printf.printf "%-22s %10s\n" "event" "cycles";
+    List.iter (fun (n, c) -> Printf.printf "%-22s %10d\n" n c) rows;
+    Printf.printf "%-22s %10.2f\n" "hw crypto (cyc/B)" m.hw_crypto_cpb;
+    Printf.printf "%-22s %10.2f\n" "sw crypto (cyc/B)" m.sw_crypto_cpb;
+    Printf.printf "%-22s %10.2e\n" "frequency (Hz)" m.freq_hz
+  in
+  Cmd.v (Cmd.info "costs" ~doc) Term.(const run $ const ())
+
+(* --- shared options ---------------------------------------------------- *)
+
+let workload_arg =
+  let doc =
+    "Workload: uthash, kvstore, spellcheck, jpeg, fontrender, or \
+     kernel:NAME (e.g. kernel:canneal)."
+  in
+  Arg.(value & opt string "kvstore" & info [ "w"; "workload" ] ~doc)
+
+let scheme_arg =
+  let doc = "Scheme: baseline, rate-limit, clusters, oram." in
+  Arg.(value & opt string "rate-limit" & info [ "s"; "scheme" ] ~doc)
+
+let cluster_pages_arg =
+  let doc = "Pages per cluster (clusters scheme)." in
+  Arg.(value & opt int 10 & info [ "cluster-pages" ] ~doc)
+
+let epc_mb_arg =
+  let doc = "EPC allowance for the enclave, in MiB." in
+  Arg.(value & opt int 24 & info [ "epc-mb" ] ~doc)
+
+let ops_arg =
+  let doc = "Operations to measure." in
+  Arg.(value & opt int 2_000 & info [ "n"; "ops" ] ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+(* --- run ---------------------------------------------------------------- *)
+
+type workload_instance = {
+  wi_op : int -> unit;     (* serve request i *)
+  wi_unit : string;
+}
+
+let build_system ~scheme ~epc_limit ~cluster_pages =
+  let self_paging = scheme <> "baseline" in
+  let enclave_pages = 8 * epc_limit in
+  let sys =
+    Harness.System.create ~epc_frames:(epc_limit + 1_024) ~epc_limit
+      ~enclave_pages ~self_paging ~budget:(max 64 (epc_limit - 256)) ()
+  in
+  let heap_pages = 4 * epc_limit in
+  let heap = Harness.System.allocator sys ~pages:heap_pages ~cluster_pages in
+  (sys, heap, heap_pages)
+
+let run_cmd =
+  let doc = "Run a workload under a protection scheme and report stats." in
+  let run workload scheme cluster_pages epc_mb ops seed =
+    let epc_limit = epc_mb * 1_048_576 / page in
+    let rng = Metrics.Rng.create ~seed:(Int64.of_int seed) in
+    let sys, heap, heap_pages = build_system ~scheme ~epc_limit ~cluster_pages in
+    let alloc ~bytes = Autarky.Allocator.alloc heap ~bytes in
+    (* Policy/instrumentation wiring per scheme. *)
+    let progress_hook = ref (fun () -> ()) in
+    let instrument = ref None in
+    let finish = ref (fun () -> ()) in
+    (match scheme with
+    | "baseline" -> ()
+    | "rate-limit" ->
+      let rt = Harness.System.runtime_exn sys in
+      let rl = Autarky.Policy_rate_limit.create ~runtime:rt ~max_faults_per_unit:512 () in
+      progress_hook := (fun () -> Autarky.Policy_rate_limit.progress rl);
+      finish :=
+        fun () ->
+          Autarky.Runtime.set_policy rt (Autarky.Policy_rate_limit.policy rl);
+          Harness.System.manage sys (Autarky.Allocator.allocated_pages heap)
+    | "clusters" ->
+      let rt = Harness.System.runtime_exn sys in
+      finish :=
+        fun () ->
+          let pc =
+            Autarky.Policy_clusters.create ~runtime:rt
+              ~clusters:(Autarky.Allocator.clusters heap)
+          in
+          Autarky.Runtime.set_policy rt (Autarky.Policy_clusters.policy pc);
+          Harness.System.manage sys (Autarky.Allocator.allocated_pages heap)
+    | "oram" ->
+      let rt = Harness.System.runtime_exn sys in
+      let cache_pages = max 64 (epc_limit * 2 / 3) in
+      let cache_base = Harness.System.reserve sys ~pages:cache_pages in
+      let oram =
+        Oram.Path_oram.create
+          ~clock:(Harness.System.clock sys)
+          ~rng:(Metrics.Rng.create ~seed:9L) ~n_blocks:heap_pages ()
+      in
+      let cache =
+        Autarky.Oram_cache.create ~machine:(Harness.System.machine sys)
+          ~enclave:(Harness.System.enclave sys)
+          ~touch:(fun a k -> Sgx.Cpu.access (Harness.System.cpu sys) a k)
+          ~oram
+          ~data_base_vpage:(Autarky.Allocator.base_vpage heap)
+          ~n_pages:heap_pages ~cache_base_vpage:cache_base
+          ~capacity_pages:cache_pages ()
+      in
+      Harness.System.pin sys (List.init cache_pages (fun i -> cache_base + i));
+      let pol = Autarky.Policy_oram.create ~runtime:rt ~cache in
+      instrument :=
+        Some
+          (Autarky.Policy_oram.accessor pol ~fallback:(fun a k ->
+               Sgx.Cpu.access (Harness.System.cpu sys) a k));
+      finish :=
+        fun () -> Autarky.Runtime.set_policy rt (Autarky.Policy_oram.policy pol)
+    | other -> failwith (Printf.sprintf "unknown scheme %S" other));
+    let vm =
+      match !instrument with
+      | Some i ->
+        Harness.System.vm sys ~instrument:i
+          ~on_progress:(fun () -> !progress_hook ())
+          ()
+      | None -> Harness.System.vm sys ~on_progress:(fun () -> !progress_hook ()) ()
+    in
+    (* Build the requested workload. *)
+    let wi =
+      match String.split_on_char ':' workload with
+      | [ "uthash" ] ->
+        let t =
+          Workloads.Uthash.create ~vm ~alloc ~rng ~n_items:(heap_pages * 12)
+            ~item_bytes:256 ~target_chain:10
+        in
+        { wi_op = (fun i -> ignore (Workloads.Uthash.find t ~key:(i * 7919 mod Workloads.Uthash.n_items t)));
+          wi_unit = "lookups" }
+      | [ "kvstore" ] ->
+        let n_entries = heap_pages * 3 in
+        let kv =
+          Workloads.Kvstore.create ~vm ~alloc ~rng ~n_entries ~value_bytes:1_024 ()
+        in
+        let dist = Metrics.Dist.scrambled_zipfian ~n:n_entries () in
+        let gen = Workloads.Ycsb.workload_c ~dist ~rng in
+        { wi_op =
+            (fun _ ->
+              match Workloads.Ycsb.next gen with
+              | Workloads.Ycsb.Get k -> ignore (Workloads.Kvstore.get kv ~key:k)
+              | _ -> ());
+          wi_unit = "GETs" }
+      | [ "spellcheck" ] ->
+        let d =
+          Workloads.Spellcheck.load_dictionary ~vm ~alloc ~rng ~name:"en"
+            ~n_words:20_000 ()
+        in
+        let dist = Metrics.Dist.zipfian ~n:20_000 () in
+        { wi_op = (fun _ -> ignore (Workloads.Spellcheck.check d ~word:(Metrics.Dist.sample dist rng)));
+          wi_unit = "words" }
+      | [ "jpeg" ] ->
+        let codec = Workloads.Jpeg.create ~vm ~alloc ~blocks_w:64 ~blocks_h:1 in
+        let image = Workloads.Jpeg.random_image ~rng ~blocks_w:64 ~blocks_h:1 () in
+        { wi_op = (fun _ -> Workloads.Jpeg.decode codec ~image ());
+          wi_unit = "block rows" }
+      | [ "fontrender" ] ->
+        let f = Workloads.Fontrender.create ~vm ~alloc ~glyphs:96 ~code_pages:20 in
+        { wi_op = (fun i -> Workloads.Fontrender.render_glyph f (i mod 96));
+          wi_unit = "glyphs" }
+      | [ "kernel"; name ] ->
+        let spec = Workloads.Kernels.find name in
+        { wi_op =
+            (fun _ -> Workloads.Kernels.run spec ~vm ~rng ~units:1 ());
+          wi_unit = "units" }
+      | _ -> failwith (Printf.sprintf "unknown workload %S" workload)
+    in
+    !finish ();
+    let r =
+      Harness.Measure.run sys (fun () ->
+          for i = 1 to ops do
+            wi.wi_op i
+          done)
+    in
+    Printf.printf "workload   : %s under %s (EPC %d MiB)\n" workload scheme epc_mb;
+    Printf.printf "ops        : %d %s in %.3f ms simulated (%.0f/s)\n" ops
+      wi.wi_unit
+      (1000.0 *. r.Harness.Measure.seconds)
+      (Harness.Measure.throughput r ~ops);
+    Printf.printf "faults     : %d (%.0f/s), fetched %d, evicted %d pages\n"
+      r.Harness.Measure.page_faults (Harness.Measure.fault_rate r)
+      r.Harness.Measure.pages_fetched r.Harness.Measure.pages_evicted;
+    Printf.printf "tlb misses : %d\n" r.Harness.Measure.tlb_misses
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ workload_arg $ scheme_arg $ cluster_pages_arg $ epc_mb_arg
+      $ ops_arg $ seed_arg)
+
+(* --- attack -------------------------------------------------------------- *)
+
+let attack_cmd =
+  let doc = "Mount the controlled-channel attack on a victim enclave." in
+  let autarky_arg =
+    Arg.(value & flag & info [ "autarky" ] ~doc:"Use a self-paging enclave.")
+  in
+  let run autarky seed =
+    let rng = Metrics.Rng.create ~seed:(Int64.of_int seed) in
+    let sys =
+      Harness.System.create ~epc_frames:512 ~epc_limit:256 ~enclave_pages:1_024
+        ~self_paging:autarky ~budget:128 ()
+    in
+    let b = Harness.System.reserve sys ~pages:4 in
+    if autarky then Harness.System.pin sys (List.init 4 (fun i -> b + i));
+    let vm = Harness.System.vm sys () in
+    let secret = Array.init 64 (fun _ -> Metrics.Rng.int rng 4) in
+    (try
+       let _, attack =
+         Attacks.Controlled_channel.run ~os:(Harness.System.os sys)
+           ~proc:(Harness.System.proc sys)
+           ~monitored:(List.init 4 (fun i -> b + i))
+           (fun () ->
+             Harness.System.run_in_enclave sys (fun () ->
+                 Array.iter (fun s -> vm.Workloads.Vm.read ((b + s) * page)) secret))
+       in
+       let recovered =
+         Attacks.Oracle.recover
+           ~trace:(Attacks.Controlled_channel.trace attack)
+           ~signature_of:(fun vp ->
+             let i = vp - b in
+             if i >= 0 && i < 4 then Some i else None)
+       in
+       let expected =
+         Array.to_list secret
+         |> List.fold_left
+              (fun acc s -> match acc with x :: _ when x = s -> acc | _ -> s :: acc)
+              []
+         |> List.rev
+       in
+       Printf.printf
+         "victim completed; attacker observed %d faults and recovered %.0f%% of \
+          the secret access sequence\n"
+         (Attacks.Controlled_channel.observed_faults attack)
+         (100.0 *. Attacks.Oracle.accuracy ~expected ~recovered)
+     with Sgx.Types.Enclave_terminated { reason; _ } ->
+       Printf.printf "attack detected by the Autarky runtime: %s\n" reason)
+  in
+  Cmd.v (Cmd.info "attack" ~doc) Term.(const run $ autarky_arg $ seed_arg)
+
+(* --- kernels --------------------------------------------------------------- *)
+
+let kernels_cmd =
+  let doc = "List the Phoenix/PARSEC kernel specifications (Fig. 7)." in
+  let run () =
+    Printf.printf "%-10s %-8s %10s %10s %8s\n" "name" "suite" "ws (MB)"
+      "cold frac" "cyc/acc";
+    List.iter
+      (fun (s : Workloads.Kernels.spec) ->
+        Printf.printf "%-10s %-8s %10d %10.4f %8d\n" s.k_name
+          (match s.suite with `Phoenix -> "phoenix" | `Parsec -> "parsec")
+          (s.ws_pages * page / 1_048_576)
+          s.cold_fraction s.compute_per_access)
+      Workloads.Kernels.suite
+  in
+  Cmd.v (Cmd.info "kernels" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "Autarky self-paging enclave simulator" in
+  let info = Cmd.info "autarky_sim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ costs_cmd; run_cmd; attack_cmd; kernels_cmd ]))

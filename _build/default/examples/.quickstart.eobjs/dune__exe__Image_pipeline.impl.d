@@ -1,0 +1,1 @@
+examples/image_pipeline.ml: Attacks Autarky Harness List Metrics Option Printf Sgx Workloads

@@ -1,0 +1,1 @@
+examples/kv_oram.ml: Autarky Harness List Metrics Oram Printf Sgx Workloads

@@ -1,0 +1,1 @@
+examples/multi_tenant.ml: Autarky Cpu Enclave Hypervisor List Machine Page_data Printf Sgx Sim_os Types

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Attacks Autarky Harness List Metrics Printf Sgx Workloads

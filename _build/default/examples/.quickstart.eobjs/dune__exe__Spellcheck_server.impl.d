@@ -1,0 +1,1 @@
+examples/spellcheck_server.ml: Array Attacks Autarky Harness Hashtbl List Metrics Printf Sim_os Workloads

@@ -1,0 +1,1 @@
+examples/spellcheck_server.mli:

@@ -1,0 +1,99 @@
+(* Multi-tenant cloud host (the §5.4 discussion, made executable):
+   two VMs with static vEPC partitions, cooperative ballooning when one
+   tenant needs memory, a hypervisor-level controlled-channel attempt
+   being detected, and the restart monitor cutting off a probe storm.
+
+   Run with: dune exec examples/multi_tenant.exe *)
+
+open Sgx
+
+let page = Types.page_bytes
+
+let boot hv vm ~self_paging ~epc_limit ~pages =
+  let proc =
+    Hypervisor.Vmm.create_guest_proc hv vm ~size_pages:pages ~self_paging
+      ~epc_limit
+  in
+  let guest = Hypervisor.Vmm.guest_os vm in
+  for i = 0 to pages - 1 do
+    Sim_os.Kernel.add_initial_page guest proc
+      ~vpage:((Sim_os.Kernel.enclave proc).base_vpage + i)
+      ~data:(Page_data.create ()) ~perms:Types.perms_rwx
+  done;
+  Sim_os.Kernel.finalize guest proc;
+  proc
+
+let () =
+  print_endline "== Multi-tenant host (hypervisor, §5.4) ==";
+  let m = Machine.create ~epc_frames:1_024 () in
+  let hv = Hypervisor.Vmm.create m in
+  let tenant_a = Hypervisor.Vmm.create_vm hv ~name:"tenant-a" ~epc_frames:512 in
+  let tenant_b = Hypervisor.Vmm.create_vm hv ~name:"tenant-b" ~epc_frames:384 in
+  Printf.printf "static partitions: a=%d frames, b=%d frames, %d spare\n"
+    (Hypervisor.Vmm.partition_frames tenant_a)
+    (Hypervisor.Vmm.partition_frames tenant_b)
+    (Hypervisor.Vmm.free_frames hv);
+
+  (* Tenant A runs a legacy enclave that pages within its slice. *)
+  let pa = boot hv tenant_a ~self_paging:false ~epc_limit:400 ~pages:450 in
+  let cpu_a =
+    Cpu.create ~machine:m
+      ~page_table:(Sim_os.Kernel.page_table pa)
+      ~enclave:(Sim_os.Kernel.enclave pa)
+      ~os:(Sim_os.Kernel.os_callbacks (Hypervisor.Vmm.guest_os tenant_a)) ()
+  in
+  for i = 0 to 449 do
+    Cpu.read cpu_a (Types.vaddr_of_vpage ((Sim_os.Kernel.enclave pa).base_vpage + i))
+  done;
+  Printf.printf "tenant-a   : enclave paged its 450-page set within a %d-frame slice\n"
+    (Sim_os.Kernel.epc_limit pa);
+
+  (* Tenant B needs memory: the hypervisor rebalances cooperatively. *)
+  let moved = Hypervisor.Vmm.rebalance hv ~from_vm:tenant_a ~to_vm:tenant_b ~frames:128 in
+  Printf.printf
+    "ballooning : moved %d frames a->b (a=%d, b=%d) without touching pinned pages\n"
+    moved
+    (Hypervisor.Vmm.partition_frames tenant_a)
+    (Hypervisor.Vmm.partition_frames tenant_b);
+
+  (* Tenant B hosts an Autarky enclave; the hypervisor tries transparent
+     demand paging on it — i.e., the §5.4 impossible case. *)
+  let pb = boot hv tenant_b ~self_paging:true ~epc_limit:128 ~pages:64 in
+  let guest_b = Hypervisor.Vmm.guest_os tenant_b in
+  let enclave_b = Sim_os.Kernel.enclave pb in
+  let managed = List.init 64 (fun i -> enclave_b.base_vpage + i) in
+  ignore (Sim_os.Kernel.ay_set_enclave_managed guest_b pb managed);
+  enclave_b.entry <-
+    (fun e -> Enclave.terminate e ~reason:"hypervisor-induced fault detected");
+  let cpu_b =
+    Cpu.create ~machine:m ~page_table:(Sim_os.Kernel.page_table pb)
+      ~enclave:enclave_b ~os:(Sim_os.Kernel.os_callbacks guest_b) ()
+  in
+  Cpu.read cpu_b (Types.vaddr_of_vpage enclave_b.base_vpage);
+  Hypervisor.Vmm.hypervisor_evict hv tenant_b pb enclave_b.base_vpage;
+  (try Cpu.read cpu_b (Types.vaddr_of_vpage enclave_b.base_vpage)
+   with Types.Enclave_terminated { reason; _ } ->
+     Printf.printf "hypervisor : transparent paging attempt DETECTED (%s)\n" reason);
+
+  (* The attestation service bounds the restart channel. *)
+  let monitor =
+    Autarky.Restart_monitor.create ~clock:Machine.(m.clock)
+      ~window_cycles:1_000_000_000 ~max_restarts:3 ()
+  in
+  let rec probe n =
+    if n = 0 then ()
+    else
+      match Autarky.Restart_monitor.record_start monitor ~identity:"tenant-b/app" with
+      | Autarky.Restart_monitor.Refuse ->
+        Printf.printf
+          "attestation: probe storm refused after %d restarts (~%.0f bits leaked at most)\n"
+          (Autarky.Restart_monitor.total_restarts monitor ~identity:"tenant-b/app")
+          (Autarky.Restart_monitor.leaked_bits_bound monitor ~identity:"tenant-b/app")
+      | Autarky.Restart_monitor.Allow ->
+        Autarky.Restart_monitor.record_termination monitor ~identity:"tenant-b/app"
+          ~reason:"controlled-channel attack";
+        probe (n - 1)
+  in
+  probe 10;
+  ignore page;
+  print_endline "done."

@@ -1,0 +1,1 @@
+lib/attacks/ad_bits.ml: List Sgx Sim_os

@@ -1,0 +1,1 @@
+lib/attacks/ad_bits.mli: Sgx Sim_os

@@ -1,0 +1,1 @@
+lib/attacks/controlled_channel.ml: Hashtbl List Sgx Sim_os

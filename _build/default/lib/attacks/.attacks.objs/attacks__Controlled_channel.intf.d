@@ -1,0 +1,1 @@
+lib/attacks/controlled_channel.mli: Sgx Sim_os

@@ -1,0 +1,1 @@
+lib/attacks/leakage.ml: List

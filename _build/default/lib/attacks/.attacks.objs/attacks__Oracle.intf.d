@@ -1,0 +1,1 @@
+lib/attacks/oracle.mli: Sgx

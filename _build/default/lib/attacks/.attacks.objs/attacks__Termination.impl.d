@@ -1,0 +1,1 @@
+lib/attacks/termination.ml: List Sgx Sim_os

@@ -1,0 +1,1 @@
+lib/attacks/termination.mli: Sgx Sim_os

@@ -1,0 +1,77 @@
+type observation = {
+  at_preempt : int;
+  accessed : Sgx.Types.vpage list;
+  dirtied : Sgx.Types.vpage list;
+}
+
+type t = {
+  os : Sim_os.Kernel.t;
+  proc : Sim_os.Kernel.proc;
+  monitored : Sgx.Types.vpage list;
+  clear_dirty : bool;
+  mutable obs_rev : observation list;
+  mutable preempt_count : int;
+  saved_on_preempt : Sim_os.Kernel.proc -> unit;
+}
+
+let scan t =
+  t.preempt_count <- t.preempt_count + 1;
+  let accessed = ref [] and dirtied = ref [] in
+  List.iter
+    (fun vp ->
+      match Sim_os.Kernel.attacker_read_ad t.os t.proc vp with
+      | Some (a, d) ->
+        if a then begin
+          accessed := vp :: !accessed;
+          Sim_os.Kernel.attacker_clear_accessed t.os t.proc vp
+        end;
+        if t.clear_dirty && d then begin
+          dirtied := vp :: !dirtied;
+          Sim_os.Kernel.attacker_clear_dirty t.os t.proc vp
+        end
+      | None -> ())
+    t.monitored;
+  if !accessed <> [] || !dirtied <> [] then
+    t.obs_rev <-
+      {
+        at_preempt = t.preempt_count;
+        accessed = List.sort compare !accessed;
+        dirtied = List.sort compare !dirtied;
+      }
+      :: t.obs_rev
+
+let attach ~os ~proc ~monitored ?(clear_dirty = true) () =
+  let hooks = Sim_os.Kernel.hooks os in
+  let t =
+    {
+      os;
+      proc;
+      monitored;
+      clear_dirty;
+      obs_rev = [];
+      preempt_count = 0;
+      saved_on_preempt = hooks.on_preempt;
+    }
+  in
+  hooks.on_preempt <-
+    (fun p ->
+      if Sgx.Enclave.((Sim_os.Kernel.enclave p).id = (Sim_os.Kernel.enclave proc).id)
+      then scan t);
+  (* Baseline scan: clear all bits so the first observation is clean. *)
+  List.iter
+    (fun vp ->
+      Sim_os.Kernel.attacker_clear_accessed os proc vp;
+      if clear_dirty then Sim_os.Kernel.attacker_clear_dirty os proc vp)
+    monitored;
+  t
+
+let detach t =
+  let hooks = Sim_os.Kernel.hooks t.os in
+  hooks.on_preempt <- t.saved_on_preempt
+
+let observations t = List.rev t.obs_rev
+
+let pages_traced t =
+  List.concat_map (fun o -> o.accessed) (observations t) |> List.sort_uniq compare
+
+let preemptions t = t.preempt_count

@@ -1,0 +1,34 @@
+(** The stealthy accessed/dirty-bit controlled channel (Wang et al.
+    CCS'17, Van Bulck et al. SEC'17 — §2.2).
+
+    No page faults are induced: the attacker periodically preempts the
+    enclave (timer interrupts), scans the PTE accessed/dirty bits of the
+    monitored pages, records which were set, clears them and flushes the
+    TLB so future accesses must re-walk.  Against legacy SGX this traces
+    the working set without a single fault.  Against Autarky, a cleared
+    accessed/dirty bit makes the PTE invalid on the next fetch: the very
+    next enclave access faults into the trusted handler, which sees an
+    OS-induced fault on a resident page and terminates. *)
+
+type observation = {
+  at_preempt : int;       (** preemption ordinal *)
+  accessed : Sgx.Types.vpage list;  (** pages with A set since last scan *)
+  dirtied : Sgx.Types.vpage list;
+}
+
+type t
+
+val attach :
+  os:Sim_os.Kernel.t -> proc:Sim_os.Kernel.proc ->
+  monitored:Sgx.Types.vpage list -> ?clear_dirty:bool -> unit -> t
+(** Hook the kernel's preemption path. [clear_dirty] (default true) also
+    monitors and clears dirty bits. *)
+
+val detach : t -> unit
+val observations : t -> observation list
+(** Oldest first. *)
+
+val pages_traced : t -> Sgx.Types.vpage list
+(** Distinct pages ever observed accessed. *)
+
+val preemptions : t -> int

@@ -1,0 +1,88 @@
+type arming =
+  | Unmap
+  | Reduce_perms of Sgx.Types.perms
+  | Wrong_page of Sgx.Types.vpage
+
+type t = {
+  os : Sim_os.Kernel.t;
+  proc : Sim_os.Kernel.proc;
+  monitored : (Sgx.Types.vpage, unit) Hashtbl.t;
+  arming : arming;
+  mutable repaired : Sgx.Types.vpage option;
+  mutable trace_rev : Sgx.Types.vpage list;
+  mutable fault_count : int;
+  pages_seen : (Sgx.Types.vpage, unit) Hashtbl.t;
+  saved_on_fault :
+    Sim_os.Kernel.proc -> Sgx.Types.os_fault_report -> Sim_os.Kernel.fault_decision;
+}
+
+let arm t vp =
+  match t.arming with
+  | Unmap -> Sim_os.Kernel.attacker_unmap t.os t.proc vp
+  | Reduce_perms perms -> Sim_os.Kernel.attacker_set_perms t.os t.proc vp perms
+  | Wrong_page other ->
+    Sim_os.Kernel.attacker_map_wrong t.os t.proc ~victim:vp ~other
+
+let on_fault t proc report =
+  if Sgx.Enclave.(report.Sgx.Types.fr_enclave_id = (Sim_os.Kernel.enclave proc).id)
+  then begin
+    t.fault_count <- t.fault_count + 1;
+    let vp = Sgx.Types.vpage_of_vaddr report.fr_vaddr in
+    Hashtbl.replace t.pages_seen vp ();
+    if (Sim_os.Kernel.enclave proc).self_paging then
+      (* The address is masked and silent resume will fail: nothing the
+         attacker can do but let the kernel re-enter the enclave. *)
+      Sim_os.Kernel.Benign
+    else if Hashtbl.mem t.monitored vp then begin
+      t.trace_rev <- vp :: t.trace_rev;
+      Sim_os.Kernel.attacker_restore t.os t.proc vp;
+      (match t.repaired with
+      | Some prev when prev <> vp -> arm t prev
+      | Some _ | None -> ());
+      t.repaired <- Some vp;
+      Sim_os.Kernel.Fixed_silently
+    end
+    else Sim_os.Kernel.Benign
+  end
+  else Sim_os.Kernel.Benign
+
+let attach ~os ~proc ~monitored ?(arming = Unmap) () =
+  let hooks = Sim_os.Kernel.hooks os in
+  let t =
+    {
+      os;
+      proc;
+      monitored = Hashtbl.create 256;
+      arming;
+      repaired = None;
+      trace_rev = [];
+      fault_count = 0;
+      pages_seen = Hashtbl.create 256;
+      saved_on_fault = hooks.on_fault;
+    }
+  in
+  List.iter (fun vp -> Hashtbl.replace t.monitored vp ()) monitored;
+  hooks.on_fault <- (fun p r -> on_fault t p r);
+  List.iter (fun vp -> arm t vp) monitored;
+  t
+
+let detach t =
+  let hooks = Sim_os.Kernel.hooks t.os in
+  hooks.on_fault <- t.saved_on_fault;
+  Hashtbl.iter (fun vp () -> Sim_os.Kernel.attacker_restore t.os t.proc vp) t.monitored
+
+let trace t = List.rev t.trace_rev
+let observed_faults t = t.fault_count
+
+let observed_pages t =
+  Hashtbl.fold (fun vp () acc -> vp :: acc) t.pages_seen [] |> List.sort compare
+
+let run ~os ~proc ~monitored ?(arming = Unmap) victim =
+  let t = attach ~os ~proc ~monitored ~arming () in
+  match victim () with
+  | result ->
+    detach t;
+    (`Completed result, t)
+  | exception e ->
+    detach t;
+    raise e

@@ -1,0 +1,53 @@
+(** The controlled-channel attack of Xu et al. (S&P'15) and its page-table
+    variants (§2.2).
+
+    The attacker is the OS.  It arms a set of monitored pages (unmapping
+    them, reducing their permissions, or pointing their PTEs at the
+    wrong frame), waits for the enclave to fault, records which page
+    faulted, repairs that page's mapping, re-arms the previously
+    recorded page, and resumes the enclave silently — yielding a
+    noise-free, deterministic page-granularity trace of enclave
+    execution.
+
+    Against a legacy enclave the trace is exact.  Against an Autarky
+    (self-paging) enclave: the fault report is masked (the attacker sees
+    only that some fault happened), silent resume fails, and the trusted
+    handler observes the OS-induced fault on a resident enclave-managed
+    page and terminates — which the attack log records. *)
+
+type arming =
+  | Unmap            (** clear the present bit (the original attack) *)
+  | Reduce_perms of Sgx.Types.perms
+      (** e.g. make a code page non-executable *)
+  | Wrong_page of Sgx.Types.vpage
+      (** map the victim page's PTE at this other page's frame *)
+
+type t
+
+val attach :
+  os:Sim_os.Kernel.t -> proc:Sim_os.Kernel.proc ->
+  monitored:Sgx.Types.vpage list -> ?arming:arming -> unit -> t
+(** Install the attack on the kernel's fault hook and arm every
+    monitored page. *)
+
+val detach : t -> unit
+(** Remove the hook and restore all monitored mappings. *)
+
+val trace : t -> Sgx.Types.vpage list
+(** Recorded fault sequence, oldest first. *)
+
+val observed_faults : t -> int
+(** Total enclave faults the attacker saw (for a self-paging victim this
+    is all it learns — a count). *)
+
+val observed_pages : t -> Sgx.Types.vpage list
+(** Distinct fault addresses observed (masked to the enclave base for a
+    self-paging victim). *)
+
+val run :
+  os:Sim_os.Kernel.t -> proc:Sim_os.Kernel.proc ->
+  monitored:Sgx.Types.vpage list -> ?arming:arming -> (unit -> 'a) ->
+  [ `Completed of 'a ] * t
+(** Attach, run the victim computation, detach; the enclave may
+    terminate mid-run, in which case {!Sgx.Types.Enclave_terminated}
+    propagates to the caller after detaching. *)

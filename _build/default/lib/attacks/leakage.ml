@@ -1,0 +1,34 @@
+let cluster_guess_probability ~item_bytes ~cluster_pages ~page_bytes =
+  assert (item_bytes > 0 && cluster_pages > 0 && page_bytes > 0);
+  float_of_int item_bytes /. float_of_int (cluster_pages * page_bytes)
+
+type score = { mutable total : float; mutable n : int }
+
+let create_score () = { total = 0.0; n = 0 }
+
+let observe score ~candidates ~accessed_in_set ~total_items =
+  let p =
+    if accessed_in_set && candidates > 0 then 1.0 /. float_of_int candidates
+    else if total_items > 0 then 1.0 /. float_of_int total_items
+    else 0.0
+  in
+  score.total <- score.total +. p;
+  score.n <- score.n + 1
+
+let observations score = score.n
+
+let guess_probability score =
+  if score.n = 0 then 0.0 else score.total /. float_of_int score.n
+
+let entropy_bits probs =
+  List.fold_left
+    (fun acc p -> if p > 0.0 then acc -. (p *. (log p /. log 2.0)) else acc)
+    0.0 probs
+
+let uniform_entropy_bits ~n =
+  assert (n > 0);
+  log (float_of_int n) /. log 2.0
+
+let rate_limit_leak_bound ~faults ~managed_pages =
+  assert (faults >= 0 && managed_pages > 0);
+  float_of_int faults *. uniform_entropy_bits ~n:managed_pages

@@ -1,0 +1,46 @@
+(** Quantifying the residual leakage of cluster-granularity paging
+    (§5.2.3, §5.3).
+
+    Autarky's cluster policy still reveals, through the demand-paging
+    side channel (§4 — the OS can always enumerate which pages become
+    resident), that *some* page of a fetched cluster set was accessed.
+    For a uniformly-accessed table of fixed-size items the paper states
+    the attacker's guessing probability as
+
+      [item_size / (cluster_size * page_size)]
+
+    (0.62% for 256-byte items and 10-page clusters).  This module
+    implements that formula, the empirical attacker that measures it
+    (observe the fetched set, guess uniformly among the items it holds),
+    and entropy helpers for expressing observations in bits. *)
+
+val cluster_guess_probability :
+  item_bytes:int -> cluster_pages:int -> page_bytes:int -> float
+(** The paper's closed form. *)
+
+(** The empirical attacker's running score. *)
+type score
+
+val create_score : unit -> score
+
+val observe :
+  score -> candidates:int -> accessed_in_set:bool -> total_items:int -> unit
+(** One request: the fetched set held [candidates] items; [accessed_in_set]
+    says whether the truly-accessed item was among them (if not — e.g. no
+    fault occurred — the attacker guesses blindly among [total_items]). *)
+
+val observations : score -> int
+val guess_probability : score -> float
+(** Mean probability that the optimal guess is correct. *)
+
+val entropy_bits : float list -> float
+(** Shannon entropy of a distribution (probabilities summing to 1). *)
+
+val uniform_entropy_bits : n:int -> float
+(** Entropy of a uniform choice among [n] items. *)
+
+val rate_limit_leak_bound : faults:int -> managed_pages:int -> float
+(** Upper bound (bits) on what the demand-paging side channel conveys
+    under the rate-limited policy (§5.2.4): each legitimate fault reveals
+    at most which of the managed pages was cold —
+    [faults * log2 managed_pages]. *)

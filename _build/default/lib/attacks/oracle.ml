@@ -1,0 +1,46 @@
+let recover ~trace ~signature_of =
+  let rec dedup_map last acc = function
+    | [] -> List.rev acc
+    | vp :: rest -> (
+      match signature_of vp with
+      | None -> dedup_map last acc rest
+      | Some sym ->
+        if last = Some sym then dedup_map last acc rest
+        else dedup_map (Some sym) (sym :: acc) rest)
+  in
+  dedup_map None [] trace
+
+let lcs_length a b =
+  let n = Array.length a and m = Array.length b in
+  if n = 0 || m = 0 then 0
+  else begin
+    let prev = Array.make (m + 1) 0 in
+    let cur = Array.make (m + 1) 0 in
+    for i = 1 to n do
+      for j = 1 to m do
+        cur.(j) <-
+          (if a.(i - 1) = b.(j - 1) then prev.(j - 1) + 1
+           else max prev.(j) cur.(j - 1))
+      done;
+      Array.blit cur 0 prev 0 (m + 1)
+    done;
+    prev.(m)
+  end
+
+let accuracy ~expected ~recovered =
+  match expected with
+  | [] -> if recovered = [] then 1.0 else 0.0
+  | _ ->
+    let a = Array.of_list expected and b = Array.of_list recovered in
+    float_of_int (lcs_length a b) /. float_of_int (Array.length a)
+
+let exact_match_ratio ~expected ~recovered =
+  match expected with
+  | [] -> if recovered = [] then 1.0 else 0.0
+  | _ ->
+    let rec count a b acc =
+      match (a, b) with
+      | x :: a', y :: b' -> count a' b' (if x = y then acc + 1 else acc)
+      | _, _ -> acc
+    in
+    float_of_int (count expected recovered 0) /. float_of_int (List.length expected)

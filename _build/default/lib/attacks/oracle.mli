@@ -1,0 +1,21 @@
+(** Secret-recovery oracles: turn an observed page trace back into the
+    victim's secret and score the recovery.
+
+    The published attacks (§2.2, §7.3) all follow the same recipe: the
+    attacker knows the program, so each secret symbol (an image row's
+    coefficient class, a dictionary word, a glyph) has a known page
+    access signature; matching the observed trace against the signatures
+    recovers the secret.  These helpers implement the matching and the
+    scoring used by the security experiments. *)
+
+val recover : trace:Sgx.Types.vpage list -> signature_of:(Sgx.Types.vpage -> 'a option) -> 'a list
+(** Map each traced page to its secret symbol, dropping unmapped pages
+    and collapsing immediate repeats (a page hit twice in a row is one
+    symbol occurrence). *)
+
+val accuracy : expected:'a list -> recovered:'a list -> float
+(** Longest-common-subsequence overlap: |LCS| / |expected|, in [0,1].
+    1.0 means the full secret was extracted in order. *)
+
+val exact_match_ratio : expected:'a list -> recovered:'a list -> float
+(** Positional match ratio over the expected length (stricter). *)

@@ -1,0 +1,13 @@
+type outcome = Terminated of string | Completed
+
+let probe ~os ~proc ~pages ~run =
+  List.iter (fun vp -> Sim_os.Kernel.attacker_unmap os proc vp) pages;
+  let outcome =
+    match run () with
+    | () -> Completed
+    | exception Sgx.Types.Enclave_terminated { reason; _ } -> Terminated reason
+  in
+  List.iter (fun vp -> Sim_os.Kernel.attacker_restore os proc vp) pages;
+  outcome
+
+let bits_per_restart () = 1.0

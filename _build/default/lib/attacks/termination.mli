@@ -1,0 +1,21 @@
+(** The termination and lack-of-faults attacks (§5.3).
+
+    Within Autarky's guarantees, an attacker may still unmap a *set* of
+    enclave-managed pages and learn one bit: if the enclave terminates,
+    some page of the set was accessed; if it keeps running, none were.
+    The attacker does not learn which page — and each probe risks (or
+    causes) a detectable enclave restart.  These helpers run such probes
+    and quantify the channel's bandwidth. *)
+
+type outcome =
+  | Terminated of string  (** the enclave detected the probe and died *)
+  | Completed             (** the probed pages were never accessed *)
+
+val probe :
+  os:Sim_os.Kernel.t -> proc:Sim_os.Kernel.proc ->
+  pages:Sgx.Types.vpage list -> run:(unit -> unit) -> outcome
+(** Unmap [pages], run the victim computation, restore.  One bit out. *)
+
+val bits_per_restart : unit -> float
+(** The channel bandwidth: one bit per probe, and every positive probe
+    costs an enclave restart (observable via attestation, §3). *)

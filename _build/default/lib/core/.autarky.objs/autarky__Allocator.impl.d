@@ -1,0 +1,1 @@
+lib/core/allocator.ml: Clusters Hashtbl List Sgx

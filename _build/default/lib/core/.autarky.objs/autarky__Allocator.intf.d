@@ -1,0 +1,1 @@
+lib/core/allocator.mli: Clusters Sgx

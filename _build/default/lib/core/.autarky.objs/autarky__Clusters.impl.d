@@ -1,0 +1,1 @@
+lib/core/clusters.ml: Hashtbl List Printf Queue Sgx

@@ -1,0 +1,1 @@
+lib/core/instrument.ml: Array Oram_cache Printf Sgx

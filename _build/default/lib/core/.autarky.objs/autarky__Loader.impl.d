@@ -1,0 +1,1 @@
+lib/core/loader.ml: Clusters List Sgx

@@ -1,0 +1,1 @@
+lib/core/oram_cache.ml: Array Bytes Hashtbl Metrics Oram Sgx Sim_crypto

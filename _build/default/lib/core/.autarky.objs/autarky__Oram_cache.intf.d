@@ -1,0 +1,1 @@
+lib/core/oram_cache.mli: Oram Sgx

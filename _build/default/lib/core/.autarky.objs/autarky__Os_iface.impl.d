@@ -1,0 +1,1 @@
+lib/core/os_iface.ml: Sgx Sim_crypto

@@ -1,0 +1,1 @@
+lib/core/os_iface.mli: Sgx Sim_crypto

@@ -1,0 +1,1 @@
+lib/core/pager.ml: Format Hashtbl Int64 List Metrics Os_iface Queue Sgx Sim_crypto Stdlib

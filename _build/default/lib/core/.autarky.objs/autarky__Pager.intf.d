@@ -1,0 +1,1 @@
+lib/core/pager.mli: Os_iface Sgx

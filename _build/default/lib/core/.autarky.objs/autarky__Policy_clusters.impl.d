@@ -1,0 +1,1 @@
+lib/core/policy_clusters.ml: Clusters Hashtbl List Pager Runtime Sgx

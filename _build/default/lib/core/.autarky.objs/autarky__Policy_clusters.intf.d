@@ -1,0 +1,1 @@
+lib/core/policy_clusters.mli: Clusters Runtime

@@ -1,0 +1,1 @@
+lib/core/policy_oram.ml: Oram Oram_cache Printf Runtime Sgx

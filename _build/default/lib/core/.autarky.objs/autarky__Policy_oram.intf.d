@@ -1,0 +1,1 @@
+lib/core/policy_oram.mli: Oram Oram_cache Runtime Sgx

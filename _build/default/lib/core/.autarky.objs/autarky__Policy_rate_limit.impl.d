@@ -1,0 +1,1 @@
+lib/core/policy_rate_limit.ml: Hashtbl List Option Pager Printf Runtime Sgx

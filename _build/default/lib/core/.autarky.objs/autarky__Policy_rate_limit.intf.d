@@ -1,0 +1,1 @@
+lib/core/policy_rate_limit.mli: Runtime Sgx

@@ -1,0 +1,1 @@
+lib/core/restart_monitor.ml: Hashtbl List Metrics

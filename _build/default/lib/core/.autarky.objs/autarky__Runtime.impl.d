@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Format Hashtbl List Metrics Os_iface Pager Printf Sgx Stack

@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Os_iface Pager Sgx

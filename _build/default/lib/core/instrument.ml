@@ -1,0 +1,48 @@
+type handler = Sgx.Types.vaddr -> Sgx.Types.access_kind -> unit
+
+type range = { base : Sgx.Types.vpage; pages : int; handler : handler }
+
+type t = { fallback : handler; mutable sorted : range array }
+
+let create ~fallback = { fallback; sorted = [||] }
+
+let overlaps a b =
+  a.base < b.base + b.pages && b.base < a.base + a.pages
+
+let annotate t ~base_vpage ~pages handler =
+  if pages <= 0 then invalid_arg "Instrument.annotate: empty range";
+  let r = { base = base_vpage; pages; handler } in
+  Array.iter
+    (fun existing ->
+      if overlaps existing r then
+        invalid_arg
+          (Printf.sprintf "Instrument.annotate: range 0x%x+%d overlaps 0x%x+%d"
+             base_vpage pages existing.base existing.pages))
+    t.sorted;
+  let arr = Array.append t.sorted [| r |] in
+  Array.sort (fun a b -> compare a.base b.base) arr;
+  t.sorted <- arr
+
+let annotate_oram t ~cache =
+  let base, pages = Oram_cache.data_region cache in
+  annotate t ~base_vpage:base ~pages (Oram_cache.access cache)
+
+let find t vp =
+  let arr = t.sorted in
+  let lo = ref 0 and hi = ref (Array.length arr - 1) in
+  let found = ref None in
+  while !found = None && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let r = arr.(mid) in
+    if vp < r.base then hi := mid - 1
+    else if vp >= r.base + r.pages then lo := mid + 1
+    else found := Some r
+  done;
+  !found
+
+let accessor t vaddr kind =
+  match find t (Sgx.Types.vpage_of_vaddr vaddr) with
+  | Some r -> r.handler vaddr kind
+  | None -> t.fallback vaddr kind
+
+let ranges t = Array.to_list (Array.map (fun r -> (r.base, r.pages)) t.sorted)

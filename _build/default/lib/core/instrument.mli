@@ -1,0 +1,30 @@
+(** CoSMIX-style memory-access instrumentation (§6).
+
+    CoSMIX lets developers annotate variables and allocations so that
+    only the corresponding accesses are instrumented, each routed to its
+    memory store.  This module is that dispatch layer: address ranges are
+    registered with handlers ("mstores" — the ORAM cache, a plain
+    passthrough, a tracing wrapper ...), and {!accessor} compiles the
+    registry into the single function the workload's loads and stores go
+    through.  Unannotated addresses take the fallback (direct) path, so
+    uninstrumented code pays nothing. *)
+
+type handler = Sgx.Types.vaddr -> Sgx.Types.access_kind -> unit
+
+type t
+
+val create : fallback:handler -> t
+
+val annotate :
+  t -> base_vpage:Sgx.Types.vpage -> pages:int -> handler -> unit
+(** Route accesses to [\[base, base+pages)] through [handler].  Ranges
+    must not overlap ([Invalid_argument] otherwise). *)
+
+val annotate_oram : t -> cache:Oram_cache.t -> unit
+(** Convenience: route the cache's whole data region through it. *)
+
+val accessor : t -> handler
+(** The compiled dispatcher (log-time range lookup). *)
+
+val ranges : t -> (Sgx.Types.vpage * int) list
+(** Registered [(base, pages)] ranges, ascending. *)

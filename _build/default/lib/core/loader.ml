@@ -1,0 +1,34 @@
+type library = {
+  lib_name : string;
+  lib_pages : Sgx.Types.vpage list;
+  lib_cluster : Clusters.cluster_id;
+}
+
+type t = { cl : Clusters.t; mutable libs : library list }
+
+let create ~clusters = { cl = clusters; libs = [] }
+let clusters t = t.cl
+
+let load_library t ~name ~pages ?(deps = []) () =
+  let cluster = Clusters.new_cluster t.cl () in
+  List.iter (fun vp -> Clusters.ay_add_page t.cl ~cluster vp) pages;
+  List.iter
+    (fun dep ->
+      List.iter (fun vp -> Clusters.ay_add_page t.cl ~cluster vp) dep.lib_pages)
+    deps;
+  let lib = { lib_name = name; lib_pages = pages; lib_cluster = cluster } in
+  t.libs <- lib :: t.libs;
+  lib
+
+let load_functions t ~name ~functions =
+  List.map
+    (fun (fname, pages) ->
+      load_library t ~name:(name ^ ":" ^ fname) ~pages ())
+    functions
+
+let libraries t = List.rev t.libs
+let find t name = List.find_opt (fun l -> l.lib_name = name) t.libs
+
+let code_pages t =
+  List.concat_map (fun l -> l.lib_pages) t.libs
+  |> List.sort_uniq compare

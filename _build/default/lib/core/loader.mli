@@ -1,0 +1,40 @@
+(** The trusted loader's automatic code clustering (§5.2.3, "Clusters for
+    code pages").
+
+    Each loaded library (and the main program) gets one cluster holding
+    all its code pages, so control flow *within* the library never leaks:
+    the first instruction fetch faults the whole library in at once.
+    When a library depends on others, their code pages are added to the
+    dependent's cluster as shared pages — so clusters that call each
+    other are fetched together, exactly the sharing semantics the cluster
+    invariant is designed around.
+
+    The loader can alternatively cluster at function granularity when
+    intra-library control flow is not considered sensitive, trading
+    security for smaller fetch units. *)
+
+type library = {
+  lib_name : string;
+  lib_pages : Sgx.Types.vpage list;  (** this library's own code pages *)
+  lib_cluster : Clusters.cluster_id;
+}
+
+type t
+
+val create : clusters:Clusters.t -> t
+val clusters : t -> Clusters.t
+
+val load_library :
+  t -> name:string -> pages:Sgx.Types.vpage list -> ?deps:library list ->
+  unit -> library
+(** Register a library's code pages as one cluster; the pages of each
+    dependency are added to this cluster too (shared pages). *)
+
+val load_functions :
+  t -> name:string -> functions:(string * Sgx.Types.vpage list) list -> library list
+(** Function-granularity clustering: one cluster per function. *)
+
+val libraries : t -> library list
+val find : t -> string -> library option
+val code_pages : t -> Sgx.Types.vpage list
+(** All code pages across loaded libraries, ascending and distinct. *)

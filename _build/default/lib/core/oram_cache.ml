@@ -1,0 +1,127 @@
+type writeback = [ `Always | `Dirty_only ]
+
+type t = {
+  machine : Sgx.Machine.t;
+  enclave : Sgx.Enclave.t;
+  touch : Sgx.Types.vaddr -> Sgx.Types.access_kind -> unit;
+  oram : Oram.Path_oram.t;
+  writeback : writeback;
+  data_base : Sgx.Types.vpage;
+  n_pages : int;
+  cache_base : Sgx.Types.vpage;
+  capacity : int;
+  slots : int array;
+  slot_of : (int, int) Hashtbl.t;
+  dirty : bool array;
+  mutable hand : int;
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let create ?(writeback = `Dirty_only) ~machine ~enclave ~touch ~oram
+    ~data_base_vpage ~n_pages ~cache_base_vpage ~capacity_pages () =
+  assert (n_pages > 0 && capacity_pages > 0);
+  assert (n_pages <= Oram.Path_oram.n_blocks oram);
+  {
+    machine;
+    enclave;
+    touch;
+    oram;
+    writeback;
+    data_base = data_base_vpage;
+    n_pages;
+    cache_base = cache_base_vpage;
+    capacity = capacity_pages;
+    slots = Array.make capacity_pages (-1);
+    slot_of = Hashtbl.create (2 * capacity_pages);
+    dirty = Array.make capacity_pages false;
+    hand = 0;
+    hit_count = 0;
+    miss_count = 0;
+  }
+
+let in_data_region t vaddr =
+  let vp = Sgx.Types.vpage_of_vaddr vaddr in
+  vp >= t.data_base && vp < t.data_base + t.n_pages
+
+let data_region t = (t.data_base, t.n_pages)
+let hits t = t.hit_count
+let misses t = t.miss_count
+
+let cache_page_data t slot =
+  match
+    Sgx.Instructions.page_data t.machine t.enclave ~vpage:(t.cache_base + slot)
+  with
+  | Some d -> d
+  | None ->
+    Sgx.Types.sgx_errorf "ORAM cache page %d (0x%x) is not resident" slot
+      (t.cache_base + slot)
+
+let oblivious_copy_cost t =
+  let m = Sgx.Machine.model t.machine in
+  Sim_crypto.Oblivious.scan_cost m ~entries:1 ~entry_bytes:m.page_bytes
+
+let blit_page ~src ~dst =
+  let s = Sgx.Page_data.to_bytes src and d = Sgx.Page_data.to_bytes dst in
+  let n = min (Bytes.length s) (Bytes.length d) in
+  Bytes.blit s 0 d 0 n
+
+(* Swap a block into a cache slot: write the previous occupant back to
+   the ORAM, then fetch the new block.  Each direction is an oblivious
+   page copy.  Under [`Dirty_only] (CoSMIX's policy, the default) clean
+   pages are dropped without an ORAM write — cheaper, but the write-back
+   pattern then reveals page dirtiness; [`Always] hides it. *)
+let fill_slot t slot block =
+  let cache_data = cache_page_data t slot in
+  let old_block = t.slots.(slot) in
+  if old_block >= 0 then begin
+    if t.writeback = `Always || t.dirty.(slot) then begin
+      Sgx.Machine.charge t.machine (oblivious_copy_cost t);
+      Oram.Path_oram.access t.oram ~block:old_block (fun oram_data ->
+          blit_page ~src:cache_data ~dst:oram_data)
+    end;
+    Hashtbl.remove t.slot_of old_block
+  end;
+  Sgx.Machine.charge t.machine (oblivious_copy_cost t);
+  Oram.Path_oram.access t.oram ~block (fun oram_data ->
+      blit_page ~src:oram_data ~dst:cache_data);
+  t.slots.(slot) <- block;
+  t.dirty.(slot) <- false;
+  Hashtbl.replace t.slot_of block slot
+
+let slot_for t vaddr kind =
+  let m = Sgx.Machine.model t.machine in
+  (* Instrumentation overhead of the cache lookup itself. *)
+  Sgx.Machine.charge t.machine (3 * m.mem_access);
+  if not (in_data_region t vaddr) then
+    invalid_arg "Oram_cache.access: address outside the protected region";
+  let block = Sgx.Types.vpage_of_vaddr vaddr - t.data_base in
+  match Hashtbl.find_opt t.slot_of block with
+  | Some slot ->
+    t.hit_count <- t.hit_count + 1;
+    slot
+  | None ->
+    t.miss_count <- t.miss_count + 1;
+    Metrics.Counters.incr (Sgx.Machine.counters t.machine) "oram_cache.miss";
+    let slot = t.hand in
+    t.hand <- (t.hand + 1) mod t.capacity;
+    fill_slot t slot block;
+    ignore kind;
+    slot
+
+let access t vaddr kind =
+  let slot = slot_for t vaddr kind in
+  let offset = vaddr land (Sgx.Types.page_bytes - 1) in
+  t.touch (Sgx.Types.vaddr_of_vpage (t.cache_base + slot) + offset) kind;
+  if kind = Sgx.Types.Write then t.dirty.(slot) <- true
+
+let read_stamp t vaddr =
+  let slot = slot_for t vaddr Sgx.Types.Read in
+  t.touch (Sgx.Types.vaddr_of_vpage (t.cache_base + slot)) Sgx.Types.Read;
+  Sgx.Page_data.read_int (cache_page_data t slot)
+
+let write_stamp t vaddr v =
+  let slot = slot_for t vaddr Sgx.Types.Write in
+  t.touch (Sgx.Types.vaddr_of_vpage (t.cache_base + slot)) Sgx.Types.Write;
+  t.dirty.(slot) <- true;
+  Sgx.Page_data.fill_int (cache_page_data t slot) v

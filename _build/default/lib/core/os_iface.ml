@@ -1,0 +1,14 @@
+type vpage = Sgx.Types.vpage
+
+type t = {
+  set_enclave_managed : vpage list -> (vpage * bool) list;
+  set_os_managed : vpage list -> unit;
+  fetch_pages : vpage list -> (unit, [ `Epc_exhausted ]) result;
+  evict_pages : vpage list -> unit;
+  aug_pages : vpage list -> (unit, [ `Epc_exhausted ]) result;
+  remove_pages : vpage list -> unit;
+  blob_store : vpage -> Sim_crypto.Sealer.sealed -> unit;
+  blob_load : vpage -> Sim_crypto.Sealer.sealed option;
+  page_in_os_managed : vpage -> unit;
+  epc_headroom : unit -> int;
+}

@@ -1,0 +1,31 @@
+(** The runtime's view of the untrusted OS: the Autarky system calls of
+    §5.2.1 plus the SGXv2 support calls.
+
+    The runtime never trusts these functions for anything but liveness:
+    every security-relevant outcome (page contents, residence) is
+    re-checked in-enclave by hardware (EPCM, MAC/versions) or by the
+    runtime's own tracking.  The record is wired to the simulated kernel
+    by the harness; keeping it a record of closures keeps the trusted
+    runtime free of any dependency on OS internals. *)
+
+type vpage = Sgx.Types.vpage
+
+type t = {
+  set_enclave_managed : vpage list -> (vpage * bool) list;
+      (** claim pages for self-paging; returns current residence *)
+  set_os_managed : vpage list -> unit;
+  fetch_pages : vpage list -> (unit, [ `Epc_exhausted ]) result;
+      (** SGXv1: ELDU + map (batched) *)
+  evict_pages : vpage list -> unit;
+      (** SGXv1: EWB + unmap (batched) *)
+  aug_pages : vpage list -> (unit, [ `Epc_exhausted ]) result;
+      (** SGXv2: EAUG + map (batched) *)
+  remove_pages : vpage list -> unit;
+      (** SGXv2: EREMOVE + unmap trimmed pages (batched) *)
+  blob_store : vpage -> Sim_crypto.Sealer.sealed -> unit;
+      (** direct store of a runtime-sealed page to untrusted memory *)
+  blob_load : vpage -> Sim_crypto.Sealer.sealed option;
+  page_in_os_managed : vpage -> unit;
+      (** forward a fault on an OS-managed page to the OS pager *)
+  epc_headroom : unit -> int;
+}

@@ -1,0 +1,218 @@
+type mech = [ `Sgx1 | `Sgx2 ]
+type vpage = Sgx.Types.vpage
+
+type t = {
+  machine : Sgx.Machine.t;
+  enclave : Sgx.Enclave.t;
+  os : Os_iface.t;
+  pager_mech : mech;
+  mutable budget : int;
+  resident_set : (vpage, unit) Hashtbl.t;
+  (* FIFO of (page, seq): only the entry carrying a page's latest seq is
+     live, so a page refetched after eviction takes a fresh position at
+     the back instead of inheriting its ancient slot. *)
+  fifo : (vpage * int) Queue.t;
+  seq_of : (vpage, int) Hashtbl.t;
+  mutable seq_counter : int;
+  sealer : Sim_crypto.Sealer.t;  (* runtime paging keys (SGXv2 path) *)
+  versions : (vpage, int64) Hashtbl.t;
+  mutable version_counter : int64;
+}
+
+let create ~machine ~enclave ~os ~mech ~budget =
+  assert (budget > 0);
+  {
+    machine;
+    enclave;
+    os;
+    pager_mech = mech;
+    budget;
+    resident_set = Hashtbl.create 4096;
+    fifo = Queue.create ();
+    seq_of = Hashtbl.create 4096;
+    seq_counter = 0;
+    sealer = Sim_crypto.Sealer.create ~master_key:"autarky-runtime-paging-key";
+    versions = Hashtbl.create 4096;
+    version_counter = 0L;
+  }
+
+let mech t = t.pager_mech
+let budget t = t.budget
+let set_budget t n = t.budget <- n
+let resident t vp = Hashtbl.mem t.resident_set vp
+let resident_count t = Hashtbl.length t.resident_set
+let incr t name = Metrics.Counters.incr (Sgx.Machine.counters t.machine) name
+let charge t n = Sgx.Machine.charge t.machine n
+
+let mark_resident t vp =
+  if not (Hashtbl.mem t.resident_set vp) then begin
+    Hashtbl.replace t.resident_set vp ();
+    t.seq_counter <- t.seq_counter + 1;
+    Hashtbl.replace t.seq_of vp t.seq_counter;
+    Queue.push (vp, t.seq_counter) t.fifo
+  end
+
+let live_entry t (vp, seq) =
+  Hashtbl.mem t.resident_set vp && Hashtbl.find_opt t.seq_of vp = Some seq
+
+let mark_evicted t vp = Hashtbl.remove t.resident_set vp
+
+let note_initial_residence t statuses =
+  List.iter (fun (vp, is_resident) -> if is_resident then mark_resident t vp) statuses
+
+let oldest_resident t =
+  (* Drop dead queue entries (evicted pages, superseded positions). *)
+  let rec loop () =
+    match Queue.peek_opt t.fifo with
+    | None -> None
+    | Some ((vp, _) as entry) ->
+      if live_entry t entry then Some vp
+      else begin
+        ignore (Queue.pop t.fifo);
+        loop ()
+      end
+  in
+  loop ()
+
+let oldest_residents t n =
+  (* Dead entries (evicted pages, superseded positions) concentrate at
+     the queue front under FIFO eviction; drop them as they are met or
+     repeated scans become quadratic in the eviction history. *)
+  let rec drop_dead () =
+    match Queue.peek_opt t.fifo with
+    | Some entry when not (live_entry t entry) ->
+      ignore (Queue.pop t.fifo);
+      drop_dead ()
+    | _ -> ()
+  in
+  drop_dead ();
+  let acc = ref [] in
+  let count = ref 0 in
+  (try
+     Queue.iter
+       (fun ((vp, _) as entry) ->
+         if !count >= n then raise Exit;
+         if live_entry t entry then begin
+           acc := vp :: !acc;
+           Stdlib.incr count
+         end)
+       t.fifo
+   with Exit -> ());
+  List.rev !acc
+
+let fresh_version t =
+  t.version_counter <- Int64.add t.version_counter 1L;
+  t.version_counter
+
+(* --- SGXv2 in-enclave paging ---------------------------------------- *)
+
+let sgx2_evict_one t vp =
+  let cm = Sgx.Machine.model t.machine in
+  (* Make the page read-only so sealing is race-free, then seal and
+     store it in untrusted memory, trim, and have the OS remove it. *)
+  Sgx.Instructions.emodpr t.machine t.enclave ~vpage:vp ~perms:Sgx.Types.perms_ro;
+  Sgx.Instructions.eaccept t.machine t.enclave ~vpage:vp;
+  let data =
+    match Sgx.Instructions.page_data t.machine t.enclave ~vpage:vp with
+    | Some d -> Sgx.Page_data.copy d
+    | None -> Sgx.Enclave.terminate t.enclave ~reason:"evicting a non-resident page"
+  in
+  charge t (Metrics.Cost_model.sw_page_crypto cm);
+  let version = fresh_version t in
+  Hashtbl.replace t.versions vp version;
+  let sealed =
+    Sim_crypto.Sealer.seal t.sealer
+      ~vaddr:(Int64.of_int (Sgx.Types.vaddr_of_vpage vp))
+      ~version
+      (Sgx.Page_data.to_bytes data)
+  in
+  t.os.blob_store vp sealed;
+  Sgx.Instructions.emodt t.machine t.enclave ~vpage:vp;
+  Sgx.Instructions.eaccept t.machine t.enclave ~vpage:vp
+
+let sgx2_fetch_one t vp =
+  let cm = Sgx.Machine.model t.machine in
+  match t.os.blob_load vp with
+  | Some sealed -> (
+    match Hashtbl.find_opt t.versions vp with
+    | None ->
+      Sgx.Enclave.terminate t.enclave
+        ~reason:"OS supplied a page blob the runtime never sealed"
+    | Some expected -> (
+      (* Decryption overlaps the EAUG (temporary buffer, §6); we charge
+         the software crypto once. *)
+      charge t (Metrics.Cost_model.sw_page_crypto cm);
+      match
+        Sim_crypto.Sealer.unseal t.sealer
+          ~vaddr:(Int64.of_int (Sgx.Types.vaddr_of_vpage vp))
+          ~expected_version:expected sealed
+      with
+      | Error err ->
+        Sgx.Enclave.terminate t.enclave
+          ~reason:
+            (Format.asprintf "page integrity violation on 0x%x: %a" vp
+               Sim_crypto.Sealer.pp_error err)
+      | Ok plaintext ->
+        Sgx.Instructions.eacceptcopy t.machine t.enclave ~vpage:vp
+          ~data:(Sgx.Page_data.of_bytes plaintext)))
+  | None ->
+    (* First touch: accept the zero-filled EAUGed page. *)
+    Sgx.Instructions.eaccept t.machine t.enclave ~vpage:vp
+
+(* --- Public fetch/evict --------------------------------------------- *)
+
+let evict t pages =
+  let pages = List.filter (resident t) pages in
+  if pages <> [] then begin
+    (match t.pager_mech with
+    | `Sgx1 -> t.os.evict_pages pages
+    | `Sgx2 ->
+      List.iter (sgx2_evict_one t) pages;
+      t.os.remove_pages pages);
+    List.iter (mark_evicted t) pages;
+    Metrics.Counters.add (Sgx.Machine.counters t.machine) "rt.pages_evicted"
+      (List.length pages);
+    incr t "rt.evict_batches"
+  end
+
+let fetch t pages =
+  let pages = List.filter (fun vp -> not (resident t vp)) pages in
+  if pages <> [] then begin
+    if resident_count t + List.length pages > t.budget then
+      Sgx.Types.sgx_errorf
+        "runtime pager: fetch of %d pages exceeds budget (%d resident, budget %d)"
+        (List.length pages) (resident_count t) t.budget;
+    (match t.pager_mech with
+    | `Sgx1 -> (
+      match t.os.fetch_pages pages with
+      | Ok () -> ()
+      | Error `Epc_exhausted ->
+        Sgx.Enclave.terminate t.enclave
+          ~reason:"OS refused to provide EPC frames (pinning contract broken)")
+    | `Sgx2 -> (
+      match t.os.aug_pages pages with
+      | Ok () -> List.iter (sgx2_fetch_one t) pages
+      | Error `Epc_exhausted ->
+        Sgx.Enclave.terminate t.enclave
+          ~reason:"OS refused to provide EPC frames (pinning contract broken)"));
+    List.iter (mark_resident t) pages;
+    Metrics.Counters.add (Sgx.Machine.counters t.machine) "rt.pages_fetched"
+      (List.length pages);
+    incr t "rt.fetch_batches"
+  end
+
+let make_room t ~incoming ~victims =
+  (* Guard against victim functions that stop making progress (e.g. keep
+     returning already-evicted pages); each useful round evicts >= 1. *)
+  let max_rounds = resident_count t + incoming + 8 in
+  let guard = ref 0 in
+  while resident_count t + incoming > t.budget do
+    Stdlib.incr guard;
+    if !guard > max_rounds then
+      Sgx.Types.sgx_errorf "runtime pager: cannot make room for %d pages" incoming;
+    match victims () with
+    | [] ->
+      Sgx.Enclave.terminate t.enclave
+        ~reason:"self-paging policy produced no eviction victims"
+    | vs -> evict t vs
+  done

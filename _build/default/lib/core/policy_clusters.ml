@@ -1,0 +1,59 @@
+type t = {
+  runtime : Runtime.t;
+  cl : Clusters.t;
+  mutable fetches : int;
+}
+
+let create ~runtime ~clusters = { runtime; cl = clusters; fetches = 0 }
+let clusters t = t.cl
+let cluster_fetches t = t.fetches
+
+(* A victim cluster must not overlap the incoming fetch set: evicting
+   pages we are about to fetch would both waste work and break the
+   residence invariant for partially-evicted clusters. *)
+let choose_victims t ~fetching () =
+  let pager = Runtime.pager t.runtime in
+  let in_fetch = Hashtbl.create 64 in
+  List.iter (fun vp -> Hashtbl.replace in_fetch vp ()) fetching;
+  let candidates = Pager.oldest_residents pager 64 in
+  let rec pick = function
+    | [] -> []
+    | vp :: rest ->
+      let set = Clusters.evict_set t.cl vp in
+      if List.exists (Hashtbl.mem in_fetch) set then pick rest
+      else List.filter (Pager.resident pager) set
+  in
+  pick candidates
+
+let on_miss t vp _sf =
+  let pager = Runtime.pager t.runtime in
+  let fetch_set = Clusters.fetch_set t.cl vp in
+  let need = List.filter (fun p -> not (Pager.resident pager p)) fetch_set in
+  if List.length need > Pager.budget pager then
+    Sgx.Types.sgx_errorf
+      "cluster fetch set of %d pages exceeds the runtime budget of %d"
+      (List.length need) (Pager.budget pager);
+  Pager.make_room pager ~incoming:(List.length need)
+    ~victims:(choose_victims t ~fetching:need);
+  Pager.fetch pager need;
+  t.fetches <- t.fetches + 1
+
+(* Ballooning: release whole clusters only — single-cluster eviction
+   preserves the residence invariant. *)
+let balloon t n =
+  let pager = Runtime.pager t.runtime in
+  let released = ref 0 in
+  let stuck = ref false in
+  while !released < n && not !stuck do
+    match choose_victims t ~fetching:[] () with
+    | [] -> stuck := true
+    | vs ->
+      Pager.evict pager vs;
+      released := !released + List.length vs
+  done;
+  !released
+
+let policy t =
+  { Runtime.pol_name = "page-clusters";
+    pol_on_miss = (fun vp sf -> on_miss t vp sf);
+    pol_balloon = (fun n -> balloon t n) }

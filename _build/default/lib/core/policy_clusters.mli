@@ -1,0 +1,17 @@
+(** Cluster-granularity self-paging (§5.2.3).
+
+    On a legitimate miss, the policy fetches the full transitive sharing
+    set of the faulting page's clusters (see {!Clusters.fetch_set}), so
+    the OS learns only that *some* page of the set was touched.  Eviction
+    picks the FIFO-oldest resident page and evicts one whole cluster
+    containing it — single-cluster eviction preserves the residence
+    invariant; clusters overlapping the incoming fetch set are skipped as
+    victims. *)
+
+type t
+
+val create : runtime:Runtime.t -> clusters:Clusters.t -> t
+val policy : t -> Runtime.policy
+val clusters : t -> Clusters.t
+val cluster_fetches : t -> int
+(** Number of cluster-granularity fetch operations performed. *)

@@ -1,0 +1,33 @@
+type t = { runtime : Runtime.t; oram_cache : Oram_cache.t }
+
+let create ~runtime ~cache = { runtime; oram_cache = cache }
+let cache t = t.oram_cache
+
+let policy t =
+  {
+    Runtime.pol_name = "oram";
+    (* The cache and metadata are all sensitive: refuse to deflate. *)
+    pol_balloon = (fun _ -> 0);
+    pol_on_miss =
+      (fun vp _sf ->
+        Sgx.Enclave.terminate (Runtime.enclave t.runtime)
+          ~reason:
+            (Printf.sprintf
+               "fault on pinned page 0x%x under ORAM policy (attack or \
+                misconfiguration)"
+               vp));
+  }
+
+let accessor t ~fallback vaddr kind =
+  if Oram_cache.in_data_region t.oram_cache vaddr then
+    Oram_cache.access t.oram_cache vaddr kind
+  else fallback vaddr kind
+
+let uncached_accessor ~oram ~data_base_vpage ~n_pages ~fallback vaddr kind =
+  let vp = Sgx.Types.vpage_of_vaddr vaddr in
+  if vp >= data_base_vpage && vp < data_base_vpage + n_pages then begin
+    let block = vp - data_base_vpage in
+    Oram.Path_oram.access oram ~block (fun _data -> ());
+    ignore kind
+  end
+  else fallback vaddr kind

@@ -1,0 +1,30 @@
+(** ORAM-backed secure paging (§5.2.2).
+
+    Under this policy the protected data region never demand-pages:
+    every access to it is instrumented to go through the enclave-managed
+    {!Oram_cache}.  All remaining enclave-managed pages (code, stack,
+    cache, ORAM metadata) are pinned, so the runtime-level policy is the
+    pinned one — any fault on them is an attack.  There is no leak: the
+    OS sees only the oblivious PathORAM traffic. *)
+
+type t
+
+val create : runtime:Runtime.t -> cache:Oram_cache.t -> t
+val policy : t -> Runtime.policy
+val cache : t -> Oram_cache.t
+
+val accessor :
+  t ->
+  fallback:(Sgx.Types.vaddr -> Sgx.Types.access_kind -> unit) ->
+  Sgx.Types.vaddr -> Sgx.Types.access_kind -> unit
+(** The instrumented memory accessor: data-region accesses go through
+    the cache, everything else to [fallback] (the plain CPU path). *)
+
+val uncached_accessor :
+  oram:Oram.Path_oram.t -> data_base_vpage:Sgx.Types.vpage -> n_pages:int ->
+  fallback:(Sgx.Types.vaddr -> Sgx.Types.access_kind -> unit) ->
+  Sgx.Types.vaddr -> Sgx.Types.access_kind -> unit
+(** The no-Autarky baseline (CoSMIX as published): every data-region
+    access runs the full ORAM protocol — create the ORAM with
+    [`Oblivious_scan] metadata to also charge the CMOV metadata scans.
+    Usable without any Autarky runtime. *)

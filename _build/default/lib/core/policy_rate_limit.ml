@@ -1,0 +1,81 @@
+type eviction = [ `Fifo | `Fault_frequency ]
+
+type t = {
+  runtime : Runtime.t;
+  max_faults_per_unit : int;
+  evict_batch : int;
+  eviction : eviction;
+  fault_counts : (Sgx.Types.vpage, int) Hashtbl.t;
+  mutable window : int;
+  mutable total : int;
+}
+
+let create ~runtime ?(max_faults_per_unit = max_int) ?(evict_batch = 16)
+    ?(eviction = `Fifo) () =
+  assert (max_faults_per_unit > 0 && evict_batch > 0);
+  {
+    runtime;
+    max_faults_per_unit;
+    evict_batch;
+    eviction;
+    fault_counts = Hashtbl.create 4096;
+    window = 0;
+    total = 0;
+  }
+
+let progress t = t.window <- 0
+let faults_in_window t = t.window
+let total_faults t = t.total
+
+let fault_count t vp =
+  Option.value ~default:0 (Hashtbl.find_opt t.fault_counts vp)
+
+let victims t pager () =
+  match t.eviction with
+  | `Fifo -> Pager.oldest_residents pager t.evict_batch
+  | `Fault_frequency ->
+    (* Consider a wider window of old pages and keep the frequently
+       faulting (hot) ones resident: evict the least-faulted. *)
+    let candidates = Pager.oldest_residents pager (4 * t.evict_batch) in
+    let ranked =
+      List.stable_sort
+        (fun a b -> compare (fault_count t a) (fault_count t b))
+        candidates
+    in
+    List.filteri (fun i _ -> i < t.evict_batch) ranked
+
+let on_miss t vp _sf =
+  t.window <- t.window + 1;
+  t.total <- t.total + 1;
+  Hashtbl.replace t.fault_counts vp (fault_count t vp + 1);
+  if t.window > t.max_faults_per_unit then
+    Sgx.Enclave.terminate (Runtime.enclave t.runtime)
+      ~reason:
+        (Printf.sprintf
+           "page-fault rate limit exceeded (%d faults without progress): \
+            suspected controlled-channel attack"
+           t.window);
+  let pager = Runtime.pager t.runtime in
+  Pager.make_room pager ~incoming:1 ~victims:(victims t pager);
+  Pager.fetch pager [ vp ]
+
+(* Ballooning: FIFO/frequency batch eviction leaks no more than the
+   policy's normal eviction traffic. *)
+let balloon t n =
+  let pager = Runtime.pager t.runtime in
+  let released = ref 0 in
+  let stuck = ref false in
+  while !released < n && not !stuck do
+    match victims t pager () with
+    | [] -> stuck := true
+    | vs ->
+      let take = List.filteri (fun i _ -> i < n - !released) vs in
+      Pager.evict pager take;
+      released := !released + List.length take
+  done;
+  !released
+
+let policy t =
+  { Runtime.pol_name = "rate-limit";
+    pol_on_miss = (fun vp sf -> on_miss t vp sf);
+    pol_balloon = (fun n -> balloon t n) }

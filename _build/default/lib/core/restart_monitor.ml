@@ -1,0 +1,65 @@
+type verdict = Allow | Refuse
+
+type record = {
+  mutable starts : int list;  (* virtual timestamps, newest first *)
+  mutable total : int;
+  mutable reasons : string list;
+  mutable cut_off : bool;
+}
+
+type t = {
+  clock : Metrics.Clock.t;
+  window : int;
+  max_restarts : int;
+  table : (string, record) Hashtbl.t;
+}
+
+let create ~clock ?window_cycles ?(max_restarts = 3) () =
+  let window =
+    match window_cycles with
+    | Some w -> w
+    | None -> int_of_float (Metrics.Clock.model clock).freq_hz
+  in
+  assert (window > 0 && max_restarts > 0);
+  { clock; window; max_restarts; table = Hashtbl.create 16 }
+
+let record_of t identity =
+  match Hashtbl.find_opt t.table identity with
+  | Some r -> r
+  | None ->
+    let r = { starts = []; total = 0; reasons = []; cut_off = false } in
+    Hashtbl.add t.table identity r;
+    r
+
+let prune t r =
+  let now = Metrics.Clock.now t.clock in
+  r.starts <- List.filter (fun ts -> now - ts <= t.window) r.starts
+
+let restarts_in_window t ~identity =
+  let r = record_of t identity in
+  prune t r;
+  (* The first start is a start, not a re-start. *)
+  max 0 (List.length r.starts - 1)
+
+let record_start t ~identity =
+  let r = record_of t identity in
+  if r.cut_off then Refuse
+  else begin
+    prune t r;
+    r.starts <- Metrics.Clock.now t.clock :: r.starts;
+    r.total <- r.total + 1;
+    if List.length r.starts - 1 > t.max_restarts then begin
+      r.cut_off <- true;
+      Refuse
+    end
+    else Allow
+  end
+
+let record_termination t ~identity ~reason =
+  let r = record_of t identity in
+  r.reasons <- reason :: r.reasons
+
+let total_restarts t ~identity = max 0 ((record_of t identity).total - 1)
+let refused t ~identity = (record_of t identity).cut_off
+let last_reasons t ~identity = (record_of t identity).reasons
+let leaked_bits_bound t ~identity = float_of_int (total_restarts t ~identity)

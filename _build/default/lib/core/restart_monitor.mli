@@ -1,0 +1,41 @@
+(** Restart-attack detection (§3).
+
+    Autarky turns controlled-channel probes into enclave terminations;
+    the residual channel is the *termination attack*: restart the victim
+    and probe again, one bit per run.  The paper's defence is that "users
+    or trusted services could detect unusually frequent restarts" through
+    attestation at startup (or a parent enclave managing its children's
+    lifecycle, as in Graphene-SGX's multi-process mode).
+
+    This module is that trusted service: each (attested) enclave start
+    and each termination is recorded against the virtual clock; when the
+    restart rate inside the sliding window exceeds the configured budget
+    the monitor flags the identity, and a deployment would refuse further
+    attestations — capping the total leakage of the termination channel
+    at [max_restarts] bits per window. *)
+
+type t
+
+type verdict = Allow | Refuse
+(** What the attestation service answers at enclave start. *)
+
+val create :
+  clock:Metrics.Clock.t -> ?window_cycles:int -> ?max_restarts:int -> unit -> t
+(** Defaults: a 1-second window at the model frequency, 3 restarts. *)
+
+val record_start : t -> identity:string -> verdict
+(** An enclave with the given (attested) measurement asks to start. *)
+
+val record_termination : t -> identity:string -> reason:string -> unit
+
+val restarts_in_window : t -> identity:string -> int
+val total_restarts : t -> identity:string -> int
+val refused : t -> identity:string -> bool
+(** Whether this identity has been cut off. *)
+
+val last_reasons : t -> identity:string -> string list
+(** Most recent termination reasons, newest first (forensics). *)
+
+val leaked_bits_bound : t -> identity:string -> float
+(** Upper bound on what the termination channel can have conveyed:
+    one bit per completed probe, i.e. per restart (§5.3). *)

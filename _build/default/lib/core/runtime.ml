@@ -1,0 +1,117 @@
+type vpage = Sgx.Types.vpage
+
+type policy = {
+  pol_name : string;
+  pol_on_miss : vpage -> Sgx.Types.ssa_fault -> unit;
+  pol_balloon : int -> int;
+}
+
+type t = {
+  rt_machine : Sgx.Machine.t;
+  rt_enclave : Sgx.Enclave.t;
+  rt_os : Os_iface.t;
+  rt_pager : Pager.t;
+  enclave_managed : (vpage, unit) Hashtbl.t;
+  mutable rt_policy : policy;
+  mutable faults : int;
+}
+
+let machine t = t.rt_machine
+let enclave t = t.rt_enclave
+let os t = t.rt_os
+let pager t = t.rt_pager
+let policy t = t.rt_policy
+let set_policy t p = t.rt_policy <- p
+let is_enclave_managed t vp = Hashtbl.mem t.enclave_managed vp
+let faults_handled t = t.faults
+
+let pinned_policy t =
+  {
+    pol_name = "pinned";
+    pol_on_miss =
+      (fun vp _sf ->
+        Sgx.Enclave.terminate t.rt_enclave
+          ~reason:
+            (Printf.sprintf
+               "fault on pinned enclave-managed page 0x%x (attack or misconfiguration)"
+               vp));
+    (* Every pinned page is sensitive: refuse to deflate. *)
+    pol_balloon = (fun _ -> 0);
+  }
+
+let incr t name = Metrics.Counters.incr (Sgx.Machine.counters t.rt_machine) name
+
+(* The trusted exception handler, invoked (by hardware guarantee) on
+   every page fault.  See the module documentation for the cases. *)
+let handle_exception t (enclave : Sgx.Enclave.t) =
+  let cm = Sgx.Machine.model t.rt_machine in
+  Sgx.Machine.charge t.rt_machine cm.runtime_handler;
+  incr t "rt.handler_invocations";
+  match Stack.top enclave.tcs.ssa with
+  | exception Stack.Empty ->
+    (* §5.3: the handler can only legitimately run with fault information
+       in the SSA; spurious entry is an attack. *)
+    Sgx.Enclave.terminate enclave
+      ~reason:"exception handler entered with empty SSA (re-entrancy attack)"
+  | sf ->
+    t.faults <- t.faults + 1;
+    let vp = Sgx.Types.vpage_of_vaddr sf.sf_vaddr in
+    if is_enclave_managed t vp then
+      if Pager.resident t.rt_pager vp then begin
+        incr t "rt.attack_detected";
+        Sgx.Enclave.terminate enclave
+          ~reason:
+            (Format.asprintf
+               "OS-induced fault (%a) on resident enclave-managed page 0x%x: \
+                controlled-channel attack"
+               Sgx.Types.pp_fault_cause sf.sf_cause vp)
+      end
+      else begin
+        incr t "rt.legitimate_miss";
+        t.rt_policy.pol_on_miss vp sf;
+        if not (Pager.resident t.rt_pager vp) then
+          Sgx.Types.sgx_errorf
+            "policy %s did not fetch faulting page 0x%x" t.rt_policy.pol_name vp
+      end
+    else begin
+      (* OS-managed page: forward to the OS pager (ordinary demand
+         paging on insensitive pages). *)
+      incr t "rt.forwarded_to_os";
+      t.rt_os.page_in_os_managed vp
+    end
+
+let create ~machine ~enclave ~os ~mech ~budget =
+  let t =
+    {
+      rt_machine = machine;
+      rt_enclave = enclave;
+      rt_os = os;
+      rt_pager = Pager.create ~machine ~enclave ~os ~mech ~budget;
+      enclave_managed = Hashtbl.create 4096;
+      rt_policy =
+        { pol_name = "uninitialized"; pol_on_miss = (fun _ _ -> ());
+          pol_balloon = (fun _ -> 0) };
+      faults = 0;
+    }
+  in
+  t.rt_policy <- pinned_policy t;
+  enclave.entry <- handle_exception t;
+  t
+
+let balloon_release t ~pages =
+  let cm = Sgx.Machine.model t.rt_machine in
+  Sgx.Machine.charge t.rt_machine cm.runtime_handler;
+  incr t "rt.balloon_upcalls";
+  let released = t.rt_policy.pol_balloon pages in
+  Metrics.Counters.add (Sgx.Machine.counters t.rt_machine) "rt.balloon_released"
+    released;
+  released
+
+let mark_enclave_managed t pages =
+  List.iter (fun vp -> Hashtbl.replace t.enclave_managed vp ()) pages;
+  let statuses = t.rt_os.set_enclave_managed pages in
+  Pager.note_initial_residence t.rt_pager statuses
+
+let mark_os_managed t pages =
+  List.iter (fun vp -> Hashtbl.remove t.enclave_managed vp) pages;
+  t.rt_os.set_os_managed pages

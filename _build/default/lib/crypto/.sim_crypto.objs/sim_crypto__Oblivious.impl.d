@@ -1,0 +1,1 @@
+lib/crypto/oblivious.ml: Array Bool Int64 Metrics

@@ -1,0 +1,1 @@
+lib/crypto/sealer.ml: Bytes Chacha20 Char Format Int64 Siphash

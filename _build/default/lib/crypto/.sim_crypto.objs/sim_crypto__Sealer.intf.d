@@ -1,0 +1,1 @@
+lib/crypto/sealer.mli: Format

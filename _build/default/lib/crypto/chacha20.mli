@@ -1,0 +1,26 @@
+(** ChaCha20 stream cipher (RFC 8439 core).
+
+    Stands in for the AES-NI / MEE encryption the paper's prototype uses
+    for swapped-out page contents.  Pure OCaml, constant-shape (no
+    data-dependent branches on key or plaintext). *)
+
+type key = bytes
+(** 32-byte key. *)
+
+type nonce = bytes
+(** 12-byte nonce. *)
+
+val key_of_string : string -> key
+(** [key_of_string s] derives a 32-byte key by cycling/truncating [s];
+    convenient for tests. Raises [Invalid_argument] on the empty string. *)
+
+val block : key:key -> counter:int32 -> nonce:nonce -> bytes
+(** One 64-byte keystream block. *)
+
+val xor_stream : key:key -> ?counter:int32 -> nonce:nonce -> bytes -> bytes
+(** Encrypt/decrypt: XOR the input with the keystream starting at
+    [counter] (default 0). Encryption and decryption are the same
+    operation. *)
+
+val selftest : unit -> bool
+(** Checks the RFC 8439 §2.3.2 test vector. *)

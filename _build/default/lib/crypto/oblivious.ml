@@ -1,0 +1,25 @@
+let select c a b =
+  (* mask = -1 when c, 0 otherwise; branch-free merge as a CMOV would. *)
+  let mask = -(Bool.to_int c) in
+  (a land mask) lor (b land lnot mask)
+
+let select64 c a b =
+  let mask = Int64.neg (Int64.of_int (Bool.to_int c)) in
+  Int64.logor (Int64.logand a mask) (Int64.logand b (Int64.lognot mask))
+
+let scan_read arr i =
+  if i < 0 || i >= Array.length arr then invalid_arg "Oblivious.scan_read";
+  let result = ref arr.(0) in
+  for j = 0 to Array.length arr - 1 do
+    if j = i then result := arr.(j)
+  done;
+  !result
+
+let scan_write arr i v =
+  if i < 0 || i >= Array.length arr then invalid_arg "Oblivious.scan_write";
+  for j = 0 to Array.length arr - 1 do
+    arr.(j) <- (if j = i then v else arr.(j))
+  done
+
+let scan_cost (m : Metrics.Cost_model.t) ~entries ~entry_bytes =
+  int_of_float (m.oblivious_scan_cpb *. float_of_int (entries * entry_bytes))

@@ -1,0 +1,26 @@
+(** Oblivious (access-pattern-hiding) primitives.
+
+    These model the CMOV-based constant-time idioms ORAM implementations
+    in SGX use to touch metadata without leaking indices (§2.3 of the
+    paper): every element of the structure is visited regardless of the
+    index of interest.  In the simulation the security property is the
+    access pattern; callers charge the corresponding linear-scan cycle
+    cost through the {!Metrics.Cost_model}. *)
+
+val select : bool -> int -> int -> int
+(** [select c a b] is [a] when [c], else [b], computed without a visible
+    branch on [c] (arithmetic masking). *)
+
+val select64 : bool -> int64 -> int64 -> int64
+
+val scan_read : 'a array -> int -> 'a
+(** [scan_read arr i] visits every element and returns [arr.(i)].
+    Raises [Invalid_argument] when out of bounds. *)
+
+val scan_write : 'a array -> int -> 'a -> unit
+(** [scan_write arr i v] visits every element, writing each one back to
+    itself except index [i] which receives [v]. *)
+
+val scan_cost : Metrics.Cost_model.t -> entries:int -> entry_bytes:int -> int
+(** Cycle cost of one oblivious scan over [entries] entries of
+    [entry_bytes] bytes each. *)

@@ -1,0 +1,33 @@
+(** Authenticated, replay-protected sealing of page contents.
+
+    Models the guarantees SGX's [EWB]/[ELDU] give to evicted EPC pages
+    (confidentiality, integrity, freshness via version counters), and the
+    custom in-enclave encryption the paper's SGXv2 path uses
+    (ChaCha20 + SipHash encrypt-then-MAC, version bound into the MAC). *)
+
+type t
+(** Sealing context holding the encryption and MAC keys. *)
+
+type sealed = {
+  ciphertext : bytes;
+  mac : int64;
+  vaddr : int64;   (** virtual page address bound into the seal *)
+  version : int64; (** anti-replay version bound into the seal *)
+}
+
+type error =
+  | Mac_mismatch    (** ciphertext or metadata tampered with *)
+  | Replayed        (** version is not the expected (latest) one *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val create : master_key:string -> t
+(** Derive encryption and MAC keys from [master_key]. *)
+
+val seal : t -> vaddr:int64 -> version:int64 -> bytes -> sealed
+
+val unseal :
+  t -> vaddr:int64 -> expected_version:int64 -> sealed -> (bytes, error) result
+(** Verify the MAC and the version, then decrypt.  A stale [sealed] value
+    replayed by the untrusted OS fails with [Replayed]; any bit flip in
+    the ciphertext or metadata fails with [Mac_mismatch]. *)

@@ -1,0 +1,18 @@
+(** SipHash-2-4: a fast keyed 64-bit MAC (Aumasson & Bernstein).
+
+    Used by the page sealer to authenticate swapped-out page contents,
+    standing in for the GCM/integrity-tree MACs of real SGX. *)
+
+type key = { k0 : int64; k1 : int64 }
+
+val key_of_bytes : bytes -> key
+(** First 16 bytes of the argument, little-endian. Raises
+    [Invalid_argument] if shorter than 16 bytes. *)
+
+val hash : key -> bytes -> int64
+(** MAC of the full byte string. *)
+
+val hash_string : key -> string -> int64
+
+val selftest : unit -> bool
+(** Checks the reference test vector from the SipHash paper. *)

@@ -1,0 +1,1 @@
+lib/harness/measure.ml: Format Metrics System

@@ -1,0 +1,1 @@
+lib/harness/system.ml: Autarky List Option Printf Sgx Sim_os Workloads

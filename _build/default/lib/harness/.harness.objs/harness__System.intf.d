@@ -1,0 +1,1 @@
+lib/harness/system.mli: Autarky Metrics Sgx Sim_os Workloads

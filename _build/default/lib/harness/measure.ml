@@ -1,0 +1,42 @@
+type result = {
+  cycles : int;
+  seconds : float;
+  page_faults : int;
+  tlb_misses : int;
+  pages_fetched : int;
+  pages_evicted : int;
+  counters : (string * int) list;
+}
+
+let run sys ?(reset = true) f =
+  let clock = System.clock sys in
+  if reset then Metrics.Clock.reset clock;
+  let start = Metrics.Clock.start_span clock in
+  let counters = System.counters sys in
+  let base name = Metrics.Counters.get counters name in
+  let f0 = base "cpu.page_fault" in
+  let t0 = base "mmu.tlb_miss" in
+  let pf0 = base "rt.pages_fetched" + base "os.fetch" in
+  let pe0 = base "rt.pages_evicted" + base "os.evict" in
+  System.run_in_enclave sys f;
+  let cycles = Metrics.Clock.span_cycles clock start in
+  {
+    cycles;
+    seconds = Metrics.Cost_model.seconds (Metrics.Clock.model clock) cycles;
+    page_faults = base "cpu.page_fault" - f0;
+    tlb_misses = base "mmu.tlb_miss" - t0;
+    pages_fetched = base "rt.pages_fetched" + base "os.fetch" - pf0;
+    pages_evicted = base "rt.pages_evicted" + base "os.evict" - pe0;
+    counters = Metrics.Counters.snapshot counters;
+  }
+
+let throughput r ~ops =
+  if r.seconds <= 0.0 then 0.0 else float_of_int ops /. r.seconds
+
+let fault_rate r =
+  if r.seconds <= 0.0 then 0.0 else float_of_int r.page_faults /. r.seconds
+
+let pp ppf r =
+  Format.fprintf ppf
+    "cycles=%d (%.4f s)  faults=%d  tlb_misses=%d  fetched=%d  evicted=%d"
+    r.cycles r.seconds r.page_faults r.tlb_misses r.pages_fetched r.pages_evicted

@@ -1,0 +1,23 @@
+(** Measurement of workload phases on the virtual clock. *)
+
+type result = {
+  cycles : int;
+  seconds : float;
+  page_faults : int;
+  tlb_misses : int;
+  pages_fetched : int;
+  pages_evicted : int;
+  counters : (string * int) list;
+}
+
+val run : System.t -> ?reset:bool -> (unit -> unit) -> result
+(** Reset the clock and counters (unless [reset:false]), run the phase
+    inside one enclave entry, and collect the deltas. *)
+
+val throughput : result -> ops:int -> float
+(** Operations per (virtual) second. *)
+
+val fault_rate : result -> float
+(** Page faults per (virtual) second. *)
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,52 @@
+let table ~header ~rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    List.iteri
+      (fun c w ->
+        let cell = Option.value ~default:"" (List.nth_opt row c) in
+        Printf.printf "%-*s  " w cell)
+      widths;
+    print_newline ()
+  in
+  print_row header;
+  List.iteri
+    (fun c w ->
+      ignore c;
+      Printf.printf "%s  " (String.make w '-'))
+    widths;
+  print_newline ();
+  List.iter print_row rows
+
+let series ~title ~xlabel ~ylabel points =
+  Printf.printf "# %s\n" title;
+  Printf.printf "# %-14s %s\n" xlabel ylabel;
+  List.iter (fun (x, y) -> Printf.printf "%-16.4g %.6g\n" x y) points;
+  print_newline ()
+
+let heading s =
+  let bar = String.make (String.length s) '=' in
+  Printf.printf "\n%s\n%s\n" s bar
+
+let subheading s = Printf.printf "\n-- %s --\n" s
+let note s = Printf.printf "   %s\n" s
+let f2 x = Printf.sprintf "%.2f" x
+let f1 x = Printf.sprintf "%.1f" x
+let f0 x = Printf.sprintf "%.0f" x
+let pct x = Printf.sprintf "%.2f%%" (100.0 *. x)
+
+let si x =
+  let ax = abs_float x in
+  if ax >= 1e9 then Printf.sprintf "%.2fG" (x /. 1e9)
+  else if ax >= 1e6 then Printf.sprintf "%.2fM" (x /. 1e6)
+  else if ax >= 1e3 then Printf.sprintf "%.1fk" (x /. 1e3)
+  else Printf.sprintf "%.1f" x

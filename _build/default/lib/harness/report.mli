@@ -1,0 +1,23 @@
+(** Plain-text table and series printers for the reproduction harness
+    (the bench prints the same rows/series the paper's tables and
+    figures report). *)
+
+val table : header:string list -> rows:string list list -> unit
+(** Aligned columns to stdout. *)
+
+val series : title:string -> xlabel:string -> ylabel:string ->
+  (float * float) list -> unit
+(** A figure data series as x/y rows. *)
+
+val heading : string -> unit
+val subheading : string -> unit
+val note : string -> unit
+
+val f2 : float -> string
+val f1 : float -> string
+val f0 : float -> string
+val pct : float -> string
+(** 0.063 -> "6.3%". *)
+
+val si : float -> string
+(** 12_400. -> "12.4k"; compact magnitude formatting. *)

@@ -1,0 +1,68 @@
+(** Wiring: one simulated platform = hardware + untrusted OS + enclave
+    (+ the Autarky runtime for self-paging enclaves), with helpers to
+    carve the enclave's address space and route workload memory traffic.
+
+    Typical experiment shape:
+    {[
+      let sys = System.create ~epc_frames ~epc_limit ~enclave_pages
+                  ~self_paging:true ~budget () in
+      let heap = System.allocator sys ~pages ~cluster_pages:10 in
+      (* build the workload via [System.vm sys ()] and [heap] ... *)
+      System.pin sys code_pages;          (* pinned enclave-managed *)
+      System.manage sys data_pages;       (* demand-paged enclave-managed *)
+      Runtime.set_policy (System.runtime_exn sys) policy;
+      Measure.run sys (fun () -> ...)
+    ]} *)
+
+type t
+
+val create :
+  ?model:Metrics.Cost_model.t ->
+  ?mode:Sgx.Machine.transition_mode ->
+  ?mech:Autarky.Pager.mech ->
+  ?budget:int ->
+  epc_frames:int -> epc_limit:int -> enclave_pages:int -> self_paging:bool ->
+  unit -> t
+(** Build the platform, create and populate the enclave (all pages
+    zero-initialized; pages beyond [epc_limit] start in the backing
+    store), EINIT it, and — for a self-paging enclave — install the
+    Autarky runtime with the given paging [mech] (default [`Sgx1]) and
+    EPC [budget] (default [epc_limit - 64], leaving the OS working
+    room). *)
+
+val machine : t -> Sgx.Machine.t
+val os : t -> Sim_os.Kernel.t
+val proc : t -> Sim_os.Kernel.proc
+val enclave : t -> Sgx.Enclave.t
+val cpu : t -> Sgx.Cpu.t
+val runtime : t -> Autarky.Runtime.t option
+val runtime_exn : t -> Autarky.Runtime.t
+val clock : t -> Metrics.Clock.t
+val counters : t -> Metrics.Counters.t
+
+val reserve : t -> pages:int -> Sgx.Types.vpage
+(** Carve a fresh region of the enclave's address space. *)
+
+val allocator : t -> pages:int -> cluster_pages:int -> Autarky.Allocator.t
+(** Reserve a region and wrap it in the auto-clustering allocator. *)
+
+val clusters_of : Autarky.Allocator.t -> Autarky.Clusters.t
+
+val vm :
+  t ->
+  ?instrument:(Sgx.Types.vaddr -> Sgx.Types.access_kind -> unit) ->
+  ?on_progress:(unit -> unit) ->
+  unit -> Workloads.Vm.t
+(** The workload-facing memory interface.  [instrument] replaces the
+    plain CPU path (ORAM instrumentation); [on_progress] receives the
+    workload's progress events (rate-limit wiring). *)
+
+val pin : t -> Sgx.Types.vpage list -> unit
+(** Mark pages enclave-managed and fetch them resident (code, stack,
+    runtime metadata, ORAM cache). *)
+
+val manage : t -> Sgx.Types.vpage list -> unit
+(** Mark pages enclave-managed without prefetching (demand-paged data). *)
+
+val run_in_enclave : t -> (unit -> 'a) -> 'a
+(** EENTER, run, EEXIT — one enclave entry around a workload phase. *)

@@ -1,0 +1,1 @@
+lib/hypervisor/vmm.ml: List Printf Sgx Sim_os

@@ -1,0 +1,1 @@
+lib/hypervisor/vmm.mli: Sgx Sim_os

@@ -1,0 +1,91 @@
+type vm = {
+  vm_name : string;
+  guest : Sim_os.Kernel.t;
+  mutable partition : int;
+  mutable procs : Sim_os.Kernel.proc list;
+}
+
+type t = {
+  machine : Sgx.Machine.t;
+  mutable vms : vm list;
+  mutable assigned : int;
+}
+
+let create machine = { machine; vms = []; assigned = 0 }
+
+let free_frames t = Sgx.Epc.total_frames Sgx.Machine.(t.machine.epc) - t.assigned
+
+let create_vm t ~name ~epc_frames =
+  if epc_frames <= 0 then invalid_arg "Vmm.create_vm: empty partition";
+  if epc_frames > free_frames t then
+    invalid_arg
+      (Printf.sprintf "Vmm.create_vm: partition of %d oversubscribes (%d free)"
+         epc_frames (free_frames t));
+  let vm =
+    {
+      vm_name = name;
+      guest = Sim_os.Kernel.create t.machine;
+      partition = epc_frames;
+      procs = [];
+    }
+  in
+  t.assigned <- t.assigned + epc_frames;
+  t.vms <- vm :: t.vms;
+  vm
+
+let name vm = vm.vm_name
+let partition_frames vm = vm.partition
+let guest_os vm = vm.guest
+
+let committed_frames vm =
+  List.fold_left (fun acc p -> acc + Sim_os.Kernel.epc_limit p) 0 vm.procs
+
+let create_guest_proc _t vm ~size_pages ~self_paging ~epc_limit =
+  if committed_frames vm + epc_limit > vm.partition then
+    invalid_arg
+      (Printf.sprintf
+         "Vmm.create_guest_proc: %d frames would exceed %s's partition of %d"
+         epc_limit vm.vm_name vm.partition);
+  let proc = Sim_os.Kernel.create_proc vm.guest ~size_pages ~self_paging ~epc_limit in
+  vm.procs <- proc :: vm.procs;
+  proc
+
+(* Shrink one process's allowance by up to [take] frames: evict its
+   OS-managed pages first, then ask the enclave to deflate; the new
+   limit reflects only what was actually reclaimed. *)
+let shrink_proc guest proc take =
+  let limit = Sim_os.Kernel.epc_limit proc in
+  let take = min take (max 0 (limit - 1)) in
+  if take = 0 then 0
+  else begin
+    let target = limit - take in
+    Sim_os.Kernel.reclaim_for_shrink guest proc ~target;
+    let still_over = Sim_os.Kernel.resident_pages proc - target in
+    if still_over > 0 then
+      ignore (Sim_os.Kernel.request_balloon guest proc ~pages:still_over);
+    let achieved =
+      max 0 (limit - max target (Sim_os.Kernel.resident_pages proc))
+    in
+    Sim_os.Kernel.set_epc_limit proc (limit - achieved);
+    achieved
+  end
+
+(* Shrink a guest: squeeze its processes in turn until [frames] have
+   been reclaimed (or its enclaves refuse to deflate further). *)
+let shrink_vm vm frames =
+  List.fold_left
+    (fun reclaimed proc ->
+      if reclaimed >= frames then reclaimed
+      else reclaimed + shrink_proc vm.guest proc (frames - reclaimed))
+    0 vm.procs
+
+let rebalance _t ~from_vm ~to_vm ~frames =
+  assert (frames >= 0);
+  let moved = shrink_vm from_vm frames in
+  from_vm.partition <- from_vm.partition - moved;
+  to_vm.partition <- to_vm.partition + moved;
+  moved
+
+let hypervisor_evict _t vm proc vpage =
+  (* The hypervisor bypasses the guest entirely: a forced EWB. *)
+  Sim_os.Kernel.attacker_evict vm.guest proc vpage

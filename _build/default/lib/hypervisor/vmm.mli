@@ -1,0 +1,60 @@
+(** Virtualized EPC management (§5.4).
+
+    In a virtualized deployment both the guest OS and the hypervisor sit
+    below the enclave and could mount controlled-channel attacks.  The
+    paper's analysis of hypervisor EPC management under Autarky:
+
+    {ul
+    {- {b Static partitioning} (what Azure-style clouds deploy): each VM
+       receives a fixed vEPC slice; works with no modification, since
+       each guest pages only within its slice.}
+    {- {b Ballooning}: supported with minor changes — an enlightened
+       guest forwards the hypervisor's memory-pressure request to its
+       enclaves' self-paging runtimes (the cooperative upcall chain).}
+    {- {b Transparent demand paging by the hypervisor}: cannot be
+       supported; the hypervisor cannot observe fault addresses of
+       self-paging enclaves, and evicting their pages behind their backs
+       is detected exactly like a guest-OS attack.}}
+
+    This module implements the first two and demonstrates the third. *)
+
+type t
+type vm
+
+val create : Sgx.Machine.t -> t
+
+val free_frames : t -> int
+(** EPC frames not yet assigned to any VM partition. *)
+
+val create_vm : t -> name:string -> epc_frames:int -> vm
+(** Carve a static vEPC partition and boot a guest kernel inside it.
+    Raises [Invalid_argument] if the partition oversubscribes the
+    remaining EPC. *)
+
+val name : vm -> string
+val partition_frames : vm -> int
+val guest_os : vm -> Sim_os.Kernel.t
+(** The guest kernel (also the guest-level adversary's vantage point). *)
+
+val create_guest_proc :
+  t -> vm -> size_pages:int -> self_paging:bool -> epc_limit:int ->
+  Sim_os.Kernel.proc
+(** Create an enclave-hosting process inside the VM; the sum of the VM's
+    process [epc_limit]s must fit its partition (static partitioning is
+    enforced here — no guest can starve another). *)
+
+val committed_frames : vm -> int
+(** Sum of the VM's process limits. *)
+
+val rebalance : t -> from_vm:vm -> to_vm:vm -> frames:int -> int
+(** Ballooning across VMs: shrink [from_vm]'s partition by reclaiming
+    frames from its guest (OS-managed evictions first, then cooperative
+    enclave balloons) and grow [to_vm].  Returns the frames actually
+    moved — possibly fewer if the guest's enclaves refuse to deflate
+    (which is their right; §5.2.1). *)
+
+val hypervisor_evict : t -> vm -> Sim_os.Kernel.proc -> Sgx.Types.vpage -> unit
+(** Transparent demand paging attempt: the hypervisor evicts an enclave
+    page without the enclave's cooperation.  For a self-paging enclave
+    the next access is detected as an attack and the enclave terminates
+    — the §5.4 impossibility this layer demonstrates. *)

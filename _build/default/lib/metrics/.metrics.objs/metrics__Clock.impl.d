@@ -1,0 +1,1 @@
+lib/metrics/clock.ml: Cost_model Counters Float

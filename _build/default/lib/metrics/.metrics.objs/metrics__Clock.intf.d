@@ -1,0 +1,1 @@
+lib/metrics/clock.mli: Cost_model Counters

@@ -1,0 +1,1 @@
+lib/metrics/dist.ml: Int64 Printf Rng

@@ -1,0 +1,1 @@
+lib/metrics/rng.ml: Array Bytes Char Int64

@@ -1,0 +1,28 @@
+type t = {
+  cost_model : Cost_model.t;
+  event_counters : Counters.t;
+  mutable cycles : int;
+}
+
+type span = int
+
+let create cost_model =
+  { cost_model; event_counters = Counters.create (); cycles = 0 }
+
+let model t = t.cost_model
+let counters t = t.event_counters
+
+let charge t n =
+  assert (n >= 0);
+  t.cycles <- t.cycles + n
+
+let charge_f t x = charge t (int_of_float (Float.round x))
+let now t = t.cycles
+
+let reset t =
+  t.cycles <- 0;
+  Counters.reset t.event_counters
+
+let elapsed_seconds t = Cost_model.seconds t.cost_model t.cycles
+let start_span t = t.cycles
+let span_cycles t start = t.cycles - start

@@ -1,0 +1,33 @@
+(** Virtual cycle clock.
+
+    A single clock instance is shared by the hardware model, OS model and
+    runtime of one simulated system.  Components charge cycles as they
+    perform architectural events; the harness reads elapsed cycles to
+    compute latency and throughput. *)
+
+type t
+
+val create : Cost_model.t -> t
+val model : t -> Cost_model.t
+val counters : t -> Counters.t
+
+val charge : t -> int -> unit
+(** Advance the clock by a non-negative number of cycles. *)
+
+val charge_f : t -> float -> unit
+(** Charge a fractional cycle cost (rounded to nearest). *)
+
+val now : t -> int
+(** Elapsed cycles since creation or last {!reset}. *)
+
+val reset : t -> unit
+(** Zero the clock and its counters. *)
+
+val elapsed_seconds : t -> float
+
+type span
+(** A measurement started by {!start_span}. *)
+
+val start_span : t -> span
+val span_cycles : t -> span -> int
+(** Cycles elapsed since the span started. *)

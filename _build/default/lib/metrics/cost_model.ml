@@ -1,0 +1,82 @@
+type t = {
+  eenter : int;
+  eexit : int;
+  aex : int;
+  eresume : int;
+  ewb : int;
+  eldu : int;
+  eblock : int;
+  etrack : int;
+  epa : int;
+  hw_crypto_cpb : float;
+  eaug : int;
+  eacceptcopy : int;
+  emodpr : int;
+  eaccept : int;
+  emodt : int;
+  eremove : int;
+  eadd : int;
+  sw_crypto_cpb : float;
+  exitless_call : int;
+  syscall : int;
+  os_fault_handler : int;
+  tlb_shootdown : int;
+  runtime_handler : int;
+  aex_elided_entry : int;
+  inenclave_resume : int;
+  mem_access : int;
+  dram_access : int;
+  tlb_walk : int;
+  ad_check : int;
+  oblivious_scan_cpb : float;
+  page_bytes : int;
+  payload_bytes : int;
+  freq_hz : float;
+}
+
+let default =
+  {
+    eenter = 3800;
+    eexit = 3300;
+    aex = 3900;
+    eresume = 3600;
+    ewb = 4000;
+    eldu = 4000;
+    eblock = 300;
+    etrack = 600;
+    epa = 1500;
+    hw_crypto_cpb = 1.0;
+    eaug = 2500;
+    eacceptcopy = 4000;
+    emodpr = 2000;
+    eaccept = 3500;
+    emodt = 2000;
+    eremove = 1200;
+    eadd = 1500;
+    sw_crypto_cpb = 0.65;
+    exitless_call = 1200;
+    syscall = 1800;
+    os_fault_handler = 2500;
+    tlb_shootdown = 4000;
+    runtime_handler = 1500;
+    aex_elided_entry = 800;
+    inenclave_resume = 200;
+    mem_access = 4;
+    dram_access = 100;
+    tlb_walk = 80;
+    ad_check = 10;
+    oblivious_scan_cpb = 0.5;
+    page_bytes = 4096;
+    payload_bytes = 64;
+    freq_hz = 3.9e9;
+  }
+
+let fault_roundtrip t = t.aex + t.eresume + t.eenter + t.eexit
+
+let hw_page_crypto t =
+  int_of_float (t.hw_crypto_cpb *. float_of_int t.page_bytes)
+
+let sw_page_crypto t =
+  int_of_float (t.sw_crypto_cpb *. float_of_int t.page_bytes)
+
+let seconds t cycles = float_of_int cycles /. t.freq_hz

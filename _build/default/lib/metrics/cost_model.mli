@@ -1,0 +1,67 @@
+(** Cycle-cost model for the SGX/Autarky simulation.
+
+    The simulator is functional: page tables, EPCM state, and fault flows
+    are modelled exactly.  Performance is modelled by charging cycles for
+    each architectural event according to this table.  Constants are
+    calibrated to published SGX measurements and to the breakdowns in the
+    paper's Figure 5 (see DESIGN.md §5); the reproduction targets relative
+    shapes, not absolute wall-clock numbers. *)
+
+type t = {
+  (* Enclave transitions *)
+  eenter : int;
+  eexit : int;
+  aex : int;
+  eresume : int;
+  (* SGXv1 privileged paging (per page, crypto charged separately) *)
+  ewb : int;
+  eldu : int;
+  eblock : int;
+  etrack : int;
+  epa : int;  (** create a version-array page *)
+  hw_crypto_cpb : float;  (** MEE-style hardware crypto, cycles/byte *)
+  (* SGXv2 dynamic memory management *)
+  eaug : int;
+  eacceptcopy : int;
+  emodpr : int;
+  eaccept : int;
+  emodt : int;
+  eremove : int;
+  eadd : int;
+  sw_crypto_cpb : float;  (** in-enclave software crypto, cycles/byte *)
+  exitless_call : int;    (** exitless host call round trip *)
+  (* OS costs *)
+  syscall : int;          (** trap + return for a regular syscall *)
+  os_fault_handler : int; (** kernel #PF handling software path *)
+  tlb_shootdown : int;
+  (* Autarky runtime *)
+  runtime_handler : int;  (** self-paging handler software cost *)
+  aex_elided_entry : int; (** proposed ISA opt: deliver fault in-enclave *)
+  inenclave_resume : int; (** proposed in-enclave ERESUME variant *)
+  (* Memory system *)
+  mem_access : int;       (** cache-hit access *)
+  dram_access : int;
+  tlb_walk : int;         (** page-table walk on TLB miss *)
+  ad_check : int;         (** Autarky accessed/dirty validity check *)
+  oblivious_scan_cpb : float; (** CMOV linear scan, cycles/byte *)
+  (* Geometry and reporting *)
+  page_bytes : int;       (** modelled page size: 4096 *)
+  payload_bytes : int;    (** bytes actually stored per page in memory *)
+  freq_hz : float;        (** cycles -> seconds conversion *)
+}
+
+val default : t
+(** The calibrated model described in DESIGN.md §5. *)
+
+val fault_roundtrip : t -> int
+(** AEX + ERESUME + EENTER + EEXIT: the transition cost of delivering one
+    fault to an in-enclave handler and resuming, without paging work. *)
+
+val hw_page_crypto : t -> int
+(** Cycles to encrypt or decrypt one modelled page with hardware crypto. *)
+
+val sw_page_crypto : t -> int
+(** Same with in-enclave software crypto. *)
+
+val seconds : t -> int -> float
+(** [seconds t cycles] converts a cycle count to seconds. *)

@@ -1,0 +1,24 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () = Hashtbl.create 64
+
+let cell t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t name r;
+    r
+
+let incr t name = Stdlib.incr (cell t name)
+let add t name n = cell t name := !(cell t name) + n
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+let reset t = Hashtbl.reset t
+let reset_one t name = match Hashtbl.find_opt t name with Some r -> r := 0 | None -> ()
+
+let snapshot t =
+  Hashtbl.fold (fun k r acc -> if !r <> 0 then (k, !r) :: acc else acc) t []
+  |> List.sort compare
+
+let pp ppf t =
+  List.iter (fun (k, v) -> Format.fprintf ppf "%s = %d@." k v) (snapshot t)

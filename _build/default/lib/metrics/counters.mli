@@ -1,0 +1,21 @@
+(** Named event counters.
+
+    Every component of the simulator (MMU, OS pager, runtime, policies)
+    records events into a shared counter set, which the experiment harness
+    snapshots to report fault counts, eviction counts, etc. *)
+
+type t
+
+val create : unit -> t
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val get : t -> string -> int
+(** 0 when the counter was never touched. *)
+
+val reset : t -> unit
+val reset_one : t -> string -> unit
+
+val snapshot : t -> (string * int) list
+(** All non-zero counters, sorted by name. *)
+
+val pp : Format.formatter -> t -> unit

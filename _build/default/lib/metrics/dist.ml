@@ -1,0 +1,79 @@
+type kind =
+  | Uniform
+  | Zipf of { theta : float; alpha : float; zetan : float; eta : float }
+  | Scrambled_zipf of { theta : float; alpha : float; zetan : float; eta : float }
+  | Hotspot of { hot_items : int; hot_probability : float }
+
+type t = { n : int; kind : kind }
+
+let zeta ~n ~theta =
+  let sum = ref 0.0 in
+  for i = 1 to n do
+    sum := !sum +. (1.0 /. (float_of_int i ** theta))
+  done;
+  !sum
+
+let zipf_params ~n ~theta =
+  let zetan = zeta ~n ~theta in
+  let zeta2 = zeta ~n:2 ~theta in
+  let alpha = 1.0 /. (1.0 -. theta) in
+  let eta =
+    (1.0 -. ((2.0 /. float_of_int n) ** (1.0 -. theta)))
+    /. (1.0 -. (zeta2 /. zetan))
+  in
+  (alpha, zetan, eta)
+
+let uniform ~n =
+  assert (n > 0);
+  { n; kind = Uniform }
+
+let zipfian ?(theta = 0.99) ~n () =
+  assert (n > 1);
+  let alpha, zetan, eta = zipf_params ~n ~theta in
+  { n; kind = Zipf { theta; alpha; zetan; eta } }
+
+let scrambled_zipfian ?(theta = 0.99) ~n () =
+  assert (n > 1);
+  let alpha, zetan, eta = zipf_params ~n ~theta in
+  { n; kind = Scrambled_zipf { theta; alpha; zetan; eta } }
+
+let hotspot ~n ~hot_fraction ~hot_probability =
+  assert (n > 0 && hot_fraction > 0.0 && hot_fraction <= 1.0);
+  assert (hot_probability >= 0.0 && hot_probability <= 1.0);
+  let hot_items = max 1 (int_of_float (hot_fraction *. float_of_int n)) in
+  { n; kind = Hotspot { hot_items; hot_probability } }
+
+(* The YCSB Zipfian sampler of Gray et al.: constant-time inverse-CDF
+   approximation using precomputed zeta values. *)
+let sample_zipf ~n ~theta ~alpha ~zetan ~eta rng =
+  let u = Rng.float rng in
+  let uz = u *. zetan in
+  if uz < 1.0 then 0
+  else if uz < 1.0 +. (0.5 ** theta) then 1
+  else
+    let rank = float_of_int n *. (((eta *. u) -. eta +. 1.0) ** alpha) in
+    min (n - 1) (int_of_float rank)
+
+let sample t rng =
+  match t.kind with
+  | Uniform -> Rng.int rng t.n
+  | Zipf { theta; alpha; zetan; eta } ->
+    sample_zipf ~n:t.n ~theta ~alpha ~zetan ~eta rng
+  | Scrambled_zipf { theta; alpha; zetan; eta } ->
+    let rank = sample_zipf ~n:t.n ~theta ~alpha ~zetan ~eta rng in
+    let h = Rng.fnv_hash64 (Int64.of_int rank) in
+    Int64.to_int (Int64.logand h 0x3FFFFFFFFFFFFFFFL) mod t.n
+  | Hotspot { hot_items; hot_probability } ->
+    if Rng.float rng < hot_probability then Rng.int rng hot_items
+    else if hot_items >= t.n then Rng.int rng t.n
+    else hot_items + Rng.int rng (t.n - hot_items)
+
+let size t = t.n
+
+let describe t =
+  match t.kind with
+  | Uniform -> "uniform"
+  | Zipf { theta; _ } -> Printf.sprintf "zipf(%.2f)" theta
+  | Scrambled_zipf { theta; _ } -> Printf.sprintf "scrambled-zipf(%.2f)" theta
+  | Hotspot { hot_items; hot_probability } ->
+    Printf.sprintf "hotspot(%d items, p=%.2f)" hot_items hot_probability

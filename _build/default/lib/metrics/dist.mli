@@ -1,0 +1,35 @@
+(** Request-key distributions used by the workload generators.
+
+    These mirror the YCSB generators the paper's evaluation relies on
+    (workload C, §7): uniform, scrambled Zipfian, and hotspot. *)
+
+type t
+(** A distribution over item indices [0, n). *)
+
+val uniform : n:int -> t
+(** Every item equally likely. *)
+
+val zipfian : ?theta:float -> n:int -> unit -> t
+(** YCSB Zipfian with parameter [theta] (default 0.99).  Item 0 is the
+    most popular; use {!scrambled_zipfian} to spread popularity across the
+    key space as YCSB does. *)
+
+val scrambled_zipfian : ?theta:float -> n:int -> unit -> t
+(** Zipfian popularity ranks scattered over the key space by a 64-bit
+    hash, as in YCSB's ScrambledZipfianGenerator. *)
+
+val hotspot : n:int -> hot_fraction:float -> hot_probability:float -> t
+(** [hotspot ~n ~hot_fraction ~hot_probability]: with probability
+    [hot_probability] pick uniformly inside the first
+    [hot_fraction * n] items, otherwise uniformly among the rest.  The
+    paper's Fig. 8 uses [hot_fraction = 0.01] with probabilities 0.9 and
+    0.99. *)
+
+val sample : t -> Rng.t -> int
+(** Draw one item index. *)
+
+val size : t -> int
+(** Number of items [n]. *)
+
+val describe : t -> string
+(** Human-readable label, e.g. ["zipf(0.99)"]. *)

@@ -1,0 +1,63 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = seed }
+let copy t = { state = t.state }
+
+(* splitmix64 output function: xor-shift multiply avalanche of the
+   advanced state. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = next_int64 t }
+
+let int t bound =
+  assert (bound > 0);
+  (* Mask to 62 bits so the conversion to int is non-negative, then
+     reduce. The modulo bias is negligible for simulation bounds. *)
+  let raw = Int64.to_int (Int64.logand (next_int64 t) 0x3FFFFFFFFFFFFFFFL) in
+  raw mod bound
+
+let int_in t ~lo ~hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+let float t =
+  (* 53 uniform bits mapped to [0,1). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int bits /. 9007199254740992.0
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let bytes t n =
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set b i (Char.chr (int t 256))
+  done;
+  b
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let fnv_offset_basis = 0xCBF29CE484222325L
+let fnv_prime = 0x100000001B3L
+
+let fnv_hash64 v =
+  let h = ref fnv_offset_basis in
+  for i = 0 to 7 do
+    let octet = Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL in
+    h := Int64.mul (Int64.logxor !h octet) fnv_prime
+  done;
+  !h

@@ -1,0 +1,46 @@
+(** Deterministic pseudo-random number generation for reproducible
+    simulations.
+
+    All experiment randomness flows through an explicit [t] seeded by the
+    caller, so every run of the harness is bit-for-bit reproducible.  The
+    core generator is splitmix64, which is fast, has a full 2^64 period per
+    stream, and splits cleanly into independent streams. *)
+
+type t
+(** A splitmix64 generator state. *)
+
+val create : seed:int64 -> t
+(** [create ~seed] returns a fresh generator. Distinct seeds yield
+    statistically independent streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the state; the copy evolves independently. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator seeded from it,
+    suitable for decorrelated sub-streams. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** [int_in t ~lo ~hi] is uniform in the inclusive range [\[lo, hi\]]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bytes : t -> int -> bytes
+(** [bytes t n] is [n] pseudo-random bytes. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val fnv_hash64 : int64 -> int64
+(** FNV-1a style 64-bit mixing hash used by the scrambled-Zipfian
+    generator (exposed for tests). *)

@@ -1,0 +1,34 @@
+(** Summary statistics for experiment measurements. *)
+
+type t
+(** A mutable accumulator of float samples. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** Mean of the samples; 0 when empty. *)
+
+val stddev : t -> float
+(** Sample standard deviation (Bessel-corrected); 0 for fewer than two
+    samples. *)
+
+val min_value : t -> float
+val max_value : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [\[0,100\]], by nearest-rank on the sorted
+    samples. Raises [Invalid_argument] when empty. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values; raises [Invalid_argument] on an
+    empty list or non-positive values. *)
+
+module Histogram : sig
+  type h
+
+  val create : bucket_width:float -> h
+  val add : h -> float -> unit
+  val buckets : h -> (float * int) list
+  (** [(lower_bound, count)] pairs for non-empty buckets, sorted. *)
+end

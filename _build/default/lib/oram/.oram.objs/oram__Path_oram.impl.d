@@ -1,0 +1,1 @@
+lib/oram/path_oram.ml: Array Bytes Hashtbl List Metrics Printf Sgx Sim_crypto

@@ -1,0 +1,1 @@
+lib/oram/path_oram.mli: Metrics Sgx

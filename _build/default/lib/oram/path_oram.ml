@@ -1,0 +1,186 @@
+type metadata = [ `Direct | `Oblivious_scan ]
+
+type slot = { mutable blk : int; mutable data : Sgx.Page_data.t option }
+
+type t = {
+  clock : Metrics.Clock.t;
+  rng : Metrics.Rng.t;
+  z : int;
+  metadata : metadata;
+  n_blocks : int;
+  leaves : int;
+  levels : int;
+  buckets : slot array array;
+  posmap : int array;
+  stash : (int, Sgx.Page_data.t) Hashtbl.t;
+  stash_capacity : int;
+  mutable tracing : bool;
+  mutable trace : int list;
+}
+
+let rec pow2_at_least n acc = if acc >= n then acc else pow2_at_least n (acc * 2)
+
+let create ~clock ~rng ?(z = 4) ?(metadata = `Direct) ~n_blocks () =
+  assert (n_blocks > 0 && z > 0);
+  let leaves = pow2_at_least (max 2 n_blocks) 1 in
+  let levels =
+    let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+    log2 leaves + 1
+  in
+  let bucket_count = (2 * leaves) - 1 in
+  let buckets =
+    Array.init bucket_count (fun _ ->
+        Array.init z (fun _ -> { blk = -1; data = None }))
+  in
+  let posmap = Array.init n_blocks (fun _ -> Metrics.Rng.int rng leaves) in
+  {
+    clock;
+    rng;
+    z;
+    metadata;
+    n_blocks;
+    leaves;
+    levels;
+    buckets;
+    posmap;
+    stash = Hashtbl.create 256;
+    stash_capacity = 128;
+    tracing = false;
+    trace = [];
+  }
+
+let n_blocks t = t.n_blocks
+let levels t = t.levels
+let leaves t = t.leaves
+let stash_size t = Hashtbl.length t.stash
+let set_tracing t b = t.tracing <- b
+let trace t = t.trace
+
+(* Bucket index (heap layout) of the level-[v] node on the path to
+   [leaf]; level 0 is the root, level [levels-1] the leaf bucket. *)
+let bucket_at t ~leaf ~level =
+  let node = ref (t.leaves - 1 + leaf) in
+  for _ = 1 to t.levels - 1 - level do
+    node := (!node - 1) / 2
+  done;
+  !node
+
+let model t = Metrics.Clock.model t.clock
+
+let slot_move_cost t =
+  let m = model t in
+  m.dram_access + Metrics.Cost_model.sw_page_crypto m
+
+let metadata_cost t =
+  let m = model t in
+  match t.metadata with
+  | `Direct ->
+    (* Position map and stash are directly addressable: they live in
+       enclave-managed pinned pages whose accesses Autarky hides. *)
+    2 * m.mem_access
+  | `Oblivious_scan ->
+    (* CMOV linear scans of the position map (4 B/entry) and the stash
+       (page-sized blocks), once each per access. *)
+    Sim_crypto.Oblivious.scan_cost m ~entries:t.n_blocks ~entry_bytes:4
+    + Sim_crypto.Oblivious.scan_cost m ~entries:t.stash_capacity
+        ~entry_bytes:m.page_bytes
+
+let access_cost t =
+  let eviction_scans =
+    match t.metadata with
+    | `Direct -> 0
+    | `Oblivious_scan ->
+      let m = model t in
+      t.levels
+      * Sim_crypto.Oblivious.scan_cost m ~entries:t.stash_capacity
+          ~entry_bytes:m.page_bytes
+  in
+  (2 * t.levels * t.z * slot_move_cost t) + metadata_cost t + eviction_scans
+
+let read_path t leaf =
+  let cost = t.levels * t.z * slot_move_cost t in
+  Metrics.Clock.charge t.clock cost;
+  for level = 0 to t.levels - 1 do
+    let bucket = t.buckets.(bucket_at t ~leaf ~level) in
+    Array.iter
+      (fun slot ->
+        if slot.blk >= 0 then begin
+          (match slot.data with
+          | Some d -> Hashtbl.replace t.stash slot.blk d
+          | None -> Hashtbl.replace t.stash slot.blk (Sgx.Page_data.create ()));
+          slot.blk <- -1;
+          slot.data <- None
+        end)
+      bucket
+  done
+
+let write_path t leaf =
+  let cost = t.levels * t.z * slot_move_cost t in
+  Metrics.Clock.charge t.clock cost;
+  (* Without directly-addressable metadata, the greedy eviction must
+     select blocks with one oblivious stash scan per bucket — the
+     dominant cost of CMOV-based ORAM implementations. *)
+  (match t.metadata with
+  | `Direct -> ()
+  | `Oblivious_scan ->
+    let m = model t in
+    Metrics.Clock.charge t.clock
+      (t.levels
+      * Sim_crypto.Oblivious.scan_cost m ~entries:t.stash_capacity
+          ~entry_bytes:m.page_bytes));
+  for level = t.levels - 1 downto 0 do
+    let bucket_idx = bucket_at t ~leaf ~level in
+    let bucket = t.buckets.(bucket_idx) in
+    (* Greedily place stash blocks whose assigned leaf shares this
+       bucket, deepest level first. *)
+    let placed = ref [] in
+    (try
+       Hashtbl.iter
+         (fun blk _ ->
+           if List.length !placed >= t.z then raise Exit;
+           let blk_leaf = t.posmap.(blk) in
+           if bucket_at t ~leaf:blk_leaf ~level = bucket_idx then
+             placed := blk :: !placed)
+         t.stash
+     with Exit -> ());
+    List.iteri
+      (fun i blk ->
+        let data = Hashtbl.find t.stash blk in
+        Hashtbl.remove t.stash blk;
+        bucket.(i).blk <- blk;
+        bucket.(i).data <- Some data)
+      !placed
+  done
+
+let access t ~block f =
+  if block < 0 || block >= t.n_blocks then
+    invalid_arg (Printf.sprintf "Path_oram.access: block %d of %d" block t.n_blocks);
+  Metrics.Clock.charge t.clock (metadata_cost t);
+  let leaf = t.posmap.(block) in
+  if t.tracing then t.trace <- leaf :: t.trace;
+  t.posmap.(block) <- Metrics.Rng.int t.rng t.leaves;
+  read_path t leaf;
+  let data =
+    match Hashtbl.find_opt t.stash block with
+    | Some d -> d
+    | None ->
+      (* First access to this block: materialize a zero page. *)
+      let d = Sgx.Page_data.create () in
+      Hashtbl.replace t.stash block d;
+      d
+  in
+  f data;
+  write_path t leaf;
+  Metrics.Counters.incr (Metrics.Clock.counters t.clock) "oram.access"
+
+let read t ~block =
+  let out = ref (Sgx.Page_data.create ()) in
+  access t ~block (fun d -> out := Sgx.Page_data.copy d);
+  !out
+
+let write t ~block data =
+  access t ~block (fun d ->
+      let src = Sgx.Page_data.to_bytes data in
+      let dst = Sgx.Page_data.to_bytes d in
+      let n = min (Bytes.length src) (Bytes.length dst) in
+      Bytes.blit src 0 dst 0 n)

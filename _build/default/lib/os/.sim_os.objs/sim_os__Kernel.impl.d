@@ -1,0 +1,1 @@
+lib/os/kernel.ml: Cpu Enclave Epc Format Hashtbl Instructions List Machine Metrics Option Page_table Queue Sgx Swap_store Tlb Types

@@ -1,0 +1,1 @@
+lib/os/kernel.mli: Sgx Sim_crypto Swap_store

@@ -1,0 +1,1 @@
+lib/os/swap_store.ml: Hashtbl Sgx Sim_crypto

@@ -1,0 +1,1 @@
+lib/os/swap_store.mli: Sgx Sim_crypto

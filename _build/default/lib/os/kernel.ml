@@ -1,0 +1,495 @@
+open Sgx
+
+type fault_decision = Benign | Fixed_silently
+
+type proc = {
+  enclave : Enclave.t;
+  pt : Page_table.t;
+  proc_swap : Swap_store.t;
+  enclave_managed : (Types.vpage, unit) Hashtbl.t;
+  intended_perms : (Types.vpage, Types.perms) Hashtbl.t;
+  (* Victim queue of (page, seq): only a page's latest seq is live, so a
+     page that cycles out and back in queues at the back again. *)
+  os_resident : (Types.vpage * int) Queue.t;
+  queue_seq : (Types.vpage, int) Hashtbl.t;
+  mutable seq_counter : int;
+  mutable resident_count : int;
+  mutable epc_limit : int;
+  mutable balloon_handler : (int -> int) option;
+}
+
+type hooks = {
+  mutable on_fault : proc -> Types.os_fault_report -> fault_decision;
+  mutable on_preempt : proc -> unit;
+}
+
+type t = {
+  machine : Machine.t;
+  procs : (int, proc) Hashtbl.t;
+  kernel_hooks : hooks;
+}
+
+type fetch_error = [ `Epc_exhausted ]
+
+let create machine =
+  {
+    machine;
+    procs = Hashtbl.create 8;
+    kernel_hooks =
+      { on_fault = (fun _ _ -> Benign); on_preempt = (fun _ -> ()) };
+  }
+
+let machine t = t.machine
+let hooks t = t.kernel_hooks
+
+let charge t n = Machine.charge t.machine n
+let cmodel t = Machine.model t.machine
+let incr t name = Metrics.Counters.incr (Machine.counters t.machine) name
+
+let create_proc t ~size_pages ~self_paging ~epc_limit =
+  let enclave = Instructions.ecreate t.machine ~size_pages ~self_paging in
+  let proc =
+    {
+      enclave;
+      pt = Page_table.create ();
+      proc_swap = Swap_store.create ();
+      enclave_managed = Hashtbl.create 1024;
+      intended_perms = Hashtbl.create 1024;
+      os_resident = Queue.create ();
+      queue_seq = Hashtbl.create 1024;
+      seq_counter = 0;
+      resident_count = 0;
+      epc_limit;
+      balloon_handler = None;
+    }
+  in
+  Hashtbl.replace t.procs enclave.id proc;
+  proc
+
+let enclave proc = proc.enclave
+let page_table proc = proc.pt
+let resident_pages proc = proc.resident_count
+let epc_limit proc = proc.epc_limit
+let set_epc_limit proc n = proc.epc_limit <- n
+
+let is_enclave_managed proc vp = Hashtbl.mem proc.enclave_managed vp
+
+let enqueue_os_resident proc vp =
+  proc.seq_counter <- proc.seq_counter + 1;
+  Hashtbl.replace proc.queue_seq vp proc.seq_counter;
+  Queue.push (vp, proc.seq_counter) proc.os_resident
+
+let queue_entry_live proc (vp, seq) =
+  Hashtbl.find_opt proc.queue_seq vp = Some seq
+
+let resident t proc vp =
+  Epc.frame_of t.machine.epc ~enclave_id:proc.enclave.id ~vpage:vp <> None
+
+let intended_perms_of proc vp =
+  Option.value ~default:Types.perms_rw (Hashtbl.find_opt proc.intended_perms vp)
+
+(* Install a PTE honouring the Autarky contract: for self-paging
+   enclaves the OS must pre-set accessed and dirty, since the hardware
+   will treat clear bits as an invalid PTE. *)
+let map_page proc ~vpage ~frame ~perms =
+  Hashtbl.replace proc.intended_perms vpage perms;
+  let preset = proc.enclave.self_paging in
+  Page_table.map proc.pt ~vpage ~frame ~perms ~accessed:preset ~dirty:preset ()
+
+let add_initial_page t proc ~vpage ~data ~perms =
+  (match proc.enclave.state with
+  | Enclave.Created -> ()
+  | _ -> Types.sgx_errorf "add_initial_page: enclave %d already initialized"
+           proc.enclave.id);
+  Hashtbl.replace proc.intended_perms vpage perms;
+  let headroom =
+    Epc.free_frames t.machine.epc > 0 && proc.resident_count < proc.epc_limit
+  in
+  if headroom then begin
+    let frame =
+      Instructions.eadd t.machine proc.enclave ~vpage ~data ~perms
+        ~ptype:Types.Pt_reg
+    in
+    map_page proc ~vpage ~frame ~perms;
+    proc.resident_count <- proc.resident_count + 1;
+    enqueue_os_resident proc vpage
+  end
+  else begin
+    (* Image exceeds the process's EPC allowance: place the page directly
+       in the backing store (added-and-evicted during initialization). *)
+    (if Machine.free_va_slots t.machine < 1 then
+       match Instructions.epa t.machine with
+       | Ok _ -> ()
+       | Error `Epc_full ->
+         Types.sgx_errorf "cannot provision a version-array page: EPC full");
+    let sw =
+      Instructions.seal_for_swap t.machine proc.enclave ~vpage ~data ~perms
+        ~ptype:Types.Pt_reg
+    in
+    Swap_store.put proc.proc_swap vpage (Swap_store.V1 sw)
+  end
+
+let finalize t proc = Instructions.einit t.machine proc.enclave
+
+(* --- Eviction -------------------------------------------------------- *)
+
+(* Keep anti-replay capacity available: provision a version-array page
+   whenever the free-slot pool runs dry (and a frame can be found). *)
+let ensure_va_slots t ~needed =
+  while Machine.free_va_slots t.machine < needed do
+    match Instructions.epa t.machine with
+    | Ok _ -> ()
+    | Error `Epc_full ->
+      Types.sgx_errorf "cannot provision a version-array page: EPC full"
+  done
+
+(* The architectural eviction protocol, batched the way the SGX driver
+   does it: EBLOCK every victim, one ETRACK (TLB shootdown), then EWB
+   each page out. *)
+let do_evict_batch ?(os_initiated = true) t proc vps =
+  match vps with
+  | [] -> ()
+  | _ ->
+    ensure_va_slots t ~needed:(List.length vps);
+    List.iter (fun vp -> Instructions.eblock t.machine proc.enclave ~vpage:vp) vps;
+    Instructions.etrack t.machine proc.enclave;
+    List.iter
+      (fun vp ->
+        let sw = Instructions.ewb t.machine proc.enclave ~vpage:vp in
+        Swap_store.put proc.proc_swap vp (Swap_store.V1 sw);
+        Page_table.unmap proc.pt vp;
+        proc.resident_count <- proc.resident_count - 1;
+        if os_initiated then incr t "os.evict")
+      vps
+
+let do_evict ?(os_initiated = true) t proc vp =
+  do_evict_batch ~os_initiated t proc [ vp ]
+
+(* Victim selection among resident OS-managed pages: clock (second
+   chance via accessed bits) for legacy enclaves, FIFO for self-paging
+   enclaves whose accessed bits the OS can no longer read usefully. *)
+let choose_victim t proc =
+  let q = proc.os_resident in
+  let budget = ref ((2 * Queue.length q) + 1) in
+  let result = ref None in
+  while !result = None && (not (Queue.is_empty q)) && !budget > 0 do
+    decr budget;
+    let ((vp, _) as entry) = Queue.pop q in
+    if
+      queue_entry_live proc entry
+      && resident t proc vp
+      && not (is_enclave_managed proc vp)
+    then
+      if not proc.enclave.self_paging then begin
+        match Page_table.find proc.pt vp with
+        | Some pte when pte.accessed && !budget > 0 ->
+          pte.accessed <- false;
+          enqueue_os_resident proc vp
+        | _ -> result := Some vp
+      end
+      else result := Some vp
+  done;
+  !result
+
+let ensure_headroom t proc ~extra =
+  let ok () =
+    Epc.free_frames t.machine.epc >= extra
+    && proc.resident_count + extra <= proc.epc_limit
+  in
+  (* Collect the whole deficit first so eviction pays for one ETRACK. *)
+  let deficit () =
+    max
+      (extra - Epc.free_frames t.machine.epc)
+      (proc.resident_count + extra - proc.epc_limit)
+  in
+  let progress = ref true in
+  while (not (ok ())) && !progress do
+    let victims = ref [] in
+    (try
+       for _ = 1 to deficit () do
+         match choose_victim t proc with
+         | Some vp -> victims := vp :: !victims
+         | None -> raise Exit
+       done
+     with Exit -> ());
+    if !victims = [] then progress := false
+    else do_evict_batch t proc !victims
+  done;
+  if ok () then Ok () else Error `Epc_exhausted
+
+(* --- Fetch ----------------------------------------------------------- *)
+
+let do_fetch t proc vp ~pinned =
+  match Swap_store.take proc.proc_swap vp with
+  | Some (Swap_store.V1 sw) -> (
+    match Instructions.eldu t.machine proc.enclave sw with
+    | Ok frame ->
+      map_page proc ~vpage:vp ~frame ~perms:sw.sw_perms;
+      proc.resident_count <- proc.resident_count + 1;
+      if not pinned then enqueue_os_resident proc vp;
+      if not pinned then incr t "os.fetch"
+    | Error e ->
+      Types.sgx_errorf "ELDU failed for page 0x%x: %s" vp
+        (Format.asprintf "%a" Instructions.pp_eldu_error e))
+  | Some (Swap_store.V2 _) ->
+    Types.sgx_errorf "OS fetch of runtime-sealed (SGXv2) page 0x%x" vp
+  | None -> (
+    (* No blob: the page is resident but was unmapped or had its
+       permissions restricted — restore the intended mapping. *)
+    match Epc.frame_of t.machine.epc ~enclave_id:proc.enclave.id ~vpage:vp with
+    | Some frame ->
+      map_page proc ~vpage:vp ~frame ~perms:(intended_perms_of proc vp);
+      incr t "os.remap"
+    | None -> Types.sgx_errorf "fault on never-populated page 0x%x" vp)
+
+(* --- Fault handling -------------------------------------------------- *)
+
+let service_legacy_fault t proc vp =
+  if not (Swap_store.mem proc.proc_swap vp) then do_fetch t proc vp ~pinned:false
+  else
+    match ensure_headroom t proc ~extra:1 with
+    | Ok () -> do_fetch t proc vp ~pinned:false
+    | Error `Epc_exhausted ->
+      Types.sgx_errorf "OS cannot make EPC headroom for page 0x%x" vp
+
+let handle_fault t (report : Types.os_fault_report) =
+  let proc =
+    match Hashtbl.find_opt t.procs report.fr_enclave_id with
+    | Some p -> p
+    | None -> Types.sgx_errorf "fault for unknown enclave %d" report.fr_enclave_id
+  in
+  charge t (cmodel t).os_fault_handler;
+  incr t "os.fault";
+  let decision = t.kernel_hooks.on_fault proc report in
+  if proc.enclave.self_paging then
+    (* The OS knows only that some fault occurred.  Attempting to resume
+       silently fails (pending-exception flag); the only way forward is
+       re-entering the enclave through its trusted handler. *)
+    match Instructions.eresume t.machine proc.enclave with
+    | Ok () -> ()
+    | Error `Pending_exception ->
+      incr t "os.silent_resume_blocked";
+      Instructions.enter_handler_and_resume t.machine proc.enclave
+  else begin
+    (match decision with
+    | Fixed_silently -> incr t "os.silent_resume"
+    | Benign ->
+      service_legacy_fault t proc (Types.vpage_of_vaddr report.fr_vaddr));
+    match Instructions.eresume t.machine proc.enclave with
+    | Ok () -> ()
+    | Error `Pending_exception ->
+      Types.sgx_errorf "legacy enclave %d has a pending exception" proc.enclave.id
+  end
+
+let handle_preempt t ~enclave_id =
+  match Hashtbl.find_opt t.procs enclave_id with
+  | None -> ()
+  | Some proc ->
+    charge t (cmodel t).syscall;
+    incr t "os.preempt";
+    t.kernel_hooks.on_preempt proc
+
+let os_callbacks t =
+  {
+    Cpu.handle_enclave_fault = (fun report -> handle_fault t report);
+    handle_preempt = (fun ~enclave_id -> handle_preempt t ~enclave_id);
+  }
+
+(* --- Autarky system calls -------------------------------------------- *)
+
+let charge_hostcall t name =
+  charge t (cmodel t).exitless_call;
+  incr t name
+
+let ay_set_enclave_managed t proc pages =
+  charge_hostcall t "os.sys.set_enclave_managed";
+  List.map
+    (fun vp ->
+      Hashtbl.replace proc.enclave_managed vp ();
+      (vp, resident t proc vp))
+    pages
+
+let ay_set_os_managed t proc pages =
+  charge_hostcall t "os.sys.set_os_managed";
+  List.iter
+    (fun vp ->
+      Hashtbl.remove proc.enclave_managed vp;
+      if resident t proc vp then enqueue_os_resident proc vp)
+    pages
+
+let ay_fetch_pages t proc pages =
+  charge_hostcall t "os.sys.fetch_pages";
+  let needed = List.filter (fun vp -> not (resident t proc vp)) pages in
+  match ensure_headroom t proc ~extra:(List.length needed) with
+  | Error `Epc_exhausted -> Error `Epc_exhausted
+  | Ok () ->
+    List.iter (fun vp -> do_fetch t proc vp ~pinned:true) needed;
+    Ok ()
+
+let ay_evict_pages t proc pages =
+  charge_hostcall t "os.sys.evict_pages";
+  do_evict_batch ~os_initiated:false t proc
+    (List.filter (resident t proc) pages)
+
+let ay_aug_pages t proc pages =
+  charge_hostcall t "os.sys.aug_pages";
+  let needed = List.filter (fun vp -> not (resident t proc vp)) pages in
+  match ensure_headroom t proc ~extra:(List.length needed) with
+  | Error `Epc_exhausted -> Error `Epc_exhausted
+  | Ok () ->
+    List.iter
+      (fun vp ->
+        match Instructions.eaug t.machine proc.enclave ~vpage:vp with
+        | Ok frame ->
+          map_page proc ~vpage:vp ~frame ~perms:Types.perms_rw;
+          proc.resident_count <- proc.resident_count + 1
+        | Error `Epc_full -> Types.sgx_errorf "EAUG: EPC full after headroom check")
+      needed;
+    Ok ()
+
+let ay_remove_pages t proc pages =
+  charge_hostcall t "os.sys.remove_pages";
+  List.iter
+    (fun vp ->
+      if resident t proc vp then begin
+        Instructions.eremove t.machine proc.enclave ~vpage:vp;
+        Page_table.unmap proc.pt vp;
+        proc.resident_count <- proc.resident_count - 1
+      end)
+    pages
+
+let blob_store t proc vp sealed =
+  charge t (cmodel t).dram_access;
+  Swap_store.put proc.proc_swap vp (Swap_store.V2 sealed)
+
+let blob_load t proc vp =
+  charge t (cmodel t).dram_access;
+  match Swap_store.take proc.proc_swap vp with
+  | Some (Swap_store.V2 sealed) -> Some sealed
+  | Some (Swap_store.V1 _) as blob ->
+    (* Not a runtime-sealed page; put it back. *)
+    (match blob with
+    | Some b -> Swap_store.put proc.proc_swap vp b
+    | None -> ());
+    None
+  | None -> None
+
+let page_in_os_managed t proc vp =
+  charge_hostcall t "os.sys.page_in";
+  if not (resident t proc vp) && Swap_store.mem proc.proc_swap vp then begin
+    match ensure_headroom t proc ~extra:1 with
+    | Ok () -> do_fetch t proc vp ~pinned:false
+    | Error `Epc_exhausted ->
+      Types.sgx_errorf "page_in_os_managed: no EPC headroom for 0x%x" vp
+  end
+  else do_fetch t proc vp ~pinned:false
+
+let epc_headroom t proc =
+  charge_hostcall t "os.sys.headroom";
+  max 0 (proc.epc_limit - proc.resident_count)
+
+(* --- Memory ballooning ------------------------------------------------ *)
+
+let set_balloon_handler _t proc handler = proc.balloon_handler <- Some handler
+
+let request_balloon t proc ~pages =
+  match proc.balloon_handler with
+  | None -> 0
+  | Some handler ->
+    let cm = cmodel t in
+    (* The upcall enters the enclave and returns: one EENTER/EEXIT pair
+       on top of whatever eviction work the policy performs. *)
+    charge t (cm.eenter + cm.eexit);
+    incr t "os.balloon_requests";
+    (* The handler evicts through the normal ay_evict_pages path, which
+       keeps the resident accounting straight. *)
+    let released = handler pages in
+    Metrics.Counters.add (Machine.counters t.machine) "os.balloon_released" released;
+    released
+
+let reclaim_for_shrink t proc ~target =
+  let progress = ref true in
+  while proc.resident_count > target && !progress do
+    match choose_victim t proc with
+    | Some vp -> do_evict t proc vp
+    | None -> progress := false
+  done
+
+let reclaim_global t ~needed ~requester =
+  let requester_id = (enclave requester).Enclave.id in
+  let others =
+    Hashtbl.fold
+      (fun id p acc -> if id <> requester_id then p :: acc else acc)
+      t.procs []
+  in
+  let free () = Epc.free_frames t.machine.epc in
+  (* First take other processes' OS-managed pages... *)
+  List.iter
+    (fun p ->
+      let progress = ref true in
+      while free () < needed && !progress do
+        match choose_victim t p with
+        | Some vp -> do_evict t p vp
+        | None -> progress := false
+      done)
+    others;
+  (* ...then ask their enclaves to deflate. *)
+  List.iter
+    (fun p ->
+      if free () < needed then
+        ignore (request_balloon t p ~pages:(needed - free ())))
+    others;
+  if free () >= needed then Ok () else Error `Epc_exhausted
+
+(* --- Adversarial manipulation ---------------------------------------- *)
+
+let attacker_unmap t proc vp =
+  (match Page_table.find proc.pt vp with
+  | Some pte -> pte.present <- false
+  | None -> ());
+  Tlb.flush_page t.machine.tlb vp;
+  incr t "attacker.unmap"
+
+let attacker_restore t proc vp =
+  (match Epc.frame_of t.machine.epc ~enclave_id:proc.enclave.id ~vpage:vp with
+  | Some frame -> map_page proc ~vpage:vp ~frame ~perms:(intended_perms_of proc vp)
+  | None -> ());
+  incr t "attacker.restore"
+
+let attacker_set_perms t proc vp perms =
+  (try Page_table.set_perms proc.pt vp perms with Not_found -> ());
+  Tlb.flush_page t.machine.tlb vp;
+  incr t "attacker.set_perms"
+
+let attacker_clear_accessed t proc vp =
+  Page_table.clear_accessed proc.pt vp;
+  Tlb.flush_page t.machine.tlb vp;
+  incr t "attacker.clear_accessed"
+
+let attacker_clear_dirty t proc vp =
+  Page_table.clear_dirty proc.pt vp;
+  Tlb.flush_page t.machine.tlb vp;
+  incr t "attacker.clear_dirty"
+
+let attacker_read_ad _t proc vp =
+  match Page_table.find proc.pt vp with
+  | Some pte -> Some (pte.accessed, pte.dirty)
+  | None -> None
+
+let attacker_map_wrong t proc ~victim ~other =
+  (match Epc.frame_of t.machine.epc ~enclave_id:proc.enclave.id ~vpage:other with
+  | Some frame -> (
+    match Page_table.find proc.pt victim with
+    | Some pte -> pte.frame <- frame
+    | None ->
+      Page_table.map proc.pt ~vpage:victim ~frame ~perms:Types.perms_rw
+        ~accessed:true ~dirty:true ())
+  | None -> Types.sgx_errorf "attacker_map_wrong: page 0x%x not resident" other);
+  Tlb.flush_page t.machine.tlb victim;
+  incr t "attacker.map_wrong"
+
+let attacker_evict t proc vp =
+  if resident t proc vp then do_evict t proc vp;
+  incr t "attacker.evict"
+
+let swap _t proc = proc.proc_swap

@@ -1,0 +1,18 @@
+type blob = V1 of Sgx.Instructions.swapped | V2 of Sim_crypto.Sealer.sealed
+
+type t = (Sgx.Types.vpage, blob) Hashtbl.t
+
+let create () = Hashtbl.create 4096
+let put t vp blob = Hashtbl.replace t vp blob
+
+let take t vp =
+  match Hashtbl.find_opt t vp with
+  | Some blob ->
+    Hashtbl.remove t vp;
+    Some blob
+  | None -> None
+
+let peek t vp = Hashtbl.find_opt t vp
+let mem t vp = Hashtbl.mem t vp
+let size t = Hashtbl.length t
+let replace_raw t vp blob = Hashtbl.replace t vp blob

@@ -1,0 +1,26 @@
+(** Untrusted backing store for evicted enclave pages.
+
+    Holds sealed blobs in (simulated) regular memory.  Being untrusted,
+    the store exposes raw replace/steal operations that attack drivers
+    use to attempt tampering and replay — which ELDU / the runtime's
+    unsealing must catch. *)
+
+type blob =
+  | V1 of Sgx.Instructions.swapped
+      (** evicted by the privileged EWB instruction *)
+  | V2 of Sim_crypto.Sealer.sealed
+      (** sealed by the in-enclave runtime (SGXv2 path) *)
+
+type t
+
+val create : unit -> t
+val put : t -> Sgx.Types.vpage -> blob -> unit
+val take : t -> Sgx.Types.vpage -> blob option
+(** Remove and return the blob for a page. *)
+
+val peek : t -> Sgx.Types.vpage -> blob option
+val mem : t -> Sgx.Types.vpage -> bool
+val size : t -> int
+
+val replace_raw : t -> Sgx.Types.vpage -> blob -> unit
+(** Adversarial: overwrite a stored blob without any checks. *)

@@ -1,0 +1,1 @@
+lib/sgx/cpu.ml: Enclave Instructions Machine Metrics Mmu Page_data Page_table Types

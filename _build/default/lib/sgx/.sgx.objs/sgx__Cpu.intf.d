@@ -1,0 +1,1 @@
+lib/sgx/cpu.mli: Enclave Machine Page_data Page_table Types

@@ -1,0 +1,1 @@
+lib/sgx/enclave.ml: Stack Types

@@ -1,0 +1,1 @@
+lib/sgx/epc.ml: Array Hashtbl List Page_data Types

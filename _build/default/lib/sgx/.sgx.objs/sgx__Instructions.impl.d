@@ -1,0 +1,1 @@
+lib/sgx/instructions.ml: Enclave Epc Format Int64 Machine Metrics Page_data Sim_crypto Stack Tlb Types

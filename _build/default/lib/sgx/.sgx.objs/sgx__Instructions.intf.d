@@ -1,0 +1,1 @@
+lib/sgx/instructions.mli: Enclave Format Machine Page_data Sim_crypto Types

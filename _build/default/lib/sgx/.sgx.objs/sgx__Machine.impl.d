@@ -1,0 +1,1 @@
+lib/sgx/machine.ml: Enclave Epc Format Hashtbl Int64 List Metrics Queue Sim_crypto Tlb Types

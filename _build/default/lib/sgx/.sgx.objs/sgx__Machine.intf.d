@@ -1,0 +1,1 @@
+lib/sgx/machine.mli: Enclave Epc Format Hashtbl Metrics Queue Sim_crypto Tlb Types

@@ -1,0 +1,1 @@
+lib/sgx/mmu.ml: Enclave Epc Format Machine Metrics Page_table Tlb Types

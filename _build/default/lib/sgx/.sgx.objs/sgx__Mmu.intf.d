@@ -1,0 +1,1 @@
+lib/sgx/mmu.mli: Enclave Machine Page_table Types

@@ -1,0 +1,1 @@
+lib/sgx/page_data.mli: Metrics

@@ -1,0 +1,1 @@
+lib/sgx/tlb.ml: Hashtbl Queue Types

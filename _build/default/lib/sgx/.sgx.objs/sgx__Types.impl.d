@@ -1,0 +1,1 @@
+lib/sgx/types.ml: Format

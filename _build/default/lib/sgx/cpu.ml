@@ -1,0 +1,95 @@
+type os_callbacks = {
+  handle_enclave_fault : Types.os_fault_report -> unit;
+  handle_preempt : enclave_id:int -> unit;
+}
+
+type t = {
+  machine : Machine.t;
+  page_table : Page_table.t;
+  enclave : Enclave.t;
+  os : os_callbacks;
+  max_fault_retries : int;
+  mutable access_count : int;
+  mutable preempt_interval : int option;
+}
+
+let create ~machine ~page_table ~enclave ~os ?(max_fault_retries = 8) () =
+  {
+    machine;
+    page_table;
+    enclave;
+    os;
+    max_fault_retries;
+    access_count = 0;
+    preempt_interval = None;
+  }
+
+let machine t = t.machine
+let enclave t = t.enclave
+let set_preempt_interval t interval = t.preempt_interval <- interval
+
+let handle_fault t vaddr kind cause =
+  let m = t.machine in
+  let sf = { Types.sf_vaddr = vaddr; sf_access = kind; sf_cause = cause } in
+  Metrics.Counters.incr (Machine.counters m) "cpu.page_fault";
+  if t.enclave.self_paging && m.mode = Machine.No_upcall_no_aex then
+    (* Proposed ISA optimization: no AEX, handler runs in-enclave. *)
+    Instructions.deliver_fault_in_enclave m t.enclave sf
+  else begin
+    Instructions.aex m t.enclave ~reason:(`Fault sf);
+    t.os.handle_enclave_fault (Mmu.os_report t.enclave vaddr kind);
+    if not t.enclave.in_enclave then
+      Types.sgx_errorf "OS fault handler returned without resuming enclave %d"
+        t.enclave.id
+  end
+
+let maybe_preempt t =
+  match t.preempt_interval with
+  | None -> ()
+  | Some n ->
+    if t.access_count mod n = 0 then begin
+      Instructions.aex t.machine t.enclave ~reason:`Interrupt;
+      t.os.handle_preempt ~enclave_id:t.enclave.id;
+      match Instructions.eresume t.machine t.enclave with
+      | Ok () -> ()
+      | Error `Pending_exception ->
+        Types.sgx_errorf "ERESUME failed after interrupt on enclave %d" t.enclave.id
+    end
+
+let access t vaddr kind =
+  Enclave.assert_runnable t.enclave;
+  let rec go retries =
+    if retries > t.max_fault_retries then
+      Types.sgx_errorf "page fault livelock at 0x%x (%d retries)" vaddr retries;
+    match Mmu.translate t.machine t.page_table t.enclave vaddr kind with
+    | Ok () -> ()
+    | Error cause ->
+      handle_fault t vaddr kind cause;
+      go (retries + 1)
+  in
+  go 0;
+  t.access_count <- t.access_count + 1;
+  maybe_preempt t
+
+let read t vaddr = access t vaddr Types.Read
+let write t vaddr = access t vaddr Types.Write
+let exec t vaddr = access t vaddr Types.Exec
+
+let with_page t vaddr kind f =
+  access t vaddr kind;
+  let vpage = Types.vpage_of_vaddr vaddr in
+  match Instructions.page_data t.machine t.enclave ~vpage with
+  | Some data -> f data
+  | None ->
+    Types.sgx_errorf "page 0x%x not resident after successful access" vpage
+
+let read_stamp t vaddr = with_page t vaddr Types.Read Page_data.read_int
+
+let write_stamp t vaddr v =
+  with_page t vaddr Types.Write (fun data -> Page_data.fill_int data v)
+
+let access_untrusted t _vaddr _kind =
+  let cm = Machine.model t.machine in
+  Machine.charge t.machine cm.dram_access
+
+let accesses t = t.access_count

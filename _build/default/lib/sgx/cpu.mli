@@ -1,0 +1,53 @@
+(** The enclave-mode execution engine.
+
+    Workloads perform memory accesses through a [t]; the engine runs the
+    full architectural flow on each access: TLB/page-table translation,
+    SGX and Autarky checks, AEX on fault, OS fault handling, trusted
+    handler invocation and resume, then instruction replay.  Optional
+    timer preemption models the attacker-controlled interrupts used by
+    stealthy (accessed/dirty-bit) controlled-channel variants. *)
+
+(** The untrusted OS as seen by the hardware. *)
+type os_callbacks = {
+  handle_enclave_fault : Types.os_fault_report -> unit;
+      (** Invoked after an AEX for a page fault.  Must leave the enclave
+          resumed ([in_enclave = true]) or terminate it. *)
+  handle_preempt : enclave_id:int -> unit;
+      (** Invoked between AEX and ERESUME on a timer interrupt. *)
+}
+
+type t
+
+val create :
+  machine:Machine.t -> page_table:Page_table.t -> enclave:Enclave.t ->
+  os:os_callbacks -> ?max_fault_retries:int -> unit -> t
+
+val machine : t -> Machine.t
+val enclave : t -> Enclave.t
+
+val set_preempt_interval : t -> int option -> unit
+(** [Some n]: raise a timer interrupt every [n] accesses. *)
+
+val access : t -> Types.vaddr -> Types.access_kind -> unit
+(** One enclave-mode access; faults are resolved through the OS/runtime
+    before this returns.  Raises {!Types.Enclave_terminated} if trusted
+    software terminated, {!Types.Sgx_error} on a fault livelock. *)
+
+val read : t -> Types.vaddr -> unit
+val write : t -> Types.vaddr -> unit
+val exec : t -> Types.vaddr -> unit
+
+val with_page : t -> Types.vaddr -> Types.access_kind -> (Page_data.t -> 'a) -> 'a
+(** Access, then run [f] on the now-resident page's payload. *)
+
+val read_stamp : t -> Types.vaddr -> int
+(** Access for read and return the page's integer stamp. *)
+
+val write_stamp : t -> Types.vaddr -> int -> unit
+(** Access for write and stamp the page. *)
+
+val access_untrusted : t -> Types.vaddr -> Types.access_kind -> unit
+(** Touch non-enclave memory (no SGX checks, DRAM cost only). *)
+
+val accesses : t -> int
+(** Total accesses performed. *)

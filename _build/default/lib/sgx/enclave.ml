@@ -1,0 +1,51 @@
+type run_state = Created | Initialized | Dead of string
+
+type tcs = {
+  mutable pending_exception : bool;
+  ssa : Types.ssa_fault Stack.t;
+  ssa_frames : int;
+}
+
+type t = {
+  id : int;
+  base_vpage : Types.vpage;
+  size_pages : int;
+  self_paging : bool;
+  tcs : tcs;
+  mutable state : run_state;
+  mutable in_enclave : bool;
+  mutable entry : t -> unit;
+  mutable blocked_since_track : int;
+}
+
+let default_entry _ = Types.sgx_errorf "EENTER: no entry point installed"
+
+let create ~id ~base_vpage ~size_pages ~self_paging ?(ssa_frames = 8) () =
+  assert (size_pages > 0 && ssa_frames > 0);
+  {
+    id;
+    base_vpage;
+    size_pages;
+    self_paging;
+    tcs = { pending_exception = false; ssa = Stack.create (); ssa_frames };
+    state = Created;
+    in_enclave = false;
+    entry = default_entry;
+    blocked_since_track = 0;
+  }
+
+let contains_vpage t vp = vp >= t.base_vpage && vp < t.base_vpage + t.size_pages
+let contains_vaddr t va = contains_vpage t (Types.vpage_of_vaddr va)
+let base_vaddr t = Types.vaddr_of_vpage t.base_vpage
+let end_vpage t = t.base_vpage + t.size_pages
+
+let assert_runnable t =
+  match t.state with
+  | Initialized -> ()
+  | Created -> Types.sgx_errorf "enclave %d not initialized" t.id
+  | Dead reason -> Types.sgx_errorf "enclave %d is dead (%s)" t.id reason
+
+let terminate t ~reason =
+  t.state <- Dead reason;
+  t.in_enclave <- false;
+  raise (Types.Enclave_terminated { enclave_id = t.id; reason })

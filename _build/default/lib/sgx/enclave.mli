@@ -1,0 +1,53 @@
+(** An enclave: virtual address range, attributes, thread control
+    structure, and run state.
+
+    The [self_paging] attribute is the new enclave attribute Autarky
+    proposes (§5.1.1): it is part of the attested identity and switches
+    the hardware model to the Autarky fault semantics (fault masking,
+    pending-exception flag, accessed/dirty validity check). *)
+
+type run_state =
+  | Created       (** pages may be EADDed *)
+  | Initialized   (** EINIT done, may be entered *)
+  | Dead of string  (** terminated by trusted software; may not run *)
+
+(** Per-thread control structure with its SSA stack. *)
+type tcs = {
+  mutable pending_exception : bool;
+      (** Autarky flag: set on page-fault AEX, cleared by EENTER; ERESUME
+          fails while it is set. *)
+  ssa : Types.ssa_fault Stack.t;
+  ssa_frames : int;  (** capacity; overflow terminates the enclave *)
+}
+
+type t = {
+  id : int;
+  base_vpage : Types.vpage;
+  size_pages : int;
+  self_paging : bool;
+  tcs : tcs;
+  mutable state : run_state;
+  mutable in_enclave : bool;
+  mutable entry : t -> unit;
+      (** Trusted entry point (the runtime's exception handler), invoked
+          by EENTER.  Installed by the runtime before EINIT. *)
+  mutable blocked_since_track : int;
+      (** EBLOCKs issued after the last ETRACK epoch retired; EWB
+          requires this to be zero (the EBLOCK/ETRACK protocol). *)
+}
+
+val create :
+  id:int -> base_vpage:Types.vpage -> size_pages:int -> self_paging:bool ->
+  ?ssa_frames:int -> unit -> t
+
+val contains_vpage : t -> Types.vpage -> bool
+val contains_vaddr : t -> Types.vaddr -> bool
+val base_vaddr : t -> Types.vaddr
+val end_vpage : t -> Types.vpage
+(** One past the last page of the enclave region. *)
+
+val assert_runnable : t -> unit
+(** Raises {!Types.Sgx_error} if the enclave is not [Initialized]. *)
+
+val terminate : t -> reason:string -> 'a
+(** Mark the enclave [Dead] and raise {!Types.Enclave_terminated}. *)

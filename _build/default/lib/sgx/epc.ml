@@ -1,0 +1,90 @@
+type epcm_entry = {
+  mutable valid : bool;
+  mutable enclave_id : int;
+  mutable vpage : Types.vpage;
+  mutable perms : Types.perms;
+  mutable ptype : Types.page_type;
+  mutable pending : bool;
+  mutable modified : bool;
+  mutable blocked : bool;
+}
+
+type t = {
+  entries : epcm_entry array;
+  contents : Page_data.t array;
+  mutable free_list : Types.frame list;
+  mutable free_count : int;
+  reverse : (int * Types.vpage, Types.frame) Hashtbl.t;
+}
+
+let empty_entry () =
+  {
+    valid = false;
+    enclave_id = -1;
+    vpage = -1;
+    perms = Types.perms_ro;
+    ptype = Types.Pt_reg;
+    pending = false;
+    modified = false;
+    blocked = false;
+  }
+
+let create ~frames =
+  assert (frames > 0);
+  {
+    entries = Array.init frames (fun _ -> empty_entry ());
+    contents = Array.init frames (fun _ -> Page_data.create ());
+    free_list = List.init frames (fun i -> i);
+    free_count = frames;
+    reverse = Hashtbl.create (2 * frames);
+  }
+
+let total_frames t = Array.length t.entries
+let free_frames t = t.free_count
+
+let alloc t =
+  match t.free_list with
+  | [] -> None
+  | f :: rest ->
+    t.free_list <- rest;
+    t.free_count <- t.free_count - 1;
+    Some f
+
+let entry t frame = t.entries.(frame)
+let data t frame = t.contents.(frame)
+let set_data t frame d = t.contents.(frame) <- d
+
+let release t frame =
+  let e = t.entries.(frame) in
+  if e.valid then Hashtbl.remove t.reverse (e.enclave_id, e.vpage);
+  e.valid <- false;
+  e.pending <- false;
+  e.modified <- false;
+  e.blocked <- false;
+  e.enclave_id <- -1;
+  e.vpage <- -1;
+  t.contents.(frame) <- Page_data.create ();
+  t.free_list <- frame :: t.free_list;
+  t.free_count <- t.free_count + 1
+
+let frame_of t ~enclave_id ~vpage = Hashtbl.find_opt t.reverse (enclave_id, vpage)
+
+let frames_of_enclave t ~enclave_id =
+  let acc = ref [] in
+  Array.iteri
+    (fun f e -> if e.valid && e.enclave_id = enclave_id then acc := f :: !acc)
+    t.entries;
+  List.rev !acc
+
+let bind ?(track_reverse = true) t ~frame ~enclave_id ~vpage ~perms ~ptype ~pending =
+  let e = t.entries.(frame) in
+  if e.valid then Types.sgx_errorf "EPCM: frame %d already bound" frame;
+  e.valid <- true;
+  e.enclave_id <- enclave_id;
+  e.vpage <- vpage;
+  e.perms <- perms;
+  e.ptype <- ptype;
+  e.pending <- pending;
+  e.modified <- false;
+  e.blocked <- false;
+  if track_reverse then Hashtbl.replace t.reverse (enclave_id, vpage) frame

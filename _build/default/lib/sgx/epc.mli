@@ -1,0 +1,49 @@
+(** Enclave page cache (EPC) and its trusted metadata (EPCM).
+
+    The EPCM is the hardware's ground truth: for every EPC frame it
+    records which enclave page the frame holds, with what rights and
+    type, and whether a dynamic-memory operation is pending enclave
+    confirmation.  Software (even the OS) can never write it directly;
+    only SGX instructions update it. *)
+
+type epcm_entry = {
+  mutable valid : bool;
+  mutable enclave_id : int;
+  mutable vpage : Types.vpage;
+  mutable perms : Types.perms;
+  mutable ptype : Types.page_type;
+  mutable pending : bool;   (** EAUG'd, awaiting EACCEPT(COPY) *)
+  mutable modified : bool;  (** EMODT/EMODPR'd, awaiting EACCEPT *)
+  mutable blocked : bool;   (** EBLOCK'd, may be evicted by EWB *)
+}
+
+type t
+
+val create : frames:int -> t
+(** An EPC with [frames] 4 KiB frames. *)
+
+val total_frames : t -> int
+val free_frames : t -> int
+
+val alloc : t -> Types.frame option
+(** Take a free frame, or [None] when the EPC is exhausted. *)
+
+val release : t -> Types.frame -> unit
+(** Invalidate the EPCM entry and return the frame to the free pool. *)
+
+val entry : t -> Types.frame -> epcm_entry
+val data : t -> Types.frame -> Page_data.t
+val set_data : t -> Types.frame -> Page_data.t -> unit
+
+val frame_of : t -> enclave_id:int -> vpage:Types.vpage -> Types.frame option
+(** Reverse lookup: the frame currently holding a given enclave page. *)
+
+val frames_of_enclave : t -> enclave_id:int -> Types.frame list
+
+val bind :
+  ?track_reverse:bool ->
+  t -> frame:Types.frame -> enclave_id:int -> vpage:Types.vpage ->
+  perms:Types.perms -> ptype:Types.page_type -> pending:bool -> unit
+(** Record an EPCM entry for [frame] (used by EADD/EAUG/ELDU/EPA).
+    [track_reverse:false] skips the enclave-page reverse index (VA pages
+    belong to no enclave). *)

@@ -1,0 +1,344 @@
+type swapped = {
+  sw_enclave_id : int;
+  sw_vpage : Types.vpage;
+  sw_perms : Types.perms;
+  sw_ptype : Types.page_type;
+  sw_va_slot : int;
+  sw_sealed : Sim_crypto.Sealer.sealed;
+}
+
+type eldu_error = [ `Mac_mismatch | `Replayed | `Epc_full ]
+
+let pp_eldu_error ppf = function
+  | `Mac_mismatch -> Format.pp_print_string ppf "MAC mismatch"
+  | `Replayed -> Format.pp_print_string ppf "replayed page"
+  | `Epc_full -> Format.pp_print_string ppf "EPC full"
+
+let incr m name = Metrics.Counters.incr (Machine.counters m) name
+
+let ecreate m ~size_pages ~self_paging =
+  incr m "sgx.ecreate";
+  Machine.register_enclave m ~size_pages ~self_paging
+
+let find_frame m (enclave : Enclave.t) ~vpage =
+  Epc.frame_of Machine.(m.epc) ~enclave_id:enclave.id ~vpage
+
+let require_frame m enclave ~vpage ~who =
+  match find_frame m enclave ~vpage with
+  | Some frame -> frame
+  | None -> Types.sgx_errorf "%s: enclave %d page 0x%x not resident" who enclave.id vpage
+
+let eadd m (enclave : Enclave.t) ~vpage ~data ~perms ~ptype =
+  (match enclave.state with
+  | Enclave.Created -> ()
+  | _ -> Types.sgx_errorf "EADD: enclave %d already initialized" enclave.id);
+  if not (Enclave.contains_vpage enclave vpage) then
+    Types.sgx_errorf "EADD: page 0x%x outside enclave %d" vpage enclave.id;
+  let cm = Machine.model m in
+  match Epc.alloc m.epc with
+  | None -> Types.sgx_errorf "EADD: EPC exhausted"
+  | Some frame ->
+    Epc.bind m.epc ~frame ~enclave_id:enclave.id ~vpage ~perms ~ptype ~pending:false;
+    Epc.set_data m.epc frame data;
+    Machine.charge m cm.eadd;
+    incr m "sgx.eadd";
+    frame
+
+let einit m (enclave : Enclave.t) =
+  (match enclave.state with
+  | Enclave.Created -> enclave.state <- Enclave.Initialized
+  | _ -> Types.sgx_errorf "EINIT: enclave %d not in created state" enclave.id);
+  incr m "sgx.einit"
+
+(* --- Entry/exit/fault delivery ------------------------------------- *)
+
+let aex m (enclave : Enclave.t) ~reason =
+  let cm = Machine.model m in
+  (match reason with
+  | `Fault sf ->
+    if Stack.length enclave.tcs.ssa >= enclave.tcs.ssa_frames then
+      Enclave.terminate enclave ~reason:"SSA stack overflow (fault storm)";
+    Stack.push sf enclave.tcs.ssa;
+    if enclave.self_paging then enclave.tcs.pending_exception <- true
+  | `Interrupt -> ());
+  enclave.in_enclave <- false;
+  Tlb.flush m.tlb;
+  Machine.charge m cm.aex;
+  incr m "sgx.aex"
+
+let eresume m (enclave : Enclave.t) =
+  let cm = Machine.model m in
+  Machine.charge m cm.eresume;
+  incr m "sgx.eresume";
+  if enclave.self_paging && enclave.tcs.pending_exception then Error `Pending_exception
+  else begin
+    Enclave.assert_runnable enclave;
+    if not (Stack.is_empty enclave.tcs.ssa) then ignore (Stack.pop enclave.tcs.ssa);
+    Tlb.flush m.tlb;
+    enclave.in_enclave <- true;
+    Ok ()
+  end
+
+let enter_handler_and_resume m (enclave : Enclave.t) =
+  let cm = Machine.model m in
+  Enclave.assert_runnable enclave;
+  (* EENTER: clears the pending-exception flag and runs the trusted
+     entry point (the runtime's exception handler). *)
+  enclave.tcs.pending_exception <- false;
+  enclave.in_enclave <- true;
+  Tlb.flush m.tlb;
+  Machine.charge m cm.eenter;
+  incr m "sgx.eenter";
+  enclave.entry enclave;
+  (match m.mode with
+  | Machine.Full_exits ->
+    (* EEXIT to the stub, then ERESUME the saved frame. *)
+    Machine.charge m cm.eexit;
+    incr m "sgx.eexit";
+    enclave.in_enclave <- false;
+    Tlb.flush m.tlb;
+    Machine.charge m cm.eresume;
+    incr m "sgx.eresume";
+    Tlb.flush m.tlb
+  | Machine.No_upcall | Machine.No_upcall_no_aex ->
+    (* Proposed in-enclave ERESUME variant: pop the SSA without leaving. *)
+    Machine.charge m cm.inenclave_resume;
+    incr m "sgx.inenclave_resume");
+  if not (Stack.is_empty enclave.tcs.ssa) then ignore (Stack.pop enclave.tcs.ssa);
+  enclave.in_enclave <- true
+
+let deliver_fault_in_enclave m (enclave : Enclave.t) sf =
+  let cm = Machine.model m in
+  Enclave.assert_runnable enclave;
+  if Stack.length enclave.tcs.ssa >= enclave.tcs.ssa_frames then
+    Enclave.terminate enclave ~reason:"SSA stack overflow (fault storm)";
+  Stack.push sf enclave.tcs.ssa;
+  (* The hardware simulates a nested re-entry to the handler: no AEX, no
+     OS involvement, TLB preserved. *)
+  Machine.charge m cm.aex_elided_entry;
+  incr m "sgx.aex_elided";
+  enclave.entry enclave;
+  Machine.charge m cm.inenclave_resume;
+  incr m "sgx.inenclave_resume";
+  if not (Stack.is_empty enclave.tcs.ssa) then ignore (Stack.pop enclave.tcs.ssa)
+
+let eenter_run m (enclave : Enclave.t) f =
+  let cm = Machine.model m in
+  Enclave.assert_runnable enclave;
+  enclave.tcs.pending_exception <- false;
+  enclave.in_enclave <- true;
+  Tlb.flush m.tlb;
+  Machine.charge m cm.eenter;
+  incr m "sgx.eenter";
+  let finish () =
+    Machine.charge m cm.eexit;
+    incr m "sgx.eexit";
+    enclave.in_enclave <- false;
+    Tlb.flush m.tlb
+  in
+  match f () with
+  | result ->
+    finish ();
+    result
+  | exception e ->
+    finish ();
+    raise e
+
+(* --- SGXv1 paging --------------------------------------------------- *)
+
+let epa m =
+  let cm = Machine.model m in
+  match Epc.alloc m.epc with
+  | None -> Error `Epc_full
+  | Some frame ->
+    Epc.bind ~track_reverse:false m.epc ~frame ~enclave_id:(-1) ~vpage:(-1)
+      ~perms:Types.perms_ro ~ptype:Types.Pt_va ~pending:false;
+    Machine.provision_va_page m ~frame;
+    Machine.charge m cm.epa;
+    incr m "sgx.epa";
+    Ok frame
+
+let eblock m (enclave : Enclave.t) ~vpage =
+  let cm = Machine.model m in
+  let frame = require_frame m enclave ~vpage ~who:"EBLOCK" in
+  let entry = Epc.entry m.epc frame in
+  if not entry.blocked then begin
+    entry.blocked <- true;
+    enclave.blocked_since_track <- enclave.blocked_since_track + 1
+  end;
+  Tlb.flush_page m.tlb vpage;
+  Machine.charge m cm.eblock;
+  incr m "sgx.eblock"
+
+let etrack m (enclave : Enclave.t) =
+  let cm = Machine.model m in
+  (* On the single simulated core the IPI round retires immediately:
+     flush the TLB and charge the shootdown. *)
+  Tlb.flush m.tlb;
+  enclave.blocked_since_track <- 0;
+  Machine.charge m (cm.etrack + cm.tlb_shootdown);
+  incr m "sgx.etrack"
+
+let ewb m (enclave : Enclave.t) ~vpage =
+  let cm = Machine.model m in
+  let frame = require_frame m enclave ~vpage ~who:"EWB" in
+  let entry = Epc.entry m.epc frame in
+  if entry.pending || entry.modified then
+    Types.sgx_errorf "EWB: page 0x%x in transient state" vpage;
+  if not entry.blocked then
+    Types.sgx_errorf "EWB: page 0x%x not blocked (run EBLOCK)" vpage;
+  if enclave.blocked_since_track > 0 then
+    Types.sgx_errorf "EWB: tracking epoch not retired (run ETRACK)";
+  let version = Machine.fresh_va_version m in
+  let slot =
+    match Machine.take_va_slot m ~version with
+    | Some slot -> slot
+    | None -> Types.sgx_errorf "EWB: no free version-array slot (run EPA)"
+  in
+  let plaintext = Page_data.to_bytes (Epc.data m.epc frame) in
+  let sealed =
+    Sim_crypto.Sealer.seal m.sealer
+      ~vaddr:(Int64.of_int (Types.vaddr_of_vpage vpage))
+      ~version plaintext
+  in
+  let sw =
+    {
+      sw_enclave_id = enclave.id;
+      sw_vpage = vpage;
+      sw_perms = entry.perms;
+      sw_ptype = entry.ptype;
+      sw_va_slot = slot;
+      sw_sealed = sealed;
+    }
+  in
+  Epc.release m.epc frame;
+  Machine.charge m (cm.ewb + Metrics.Cost_model.hw_page_crypto cm);
+  incr m "sgx.ewb";
+  sw
+
+let eldu m (enclave : Enclave.t) (sw : swapped) =
+  let cm = Machine.model m in
+  if sw.sw_enclave_id <> enclave.id then
+    Types.sgx_errorf "ELDU: page belongs to enclave %d, not %d" sw.sw_enclave_id
+      enclave.id;
+  Machine.charge m (cm.eldu + Metrics.Cost_model.hw_page_crypto cm);
+  incr m "sgx.eldu";
+  match Machine.read_va_slot m sw.sw_va_slot with
+  | None -> Error `Replayed
+  | Some expected -> (
+    match
+      Sim_crypto.Sealer.unseal m.sealer
+        ~vaddr:(Int64.of_int (Types.vaddr_of_vpage sw.sw_vpage))
+        ~expected_version:expected sw.sw_sealed
+    with
+    | Error Sim_crypto.Sealer.Mac_mismatch -> Error `Mac_mismatch
+    | Error Sim_crypto.Sealer.Replayed -> Error `Replayed
+    | Ok plaintext -> (
+      match Epc.alloc m.epc with
+      | None -> Error `Epc_full
+      | Some frame ->
+        Epc.bind m.epc ~frame ~enclave_id:enclave.id ~vpage:sw.sw_vpage
+          ~perms:sw.sw_perms ~ptype:sw.sw_ptype ~pending:false;
+        Epc.set_data m.epc frame (Page_data.of_bytes plaintext);
+        Machine.clear_va_slot m sw.sw_va_slot;
+        Ok frame))
+
+let seal_for_swap m (enclave : Enclave.t) ~vpage ~data ~perms ~ptype =
+  if not (Enclave.contains_vpage enclave vpage) then
+    Types.sgx_errorf "seal_for_swap: page 0x%x outside enclave %d" vpage enclave.id;
+  let version = Machine.fresh_va_version m in
+  let slot =
+    match Machine.take_va_slot m ~version with
+    | Some slot -> slot
+    | None -> Types.sgx_errorf "seal_for_swap: no free version-array slot (run EPA)"
+  in
+  let sealed =
+    Sim_crypto.Sealer.seal m.sealer
+      ~vaddr:(Int64.of_int (Types.vaddr_of_vpage vpage))
+      ~version
+      (Page_data.to_bytes data)
+  in
+  { sw_enclave_id = enclave.id; sw_vpage = vpage; sw_perms = perms;
+    sw_ptype = ptype; sw_va_slot = slot; sw_sealed = sealed }
+
+(* --- SGXv2 dynamic memory ------------------------------------------- *)
+
+let eaug m (enclave : Enclave.t) ~vpage =
+  let cm = Machine.model m in
+  if not (Enclave.contains_vpage enclave vpage) then
+    Types.sgx_errorf "EAUG: page 0x%x outside enclave %d" vpage enclave.id;
+  (match find_frame m enclave ~vpage with
+  | Some _ -> Types.sgx_errorf "EAUG: page 0x%x already resident" vpage
+  | None -> ());
+  match Epc.alloc m.epc with
+  | None -> Error `Epc_full
+  | Some frame ->
+    Epc.bind m.epc ~frame ~enclave_id:enclave.id ~vpage ~perms:Types.perms_rw
+      ~ptype:Types.Pt_reg ~pending:true;
+    Machine.charge m cm.eaug;
+    incr m "sgx.eaug";
+    Ok frame
+
+let eaccept m (enclave : Enclave.t) ~vpage =
+  let cm = Machine.model m in
+  let frame = require_frame m enclave ~vpage ~who:"EACCEPT" in
+  let entry = Epc.entry m.epc frame in
+  if not (entry.pending || entry.modified) then
+    Types.sgx_errorf "EACCEPT: page 0x%x has nothing to accept" vpage;
+  entry.pending <- false;
+  entry.modified <- false;
+  Machine.charge m cm.eaccept;
+  incr m "sgx.eaccept"
+
+let eacceptcopy m (enclave : Enclave.t) ~vpage ~data =
+  let cm = Machine.model m in
+  let frame = require_frame m enclave ~vpage ~who:"EACCEPTCOPY" in
+  let entry = Epc.entry m.epc frame in
+  if not entry.pending then
+    Types.sgx_errorf "EACCEPTCOPY: page 0x%x not pending" vpage;
+  entry.pending <- false;
+  entry.perms <- Types.perms_rw;
+  Epc.set_data m.epc frame data;
+  Machine.charge m cm.eacceptcopy;
+  incr m "sgx.eacceptcopy"
+
+let emodpr m (enclave : Enclave.t) ~vpage ~perms =
+  let cm = Machine.model m in
+  let frame = require_frame m enclave ~vpage ~who:"EMODPR" in
+  let entry = Epc.entry m.epc frame in
+  if entry.pending then Types.sgx_errorf "EMODPR: page 0x%x pending" vpage;
+  if not (Types.perms_subset perms entry.perms) then
+    Types.sgx_errorf "EMODPR: cannot extend permissions of page 0x%x" vpage;
+  entry.perms <- perms;
+  entry.modified <- true;
+  (* OS-side TLB shootdown required for the restriction to take effect. *)
+  Tlb.flush_page m.tlb vpage;
+  Machine.charge m (cm.emodpr + cm.tlb_shootdown);
+  incr m "sgx.emodpr"
+
+let emodt m (enclave : Enclave.t) ~vpage =
+  let cm = Machine.model m in
+  let frame = require_frame m enclave ~vpage ~who:"EMODT" in
+  let entry = Epc.entry m.epc frame in
+  if entry.pending then Types.sgx_errorf "EMODT: page 0x%x pending" vpage;
+  entry.ptype <- Types.Pt_trim;
+  entry.modified <- true;
+  Tlb.flush_page m.tlb vpage;
+  Machine.charge m (cm.emodt + cm.tlb_shootdown);
+  incr m "sgx.emodt"
+
+let eremove m (enclave : Enclave.t) ~vpage =
+  let cm = Machine.model m in
+  let frame = require_frame m enclave ~vpage ~who:"EREMOVE" in
+  let entry = Epc.entry m.epc frame in
+  let enclave_dead = match enclave.state with Enclave.Dead _ -> true | _ -> false in
+  if not (enclave_dead || (entry.ptype = Types.Pt_trim && not entry.modified)) then
+    Types.sgx_errorf "EREMOVE: page 0x%x not trimmed and accepted" vpage;
+  Epc.release m.epc frame;
+  Machine.charge m cm.eremove;
+  incr m "sgx.eremove"
+
+let page_data m (enclave : Enclave.t) ~vpage =
+  match find_frame m enclave ~vpage with
+  | Some frame -> Some (Epc.data m.epc frame)
+  | None -> None

@@ -1,0 +1,88 @@
+type transition_mode = Full_exits | No_upcall | No_upcall_no_aex
+
+let pp_transition_mode ppf m =
+  Format.pp_print_string ppf
+    (match m with
+    | Full_exits -> "as-measured"
+    | No_upcall -> "no-upcall"
+    | No_upcall_no_aex -> "no-upcall/AEX")
+
+type t = {
+  clock : Metrics.Clock.t;
+  epc : Epc.t;
+  tlb : Tlb.t;
+  sealer : Sim_crypto.Sealer.t;
+  va_slots : (int, int64) Hashtbl.t;
+  va_free : int Queue.t;
+  mutable va_next_slot : int;
+  mutable va_frames : Types.frame list;
+  mutable va_counter : int64;
+  mutable enclaves : Enclave.t list;
+  mutable next_enclave_id : int;
+  mutable next_base_vpage : Types.vpage;
+  mutable mode : transition_mode;
+}
+
+let create ?(model = Metrics.Cost_model.default) ?(mode = Full_exits) ~epc_frames () =
+  {
+    clock = Metrics.Clock.create model;
+    epc = Epc.create ~frames:epc_frames;
+    tlb = Tlb.create ();
+    sealer = Sim_crypto.Sealer.create ~master_key:"sgx-epc-paging-key";
+    va_slots = Hashtbl.create 4096;
+    va_free = Queue.create ();
+    va_next_slot = 0;
+    va_frames = [];
+    va_counter = 0L;
+    enclaves = [];
+    next_enclave_id = 1;
+    (* Leave page 0 unused so a 0 vaddr is never a valid enclave address. *)
+    next_base_vpage = 0x10000;
+    mode;
+  }
+
+let model t = Metrics.Clock.model t.clock
+let charge t n = Metrics.Clock.charge t.clock n
+let counters t = Metrics.Clock.counters t.clock
+
+let register_enclave t ~size_pages ~self_paging =
+  let id = t.next_enclave_id in
+  t.next_enclave_id <- id + 1;
+  let base_vpage = t.next_base_vpage in
+  (* Pad regions apart so out-of-range accesses are obvious bugs. *)
+  t.next_base_vpage <- base_vpage + size_pages + 0x1000;
+  let enclave = Enclave.create ~id ~base_vpage ~size_pages ~self_paging () in
+  t.enclaves <- enclave :: t.enclaves;
+  enclave
+
+let enclave_by_id t id = List.find_opt (fun (e : Enclave.t) -> e.id = id) t.enclaves
+
+let fresh_va_version t =
+  t.va_counter <- Int64.add t.va_counter 1L;
+  t.va_counter
+
+let slots_per_va_page = 512
+
+let free_va_slots t = Queue.length t.va_free
+
+let provision_va_page t ~frame =
+  t.va_frames <- frame :: t.va_frames;
+  for _ = 1 to slots_per_va_page do
+    Queue.push t.va_next_slot t.va_free;
+    t.va_next_slot <- t.va_next_slot + 1
+  done
+
+let take_va_slot t ~version =
+  match Queue.take_opt t.va_free with
+  | None -> None
+  | Some slot ->
+    Hashtbl.replace t.va_slots slot version;
+    Some slot
+
+let read_va_slot t slot = Hashtbl.find_opt t.va_slots slot
+
+let clear_va_slot t slot =
+  if Hashtbl.mem t.va_slots slot then begin
+    Hashtbl.remove t.va_slots slot;
+    Queue.push slot t.va_free
+  end

@@ -1,0 +1,62 @@
+(** The simulated platform: one CPU package with its EPC, TLB, paging
+    keys and anti-replay version store, shared clock, and the registry of
+    enclaves it hosts. *)
+
+(** How fault delivery transitions are performed — the three
+    configurations of the paper's Table 2 and §5.1.3:
+    {ul
+    {- [Full_exits]: the measured prototype — AEX to the OS, EENTER the
+       handler, EEXIT, ERESUME.}
+    {- [No_upcall]: proposed in-enclave ERESUME variant — the handler
+       resumes directly, eliding EEXIT+ERESUME.}
+    {- [No_upcall_no_aex]: additionally elide the AEX — the fault is
+       delivered straight to the in-enclave handler, the OS never runs.}} *)
+type transition_mode = Full_exits | No_upcall | No_upcall_no_aex
+
+val pp_transition_mode : Format.formatter -> transition_mode -> unit
+
+type t = {
+  clock : Metrics.Clock.t;
+  epc : Epc.t;
+  tlb : Tlb.t;
+  sealer : Sim_crypto.Sealer.t;  (** hardware paging keys (EWB/ELDU) *)
+  (* Version arrays: EPC pages of 512 anti-replay slots, provisioned by
+     the OS with EPA.  A slot holds the version of one swapped-out page
+     and is consumed by the ELDU that reloads it. *)
+  va_slots : (int, int64) Hashtbl.t;  (** occupied slot -> version *)
+  va_free : int Queue.t;
+  mutable va_next_slot : int;
+  mutable va_frames : Types.frame list;
+  mutable va_counter : int64;
+  mutable enclaves : Enclave.t list;
+  mutable next_enclave_id : int;
+  mutable next_base_vpage : Types.vpage;
+  mutable mode : transition_mode;
+}
+
+val create :
+  ?model:Metrics.Cost_model.t -> ?mode:transition_mode -> epc_frames:int ->
+  unit -> t
+
+val model : t -> Metrics.Cost_model.t
+val charge : t -> int -> unit
+val counters : t -> Metrics.Counters.t
+
+val register_enclave : t -> size_pages:int -> self_paging:bool -> Enclave.t
+(** Allocate a fresh virtual region and enclave id (used by ECREATE). *)
+
+val enclave_by_id : t -> int -> Enclave.t option
+val fresh_va_version : t -> int64
+
+(** {1 Version-array slots} *)
+
+val free_va_slots : t -> int
+val provision_va_page : t -> frame:Types.frame -> unit
+(** Register 512 fresh slots backed by [frame] (EPA's effect). *)
+
+val take_va_slot : t -> version:int64 -> int option
+(** Occupy a free slot with a version; [None] when no VA capacity. *)
+
+val read_va_slot : t -> int -> int64 option
+val clear_va_slot : t -> int -> unit
+(** Release the slot for reuse (the reload consumed its version). *)

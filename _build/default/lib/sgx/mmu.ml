@@ -1,0 +1,79 @@
+let walk_checks (m : Machine.t) (pt : Page_table.t) (enclave : Enclave.t) vp kind =
+  let cm = Machine.model m in
+  match Page_table.find pt vp with
+  | None -> Error Types.Not_present
+  | Some pte ->
+    if not pte.present then Error Types.Not_present
+    else if not (Types.perms_allow pte.perms kind) then Error (Types.Permission kind)
+    else begin
+      let epcm = Machine.(m.epc) in
+      if pte.frame < 0 || pte.frame >= Epc.total_frames epcm then
+        Error Types.Non_epc_mapping
+      else
+        let entry = Epc.entry epcm pte.frame in
+        if not entry.valid then Error Types.Epcm_mismatch
+        else if entry.enclave_id <> enclave.id || entry.vpage <> vp then
+          Error Types.Epcm_mismatch
+        else if entry.pending || entry.modified then Error Types.Epcm_pending
+        else if entry.blocked then Error Types.Not_present
+        else if not (Types.perms_allow entry.perms kind) then
+          Error (Types.Permission kind)
+        else if enclave.self_paging then begin
+          (* Autarky: the fetched PTE's A/D bits must already be set;
+             otherwise it is treated as invalid. No writeback occurs. *)
+          Machine.charge m cm.ad_check;
+          if not (pte.accessed && pte.dirty) then Error Types.Ad_clear
+          else Ok pte
+        end
+        else begin
+          (* Legacy paging: the walk sets accessed (and dirty on write),
+             observable by the OS — the stealthy channel. *)
+          pte.accessed <- true;
+          if kind = Types.Write then pte.dirty <- true;
+          Ok pte
+        end
+    end
+
+let translate m pt enclave vaddr kind =
+  if not (Enclave.contains_vaddr enclave vaddr) then
+    Types.sgx_errorf "MMU: vaddr 0x%x outside enclave %d" vaddr enclave.id;
+  let cm = Machine.model m in
+  let vp = Types.vpage_of_vaddr vaddr in
+  if Tlb.hit m.tlb vp kind then begin
+    Machine.charge m cm.mem_access;
+    Ok ()
+  end
+  else begin
+    Machine.charge m cm.tlb_walk;
+    Metrics.Counters.incr (Machine.counters m) "mmu.tlb_miss";
+    match walk_checks m pt enclave vp kind with
+    | Ok pte ->
+      (* The TLB entry caches the PTE's dirty state: a later write only
+         needs a re-walk (x86's dirty-bit assist) while the cached D is
+         clear.  Self-paging PTEs always carry set bits. *)
+      let dirty = enclave.self_paging || kind = Types.Write || pte.dirty in
+      Tlb.fill ~dirty m.tlb vp pte.perms;
+      Machine.charge m cm.mem_access;
+      Ok ()
+    | Error cause ->
+      Metrics.Counters.incr (Machine.counters m)
+        (Format.asprintf "mmu.fault.%a" Types.pp_fault_cause cause);
+      Error cause
+  end
+
+let os_report (enclave : Enclave.t) vaddr kind =
+  if enclave.self_paging then
+    (* §5.1.2: hide the address and access type entirely; report a read
+       fault at the enclave base. *)
+    {
+      Types.fr_enclave_id = enclave.id;
+      fr_vaddr = Enclave.base_vaddr enclave;
+      fr_access = Types.Read;
+    }
+  else
+    (* Stock SGX: the page offset is masked but the page is visible. *)
+    {
+      Types.fr_enclave_id = enclave.id;
+      fr_vaddr = Types.vaddr_of_vpage (Types.vpage_of_vaddr vaddr);
+      fr_access = kind;
+    }

@@ -1,0 +1,25 @@
+type t = bytes
+
+let payload_bytes = ref 64
+
+let create () = Bytes.make !payload_bytes '\000'
+let of_bytes b = b
+let random rng = Metrics.Rng.bytes rng !payload_bytes
+
+let fill_int t v =
+  let n = min 8 (Bytes.length t) in
+  for i = 0 to n - 1 do
+    Bytes.set t i (Char.chr ((v lsr (8 * i)) land 0xFF))
+  done
+
+let read_int t =
+  let n = min 8 (Bytes.length t) in
+  let acc = ref 0 in
+  for i = n - 1 downto 0 do
+    acc := (!acc lsl 8) lor Char.code (Bytes.get t i)
+  done;
+  !acc
+
+let to_bytes t = t
+let copy = Bytes.copy
+let equal = Bytes.equal

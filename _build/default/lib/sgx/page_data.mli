@@ -1,0 +1,34 @@
+(** Page payloads.
+
+    To keep hundreds of thousands of simulated pages in memory, each page
+    stores a configurable payload (default 64 bytes) standing in for its
+    4 KiB of content; every cycle cost is still charged for the full
+    modelled page size.  The payload is real data: it is encrypted,
+    MACed, swapped and compared bit-for-bit, so corruption and replay are
+    detectable exactly as with full pages. *)
+
+type t
+
+val payload_bytes : int ref
+(** Payload size used by {!create} and friends (default 64). Set once at
+    simulation start; tests may raise it to 4096. *)
+
+val create : unit -> t
+(** Zero-filled payload. *)
+
+val of_bytes : bytes -> t
+(** Adopts the given bytes as payload (any length). *)
+
+val random : Metrics.Rng.t -> t
+
+val fill_int : t -> int -> unit
+(** Stamp the payload with a recognizable integer pattern. *)
+
+val read_int : t -> int
+(** Read back the stamp written by {!fill_int} (0 for fresh pages). *)
+
+val to_bytes : t -> bytes
+(** The underlying storage (not a copy). *)
+
+val copy : t -> t
+val equal : t -> t -> bool

@@ -1,0 +1,36 @@
+type pte = {
+  mutable frame : Types.frame;
+  mutable present : bool;
+  mutable perms : Types.perms;
+  mutable accessed : bool;
+  mutable dirty : bool;
+}
+
+type t = (Types.vpage, pte) Hashtbl.t
+
+let create () = Hashtbl.create 1024
+
+let map t ~vpage ~frame ~perms ?(accessed = false) ?(dirty = false) () =
+  Hashtbl.replace t vpage { frame; present = true; perms; accessed; dirty }
+
+let unmap t vpage = Hashtbl.remove t vpage
+let find t vpage = Hashtbl.find_opt t vpage
+
+let present t vpage =
+  match find t vpage with Some pte -> pte.present | None -> false
+
+let set_perms t vpage perms =
+  match find t vpage with
+  | Some pte -> pte.perms <- perms
+  | None -> raise Not_found
+
+let clear_accessed t vpage =
+  match find t vpage with Some pte -> pte.accessed <- false | None -> ()
+
+let clear_dirty t vpage =
+  match find t vpage with Some pte -> pte.dirty <- false | None -> ()
+
+let mapped_pages t = Hashtbl.fold (fun vp _ acc -> vp :: acc) t [] |> List.sort compare
+
+let count_present t =
+  Hashtbl.fold (fun _ pte acc -> if pte.present then acc + 1 else acc) t 0

@@ -1,0 +1,36 @@
+(** The OS-controlled page table of one enclave host process.
+
+    This structure belongs to the *untrusted* OS: an adversarial kernel
+    may read and modify every field (that is the controlled channel).  The
+    hardware (MMU + EPCM) only checks it. *)
+
+type pte = {
+  mutable frame : Types.frame;
+  mutable present : bool;
+  mutable perms : Types.perms;
+  mutable accessed : bool;
+  mutable dirty : bool;
+}
+
+type t
+
+val create : unit -> t
+
+val map :
+  t -> vpage:Types.vpage -> frame:Types.frame -> perms:Types.perms ->
+  ?accessed:bool -> ?dirty:bool -> unit -> unit
+(** Install or replace a PTE. [accessed]/[dirty] default to [false]
+    (legacy OS behaviour); an Autarky-aware OS installs PTEs for
+    self-paging enclaves with both set. *)
+
+val unmap : t -> Types.vpage -> unit
+val find : t -> Types.vpage -> pte option
+val present : t -> Types.vpage -> bool
+
+val set_perms : t -> Types.vpage -> Types.perms -> unit
+(** Raises [Not_found] if the page has no PTE. *)
+
+val clear_accessed : t -> Types.vpage -> unit
+val clear_dirty : t -> Types.vpage -> unit
+val mapped_pages : t -> Types.vpage list
+val count_present : t -> int

@@ -1,0 +1,30 @@
+(** Translation lookaside buffer of the (single) simulated logical core.
+
+    The TLB matters to the security model: accessed/dirty bits are only
+    read and updated on a TLB *fill*, so an attacker monitoring them must
+    first force the TLB to be flushed.  SGX flushes enclave translations
+    on every enclave entry and exit, which the enclave-transition code
+    does through {!flush}.
+
+    Capacity is finite (default 1536 entries, an Ice Lake-class L2 TLB);
+    fills beyond capacity evict FIFO.  Fill frequency drives the cost of
+    Autarky's per-fill accessed/dirty check (the nbench experiment). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val hit : t -> Types.vpage -> Types.access_kind -> bool
+(** [hit t vp kind] is true when the translation is cached with
+    sufficient rights for [kind]. *)
+
+val fill : ?dirty:bool -> t -> Types.vpage -> Types.perms -> unit
+(** Install a translation after a successful walk, evicting the oldest
+    entry if full.  [dirty] records whether the fill performed dirty
+    tracking: a later write through a non-dirty entry re-walks, exactly
+    as x86 does to set the PTE dirty bit. *)
+
+val flush : t -> unit
+val flush_page : t -> Types.vpage -> unit
+val size : t -> int
+val capacity : t -> int

@@ -1,0 +1,100 @@
+(** Shared vocabulary of the SGX hardware model.
+
+    Virtual addresses are byte addresses ([vaddr]); most of the model
+    works on virtual page numbers ([vpage] = vaddr / page size).  Physical
+    EPC pages are identified by frame index. *)
+
+type vaddr = int
+type vpage = int
+type frame = int
+
+let page_shift = 12
+let page_bytes = 1 lsl page_shift
+let vpage_of_vaddr (a : vaddr) : vpage = a lsr page_shift
+let vaddr_of_vpage (p : vpage) : vaddr = p lsl page_shift
+
+(** Kind of memory access, as seen by the MMU. *)
+type access_kind = Read | Write | Exec
+
+let pp_access_kind ppf k =
+  Format.pp_print_string ppf
+    (match k with Read -> "read" | Write -> "write" | Exec -> "exec")
+
+(** Page permissions recorded in PTEs and the EPCM. *)
+type perms = { r : bool; w : bool; x : bool }
+
+let perms_rw = { r = true; w = true; x = false }
+let perms_rx = { r = true; w = false; x = true }
+let perms_ro = { r = true; w = false; x = false }
+let perms_rwx = { r = true; w = true; x = true }
+
+let perms_allow perms = function
+  | Read -> perms.r
+  | Write -> perms.w
+  | Exec -> perms.x
+
+(* [perms_subset a b]: every right in [a] is also in [b]. *)
+let perms_subset a b = ((not a.r) || b.r) && ((not a.w) || b.w) && ((not a.x) || b.x)
+
+let pp_perms ppf p =
+  Format.fprintf ppf "%c%c%c"
+    (if p.r then 'r' else '-')
+    (if p.w then 'w' else '-')
+    (if p.x then 'x' else '-')
+
+(** EPCM page types (SGX PT_REG / PT_TCS / PT_TRIM / PT_VA). *)
+type page_type = Pt_reg | Pt_tcs | Pt_trim | Pt_va
+
+let pp_page_type ppf t =
+  Format.pp_print_string ppf
+    (match t with
+    | Pt_reg -> "REG" | Pt_tcs -> "TCS" | Pt_trim -> "TRIM" | Pt_va -> "VA")
+
+(** Architectural cause of a page fault inside the enclave region. *)
+type fault_cause =
+  | Not_present        (** PTE present bit clear or no PTE *)
+  | Permission of access_kind  (** PTE lacks the required right *)
+  | Epcm_mismatch      (** PTE maps the wrong frame / wrong enclave page *)
+  | Epcm_pending       (** page added by EAUG but not yet EACCEPTed *)
+  | Ad_clear           (** Autarky check: accessed/dirty bit was clear *)
+  | Non_epc_mapping    (** enclave address mapped to non-EPC memory *)
+
+let pp_fault_cause ppf c =
+  Format.pp_print_string ppf
+    (match c with
+    | Not_present -> "not-present"
+    | Permission Read -> "perm-read"
+    | Permission Write -> "perm-write"
+    | Permission Exec -> "perm-exec"
+    | Epcm_mismatch -> "epcm-mismatch"
+    | Epcm_pending -> "epcm-pending"
+    | Ad_clear -> "ad-clear"
+    | Non_epc_mapping -> "non-epc-mapping")
+
+(** What the hardware reports to the untrusted OS after an enclave fault.
+    For legacy enclaves the address is page-aligned (offset masked); for
+    self-paging (Autarky) enclaves the whole address and access type are
+    hidden: the fault is reported as a read at the enclave base. *)
+type os_fault_report = {
+  fr_enclave_id : int;
+  fr_vaddr : vaddr;
+  fr_access : access_kind;
+}
+
+(** Full fault information saved in the SSA frame, visible only to
+    trusted in-enclave code. *)
+type ssa_fault = {
+  sf_vaddr : vaddr;
+  sf_access : access_kind;
+  sf_cause : fault_cause;
+}
+
+exception Enclave_terminated of { enclave_id : int; reason : string }
+(** Raised when trusted enclave software decides to terminate (e.g. the
+    self-paging runtime detected an OS-induced fault). *)
+
+exception Sgx_error of string
+(** An SGX instruction was used against its architectural preconditions;
+    indicates a simulator-usage bug, not an attack outcome. *)
+
+let sgx_errorf fmt = Format.kasprintf (fun s -> raise (Sgx_error s)) fmt

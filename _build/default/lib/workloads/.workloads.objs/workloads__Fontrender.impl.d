@@ -1,0 +1,1 @@
+lib/workloads/fontrender.ml: Array Int64 List Metrics Sgx Vm

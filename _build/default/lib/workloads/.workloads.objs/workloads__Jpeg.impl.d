@@ -1,0 +1,1 @@
+lib/workloads/jpeg.ml: Array List Metrics Sgx Vm

@@ -1,0 +1,1 @@
+lib/workloads/spellcheck.ml: Array List Metrics Uthash Vm

@@ -1,0 +1,1 @@
+lib/workloads/spellcheck.mli: Metrics Vm

@@ -1,0 +1,1 @@
+lib/workloads/uthash.ml: Array List Metrics Sgx Vm

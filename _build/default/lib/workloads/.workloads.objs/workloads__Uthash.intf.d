@@ -1,0 +1,1 @@
+lib/workloads/uthash.mli: Metrics Vm

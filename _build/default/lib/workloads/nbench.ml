@@ -1,0 +1,53 @@
+type app = {
+  nb_name : string;
+  nb_ws_pages : int;
+  nb_hot_pages : int;
+  nb_cold_fraction : float;
+  nb_compute_per_access : int;
+}
+
+(* Datasets all fit in the EPC (nbench is compute-bound; §7 runs it
+   without paging).  Working sets and localities are set so TLB-fill
+   rates span the realistic range: pointer-chasing sorts and the
+   assignment solver walk more pages than the tiny-state crypto and
+   compression kernels. *)
+let apps =
+  [
+    { nb_name = "numeric sort"; nb_ws_pages = 8_000; nb_hot_pages = 800;
+      nb_cold_fraction = 0.0031; nb_compute_per_access = 18 };
+    { nb_name = "string sort"; nb_ws_pages = 10_000; nb_hot_pages = 800;
+      nb_cold_fraction = 0.0046; nb_compute_per_access = 20 };
+    { nb_name = "bitfield"; nb_ws_pages = 2_000; nb_hot_pages = 800;
+      nb_cold_fraction = 0.0004; nb_compute_per_access = 12 };
+    { nb_name = "fp emulation"; nb_ws_pages = 1_000; nb_hot_pages = 400;
+      nb_cold_fraction = 0.00058; nb_compute_per_access = 35 };
+    { nb_name = "fourier"; nb_ws_pages = 200; nb_hot_pages = 100;
+      nb_cold_fraction = 0.00055; nb_compute_per_access = 55 };
+    { nb_name = "assignment"; nb_ws_pages = 6_000; nb_hot_pages = 800;
+      nb_cold_fraction = 0.0025; nb_compute_per_access = 22 };
+    { nb_name = "idea"; nb_ws_pages = 300; nb_hot_pages = 120;
+      nb_cold_fraction = 0.00032; nb_compute_per_access = 30 };
+    { nb_name = "huffman"; nb_ws_pages = 900; nb_hot_pages = 300;
+      nb_cold_fraction = 0.00068; nb_compute_per_access = 24 };
+    { nb_name = "neural net"; nb_ws_pages = 3_000; nb_hot_pages = 800;
+      nb_cold_fraction = 0.0014; nb_compute_per_access = 45 };
+    { nb_name = "lu decomposition"; nb_ws_pages = 4_000; nb_hot_pages = 800;
+      nb_cold_fraction = 0.0015; nb_compute_per_access = 28 };
+  ]
+
+let page = Sgx.Types.page_bytes
+
+let run app ~vm ~rng ~accesses =
+  for _ = 1 to accesses do
+    let p =
+      if Metrics.Rng.float rng < app.nb_cold_fraction then
+        Metrics.Rng.int rng app.nb_ws_pages
+      else Metrics.Rng.int rng app.nb_hot_pages
+    in
+    vm.Vm.read ((p * page) + (64 * Metrics.Rng.int rng 64));
+    vm.Vm.compute app.nb_compute_per_access
+  done
+
+let analytic_slowdown ~check_cycles ~fills ~base_cycles =
+  if base_cycles = 0 then 0.0
+  else float_of_int (check_cycles * fills) /. float_of_int base_cycles

@@ -1,0 +1,30 @@
+(** The nbench (BYTEmark) suite used for the architecture-overhead
+    analysis (§7, "Overhead from SGX architecture changes").
+
+    Autarky's only always-on cost is the accessed/dirty validity check on
+    every TLB fill, which the paper bounds pessimistically at 10 cycles
+    per fill.  Each nbench application is modelled by its working set,
+    locality and compute density; the experiment runs the kernel, counts
+    actual TLB fills in the MMU model, and reports the analytic slowdown
+    [check_cycles * fills / total_cycles] — reproducing the paper's
+    geometric-mean 0.07% (versus T-SGX's reported 1.5×). *)
+
+type app = {
+  nb_name : string;
+  nb_ws_pages : int;       (** dataset size in pages (all fit in EPC) *)
+  nb_hot_pages : int;
+  nb_cold_fraction : float;
+  nb_compute_per_access : int;
+}
+
+val apps : app list
+(** The ten BYTEmark applications: numeric sort, string sort, bitfield,
+    fp emulation, fourier, assignment, idea, huffman, neural net, lu
+    decomposition. *)
+
+val run : app -> vm:Vm.t -> rng:Metrics.Rng.t -> accesses:int -> unit
+(** Execute the kernel's access pattern. *)
+
+val analytic_slowdown : check_cycles:int -> fills:int -> base_cycles:int -> float
+(** The paper's overhead formula: extra cycles for the per-fill check
+    over the baseline cycle count (e.g. 0.0007 = 0.07%). *)

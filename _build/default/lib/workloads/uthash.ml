@@ -1,0 +1,126 @@
+type node = { key : int; addr : int; mutable next : int }
+
+type t = {
+  vm : Vm.t;
+  alloc : bytes:int -> int;
+  item_bytes : int;
+  nodes : node array;
+  mutable heads : int array;   (* bucket -> node index, -1 empty *)
+  mutable heads_base : int;    (* vaddr of the bucket-head array *)
+  mutable bucket_count : int;
+}
+
+(* Multiplicative hash; deterministic so that experiments and attacks
+   agree on bucket placement. *)
+let hash key buckets = key * 0x9E3779B1 land max_int mod buckets
+
+let head_addr t b = t.heads_base + (8 * b)
+
+let insert t idx =
+  let node = t.nodes.(idx) in
+  let b = hash node.key t.bucket_count in
+  t.vm.Vm.read (head_addr t b);
+  Vm.write_object t.vm ~addr:node.addr ~bytes:t.item_bytes;
+  node.next <- t.heads.(b);
+  t.heads.(b) <- idx;
+  t.vm.Vm.write (head_addr t b)
+
+let create ~vm ~alloc ~rng ~n_items ~item_bytes ~target_chain =
+  assert (n_items > 0 && item_bytes > 0 && target_chain > 0);
+  let bucket_count = max 1 (n_items / target_chain) in
+  let heads_base = alloc ~bytes:(8 * bucket_count) in
+  let nodes =
+    Array.init n_items (fun key -> { key; addr = alloc ~bytes:item_bytes; next = -1 })
+  in
+  let t =
+    {
+      vm;
+      alloc;
+      item_bytes;
+      nodes;
+      heads = Array.make bucket_count (-1);
+      heads_base;
+      bucket_count;
+    }
+  in
+  (* Insert in random order, as a populated table would have grown. *)
+  let order = Array.init n_items (fun i -> i) in
+  Metrics.Rng.shuffle rng order;
+  Array.iter (fun idx -> insert t idx) order;
+  t
+
+let n_items t = Array.length t.nodes
+let n_buckets t = t.bucket_count
+
+let mean_chain_length t =
+  let used = Array.fold_left (fun acc h -> if h >= 0 then acc + 1 else acc) 0 t.heads in
+  if used = 0 then 0.0 else float_of_int (n_items t) /. float_of_int used
+
+let find t ~key =
+  let b = hash key t.bucket_count in
+  t.vm.Vm.read (head_addr t b);
+  let rec walk idx =
+    if idx < 0 then false
+    else begin
+      let node = t.nodes.(idx) in
+      (* Key comparison touches the node's first cache line. *)
+      t.vm.Vm.read node.addr;
+      t.vm.Vm.compute 8;
+      if node.key = key then begin
+        Vm.read_object t.vm ~addr:node.addr ~bytes:t.item_bytes;
+        true
+      end
+      else walk node.next
+    end
+  in
+  walk t.heads.(b)
+
+let item_page t ~key = t.nodes.(key).addr / Sgx.Types.page_bytes
+
+let probe_pages t ~key =
+  let b = hash key t.bucket_count in
+  let acc = ref [ head_addr t b / Sgx.Types.page_bytes ] in
+  let rec walk idx =
+    if idx >= 0 then begin
+      let node = t.nodes.(idx) in
+      acc := (node.addr / Sgx.Types.page_bytes) :: !acc;
+      if node.key <> key then walk node.next
+      else
+        (* Full value read may spill onto the next page. *)
+        acc :=
+          ((node.addr + t.item_bytes - 1) / Sgx.Types.page_bytes) :: !acc
+    end
+  in
+  walk t.heads.(b);
+  List.sort_uniq compare !acc
+
+let rehash t =
+  let new_count = t.bucket_count * 2 in
+  let new_heads_base = t.alloc ~bytes:(8 * new_count) in
+  let new_heads = Array.make new_count (-1) in
+  t.bucket_count <- new_count;
+  t.heads_base <- new_heads_base;
+  Array.iteri
+    (fun idx node ->
+      (* Relink in place: touch the node's link field, no data movement. *)
+      t.vm.Vm.read node.addr;
+      let b = hash node.key new_count in
+      node.next <- new_heads.(b);
+      new_heads.(b) <- idx;
+      t.vm.Vm.write node.addr;
+      t.vm.Vm.write (new_heads_base + (8 * b)))
+    t.nodes;
+  t.heads <- new_heads
+
+let item_pages t =
+  Array.to_list t.nodes
+  |> List.concat_map (fun n ->
+         let first = n.addr / Sgx.Types.page_bytes in
+         let last = (n.addr + t.item_bytes - 1) / Sgx.Types.page_bytes in
+         List.init (last - first + 1) (fun i -> first + i))
+  |> List.sort_uniq compare
+
+let head_pages t =
+  let first = t.heads_base / Sgx.Types.page_bytes in
+  let last = (t.heads_base + (8 * t.bucket_count) - 1) / Sgx.Types.page_bytes in
+  List.init (last - first + 1) (fun i -> first + i)

@@ -1,0 +1,62 @@
+type t = {
+  read : int -> unit;
+  write : int -> unit;
+  exec : int -> unit;
+  compute : int -> unit;
+  progress : unit -> unit;
+}
+
+let cache_line = 64
+
+let read_object t ~addr ~bytes =
+  let lines = (bytes + cache_line - 1) / cache_line in
+  for i = 0 to lines - 1 do
+    t.read (addr + (i * cache_line))
+  done
+
+let write_object t ~addr ~bytes =
+  let lines = (bytes + cache_line - 1) / cache_line in
+  for i = 0 to lines - 1 do
+    t.write (addr + (i * cache_line))
+  done
+
+let null =
+  {
+    read = ignore;
+    write = ignore;
+    exec = ignore;
+    compute = ignore;
+    progress = (fun () -> ());
+  }
+
+type event = Read of int | Write of int | Exec of int
+
+type recorder = {
+  mutable events_rev : event list;
+  mutable progress_count : int;
+  mutable cycles : int;
+}
+
+let recording () =
+  let r = { events_rev = []; progress_count = 0; cycles = 0 } in
+  let vm =
+    {
+      read = (fun a -> r.events_rev <- Read a :: r.events_rev);
+      write = (fun a -> r.events_rev <- Write a :: r.events_rev);
+      exec = (fun a -> r.events_rev <- Exec a :: r.events_rev);
+      compute = (fun c -> r.cycles <- r.cycles + c);
+      progress = (fun () -> r.progress_count <- r.progress_count + 1);
+    }
+  in
+  (vm, r)
+
+let events r = List.rev r.events_rev
+
+let pages_touched r =
+  List.map
+    (function Read a | Write a | Exec a -> a / Sgx.Types.page_bytes)
+    (events r)
+  |> List.sort_uniq compare
+
+let progress_events r = r.progress_count
+let computed_cycles r = r.cycles

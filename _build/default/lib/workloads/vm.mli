@@ -1,0 +1,43 @@
+(** The memory interface workloads program against.
+
+    Workloads are real data-structure code that computes byte addresses;
+    they perform their loads, stores and instruction fetches through this
+    record of closures.  The harness wires the closures to the CPU model
+    directly (plain or self-paging enclave), or through the ORAM
+    instrumentation — the workload code is identical in every scheme,
+    mirroring the paper's unmodified-binary story. *)
+
+type t = {
+  read : int -> unit;        (** data load at a byte address *)
+  write : int -> unit;       (** data store *)
+  exec : int -> unit;        (** instruction fetch *)
+  compute : int -> unit;     (** pure compute: charge this many cycles *)
+  progress : unit -> unit;   (** forward-progress event (rate limiting) *)
+}
+
+val cache_line : int
+(** 64: object reads/writes are performed per cache line. *)
+
+val read_object : t -> addr:int -> bytes:int -> unit
+(** Touch every cache line of an object. *)
+
+val write_object : t -> addr:int -> bytes:int -> unit
+
+val null : t
+(** No-op VM for exercising workload logic alone. *)
+
+type event = Read of int | Write of int | Exec of int
+
+type recorder
+
+val recording : unit -> t * recorder
+(** A VM that records every access (tests and oracles). *)
+
+val events : recorder -> event list
+(** Oldest first. *)
+
+val pages_touched : recorder -> int list
+(** Distinct virtual pages touched, ascending. *)
+
+val progress_events : recorder -> int
+val computed_cycles : recorder -> int

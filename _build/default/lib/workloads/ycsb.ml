@@ -1,0 +1,67 @@
+type op =
+  | Get of int
+  | Put of int
+  | Insert of int
+  | Scan of int * int
+  | Read_modify_write of int
+
+type t = {
+  read_fraction : float;
+  update_fraction : float;
+  insert_fraction : float;
+  scan_fraction : float;
+  rmw_fraction : float;
+  dist : Metrics.Dist.t;
+  rng : Metrics.Rng.t;
+  mutable next_insert : int;
+}
+
+let create ?(read_fraction = 1.0) ?(update_fraction = 0.0) ?(insert_fraction = 0.0)
+    ?(scan_fraction = 0.0) ?(rmw_fraction = 0.0) ~dist ~rng () =
+  let total =
+    read_fraction +. update_fraction +. insert_fraction +. scan_fraction
+    +. rmw_fraction
+  in
+  if abs_float (total -. 1.0) > 1e-9 then
+    invalid_arg "Ycsb.create: operation fractions must sum to 1";
+  {
+    read_fraction;
+    update_fraction;
+    insert_fraction;
+    scan_fraction;
+    rmw_fraction;
+    dist;
+    rng;
+    next_insert = Metrics.Dist.size dist;
+  }
+
+let workload_a ~dist ~rng =
+  create ~read_fraction:0.5 ~update_fraction:0.5 ~dist ~rng ()
+
+let workload_b ~dist ~rng =
+  create ~read_fraction:0.95 ~update_fraction:0.05 ~dist ~rng ()
+
+let workload_c ~dist ~rng = create ~dist ~rng ()
+
+let workload_f ~dist ~rng =
+  create ~read_fraction:0.5 ~rmw_fraction:0.5 ~dist ~rng ()
+
+let next t =
+  let u = Metrics.Rng.float t.rng in
+  let key () = Metrics.Dist.sample t.dist t.rng in
+  if u < t.read_fraction then Get (key ())
+  else if u < t.read_fraction +. t.update_fraction then Put (key ())
+  else if u < t.read_fraction +. t.update_fraction +. t.insert_fraction then begin
+    let k = t.next_insert in
+    t.next_insert <- k + 1;
+    Insert k
+  end
+  else if
+    u < t.read_fraction +. t.update_fraction +. t.insert_fraction +. t.scan_fraction
+  then Scan (key (), 1 + Metrics.Rng.int t.rng 100)
+  else Read_modify_write (key ())
+
+let describe t =
+  Printf.sprintf "reads=%.0f%% updates=%.0f%% dist=%s" (100. *. t.read_fraction)
+    (100. *. t.update_fraction)
+    (Metrics.Dist.describe t.dist)

@@ -1,0 +1,36 @@
+(** YCSB workload generator (Cooper et al., SoCC'10).
+
+    The paper's Memcached experiment (§7.3, Fig. 8) uses the predefined
+    workload C (100% GETs) with uniform, Zipfian(0.99) and hotspot
+    request distributions; the other standard workload mixes are provided
+    for completeness. *)
+
+type op =
+  | Get of int          (** read record *)
+  | Put of int          (** update record *)
+  | Insert of int       (** insert new record *)
+  | Scan of int * int   (** start record, length *)
+  | Read_modify_write of int
+
+type t
+
+val create :
+  ?read_fraction:float -> ?update_fraction:float -> ?insert_fraction:float ->
+  ?scan_fraction:float -> ?rmw_fraction:float -> dist:Metrics.Dist.t ->
+  rng:Metrics.Rng.t -> unit -> t
+(** Fractions must sum to 1 (checked). *)
+
+val workload_a : dist:Metrics.Dist.t -> rng:Metrics.Rng.t -> t
+(** 50% reads / 50% updates. *)
+
+val workload_b : dist:Metrics.Dist.t -> rng:Metrics.Rng.t -> t
+(** 95% reads / 5% updates. *)
+
+val workload_c : dist:Metrics.Dist.t -> rng:Metrics.Rng.t -> t
+(** 100% reads — the paper's configuration. *)
+
+val workload_f : dist:Metrics.Dist.t -> rng:Metrics.Rng.t -> t
+(** 50% reads / 50% read-modify-writes. *)
+
+val next : t -> op
+val describe : t -> string

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Cpu Enclave Harness Instructions Machine Page_data Page_table Sgx Types

@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest Attacks Enclave Harness Helpers List Metrics Sgx Types Workloads

@@ -1,0 +1,1 @@
+test/test_clusters.ml: Alcotest Array Autarky Hashtbl List QCheck2 QCheck_alcotest

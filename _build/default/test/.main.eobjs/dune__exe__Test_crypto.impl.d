@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Bytes Char Hashtbl Int64 List Metrics QCheck2 QCheck_alcotest Sim_crypto String

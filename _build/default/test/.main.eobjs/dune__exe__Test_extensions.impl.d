@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Autarky Cpu Enclave Epc Harness Helpers List Machine Metrics Page_data Sgx Sim_os Types Workloads

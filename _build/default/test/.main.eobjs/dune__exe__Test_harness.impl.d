@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Autarky Harness Helpers List Metrics Sgx Workloads

@@ -1,0 +1,1 @@
+test/test_hypervisor.ml: Alcotest Cpu Enclave Helpers Hypervisor List Page_data Sgx Sim_os Stack Types

@@ -1,0 +1,1 @@
+test/test_instrument.ml: Alcotest Array Attacks Autarky Cpu Harness Helpers List Metrics Oram Sgx Types

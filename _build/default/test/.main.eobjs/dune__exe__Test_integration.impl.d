@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Attacks Autarky Cpu Harness Helpers List Machine Metrics Sgx Sim_os Types Workloads

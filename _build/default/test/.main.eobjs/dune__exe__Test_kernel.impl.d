@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Bytes Cpu Enclave Helpers Instructions List Machine Metrics Page_data Page_table Sgx Sim_crypto Sim_os Stack Types

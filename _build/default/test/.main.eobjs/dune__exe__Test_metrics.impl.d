@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Bytes Int64 List Metrics QCheck2 QCheck_alcotest String

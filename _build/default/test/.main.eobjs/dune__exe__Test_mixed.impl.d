@@ -1,0 +1,1 @@
+test/test_mixed.ml: Alcotest Autarky Cpu Format Harness Helpers List Metrics Oram Page_data Sgx Sim_os Types Workloads

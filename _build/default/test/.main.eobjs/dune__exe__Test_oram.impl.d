@@ -1,0 +1,1 @@
+test/test_oram.ml: Alcotest Array Int64 List Metrics Oram QCheck2 QCheck_alcotest Sgx

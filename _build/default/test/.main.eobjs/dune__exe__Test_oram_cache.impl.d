@@ -1,0 +1,1 @@
+test/test_oram_cache.ml: Alcotest Array Autarky Cpu Harness Helpers List Metrics Oram Sgx Types Workloads

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Autarky Enclave Harness Instructions List Metrics Option Page_data Sgx Sim_os String Types Workloads

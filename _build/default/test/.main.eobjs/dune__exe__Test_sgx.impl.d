@@ -1,0 +1,1 @@
+test/test_sgx.ml: Alcotest Bytes Char Cpu Enclave Epc Helpers Instructions List Machine Metrics Mmu Option Page_data Page_table Sgx Stack Tlb Types

@@ -1,0 +1,1 @@
+test/test_statemachine.ml: Array Autarky Cpu Enclave Epc Harness Helpers List QCheck2 QCheck_alcotest Sgx Sim_os Types

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array List Metrics Sgx Workloads

@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "autarky"
+    [
+      ("metrics", Test_metrics.suite);
+      ("crypto", Test_crypto.suite);
+      ("sgx", Test_sgx.suite);
+      ("kernel", Test_kernel.suite);
+      ("oram", Test_oram.suite);
+      ("clusters", Test_clusters.suite);
+      ("runtime", Test_runtime.suite);
+      ("allocator", Test_allocator.suite);
+      ("attacks", Test_attacks.suite);
+      ("oram-cache", Test_oram_cache.suite);
+      ("workloads", Test_workloads.suite);
+      ("integration", Test_integration.suite);
+      ("harness", Test_harness.suite);
+      ("extensions", Test_extensions.suite);
+      ("hypervisor", Test_hypervisor.suite);
+      ("state-machine", Test_statemachine.suite);
+      ("instrument", Test_instrument.suite);
+      ("mixed", Test_mixed.suite);
+    ]

@@ -1,0 +1,208 @@
+(* Tests for page clusters: the Table 1 API, shared pages, the
+   transitive fetch set, single-cluster eviction safety, and the
+   residence invariant as a QCheck property over random cluster graphs
+   and fetch/evict sequences. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let sorted = List.sort compare
+
+let test_init_release () =
+  let t = Autarky.Clusters.create () in
+  let ids = Autarky.Clusters.ay_init_clusters t ~n:4 ~size:8 in
+  checki "four clusters" 4 (List.length ids);
+  checki "registry count" 4 (Autarky.Clusters.cluster_count t);
+  List.iter (fun id -> checki "capacity" 8 (Autarky.Clusters.capacity_of t id)) ids;
+  Autarky.Clusters.ay_release_clusters t;
+  checki "released" 0 (Autarky.Clusters.cluster_count t)
+
+let test_add_remove_page () =
+  let t = Autarky.Clusters.create () in
+  let c = Autarky.Clusters.new_cluster t () in
+  Autarky.Clusters.ay_add_page t ~cluster:c 100;
+  Autarky.Clusters.ay_add_page t ~cluster:c 101;
+  checkb "registered" true (Autarky.Clusters.registered t 100);
+  checkb "ids" true (Autarky.Clusters.ay_get_cluster_ids t 100 = [ c ]);
+  checki "size" 2 (Autarky.Clusters.size_of t c);
+  Autarky.Clusters.ay_remove_page t ~cluster:c 100;
+  checkb "deregistered" false (Autarky.Clusters.registered t 100);
+  checki "size after remove" 1 (Autarky.Clusters.size_of t c)
+
+let test_add_idempotent () =
+  let t = Autarky.Clusters.create () in
+  let c = Autarky.Clusters.new_cluster t () in
+  Autarky.Clusters.ay_add_page t ~cluster:c 5;
+  Autarky.Clusters.ay_add_page t ~cluster:c 5;
+  checki "no duplicates" 1 (Autarky.Clusters.size_of t c)
+
+let test_shared_pages () =
+  let t = Autarky.Clusters.create () in
+  let a = Autarky.Clusters.new_cluster t () in
+  let b = Autarky.Clusters.new_cluster t () in
+  Autarky.Clusters.ay_add_page t ~cluster:a 1;
+  Autarky.Clusters.ay_add_page t ~cluster:a 2;
+  Autarky.Clusters.ay_add_page t ~cluster:b 2;
+  Autarky.Clusters.ay_add_page t ~cluster:b 3;
+  checkb "page 2 in both" true
+    (sorted (Autarky.Clusters.ay_get_cluster_ids t 2) = sorted [ a; b ])
+
+let test_fetch_set_simple () =
+  let t = Autarky.Clusters.create () in
+  let c = Autarky.Clusters.new_cluster t () in
+  List.iter (Autarky.Clusters.ay_add_page t ~cluster:c) [ 10; 11; 12 ];
+  checkb "whole cluster" true (Autarky.Clusters.fetch_set t 11 = [ 10; 11; 12 ])
+
+let test_fetch_set_unregistered () =
+  let t = Autarky.Clusters.create () in
+  checkb "singleton" true (Autarky.Clusters.fetch_set t 42 = [ 42 ])
+
+let test_fetch_set_transitive () =
+  (* a: {1,2}  b: {2,3}  c: {3,4}  d: {9}
+     fetch of 1 must pull the whole chain a-b-c but not d. *)
+  let t = Autarky.Clusters.create () in
+  let a = Autarky.Clusters.new_cluster t () in
+  let b = Autarky.Clusters.new_cluster t () in
+  let c = Autarky.Clusters.new_cluster t () in
+  let d = Autarky.Clusters.new_cluster t () in
+  List.iter (Autarky.Clusters.ay_add_page t ~cluster:a) [ 1; 2 ];
+  List.iter (Autarky.Clusters.ay_add_page t ~cluster:b) [ 2; 3 ];
+  List.iter (Autarky.Clusters.ay_add_page t ~cluster:c) [ 3; 4 ];
+  Autarky.Clusters.ay_add_page t ~cluster:d 9;
+  checkb "transitive chain" true (Autarky.Clusters.fetch_set t 1 = [ 1; 2; 3; 4 ]);
+  checkb "disjoint excluded" true
+    (not (List.mem 9 (Autarky.Clusters.fetch_set t 1)))
+
+let test_evict_set () =
+  let t = Autarky.Clusters.create () in
+  let a = Autarky.Clusters.new_cluster t () in
+  List.iter (Autarky.Clusters.ay_add_page t ~cluster:a) [ 7; 8 ];
+  checkb "one cluster" true (Autarky.Clusters.evict_set t 7 = [ 7; 8 ]);
+  checkb "unregistered singleton" true (Autarky.Clusters.evict_set t 99 = [ 99 ])
+
+let test_detach () =
+  let t = Autarky.Clusters.create () in
+  let a = Autarky.Clusters.new_cluster t () in
+  let b = Autarky.Clusters.new_cluster t () in
+  Autarky.Clusters.ay_add_page t ~cluster:a 1;
+  Autarky.Clusters.ay_add_page t ~cluster:b 1;
+  Autarky.Clusters.ay_add_page t ~cluster:a 2;
+  Autarky.Clusters.detach t 1;
+  checkb "deregistered everywhere" false (Autarky.Clusters.registered t 1);
+  checkb "a keeps other pages" true (Autarky.Clusters.pages_of t a = [ 2 ]);
+  checki "b emptied" 0 (Autarky.Clusters.size_of t b);
+  (* Detaching breaks the transitive link a-b through page 1. *)
+  checkb "no more sharing" true (Autarky.Clusters.fetch_set t 2 = [ 2 ])
+
+let test_merge () =
+  let t = Autarky.Clusters.create () in
+  let a = Autarky.Clusters.new_cluster t () in
+  let b = Autarky.Clusters.new_cluster t () in
+  List.iter (Autarky.Clusters.ay_add_page t ~cluster:a) [ 1; 2 ];
+  List.iter (Autarky.Clusters.ay_add_page t ~cluster:b) [ 3; 4 ];
+  Autarky.Clusters.merge t ~into:a ~from:b;
+  checkb "merged members" true (sorted (Autarky.Clusters.pages_of t a) = [ 1; 2; 3; 4 ]);
+  checki "b gone" 1 (Autarky.Clusters.cluster_count t);
+  checkb "page 3 remapped" true (Autarky.Clusters.ay_get_cluster_ids t 3 = [ a ])
+
+let test_invariant_checker () =
+  let t = Autarky.Clusters.create () in
+  let a = Autarky.Clusters.new_cluster t () in
+  List.iter (Autarky.Clusters.ay_add_page t ~cluster:a) [ 1; 2 ];
+  (* All resident: holds. *)
+  checkb "all resident" true (Autarky.Clusters.invariant_holds t ~resident:(fun _ -> true));
+  (* All non-resident: holds (the cluster is fully out). *)
+  checkb "all out" true (Autarky.Clusters.invariant_holds t ~resident:(fun _ -> false));
+  (* Page 1 out, page 2 in: a is partially resident — violated. *)
+  checkb "partial violates" false
+    (Autarky.Clusters.invariant_holds t ~resident:(fun p -> p = 2))
+
+(* The central property (§5.2.3): starting from all-non-resident,
+   any sequence of
+     - "fault" steps that fetch the transitive fetch_set of a page, and
+     - "evict" steps that evict one whole cluster (evict_set)
+   preserves:  every non-resident registered page belongs to at least
+   one cluster that is entirely non-resident. *)
+let invariant_property (n_pages, n_clusters, memberships, ops) =
+  let t = Autarky.Clusters.create () in
+  let ids = Array.init n_clusters (fun _ -> Autarky.Clusters.new_cluster t ()) in
+  List.iter
+    (fun (page, cluster) ->
+      Autarky.Clusters.ay_add_page t ~cluster:ids.(cluster mod n_clusters)
+        (page mod n_pages))
+    memberships;
+  let resident = Hashtbl.create 64 in
+  let is_resident p = Hashtbl.mem resident p in
+  List.for_all
+    (fun (fault, page) ->
+      let page = page mod n_pages in
+      if fault then
+        List.iter (fun p -> Hashtbl.replace resident p ())
+          (Autarky.Clusters.fetch_set t page)
+      else
+        List.iter (fun p -> Hashtbl.remove resident p)
+          (Autarky.Clusters.evict_set t page);
+      Autarky.Clusters.invariant_holds t ~resident:is_resident)
+    ops
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck2.Test.make
+        ~name:"cluster residence invariant under random fetch/evict" ~count:200
+        QCheck2.Gen.(
+          quad (int_range 4 30) (int_range 1 8)
+            (list_size (int_range 1 60) (pair (int_range 0 29) (int_range 0 7)))
+            (list_size (int_range 1 40) (pair bool (int_range 0 29))))
+        invariant_property;
+      QCheck2.Test.make ~name:"fetch_set contains the faulting page" ~count:200
+        QCheck2.Gen.(
+          pair
+            (list_size (int_range 1 40) (pair (int_range 0 19) (int_range 0 4)))
+            (int_range 0 19))
+        (fun (memberships, page) ->
+          let t = Autarky.Clusters.create () in
+          let ids = Array.init 5 (fun _ -> Autarky.Clusters.new_cluster t ()) in
+          List.iter
+            (fun (p, c) -> Autarky.Clusters.ay_add_page t ~cluster:ids.(c) p)
+            memberships;
+          List.mem page (Autarky.Clusters.fetch_set t page));
+      QCheck2.Test.make ~name:"fetch_set is closed under sharing" ~count:200
+        QCheck2.Gen.(
+          pair
+            (list_size (int_range 1 50) (pair (int_range 0 19) (int_range 0 5)))
+            (int_range 0 19))
+        (fun (memberships, page) ->
+          let t = Autarky.Clusters.create () in
+          let ids = Array.init 6 (fun _ -> Autarky.Clusters.new_cluster t ()) in
+          List.iter
+            (fun (p, c) -> Autarky.Clusters.ay_add_page t ~cluster:ids.(c) p)
+            memberships;
+          let fs = Autarky.Clusters.fetch_set t page in
+          (* For every page in the set, every cluster it belongs to has
+             all members in the set. *)
+          List.for_all
+            (fun p ->
+              List.for_all
+                (fun c ->
+                  List.for_all (fun q -> List.mem q fs)
+                    (Autarky.Clusters.pages_of t c))
+                (Autarky.Clusters.ay_get_cluster_ids t p))
+            fs);
+    ]
+
+let suite =
+  [
+    ("init/release", `Quick, test_init_release);
+    ("add/remove page", `Quick, test_add_remove_page);
+    ("add idempotent", `Quick, test_add_idempotent);
+    ("shared pages", `Quick, test_shared_pages);
+    ("fetch set: one cluster", `Quick, test_fetch_set_simple);
+    ("fetch set: unregistered", `Quick, test_fetch_set_unregistered);
+    ("fetch set: transitive", `Quick, test_fetch_set_transitive);
+    ("evict set", `Quick, test_evict_set);
+    ("detach", `Quick, test_detach);
+    ("merge", `Quick, test_merge);
+    ("invariant checker", `Quick, test_invariant_checker);
+  ]
+  @ qcheck_cases

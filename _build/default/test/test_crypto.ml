@@ -1,0 +1,205 @@
+(* Tests for the crypto substrate: ChaCha20, SipHash, the page sealer
+   (confidentiality / integrity / anti-replay), and the oblivious
+   primitives. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* --- ChaCha20 --------------------------------------------------------- *)
+
+let test_chacha_selftest () =
+  checkb "RFC 8439 vector" true (Sim_crypto.Chacha20.selftest ())
+
+let key = Sim_crypto.Chacha20.key_of_string "test-key"
+let nonce = Bytes.make 12 'n'
+
+let test_chacha_roundtrip () =
+  let plaintext = Bytes.of_string "attack at dawn, page 0x1000, version 42" in
+  let ct = Sim_crypto.Chacha20.xor_stream ~key ~nonce plaintext in
+  checkb "ciphertext differs" false (Bytes.equal ct plaintext);
+  let pt = Sim_crypto.Chacha20.xor_stream ~key ~nonce ct in
+  checkb "roundtrip" true (Bytes.equal pt plaintext)
+
+let test_chacha_multiblock () =
+  let plaintext = Bytes.init 1000 (fun i -> Char.chr (i land 0xFF)) in
+  let ct = Sim_crypto.Chacha20.xor_stream ~key ~nonce plaintext in
+  let pt = Sim_crypto.Chacha20.xor_stream ~key ~nonce ct in
+  checkb "1000-byte roundtrip" true (Bytes.equal pt plaintext)
+
+let test_chacha_nonce_sensitivity () =
+  let plaintext = Bytes.make 64 'x' in
+  let n2 = Bytes.make 12 'm' in
+  let c1 = Sim_crypto.Chacha20.xor_stream ~key ~nonce plaintext in
+  let c2 = Sim_crypto.Chacha20.xor_stream ~key ~nonce:n2 plaintext in
+  checkb "different nonce, different stream" false (Bytes.equal c1 c2)
+
+let test_chacha_counter_continuation () =
+  (* Encrypting with counter=1 equals skipping the first block. *)
+  let plaintext = Bytes.make 128 'p' in
+  let whole = Sim_crypto.Chacha20.xor_stream ~key ~counter:0l ~nonce plaintext in
+  let tail =
+    Sim_crypto.Chacha20.xor_stream ~key ~counter:1l ~nonce (Bytes.sub plaintext 64 64)
+  in
+  checkb "counter continuation" true (Bytes.equal (Bytes.sub whole 64 64) tail)
+
+let test_chacha_key_validation () =
+  Alcotest.check_raises "short key rejected"
+    (Invalid_argument "Chacha20.block: key must be 32 bytes") (fun () ->
+      ignore (Sim_crypto.Chacha20.block ~key:(Bytes.make 16 'k') ~counter:0l ~nonce))
+
+(* --- SipHash ---------------------------------------------------------- *)
+
+let test_siphash_selftest () =
+  checkb "reference vectors" true (Sim_crypto.Siphash.selftest ())
+
+let test_siphash_keyed () =
+  let k1 = Sim_crypto.Siphash.key_of_bytes (Bytes.make 16 'a') in
+  let k2 = Sim_crypto.Siphash.key_of_bytes (Bytes.make 16 'b') in
+  let msg = Bytes.of_string "hello" in
+  checkb "key matters" false
+    (Sim_crypto.Siphash.hash k1 msg = Sim_crypto.Siphash.hash k2 msg)
+
+let test_siphash_message_sensitivity () =
+  let k = Sim_crypto.Siphash.key_of_bytes (Bytes.make 16 'k') in
+  let h1 = Sim_crypto.Siphash.hash_string k "message one" in
+  let h2 = Sim_crypto.Siphash.hash_string k "message two" in
+  checkb "message matters" false (h1 = h2)
+
+let test_siphash_lengths () =
+  (* Hashing must be well-defined at every residue mod 8. *)
+  let k = Sim_crypto.Siphash.key_of_bytes (Bytes.init 16 Char.chr) in
+  let seen = Hashtbl.create 64 in
+  for len = 0 to 32 do
+    let h = Sim_crypto.Siphash.hash k (Bytes.make len 'z') in
+    checkb "no collision across lengths" false (Hashtbl.mem seen h);
+    Hashtbl.replace seen h ()
+  done
+
+(* --- Sealer ----------------------------------------------------------- *)
+
+let sealer = Sim_crypto.Sealer.create ~master_key:"unit-test"
+
+let test_sealer_roundtrip () =
+  let page = Bytes.of_string (String.init 64 (fun i -> Char.chr (i + 32))) in
+  let sealed = Sim_crypto.Sealer.seal sealer ~vaddr:0x1000L ~version:1L page in
+  checkb "ciphertext differs" false (Bytes.equal sealed.ciphertext page);
+  match Sim_crypto.Sealer.unseal sealer ~vaddr:0x1000L ~expected_version:1L sealed with
+  | Ok pt -> checkb "roundtrip" true (Bytes.equal pt page)
+  | Error _ -> Alcotest.fail "unseal failed"
+
+let test_sealer_detects_tamper () =
+  let page = Bytes.make 64 'd' in
+  let sealed = Sim_crypto.Sealer.seal sealer ~vaddr:0x2000L ~version:3L page in
+  let flipped = Bytes.copy sealed.ciphertext in
+  Bytes.set flipped 10 (Char.chr (Char.code (Bytes.get flipped 10) lxor 1));
+  let tampered = { sealed with Sim_crypto.Sealer.ciphertext = flipped } in
+  match Sim_crypto.Sealer.unseal sealer ~vaddr:0x2000L ~expected_version:3L tampered with
+  | Error Sim_crypto.Sealer.Mac_mismatch -> ()
+  | Ok _ -> Alcotest.fail "tampered page accepted"
+  | Error Sim_crypto.Sealer.Replayed -> Alcotest.fail "wrong error"
+
+let test_sealer_detects_replay () =
+  let v1 = Sim_crypto.Sealer.seal sealer ~vaddr:0x3000L ~version:1L (Bytes.make 64 'a') in
+  let _v2 = Sim_crypto.Sealer.seal sealer ~vaddr:0x3000L ~version:2L (Bytes.make 64 'b') in
+  (* OS replays the old sealed page when version 2 is expected. *)
+  match Sim_crypto.Sealer.unseal sealer ~vaddr:0x3000L ~expected_version:2L v1 with
+  | Error Sim_crypto.Sealer.Replayed -> ()
+  | Ok _ -> Alcotest.fail "replayed page accepted"
+  | Error Sim_crypto.Sealer.Mac_mismatch -> Alcotest.fail "wrong error"
+
+let test_sealer_detects_relocation () =
+  (* OS presents a blob sealed for a different address. *)
+  let sealed = Sim_crypto.Sealer.seal sealer ~vaddr:0x4000L ~version:1L (Bytes.make 64 'r') in
+  match Sim_crypto.Sealer.unseal sealer ~vaddr:0x5000L ~expected_version:1L sealed with
+  | Error Sim_crypto.Sealer.Mac_mismatch -> ()
+  | Ok _ -> Alcotest.fail "relocated page accepted"
+  | Error _ -> Alcotest.fail "wrong error"
+
+let test_sealer_key_separation () =
+  let other = Sim_crypto.Sealer.create ~master_key:"other" in
+  let sealed = Sim_crypto.Sealer.seal sealer ~vaddr:0x6000L ~version:1L (Bytes.make 64 'k') in
+  match Sim_crypto.Sealer.unseal other ~vaddr:0x6000L ~expected_version:1L sealed with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "cross-key unseal succeeded"
+
+(* --- Oblivious primitives --------------------------------------------- *)
+
+let test_oblivious_select () =
+  checki "true branch" 7 (Sim_crypto.Oblivious.select true 7 9);
+  checki "false branch" 9 (Sim_crypto.Oblivious.select false 7 9);
+  Alcotest.(check int64) "select64 true" 5L (Sim_crypto.Oblivious.select64 true 5L 6L);
+  Alcotest.(check int64) "select64 false" 6L (Sim_crypto.Oblivious.select64 false 5L 6L)
+
+let test_oblivious_scan_read () =
+  let arr = [| 10; 20; 30; 40 |] in
+  checki "scan read" 30 (Sim_crypto.Oblivious.scan_read arr 2);
+  Alcotest.check_raises "bounds" (Invalid_argument "Oblivious.scan_read")
+    (fun () -> ignore (Sim_crypto.Oblivious.scan_read arr 4))
+
+let test_oblivious_scan_write () =
+  let arr = [| 1; 2; 3 |] in
+  Sim_crypto.Oblivious.scan_write arr 1 99;
+  checkb "written" true (arr = [| 1; 99; 3 |])
+
+let test_oblivious_scan_cost () =
+  let m = Metrics.Cost_model.default in
+  let c = Sim_crypto.Oblivious.scan_cost m ~entries:100 ~entry_bytes:8 in
+  checki "linear in bytes" (int_of_float (m.oblivious_scan_cpb *. 800.0)) c
+
+(* --- QCheck properties ------------------------------------------------ *)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck2.Test.make ~name:"chacha roundtrip on random data" ~count:100
+        QCheck2.Gen.(string_size (int_range 0 300))
+        (fun s ->
+          let pt = Bytes.of_string s in
+          let ct = Sim_crypto.Chacha20.xor_stream ~key ~nonce pt in
+          Bytes.equal (Sim_crypto.Chacha20.xor_stream ~key ~nonce ct) pt);
+      QCheck2.Test.make ~name:"sealer roundtrip on random pages" ~count:100
+        QCheck2.Gen.(pair (string_size (int_range 1 200)) (int_range 0 1_000_000))
+        (fun (s, v) ->
+          let page = Bytes.of_string s in
+          let version = Int64.of_int v in
+          let sealed = Sim_crypto.Sealer.seal sealer ~vaddr:0x7000L ~version page in
+          match
+            Sim_crypto.Sealer.unseal sealer ~vaddr:0x7000L ~expected_version:version
+              sealed
+          with
+          | Ok pt -> Bytes.equal pt page
+          | Error _ -> false);
+      QCheck2.Test.make ~name:"oblivious select equals if-then-else" ~count:500
+        QCheck2.Gen.(triple bool int int)
+        (fun (c, a, b) -> Sim_crypto.Oblivious.select c a b = if c then a else b);
+      QCheck2.Test.make ~name:"scan_read equals direct indexing" ~count:300
+        QCheck2.Gen.(list_size (int_range 1 50) int)
+        (fun xs ->
+          let arr = Array.of_list xs in
+          let i = Array.length arr / 2 in
+          Sim_crypto.Oblivious.scan_read arr i = arr.(i));
+    ]
+
+let suite =
+  [
+    ("chacha selftest", `Quick, test_chacha_selftest);
+    ("chacha roundtrip", `Quick, test_chacha_roundtrip);
+    ("chacha multiblock", `Quick, test_chacha_multiblock);
+    ("chacha nonce sensitivity", `Quick, test_chacha_nonce_sensitivity);
+    ("chacha counter continuation", `Quick, test_chacha_counter_continuation);
+    ("chacha key validation", `Quick, test_chacha_key_validation);
+    ("siphash selftest", `Quick, test_siphash_selftest);
+    ("siphash keyed", `Quick, test_siphash_keyed);
+    ("siphash message sensitivity", `Quick, test_siphash_message_sensitivity);
+    ("siphash all lengths", `Quick, test_siphash_lengths);
+    ("sealer roundtrip", `Quick, test_sealer_roundtrip);
+    ("sealer detects tamper", `Quick, test_sealer_detects_tamper);
+    ("sealer detects replay", `Quick, test_sealer_detects_replay);
+    ("sealer detects relocation", `Quick, test_sealer_detects_relocation);
+    ("sealer key separation", `Quick, test_sealer_key_separation);
+    ("oblivious select", `Quick, test_oblivious_select);
+    ("oblivious scan read", `Quick, test_oblivious_scan_read);
+    ("oblivious scan write", `Quick, test_oblivious_scan_write);
+    ("oblivious scan cost", `Quick, test_oblivious_scan_cost);
+  ]
+  @ qcheck_cases

@@ -1,0 +1,111 @@
+(* Tests for the harness: system wiring, address-space carving,
+   measurement, and the report formatters. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_reserve_carving () =
+  let sys = Helpers.autarky_system ~enclave_pages:64 () in
+  let a = Harness.System.reserve sys ~pages:10 in
+  let b = Harness.System.reserve sys ~pages:10 in
+  checki "contiguous" (a + 10) b;
+  checkb "within enclave" true
+    (Sgx.Enclave.contains_vpage (Harness.System.enclave sys) a);
+  checkb "exhaustion detected" true
+    (try ignore (Harness.System.reserve sys ~pages:1_000); false
+     with Invalid_argument _ -> true)
+
+let test_allocator_region () =
+  let sys = Helpers.autarky_system () in
+  let heap = Harness.System.allocator sys ~pages:32 ~cluster_pages:4 in
+  let p = Autarky.Allocator.alloc_page heap in
+  checkb "allocates inside enclave" true
+    (Sgx.Enclave.contains_vpage (Harness.System.enclave sys) p);
+  checkb "clusters registry shared" true
+    (Autarky.Clusters.registered (Harness.System.clusters_of heap) p)
+
+let test_vm_routes_to_cpu () =
+  let sys = Helpers.autarky_system () in
+  let b = Harness.System.reserve sys ~pages:1 in
+  let vm = Harness.System.vm sys () in
+  vm.Workloads.Vm.read (b * Sgx.Types.page_bytes);
+  checkb "tlb miss recorded" true
+    (Metrics.Counters.get (Harness.System.counters sys) "mmu.tlb_miss" > 0)
+
+let test_vm_instrument_override () =
+  let sys = Helpers.autarky_system () in
+  let hits = ref 0 in
+  let vm = Harness.System.vm sys ~instrument:(fun _ _ -> incr hits) () in
+  vm.Workloads.Vm.read 0;
+  vm.Workloads.Vm.write 0;
+  vm.Workloads.Vm.exec 0;
+  checki "all three routed" 3 !hits
+
+let test_vm_compute_charges () =
+  let sys = Helpers.autarky_system () in
+  let vm = Harness.System.vm sys () in
+  let before = Metrics.Clock.now (Harness.System.clock sys) in
+  vm.Workloads.Vm.compute 12345;
+  checki "charged" (before + 12345) (Metrics.Clock.now (Harness.System.clock sys))
+
+let test_pin_makes_resident () =
+  let sys = Helpers.autarky_system () in
+  let _burn = Harness.System.reserve sys ~pages:128 in
+  let b = Harness.System.reserve sys ~pages:8 in
+  let pages = List.init 8 (fun i -> b + i) in
+  Harness.System.pin sys pages;
+  let pager = Autarky.Runtime.pager (Harness.System.runtime_exn sys) in
+  checkb "all resident" true (List.for_all (Autarky.Pager.resident pager) pages)
+
+let test_measure_resets_and_counts () =
+  let sys = Helpers.autarky_system () in
+  let b = Harness.System.reserve sys ~pages:1 in
+  let vm = Harness.System.vm sys () in
+  (* Pollute the clock, then measure a known phase. *)
+  Sgx.Machine.charge (Harness.System.machine sys) 1_000_000;
+  let r =
+    Harness.Measure.run sys (fun () -> vm.Workloads.Vm.compute 5_000)
+  in
+  let cm = Metrics.Cost_model.default in
+  checki "clock was reset (eenter+eexit+compute)" (cm.eenter + cm.eexit + 5_000)
+    r.Harness.Measure.cycles;
+  checki "no faults" 0 r.Harness.Measure.page_faults;
+  checkb "seconds positive" true (r.Harness.Measure.seconds > 0.0);
+  ignore b
+
+let test_measure_throughput_math () =
+  let r =
+    { Harness.Measure.cycles = 3_900_000_000; seconds = 1.0; page_faults = 50;
+      tlb_misses = 0; pages_fetched = 0; pages_evicted = 0; counters = [] }
+  in
+  checkb "ops/s" true (Harness.Measure.throughput r ~ops:100 = 100.0);
+  checkb "faults/s" true (Harness.Measure.fault_rate r = 50.0)
+
+let test_legacy_system_has_no_runtime () =
+  let sys = Helpers.legacy_system () in
+  checkb "no runtime" true (Harness.System.runtime sys = None);
+  checkb "runtime_exn raises" true
+    (try ignore (Harness.System.runtime_exn sys); false
+     with Invalid_argument _ -> true)
+
+let test_report_formatters () =
+  Alcotest.(check string) "pct" "6.30%" (Harness.Report.pct 0.063);
+  Alcotest.(check string) "si k" "12.4k" (Harness.Report.si 12_400.0);
+  Alcotest.(check string) "si M" "3.50M" (Harness.Report.si 3_500_000.0);
+  Alcotest.(check string) "si G" "2.00G" (Harness.Report.si 2e9);
+  Alcotest.(check string) "si small" "42.0" (Harness.Report.si 42.0);
+  Alcotest.(check string) "f2" "3.14" (Harness.Report.f2 3.14159)
+
+let suite =
+  [
+    ("reserve carving", `Quick, test_reserve_carving);
+    ("allocator region", `Quick, test_allocator_region);
+    ("vm routes to cpu", `Quick, test_vm_routes_to_cpu);
+    ("vm instrument override", `Quick, test_vm_instrument_override);
+    ("vm compute charges", `Quick, test_vm_compute_charges);
+    ("pin makes resident", `Quick, test_pin_makes_resident);
+    ("measure resets and counts", `Quick, test_measure_resets_and_counts);
+    ("measure throughput math", `Quick, test_measure_throughput_math);
+    ("legacy system has no runtime", `Quick, test_legacy_system_has_no_runtime);
+    ("report formatters", `Quick, test_report_formatters);
+  ]

@@ -1,0 +1,144 @@
+(* Tests for the §5.4 virtualization layer: static vEPC partitioning,
+   cross-VM ballooning through enlightened guests, and the impossibility
+   of transparent hypervisor demand paging over self-paging enclaves. *)
+
+open Sgx
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let page = Types.page_bytes
+
+let boot_guest_enclave hv vm ~self_paging ~epc_limit ~pages =
+  let proc =
+    Hypervisor.Vmm.create_guest_proc hv vm ~size_pages:pages ~self_paging
+      ~epc_limit
+  in
+  let guest = Hypervisor.Vmm.guest_os vm in
+  for i = 0 to pages - 1 do
+    Sim_os.Kernel.add_initial_page guest proc
+      ~vpage:((Sim_os.Kernel.enclave proc).base_vpage + i)
+      ~data:(Page_data.create ()) ~perms:Types.perms_rwx
+  done;
+  Sim_os.Kernel.finalize guest proc;
+  proc
+
+let setup () =
+  let m = Helpers.machine ~epc_frames:256 () in
+  let hv = Hypervisor.Vmm.create m in
+  (m, hv)
+
+let test_partition_accounting () =
+  let _m, hv = setup () in
+  let vm1 = Hypervisor.Vmm.create_vm hv ~name:"tenant-a" ~epc_frames:128 in
+  let _vm2 = Hypervisor.Vmm.create_vm hv ~name:"tenant-b" ~epc_frames:96 in
+  checki "free after carving" 32 (Hypervisor.Vmm.free_frames hv);
+  checki "partition" 128 (Hypervisor.Vmm.partition_frames vm1);
+  checkb "oversubscription rejected" true
+    (try ignore (Hypervisor.Vmm.create_vm hv ~name:"c" ~epc_frames:64); false
+     with Invalid_argument _ -> true)
+
+let test_guest_proc_limit_enforced () =
+  let _m, hv = setup () in
+  let vm = Hypervisor.Vmm.create_vm hv ~name:"t" ~epc_frames:100 in
+  let _p1 = Hypervisor.Vmm.create_guest_proc hv vm ~size_pages:64 ~self_paging:false ~epc_limit:60 in
+  checki "committed" 60 (Hypervisor.Vmm.committed_frames vm);
+  checkb "second proc exceeding partition rejected" true
+    (try
+       ignore
+         (Hypervisor.Vmm.create_guest_proc hv vm ~size_pages:64 ~self_paging:false
+            ~epc_limit:60);
+       false
+     with Invalid_argument _ -> true)
+
+let test_static_partitioning_runs_unmodified () =
+  (* The §5.4 claim: clouds that statically partition EPC need no
+     changes — two tenants page independently inside their slices. *)
+  let m, hv = setup () in
+  let vm1 = Hypervisor.Vmm.create_vm hv ~name:"a" ~epc_frames:128 in
+  let vm2 = Hypervisor.Vmm.create_vm hv ~name:"b" ~epc_frames:96 in
+  let p1 = boot_guest_enclave hv vm1 ~self_paging:true ~epc_limit:64 ~pages:96 in
+  let p2 = boot_guest_enclave hv vm2 ~self_paging:false ~epc_limit:64 ~pages:96 in
+  let cpu2 =
+    Cpu.create ~machine:m ~page_table:(Sim_os.Kernel.page_table p2)
+      ~enclave:(Sim_os.Kernel.enclave p2)
+      ~os:(Sim_os.Kernel.os_callbacks (Hypervisor.Vmm.guest_os vm2)) ()
+  in
+  for i = 0 to 95 do
+    Cpu.read cpu2 (Types.vaddr_of_vpage ((Sim_os.Kernel.enclave p2).base_vpage + i))
+  done;
+  checkb "b pages within its slice" true (Sim_os.Kernel.resident_pages p2 <= 64);
+  checkb "a unaffected" true (Sim_os.Kernel.resident_pages p1 > 0)
+
+let test_cross_vm_ballooning () =
+  let m, hv = setup () in
+  ignore m;
+  let vm1 = Hypervisor.Vmm.create_vm hv ~name:"donor" ~epc_frames:128 in
+  let vm2 = Hypervisor.Vmm.create_vm hv ~name:"needy" ~epc_frames:64 in
+  let p1 = boot_guest_enclave hv vm1 ~self_paging:false ~epc_limit:100 ~pages:100 in
+  ignore p1;
+  let moved = Hypervisor.Vmm.rebalance hv ~from_vm:vm1 ~to_vm:vm2 ~frames:32 in
+  checki "32 frames moved" 32 moved;
+  checki "donor shrank" 96 (Hypervisor.Vmm.partition_frames vm1);
+  checki "needy grew" 96 (Hypervisor.Vmm.partition_frames vm2);
+  checkb "donor proc squeezed" true (Sim_os.Kernel.epc_limit p1 <= 68);
+  checkb "donor residency within new limit" true
+    (Sim_os.Kernel.resident_pages p1 <= Sim_os.Kernel.epc_limit p1)
+
+let test_ballooning_respects_enclave_refusal () =
+  (* A self-paging enclave under the pinned policy refuses to deflate:
+     the hypervisor only gets what OS-managed eviction can provide. *)
+  let m, hv = setup () in
+  let vm1 = Hypervisor.Vmm.create_vm hv ~name:"donor" ~epc_frames:128 in
+  let vm2 = Hypervisor.Vmm.create_vm hv ~name:"needy" ~epc_frames:64 in
+  let p1 = boot_guest_enclave hv vm1 ~self_paging:true ~epc_limit:100 ~pages:100 in
+  let guest = Hypervisor.Vmm.guest_os vm1 in
+  (* The enclave's runtime pins everything (pinned policy, refuses
+     balloons) — wire a refusing handler like the Autarky runtime's. *)
+  Sim_os.Kernel.set_balloon_handler guest p1 (fun _ -> 0);
+  ignore (Sim_os.Kernel.ay_set_enclave_managed guest p1
+            (List.init 100 (fun i -> (Sim_os.Kernel.enclave p1).base_vpage + i)));
+  let moved = Hypervisor.Vmm.rebalance hv ~from_vm:vm1 ~to_vm:vm2 ~frames:64 in
+  checkb "only partial reclaim" true (moved < 64);
+  ignore m
+
+let test_transparent_hypervisor_paging_detected () =
+  (* §5.4: transparent demand paging by the hypervisor cannot be
+     supported — the self-paging enclave detects it like any attack. *)
+  let m, hv = setup () in
+  let vm = Hypervisor.Vmm.create_vm hv ~name:"t" ~epc_frames:128 in
+  let proc = boot_guest_enclave hv vm ~self_paging:true ~epc_limit:64 ~pages:32 in
+  let guest = Hypervisor.Vmm.guest_os vm in
+  let enclave = Sim_os.Kernel.enclave proc in
+  (* Minimal trusted runtime: mark everything managed, detect attacks. *)
+  let managed = List.init 32 (fun i -> enclave.base_vpage + i) in
+  ignore (Sim_os.Kernel.ay_set_enclave_managed guest proc managed);
+  enclave.entry <-
+    (fun e ->
+      let sf = Stack.top e.Enclave.tcs.ssa in
+      ignore sf;
+      Enclave.terminate e ~reason:"hypervisor-induced fault detected");
+  let cpu =
+    Cpu.create ~machine:m ~page_table:(Sim_os.Kernel.page_table proc) ~enclave
+      ~os:(Sim_os.Kernel.os_callbacks guest) ()
+  in
+  Cpu.read cpu (Types.vaddr_of_vpage enclave.base_vpage);
+  (* The hypervisor transparently evicts an enclave-managed page... *)
+  Hypervisor.Vmm.hypervisor_evict hv vm proc enclave.base_vpage;
+  (* ...and the next access is detected. *)
+  checkb "detected" true
+    (try Cpu.read cpu (Types.vaddr_of_vpage enclave.base_vpage); false
+     with Types.Enclave_terminated _ -> true)
+
+let suite =
+  [
+    ("partition accounting", `Quick, test_partition_accounting);
+    ("guest proc limits enforced", `Quick, test_guest_proc_limit_enforced);
+    ("static partitioning runs unmodified", `Quick,
+     test_static_partitioning_runs_unmodified);
+    ("cross-VM ballooning", `Quick, test_cross_vm_ballooning);
+    ("ballooning respects enclave refusal", `Quick,
+     test_ballooning_respects_enclave_refusal);
+    ("transparent hypervisor paging detected", `Quick,
+     test_transparent_hypervisor_paging_detected);
+  ]

@@ -1,0 +1,122 @@
+(* Tests for the instrumentation router and the leakage calculator. *)
+
+open Sgx
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let page = Types.page_bytes
+
+(* --- Instrument -------------------------------------------------------- *)
+
+let test_routing () =
+  let fallback_hits = ref 0 and a_hits = ref 0 and b_hits = ref 0 in
+  let t = Autarky.Instrument.create ~fallback:(fun _ _ -> incr fallback_hits) in
+  Autarky.Instrument.annotate t ~base_vpage:100 ~pages:10 (fun _ _ -> incr a_hits);
+  Autarky.Instrument.annotate t ~base_vpage:200 ~pages:5 (fun _ _ -> incr b_hits);
+  let access = Autarky.Instrument.accessor t in
+  access (100 * page) Types.Read;
+  access ((109 * page) + 4095) Types.Write;
+  access (204 * page) Types.Read;
+  access (110 * page) Types.Read;   (* one past range a *)
+  access (50 * page) Types.Exec;
+  checki "range a" 2 !a_hits;
+  checki "range b" 1 !b_hits;
+  checki "fallback" 2 !fallback_hits
+
+let test_overlap_rejected () =
+  let t = Autarky.Instrument.create ~fallback:(fun _ _ -> ()) in
+  Autarky.Instrument.annotate t ~base_vpage:10 ~pages:10 (fun _ _ -> ());
+  checkb "overlap rejected" true
+    (try Autarky.Instrument.annotate t ~base_vpage:15 ~pages:2 (fun _ _ -> ()); false
+     with Invalid_argument _ -> true);
+  checkb "adjacent ok" true
+    (try Autarky.Instrument.annotate t ~base_vpage:20 ~pages:2 (fun _ _ -> ()); true
+     with Invalid_argument _ -> false);
+  checkb "ranges listed sorted" true
+    (Autarky.Instrument.ranges t = [ (10, 10); (20, 2) ])
+
+let test_many_ranges_dispatch () =
+  let hits = Array.make 50 0 in
+  let t = Autarky.Instrument.create ~fallback:(fun _ _ -> ()) in
+  for i = 0 to 49 do
+    Autarky.Instrument.annotate t ~base_vpage:(i * 100) ~pages:10 (fun _ _ ->
+        hits.(i) <- hits.(i) + 1)
+  done;
+  let access = Autarky.Instrument.accessor t in
+  for i = 0 to 49 do
+    access (((i * 100) + 5) * page) Types.Read
+  done;
+  checkb "every range hit exactly once" true (Array.for_all (( = ) 1) hits)
+
+let test_annotate_oram_routes () =
+  let sys = Helpers.autarky_system ~budget:64 () in
+  let data_base = Harness.System.reserve sys ~pages:16 in
+  let cache_base = Harness.System.reserve sys ~pages:4 in
+  Harness.System.pin sys (List.init 4 (fun i -> cache_base + i));
+  let oram =
+    Oram.Path_oram.create
+      ~clock:(Harness.System.clock sys)
+      ~rng:(Metrics.Rng.create ~seed:1L) ~n_blocks:16 ()
+  in
+  let cache =
+    Autarky.Oram_cache.create ~machine:(Harness.System.machine sys)
+      ~enclave:(Harness.System.enclave sys)
+      ~touch:(fun a k -> Cpu.access (Harness.System.cpu sys) a k)
+      ~oram ~data_base_vpage:data_base ~n_pages:16 ~cache_base_vpage:cache_base
+      ~capacity_pages:4 ()
+  in
+  let t =
+    Autarky.Instrument.create ~fallback:(fun a k ->
+        Cpu.access (Harness.System.cpu sys) a k)
+  in
+  Autarky.Instrument.annotate_oram t ~cache;
+  checkb "region registered" true
+    (Autarky.Instrument.ranges t = [ (data_base, 16) ]);
+  (Autarky.Instrument.accessor t) (data_base * page) Types.Read;
+  checki "went through the cache" 1 (Autarky.Oram_cache.misses cache)
+
+(* --- Leakage ------------------------------------------------------------ *)
+
+let test_formula () =
+  let p =
+    Attacks.Leakage.cluster_guess_probability ~item_bytes:256 ~cluster_pages:10
+      ~page_bytes:4096
+  in
+  (* The paper's in-text number: 0.62% for 10 pages. *)
+  checkb "paper's 0.62%" true (abs_float (p -. 0.00625) < 1e-9)
+
+let test_score () =
+  let s = Attacks.Leakage.create_score () in
+  Attacks.Leakage.observe s ~candidates:4 ~accessed_in_set:true ~total_items:100;
+  Attacks.Leakage.observe s ~candidates:0 ~accessed_in_set:false ~total_items:100;
+  checki "two observations" 2 (Attacks.Leakage.observations s);
+  (* (1/4 + 1/100) / 2 *)
+  checkb "mean guess" true
+    (abs_float (Attacks.Leakage.guess_probability s -. 0.13) < 1e-9)
+
+let test_entropy () =
+  checkb "uniform 8 = 3 bits" true
+    (abs_float (Attacks.Leakage.uniform_entropy_bits ~n:8 -. 3.0) < 1e-9);
+  checkb "fair coin = 1 bit" true
+    (abs_float (Attacks.Leakage.entropy_bits [ 0.5; 0.5 ] -. 1.0) < 1e-9);
+  checkb "certainty = 0 bits" true
+    (Attacks.Leakage.entropy_bits [ 1.0 ] = 0.0)
+
+let test_rate_limit_bound () =
+  checkb "bound" true
+    (abs_float
+       (Attacks.Leakage.rate_limit_leak_bound ~faults:10 ~managed_pages:1024
+       -. 100.0)
+    < 1e-9)
+
+let suite =
+  [
+    ("instrument routing", `Quick, test_routing);
+    ("instrument overlap rejected", `Quick, test_overlap_rejected);
+    ("instrument many ranges", `Quick, test_many_ranges_dispatch);
+    ("instrument annotate_oram", `Quick, test_annotate_oram_routes);
+    ("leakage formula (paper 0.62%)", `Quick, test_formula);
+    ("leakage score", `Quick, test_score);
+    ("leakage entropy", `Quick, test_entropy);
+    ("leakage rate-limit bound", `Quick, test_rate_limit_bound);
+  ]

@@ -1,0 +1,308 @@
+(* End-to-end integration tests: the paper's scenarios at miniature
+   scale — published attacks against real workloads on legacy vs Autarky
+   enclaves, paging policies under EPC pressure, the microbenchmark
+   orderings behind Figure 5, and zero-overhead claims. *)
+
+open Sgx
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let page = Types.page_bytes
+
+(* --- libjpeg attack end-to-end (Table 2 / §7.3) ------------------------ *)
+
+let test_jpeg_attack_legacy_vs_autarky () =
+  let rng = Metrics.Rng.create ~seed:21L in
+  let image = Workloads.Jpeg.random_image ~rng ~blocks_w:16 ~blocks_h:8 () in
+  (* Legacy: full recovery. *)
+  let sys = Helpers.legacy_system () in
+  let vm = Harness.System.vm sys () in
+  let heap = Harness.System.allocator sys ~pages:64 ~cluster_pages:8 in
+  let alloc ~bytes = Autarky.Allocator.alloc heap ~bytes in
+  let codec = Workloads.Jpeg.create ~vm ~alloc ~blocks_w:16 ~blocks_h:8 in
+  let fast = Workloads.Jpeg.fast_idct_page codec in
+  let full = Workloads.Jpeg.full_idct_page codec in
+  let _, attack =
+    Attacks.Controlled_channel.run ~os:(Harness.System.os sys)
+      ~proc:(Harness.System.proc sys) ~monitored:[ fast; full ] (fun () ->
+        Harness.System.run_in_enclave sys (fun () ->
+            Workloads.Jpeg.decode codec ~image ()))
+  in
+  let recovered =
+    Attacks.Oracle.recover
+      ~trace:(Attacks.Controlled_channel.trace attack)
+      ~signature_of:(fun vp ->
+        if vp = fast then Some Workloads.Jpeg.Smooth
+        else if vp = full then Some Workloads.Jpeg.Detailed
+        else None)
+  in
+  let expected = Workloads.Jpeg.expected_trace codec ~image in
+  checkb "legacy leaks image" true
+    (Attacks.Oracle.accuracy ~expected ~recovered = 1.0);
+  (* Autarky: codec pinned, attack detected on first touch. *)
+  let sys = Helpers.autarky_system () in
+  let vm = Harness.System.vm sys () in
+  let heap = Harness.System.allocator sys ~pages:64 ~cluster_pages:8 in
+  let alloc ~bytes = Autarky.Allocator.alloc heap ~bytes in
+  let codec = Workloads.Jpeg.create ~vm ~alloc ~blocks_w:16 ~blocks_h:8 in
+  Harness.System.pin sys
+    (Workloads.Jpeg.code_pages codec @ Workloads.Jpeg.temp_pages codec);
+  checkb "autarky detects" true
+    (try
+       let _ =
+         Attacks.Controlled_channel.run ~os:(Harness.System.os sys)
+           ~proc:(Harness.System.proc sys)
+           ~monitored:
+             [ Workloads.Jpeg.fast_idct_page codec;
+               Workloads.Jpeg.full_idct_page codec ]
+           (fun () ->
+             Harness.System.run_in_enclave sys (fun () ->
+                 Workloads.Jpeg.decode codec ~image ()))
+       in
+       false
+     with Types.Enclave_terminated _ -> true)
+
+(* --- FreeType: pinning costs nothing (Table 2's 1x row) ---------------- *)
+
+let test_freetype_zero_overhead_when_pinned () =
+  let render_cycles ~self_paging =
+    let sys =
+      Harness.System.create ~epc_frames:256 ~epc_limit:128 ~enclave_pages:512
+        ~self_paging ~budget:96 ()
+    in
+    let vm = Harness.System.vm sys () in
+    let heap = Harness.System.allocator sys ~pages:64 ~cluster_pages:8 in
+    let alloc ~bytes = Autarky.Allocator.alloc heap ~bytes in
+    let font = Workloads.Fontrender.create ~vm ~alloc ~glyphs:64 ~code_pages:12 in
+    if self_paging then
+      Harness.System.pin sys
+        (Workloads.Fontrender.code_pages font
+        @ Workloads.Fontrender.bitmap_pages font);
+    let text = Array.init 500 (fun i -> i mod 64) in
+    let r = Harness.Measure.run sys (fun () -> Workloads.Fontrender.render font text) in
+    (r.Harness.Measure.cycles, r.Harness.Measure.page_faults)
+  in
+  let base_cycles, base_faults = render_cycles ~self_paging:false in
+  let auta_cycles, auta_faults = render_cycles ~self_paging:true in
+  checki "no faults baseline" 0 base_faults;
+  checki "no faults autarky" 0 auta_faults;
+  (* Identical fault-free execution: the only delta is the per-fill A/D
+     check, bounded well below 1%. *)
+  let overhead =
+    float_of_int (auta_cycles - base_cycles) /. float_of_int base_cycles
+  in
+  checkb "sub-1% overhead" true (overhead < 0.01)
+
+(* --- Hunspell with per-dictionary clusters ----------------------------- *)
+
+let test_spellcheck_cluster_leak_granularity () =
+  let sys =
+    Harness.System.create ~epc_frames:512 ~epc_limit:256 ~enclave_pages:2048
+      ~self_paging:true ~budget:128 ()
+  in
+  let rt = Harness.System.runtime_exn sys in
+  let vm = Harness.System.vm sys () in
+  let heap = Harness.System.allocator sys ~pages:1024 ~cluster_pages:64 in
+  let alloc ~bytes = Autarky.Allocator.alloc heap ~bytes in
+  let rng = Metrics.Rng.create ~seed:22L in
+  let dicts =
+    List.init 4 (fun i ->
+        Autarky.Allocator.close_bump_page heap;
+        Workloads.Spellcheck.load_dictionary ~vm ~alloc ~rng
+          ~name:(string_of_int i) ~n_words:400 ())
+  in
+  let clusters = Autarky.Allocator.clusters heap in
+  (* Detach every dictionary page from the automatic clustering first,
+     then build one cluster per dictionary (shared pages join both). *)
+  List.iter
+    (fun d ->
+      List.iter (Autarky.Clusters.detach clusters) (Workloads.Spellcheck.pages d))
+    dicts;
+  List.iter
+    (fun d ->
+      let c = Autarky.Clusters.new_cluster clusters () in
+      List.iter
+        (fun p -> Autarky.Clusters.ay_add_page clusters ~cluster:c p)
+        (Workloads.Spellcheck.pages d))
+    dicts;
+  List.iter (fun d -> Harness.System.manage sys (Workloads.Spellcheck.pages d)) dicts;
+  let pc = Autarky.Policy_clusters.create ~runtime:rt ~clusters in
+  Autarky.Runtime.set_policy rt (Autarky.Policy_clusters.policy pc);
+  let english = List.hd dicts in
+  Autarky.Pager.evict (Autarky.Runtime.pager rt) (Workloads.Spellcheck.pages english);
+  (* One word check faults the *whole* dictionary in at once. *)
+  let r =
+    Harness.Measure.run sys (fun () ->
+        ignore (Workloads.Spellcheck.check english ~word:7))
+  in
+  checki "exactly one fault" 1 r.Harness.Measure.page_faults;
+  let pager = Autarky.Runtime.pager rt in
+  checkb "all dictionary pages resident together" true
+    (List.for_all (Autarky.Pager.resident pager)
+       (Workloads.Spellcheck.pages english))
+
+(* --- Figure 5 orderings ------------------------------------------------- *)
+
+let paging_cycles ~mech =
+  let sys =
+    Harness.System.create ~epc_frames:256 ~epc_limit:128 ~enclave_pages:512
+      ~self_paging:true ~budget:32 ~mech ()
+  in
+  let rt = Harness.System.runtime_exn sys in
+  let pager = Autarky.Runtime.pager rt in
+  let _burn = Harness.System.reserve sys ~pages:128 in
+  let b = Harness.System.reserve sys ~pages:16 in
+  let pages = List.init 16 (fun i -> b + i) in
+  Harness.System.manage sys pages;
+  let clock = Harness.System.clock sys in
+  (* Warm cycle so the SGXv2 path measures real reload (unseal +
+     EACCEPTCOPY), not first-touch zero pages. *)
+  Autarky.Pager.fetch pager pages;
+  Autarky.Pager.evict pager pages;
+  Metrics.Clock.reset clock;
+  Autarky.Pager.fetch pager pages;
+  let fetch = Metrics.Clock.now clock in
+  Metrics.Clock.reset clock;
+  Autarky.Pager.evict pager pages;
+  let evict = Metrics.Clock.now clock in
+  (fetch / 16, evict / 16)
+
+let test_sgx2_paging_slower_than_sgx1 () =
+  let f1, e1 = paging_cycles ~mech:`Sgx1 in
+  let f2, e2 = paging_cycles ~mech:`Sgx2 in
+  checkb "sgx2 fetch costlier" true (f2 > f1);
+  checkb "sgx2 evict costlier" true (e2 > e1);
+  checkb "all positive" true (f1 > 0 && e1 > 0)
+
+let test_transition_mode_fault_costs () =
+  (* One demand-paging fault costs strictly less under the proposed ISA
+     optimizations (Table 2's three columns). *)
+  let fault_cost mode =
+    let sys =
+      Harness.System.create ~epc_frames:256 ~epc_limit:128 ~enclave_pages:512
+        ~self_paging:true ~budget:32 ~mode ()
+    in
+    let rt = Harness.System.runtime_exn sys in
+    let rl = Autarky.Policy_rate_limit.create ~runtime:rt () in
+    Autarky.Runtime.set_policy rt (Autarky.Policy_rate_limit.policy rl);
+    let _burn = Harness.System.reserve sys ~pages:128 in
+    let b = Harness.System.reserve sys ~pages:1 in
+    Harness.System.manage sys [ b ];
+    let vm = Harness.System.vm sys () in
+    let clock = Harness.System.clock sys in
+    Metrics.Clock.reset clock;
+    vm.Workloads.Vm.read (b * page);
+    Metrics.Clock.now clock
+  in
+  let full = fault_cost Machine.Full_exits in
+  let no_upcall = fault_cost Machine.No_upcall in
+  let elided = fault_cost Machine.No_upcall_no_aex in
+  checkb "no-upcall < as-measured" true (no_upcall < full);
+  checkb "elided < no-upcall" true (elided < no_upcall)
+
+(* --- Zero overhead without paging (§7 claim) ---------------------------- *)
+
+let test_zero_overhead_fault_free () =
+  let run ~self_paging =
+    let sys =
+      Harness.System.create ~epc_frames:512 ~epc_limit:256 ~enclave_pages:512
+        ~self_paging ~budget:200 ()
+    in
+    let b = Harness.System.reserve sys ~pages:64 in
+    if self_paging then Harness.System.pin sys (List.init 64 (fun i -> b + i));
+    let vm = Harness.System.vm sys () in
+    let rng = Metrics.Rng.create ~seed:30L in
+    let r =
+      Harness.Measure.run sys (fun () ->
+          for _ = 1 to 50_000 do
+            vm.Workloads.Vm.read (((b + Metrics.Rng.int rng 64) * page)
+                                  + (64 * Metrics.Rng.int rng 64));
+            vm.Workloads.Vm.compute 30
+          done)
+    in
+    (r.Harness.Measure.cycles, r.Harness.Measure.page_faults)
+  in
+  let base, bf = run ~self_paging:false in
+  let auta, af = run ~self_paging:true in
+  checki "fault free (legacy)" 0 bf;
+  checki "fault free (autarky)" 0 af;
+  let overhead = float_of_int (auta - base) /. float_of_int base in
+  (* The only cost is the 10-cycle A/D check per TLB fill. *)
+  checkb "below 0.5%" true (overhead < 0.005)
+
+(* --- Demand paging equivalence: content integrity under churn ----------- *)
+
+let test_content_integrity_under_policy_churn () =
+  let sys =
+    Harness.System.create ~epc_frames:256 ~epc_limit:128 ~enclave_pages:1024
+      ~self_paging:true ~budget:32 ()
+  in
+  let rt = Harness.System.runtime_exn sys in
+  let rl = Autarky.Policy_rate_limit.create ~runtime:rt () in
+  Autarky.Runtime.set_policy rt (Autarky.Policy_rate_limit.policy rl);
+  let _burn = Harness.System.reserve sys ~pages:128 in
+  let b = Harness.System.reserve sys ~pages:64 in
+  Harness.System.manage sys (List.init 64 (fun i -> b + i));
+  let cpu = Harness.System.cpu sys in
+  (* Stamp all 64 pages (evicting through the 32-page budget), then
+     verify every stamp survived the EWB/ELDU churn. *)
+  for i = 0 to 63 do
+    Cpu.write_stamp cpu ((b + i) * page) (7_000 + i)
+  done;
+  for i = 0 to 63 do
+    checki "stamp preserved" (7_000 + i) (Cpu.read_stamp cpu ((b + i) * page))
+  done;
+  checkb "paging actually happened" true
+    (Metrics.Counters.get (Harness.System.counters sys) "rt.pages_evicted" > 0)
+
+(* --- The demand-paging side channel is bounded by the policy ------------ *)
+
+let test_rate_limit_bounds_leak () =
+  (* An attacker-influenced workload cannot generate more observable
+     faults than the limit per progress unit. *)
+  let sys =
+    Harness.System.create ~epc_frames:256 ~epc_limit:128 ~enclave_pages:1024
+      ~self_paging:true ~budget:16 ()
+  in
+  let rt = Harness.System.runtime_exn sys in
+  let rl = Autarky.Policy_rate_limit.create ~runtime:rt ~max_faults_per_unit:8 () in
+  Autarky.Runtime.set_policy rt (Autarky.Policy_rate_limit.policy rl);
+  let _burn = Harness.System.reserve sys ~pages:128 in
+  let b = Harness.System.reserve sys ~pages:64 in
+  Harness.System.manage sys (List.init 64 (fun i -> b + i));
+  let vm =
+    Harness.System.vm sys
+      ~on_progress:(fun () -> Autarky.Policy_rate_limit.progress rl)
+      ()
+  in
+  let faults_seen = ref 0 in
+  (Sim_os.Kernel.hooks (Harness.System.os sys)).on_fault <-
+    (fun _ _ -> incr faults_seen; Sim_os.Kernel.Benign);
+  (* 8 cold touches then progress, repeatedly: always within the limit. *)
+  for unit = 0 to 7 do
+    for i = 0 to 7 do
+      vm.Workloads.Vm.read ((b + ((unit * 8) + i)) * page)
+    done;
+    vm.Workloads.Vm.progress ()
+  done;
+  checki "leak bounded by faults" 64 !faults_seen;
+  checkb "did not terminate" true true
+
+let suite =
+  [
+    ("jpeg attack: legacy leaks, autarky detects", `Quick,
+     test_jpeg_attack_legacy_vs_autarky);
+    ("freetype: pinning costs nothing", `Quick,
+     test_freetype_zero_overhead_when_pinned);
+    ("hunspell: cluster leak granularity", `Quick,
+     test_spellcheck_cluster_leak_granularity);
+    ("fig5: SGXv2 paging slower than SGXv1", `Quick,
+     test_sgx2_paging_slower_than_sgx1);
+    ("fig5/table2: transition mode fault costs", `Quick,
+     test_transition_mode_fault_costs);
+    ("zero overhead when fault-free", `Quick, test_zero_overhead_fault_free);
+    ("content integrity under policy churn", `Quick,
+     test_content_integrity_under_policy_churn);
+    ("rate limit bounds the leak", `Quick, test_rate_limit_bounds_leak);
+  ]

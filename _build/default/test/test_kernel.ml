@@ -1,0 +1,237 @@
+(* Tests for the untrusted-OS model: enclave setup, demand paging,
+   eviction policy, the Autarky system calls, fault handling for legacy
+   and self-paging enclaves, and the adversarial manipulation API. *)
+
+open Sgx
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let setup ?(self_paging = false) ?(epc_frames = 64) ?(epc_limit = 32)
+    ?(enclave_pages = 48) () =
+  let m = Helpers.machine ~epc_frames () in
+  let os = Sim_os.Kernel.create m in
+  let proc = Sim_os.Kernel.create_proc os ~size_pages:enclave_pages ~self_paging ~epc_limit in
+  for i = 0 to enclave_pages - 1 do
+    let data = Page_data.create () in
+    Page_data.fill_int data (500 + i);
+    Sim_os.Kernel.add_initial_page os proc
+      ~vpage:((Sim_os.Kernel.enclave proc).base_vpage + i)
+      ~data ~perms:Types.perms_rwx
+  done;
+  Sim_os.Kernel.finalize os proc;
+  (m, os, proc)
+
+let cpu_of m os proc =
+  Cpu.create ~machine:m ~page_table:(Sim_os.Kernel.page_table proc)
+    ~enclave:(Sim_os.Kernel.enclave proc) ~os:(Sim_os.Kernel.os_callbacks os) ()
+
+let vp proc i = (Sim_os.Kernel.enclave proc).Enclave.base_vpage + i
+let va proc i = Types.vaddr_of_vpage (vp proc i)
+
+(* --- Setup and residency --------------------------------------------- *)
+
+let test_initial_residency_respects_limit () =
+  let _m, os, proc = setup () in
+  checki "resident = limit" 32 (Sim_os.Kernel.resident_pages proc);
+  checkb "early page resident" true (Sim_os.Kernel.resident os proc (vp proc 0));
+  checkb "late page swapped" false (Sim_os.Kernel.resident os proc (vp proc 40));
+  checkb "late page has a blob" true
+    (Sim_os.Swap_store.mem (Sim_os.Kernel.swap os proc) (vp proc 40))
+
+let test_legacy_demand_paging () =
+  let m, os, proc = setup () in
+  let cpu = cpu_of m os proc in
+  (* Touch a swapped-out page: the OS pages it in transparently. *)
+  Cpu.read cpu (va proc 40);
+  checkb "page now resident" true (Sim_os.Kernel.resident os proc (vp proc 40));
+  checki "content preserved" 540 (Cpu.read_stamp cpu (va proc 40));
+  checki "one fault" 1 (Metrics.Counters.get (Machine.counters m) "cpu.page_fault")
+
+let test_legacy_eviction_under_pressure () =
+  let m, os, proc = setup () in
+  let cpu = cpu_of m os proc in
+  (* Touch every page: working set exceeds the 32-frame limit. *)
+  for i = 0 to 47 do
+    Cpu.read cpu (va proc i)
+  done;
+  checkb "limit respected" true (Sim_os.Kernel.resident_pages proc <= 32);
+  checkb "evictions happened" true
+    (Metrics.Counters.get (Machine.counters m) "os.evict" > 0);
+  (* Contents survive eviction cycles. *)
+  checki "content page 5" 505 (Cpu.read_stamp cpu (va proc 5));
+  checki "content page 45" 545 (Cpu.read_stamp cpu (va proc 45))
+
+let test_clock_second_chance () =
+  let m, os, proc = setup ~epc_limit:8 ~enclave_pages:16 () in
+  let cpu = cpu_of m os proc in
+  (* Keep page 0 hot; stream the rest: clock should favour keeping 0. *)
+  for i = 1 to 15 do
+    Cpu.read cpu (va proc 0);
+    Cpu.read cpu (va proc i)
+  done;
+  checkb "hot page still resident" true (Sim_os.Kernel.resident os proc (vp proc 0));
+  ignore m
+
+(* --- Autarky syscalls ------------------------------------------------- *)
+
+let test_set_enclave_managed_reports_residency () =
+  let _m, os, proc = setup ~self_paging:true () in
+  let statuses =
+    Sim_os.Kernel.ay_set_enclave_managed os proc [ vp proc 0; vp proc 40 ]
+  in
+  checkb "page 0 resident" true (List.assoc (vp proc 0) statuses);
+  checkb "page 40 swapped" false (List.assoc (vp proc 40) statuses)
+
+let test_fetch_evict_pages () =
+  let m, os, proc = setup ~self_paging:true () in
+  ignore (Sim_os.Kernel.ay_set_enclave_managed os proc [ vp proc 40 ]);
+  (match Sim_os.Kernel.ay_fetch_pages os proc [ vp proc 40 ] with
+  | Ok () -> ()
+  | Error `Epc_exhausted -> Alcotest.fail "fetch failed");
+  checkb "fetched" true (Sim_os.Kernel.resident os proc (vp proc 40));
+  (* PTE must carry preset A/D bits for a self-paging enclave. *)
+  (match Sim_os.Kernel.attacker_read_ad os proc (vp proc 40) with
+  | Some (a, d) -> checkb "A/D preset" true (a && d)
+  | None -> Alcotest.fail "no PTE");
+  Sim_os.Kernel.ay_evict_pages os proc [ vp proc 40 ];
+  checkb "evicted" false (Sim_os.Kernel.resident os proc (vp proc 40));
+  ignore m
+
+let test_enclave_managed_pinned () =
+  let _m, os, proc = setup ~self_paging:true ~epc_limit:8 ~enclave_pages:16 () in
+  ignore (Sim_os.Kernel.ay_set_enclave_managed os proc [ vp proc 0; vp proc 1 ]);
+  (* Force pressure: fetch many other pages as OS-managed. *)
+  for i = 8 to 15 do
+    Sim_os.Kernel.page_in_os_managed os proc (vp proc i)
+  done;
+  checkb "pinned page 0 still resident" true
+    (Sim_os.Kernel.resident os proc (vp proc 0));
+  checkb "pinned page 1 still resident" true
+    (Sim_os.Kernel.resident os proc (vp proc 1))
+
+let test_fetch_fails_when_exhausted () =
+  let _m, os, proc = setup ~self_paging:true ~epc_limit:8 ~enclave_pages:16 () in
+  (* Pin everything resident, leaving no evictable pages. *)
+  let all = List.init 8 (fun i -> vp proc i) in
+  ignore (Sim_os.Kernel.ay_set_enclave_managed os proc all);
+  match Sim_os.Kernel.ay_fetch_pages os proc [ vp proc 12 ] with
+  | Error `Epc_exhausted -> ()
+  | Ok () -> Alcotest.fail "fetch should have failed"
+
+let test_aug_remove_pages () =
+  let m, os, proc = setup ~self_paging:true () in
+  ignore (Sim_os.Kernel.ay_set_enclave_managed os proc [ vp proc 40 ]);
+  (match Sim_os.Kernel.ay_aug_pages os proc [ vp proc 40 ] with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "aug failed");
+  checkb "augmented resident" true (Sim_os.Kernel.resident os proc (vp proc 40));
+  let enclave = Sim_os.Kernel.enclave proc in
+  Instructions.eaccept m enclave ~vpage:(vp proc 40);
+  (* Trim + accept, then ask the OS to remove. *)
+  Instructions.emodt m enclave ~vpage:(vp proc 40);
+  Instructions.eaccept m enclave ~vpage:(vp proc 40);
+  Sim_os.Kernel.ay_remove_pages os proc [ vp proc 40 ];
+  checkb "removed" false (Sim_os.Kernel.resident os proc (vp proc 40))
+
+let test_blob_store_load () =
+  let _m, os, proc = setup ~self_paging:true () in
+  let sealer = Sim_crypto.Sealer.create ~master_key:"t" in
+  let sealed = Sim_crypto.Sealer.seal sealer ~vaddr:1L ~version:1L (Bytes.make 8 'x') in
+  Sim_os.Kernel.blob_store os proc (vp proc 3) sealed;
+  (match Sim_os.Kernel.blob_load os proc (vp proc 3) with
+  | Some s -> checkb "same blob" true (s.Sim_crypto.Sealer.mac = sealed.mac)
+  | None -> Alcotest.fail "blob lost");
+  checkb "load consumes" true (Sim_os.Kernel.blob_load os proc (vp proc 3) = None)
+
+let test_syscall_charges () =
+  let m, os, proc = setup ~self_paging:true () in
+  let before = Metrics.Clock.now Machine.(m.clock) in
+  ignore (Sim_os.Kernel.ay_set_enclave_managed os proc [ vp proc 0 ]);
+  let cm = Machine.model m in
+  checkb "one exitless call charged" true
+    (Metrics.Clock.now m.clock - before >= cm.exitless_call)
+
+(* --- Fault handling paths --------------------------------------------- *)
+
+let test_selfpaging_fault_forces_handler () =
+  let m, os, proc = setup ~self_paging:true () in
+  let enclave = Sim_os.Kernel.enclave proc in
+  let handler_ran = ref false in
+  enclave.entry <-
+    (fun e ->
+      handler_ran := true;
+      (* Service the miss like a runtime would: fetch the page. *)
+      let sf = Stack.top e.Enclave.tcs.ssa in
+      let faulted = Types.vpage_of_vaddr sf.Types.sf_vaddr in
+      match Sim_os.Kernel.ay_fetch_pages os proc [ faulted ] with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "fetch failed");
+  let cpu = cpu_of m os proc in
+  Cpu.read cpu (va proc 40);
+  checkb "handler ran" true !handler_ran;
+  checkb "silent resume was blocked" true
+    (Metrics.Counters.get (Machine.counters m) "os.silent_resume_blocked" > 0)
+
+let test_legacy_silent_resume_counter () =
+  let m, os, proc = setup () in
+  (Sim_os.Kernel.hooks os).on_fault <-
+    (fun p report ->
+      Sim_os.Kernel.attacker_restore os p
+        (Types.vpage_of_vaddr report.Types.fr_vaddr);
+      Sim_os.Kernel.Fixed_silently);
+  let cpu = cpu_of m os proc in
+  Sim_os.Kernel.attacker_unmap os proc (vp proc 3);
+  Cpu.read cpu (va proc 3);
+  checki "silently resumed" 1
+    (Metrics.Counters.get (Machine.counters m) "os.silent_resume")
+
+(* --- Adversarial API --------------------------------------------------- *)
+
+let test_attacker_unmap_restore () =
+  let m, os, proc = setup () in
+  let cpu = cpu_of m os proc in
+  Cpu.read cpu (va proc 2);
+  Sim_os.Kernel.attacker_unmap os proc (vp proc 2);
+  checkb "pte not present" false
+    (Page_table.present (Sim_os.Kernel.page_table proc) (vp proc 2));
+  Sim_os.Kernel.attacker_restore os proc (vp proc 2);
+  checkb "restored" true
+    (Page_table.present (Sim_os.Kernel.page_table proc) (vp proc 2))
+
+let test_attacker_ad_reading () =
+  let m, os, proc = setup () in
+  let cpu = cpu_of m os proc in
+  Sim_os.Kernel.attacker_clear_accessed os proc (vp proc 1);
+  Cpu.read cpu (va proc 1);
+  (match Sim_os.Kernel.attacker_read_ad os proc (vp proc 1) with
+  | Some (a, _) -> checkb "access observed" true a
+  | None -> Alcotest.fail "no PTE");
+  ignore m
+
+let test_attacker_evict_breaks_contract () =
+  let _m, os, proc = setup ~self_paging:true () in
+  ignore (Sim_os.Kernel.ay_set_enclave_managed os proc [ vp proc 0 ]);
+  Sim_os.Kernel.attacker_evict os proc (vp proc 0);
+  checkb "forcibly evicted" false (Sim_os.Kernel.resident os proc (vp proc 0))
+
+let suite =
+  [
+    ("initial residency respects limit", `Quick, test_initial_residency_respects_limit);
+    ("legacy demand paging", `Quick, test_legacy_demand_paging);
+    ("legacy eviction under pressure", `Quick, test_legacy_eviction_under_pressure);
+    ("clock second chance", `Quick, test_clock_second_chance);
+    ("set_enclave_managed reports residency", `Quick,
+     test_set_enclave_managed_reports_residency);
+    ("ay_fetch/evict pages", `Quick, test_fetch_evict_pages);
+    ("enclave-managed pages pinned", `Quick, test_enclave_managed_pinned);
+    ("fetch fails when exhausted", `Quick, test_fetch_fails_when_exhausted);
+    ("ay_aug/remove pages", `Quick, test_aug_remove_pages);
+    ("blob store/load", `Quick, test_blob_store_load);
+    ("syscall charges", `Quick, test_syscall_charges);
+    ("self-paging fault forces handler", `Quick, test_selfpaging_fault_forces_handler);
+    ("legacy silent resume", `Quick, test_legacy_silent_resume_counter);
+    ("attacker unmap/restore", `Quick, test_attacker_unmap_restore);
+    ("attacker A/D reading", `Quick, test_attacker_ad_reading);
+    ("attacker evict breaks contract", `Quick, test_attacker_evict_breaks_contract);
+  ]

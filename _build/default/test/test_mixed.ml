@@ -1,0 +1,152 @@
+(* Mixed-protection integration: one enclave running an ORAM-protected
+   region (through the instrumentation router) alongside a clustered
+   demand-paged region — the CoSMIX-style selective-annotation story —
+   plus small-type coverage (perms, page data, geometry helpers). *)
+
+open Sgx
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let page = Types.page_bytes
+
+let test_mixed_oram_and_clusters () =
+  let sys =
+    Harness.System.create ~epc_frames:1_024 ~epc_limit:400 ~enclave_pages:2_048
+      ~self_paging:true ~budget:128 ()
+  in
+  let rt = Harness.System.runtime_exn sys in
+  (* Region 1: ORAM-protected secret table (never demand-pages). *)
+  let secret_pages = 64 in
+  let secret_base = Harness.System.reserve sys ~pages:secret_pages in
+  let cache_pages = 16 in
+  let cache_base = Harness.System.reserve sys ~pages:cache_pages in
+  Harness.System.pin sys (List.init cache_pages (fun i -> cache_base + i));
+  let oram =
+    Oram.Path_oram.create
+      ~clock:(Harness.System.clock sys)
+      ~rng:(Metrics.Rng.create ~seed:2L) ~n_blocks:secret_pages ()
+  in
+  let cache =
+    Autarky.Oram_cache.create ~machine:(Harness.System.machine sys)
+      ~enclave:(Harness.System.enclave sys)
+      ~touch:(fun a k -> Cpu.access (Harness.System.cpu sys) a k)
+      ~oram ~data_base_vpage:secret_base ~n_pages:secret_pages
+      ~cache_base_vpage:cache_base ~capacity_pages:cache_pages ()
+  in
+  (* Region 2: clustered working data beyond the resident prefix. *)
+  let _burn = Harness.System.reserve sys ~pages:400 in
+  let work_pages = 64 in
+  let work_base = Harness.System.reserve sys ~pages:work_pages in
+  let work = List.init work_pages (fun i -> work_base + i) in
+  Harness.System.manage sys work;
+  let clusters = Autarky.Clusters.create () in
+  List.iteri
+    (fun i p ->
+      if i mod 8 = 0 then ignore (Autarky.Clusters.new_cluster clusters ());
+      Autarky.Clusters.ay_add_page clusters ~cluster:(i / 8) p)
+    work;
+  let pc = Autarky.Policy_clusters.create ~runtime:rt ~clusters in
+  Autarky.Runtime.set_policy rt (Autarky.Policy_clusters.policy pc);
+  (* The router sends the secret region through ORAM, the rest direct
+     (where the cluster policy handles faults). *)
+  let router =
+    Autarky.Instrument.create ~fallback:(fun a k ->
+        Cpu.access (Harness.System.cpu sys) a k)
+  in
+  Autarky.Instrument.annotate_oram router ~cache;
+  let access = Autarky.Instrument.accessor router in
+  let rng = Metrics.Rng.create ~seed:3L in
+  for _ = 1 to 500 do
+    access ((secret_base + Metrics.Rng.int rng secret_pages) * page) Types.Read;
+    access ((work_base + Metrics.Rng.int rng work_pages) * page) Types.Read
+  done;
+  (* Both protections were active: ORAM saw misses, clusters saw fetches. *)
+  checkb "oram active" true (Autarky.Oram_cache.misses cache > 0);
+  checkb "clusters active" true (Autarky.Policy_clusters.cluster_fetches pc > 0);
+  (* The secret region generated no page faults of its own: the OS never
+     saw a single secret-region address. *)
+  let pager = Autarky.Runtime.pager rt in
+  checkb "no secret page ever demand-paged" true
+    (List.for_all
+       (fun i -> not (Autarky.Pager.resident pager (secret_base + i)))
+       (List.init secret_pages (fun i -> i)));
+  checkb "cluster invariant held throughout" true
+    (Autarky.Clusters.invariant_holds clusters
+       ~resident:(Autarky.Pager.resident pager))
+
+let test_mixed_attack_on_each_region () =
+  (* The attacker gains nothing on either region: secret region accesses
+     are invisible (pinned cache), and unmapping a clustered page is
+     detected. *)
+  let sys =
+    Harness.System.create ~epc_frames:512 ~epc_limit:256 ~enclave_pages:1_024
+      ~self_paging:true ~budget:96 ()
+  in
+  let b = Harness.System.reserve sys ~pages:8 in
+  Harness.System.pin sys (List.init 8 (fun i -> b + i));
+  let vm = Harness.System.vm sys () in
+  Sim_os.Kernel.attacker_unmap (Harness.System.os sys) (Harness.System.proc sys) b;
+  checkb "attack on pinned region detected" true
+    (try vm.Workloads.Vm.read (b * page); false
+     with Types.Enclave_terminated _ -> true)
+
+(* --- Small-type coverage -------------------------------------------------- *)
+
+let test_perms_helpers () =
+  checkb "rw allows write" true (Types.perms_allow Types.perms_rw Types.Write);
+  checkb "rw denies exec" false (Types.perms_allow Types.perms_rw Types.Exec);
+  checkb "rx allows exec" true (Types.perms_allow Types.perms_rx Types.Exec);
+  checkb "ro subset of rw" true (Types.perms_subset Types.perms_ro Types.perms_rw);
+  checkb "rw not subset of ro" false (Types.perms_subset Types.perms_rw Types.perms_ro);
+  checkb "self subset" true (Types.perms_subset Types.perms_rwx Types.perms_rwx)
+
+let test_page_geometry () =
+  checki "page size" 4096 Types.page_bytes;
+  checki "vpage of addr" 3 (Types.vpage_of_vaddr ((3 * 4096) + 123));
+  checki "vaddr of page" (3 * 4096) (Types.vaddr_of_vpage 3)
+
+let test_page_data_stamps () =
+  let d = Page_data.create () in
+  checki "fresh zero" 0 (Page_data.read_int d);
+  Page_data.fill_int d 123_456_789;
+  checki "roundtrip" 123_456_789 (Page_data.read_int d);
+  let c = Page_data.copy d in
+  Page_data.fill_int d 1;
+  checki "copy independent" 123_456_789 (Page_data.read_int c);
+  checkb "equality" false (Page_data.equal c d)
+
+let test_fault_cause_printing () =
+  let s c = Format.asprintf "%a" Types.pp_fault_cause c in
+  checkb "distinct strings" true
+    (List.length
+       (List.sort_uniq compare
+          [ s Types.Not_present; s (Types.Permission Types.Read);
+            s (Types.Permission Types.Write); s (Types.Permission Types.Exec);
+            s Types.Epcm_mismatch; s Types.Epcm_pending; s Types.Ad_clear;
+            s Types.Non_epc_mapping ])
+    = 8)
+
+let test_kernel_reclaim_for_shrink () =
+  let m = Helpers.machine ~epc_frames:128 () in
+  let os = Sim_os.Kernel.create m in
+  let proc = Sim_os.Kernel.create_proc os ~size_pages:64 ~self_paging:false ~epc_limit:64 in
+  for i = 0 to 63 do
+    Sim_os.Kernel.add_initial_page os proc
+      ~vpage:((Sim_os.Kernel.enclave proc).base_vpage + i)
+      ~data:(Page_data.create ()) ~perms:Types.perms_rwx
+  done;
+  Sim_os.Kernel.finalize os proc;
+  checki "all resident" 64 (Sim_os.Kernel.resident_pages proc);
+  Sim_os.Kernel.reclaim_for_shrink os proc ~target:20;
+  checki "shrunk to target" 20 (Sim_os.Kernel.resident_pages proc)
+
+let suite =
+  [
+    ("mixed ORAM + clusters in one enclave", `Quick, test_mixed_oram_and_clusters);
+    ("mixed: attacks on each region", `Quick, test_mixed_attack_on_each_region);
+    ("perms helpers", `Quick, test_perms_helpers);
+    ("page geometry", `Quick, test_page_geometry);
+    ("page data stamps", `Quick, test_page_data_stamps);
+    ("fault cause printing", `Quick, test_fault_cause_printing);
+    ("kernel reclaim_for_shrink", `Quick, test_kernel_reclaim_for_shrink);
+  ]

@@ -1,0 +1,114 @@
+(* Model-based property tests: drive the self-paging system with random
+   operation sequences and check global invariants after every step.
+
+   Invariants:
+   - the pager's resident count never exceeds its budget after make_room;
+   - pager residence tracking agrees with the OS's EPC ground truth for
+     enclave-managed pages;
+   - the kernel's resident_count equals the number of EPC frames bound to
+     the enclave;
+   - EPC free-frame accounting stays consistent;
+   - page contents survive arbitrary fetch/evict/balloon churn. *)
+
+open Sgx
+
+(* Operations the random programs are built from. *)
+type op =
+  | Touch of int          (* read page i through the CPU (faults allowed) *)
+  | Stamp of int * int    (* write a value to page i *)
+  | Evict_batch of int    (* runtime evicts up to n FIFO victims *)
+  | Balloon of int        (* OS memory-pressure upcall for n pages *)
+  | Progress
+
+let gen_op =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun i -> Touch (abs i mod 48)) int;
+        map2 (fun i v -> Stamp (abs i mod 48, abs v mod 10_000)) int int;
+        map (fun n -> Evict_batch (1 + (abs n mod 8))) int;
+        map (fun n -> Balloon (1 + (abs n mod 24))) int;
+        return Progress;
+      ])
+
+let run_program ops =
+  let sys = Helpers.autarky_system ~budget:32 () in
+  let rt = Harness.System.runtime_exn sys in
+  let rl = Autarky.Policy_rate_limit.create ~runtime:rt ~evict_batch:4 () in
+  Autarky.Runtime.set_policy rt (Autarky.Policy_rate_limit.policy rl);
+  let _burn = Harness.System.reserve sys ~pages:128 in
+  let b = Harness.System.reserve sys ~pages:48 in
+  let pages = Array.init 48 (fun i -> b + i) in
+  Harness.System.manage sys (Array.to_list pages);
+  let cpu = Harness.System.cpu sys in
+  let pager = Autarky.Runtime.pager rt in
+  let os = Harness.System.os sys and proc = Harness.System.proc sys in
+  let machine = Harness.System.machine sys in
+  let shadow = Array.make 48 0 in
+  let invariants () =
+    (* 1. budget respected *)
+    Autarky.Pager.resident_count pager <= Autarky.Pager.budget pager
+    (* 2. pager tracking agrees with EPC ground truth *)
+    && Array.for_all
+         (fun vp ->
+           Autarky.Pager.resident pager vp = Sim_os.Kernel.resident os proc vp)
+         pages
+    (* 3. kernel resident_count equals bound frames *)
+    && Sim_os.Kernel.resident_pages proc
+       = List.length
+           (Epc.frames_of_enclave machine.epc
+              ~enclave_id:(Harness.System.enclave sys).id)
+    (* 4. EPC accounting: free + bound-anywhere = total *)
+    && Epc.free_frames machine.epc <= Epc.total_frames machine.epc
+  in
+  let apply = function
+    | Touch i -> Cpu.read cpu (pages.(i) * Types.page_bytes)
+    | Stamp (i, v) ->
+      Cpu.write_stamp cpu (pages.(i) * Types.page_bytes) v;
+      shadow.(i) <- v
+    | Evict_batch n ->
+      Autarky.Pager.evict pager (Autarky.Pager.oldest_residents pager n)
+    | Balloon n -> ignore (Sim_os.Kernel.request_balloon os proc ~pages:n)
+    | Progress -> Autarky.Policy_rate_limit.progress rl
+  in
+  let ok =
+    List.for_all
+      (fun op ->
+        apply op;
+        invariants ())
+      ops
+  in
+  (* Final content check: stamps survived all churn. *)
+  let contents_ok =
+    Array.for_all
+      (fun i -> Cpu.read_stamp cpu (pages.(i) * Types.page_bytes) = shadow.(i))
+      (Array.init 48 (fun i -> i))
+  in
+  ok && contents_ok
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck2.Test.make ~name:"self-paging invariants under random programs"
+        ~count:40
+        QCheck2.Gen.(list_size (int_range 1 120) gen_op)
+        run_program;
+      QCheck2.Test.make ~name:"legacy OS paging invariants under random touches"
+        ~count:40
+        QCheck2.Gen.(list_size (int_range 1 150) (int_range 0 63))
+        (fun touches ->
+          let sys = Helpers.legacy_system ~epc_limit:32 ~enclave_pages:64 () in
+          let b = (Harness.System.enclave sys).Enclave.base_vpage in
+          let cpu = Harness.System.cpu sys in
+          let proc = Harness.System.proc sys in
+          let machine = Harness.System.machine sys in
+          List.for_all
+            (fun i ->
+              Cpu.read cpu ((b + i) * Types.page_bytes);
+              Sim_os.Kernel.resident_pages proc <= 32
+              && Sim_os.Kernel.resident_pages proc
+                 = List.length
+                     (Epc.frames_of_enclave machine.epc
+                        ~enclave_id:(Harness.System.enclave sys).id))
+            touches);
+    ]
