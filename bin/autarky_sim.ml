@@ -2,12 +2,14 @@
 
      autarky_sim costs                      print the cycle-cost model
      autarky_sim run [options]              run a workload under a scheme
+     autarky_sim trace [options]            run a workload and export its event trace
      autarky_sim attack [options]           mount the controlled channel
      autarky_sim kernels                    list the Fig. 7 applications
 
    Examples:
      autarky_sim run --workload kvstore --scheme clusters --cluster-pages 10
      autarky_sim run --workload kernel:canneal --scheme rate-limit
+     autarky_sim trace --workload kvstore --scheme clusters --out t.jsonl --digest
      autarky_sim attack --workload jpeg --autarky
 *)
 
@@ -79,23 +81,35 @@ type workload_instance = {
   wi_unit : string;
 }
 
-let build_system ~scheme ~epc_limit ~cluster_pages =
+type built = {
+  b_sys : Harness.System.t;
+  b_op : int -> unit;
+  b_unit : string;
+}
+
+let build_system ~scheme ~epc_limit ~cluster_pages ~trace ~on_system =
   let self_paging = scheme <> "baseline" in
   let enclave_pages = 8 * epc_limit in
   let sys =
-    Harness.System.create ~epc_frames:(epc_limit + 1_024) ~epc_limit
+    Harness.System.create ~trace ~epc_frames:(epc_limit + 1_024) ~epc_limit
       ~enclave_pages ~self_paging ~budget:(max 64 (epc_limit - 256)) ()
   in
+  on_system sys;
   let heap_pages = 4 * epc_limit in
   let heap = Harness.System.allocator sys ~pages:heap_pages ~cluster_pages in
   (sys, heap, heap_pages)
 
-let run_cmd =
-  let doc = "Run a workload under a protection scheme and report stats." in
-  let run workload scheme cluster_pages epc_mb ops seed =
+(* One simulated platform + policy wiring + workload, shared by the
+   [run] and [trace] subcommands.  [on_system] runs as soon as the
+   platform exists (before any policy or workload construction) so the
+   trace subcommand can attach sinks that see the whole stream. *)
+let build_workload ?(trace = false) ?(on_system = fun _ -> ()) ~workload ~scheme
+    ~cluster_pages ~epc_mb ~seed () =
     let epc_limit = epc_mb * 1_048_576 / page in
     let rng = Metrics.Rng.create ~seed:(Int64.of_int seed) in
-    let sys, heap, heap_pages = build_system ~scheme ~epc_limit ~cluster_pages in
+    let sys, heap, heap_pages =
+      build_system ~scheme ~epc_limit ~cluster_pages ~trace ~on_system
+    in
     let alloc ~bytes = Autarky.Allocator.alloc heap ~bytes in
     (* Policy/instrumentation wiring per scheme. *)
     let progress_hook = ref (fun () -> ()) in
@@ -204,15 +218,22 @@ let run_cmd =
       | _ -> failwith (Printf.sprintf "unknown workload %S" workload)
     in
     !finish ();
+    { b_sys = sys; b_op = wi.wi_op; b_unit = wi.wi_unit }
+
+let run_cmd =
+  let doc = "Run a workload under a protection scheme and report stats." in
+  let run workload scheme cluster_pages epc_mb ops seed =
+    let b = build_workload ~workload ~scheme ~cluster_pages ~epc_mb ~seed () in
+    let sys = b.b_sys in
     let r =
       Harness.Measure.run sys (fun () ->
           for i = 1 to ops do
-            wi.wi_op i
+            b.b_op i
           done)
     in
     Printf.printf "workload   : %s under %s (EPC %d MiB)\n" workload scheme epc_mb;
     Printf.printf "ops        : %d %s in %.3f ms simulated (%.0f/s)\n" ops
-      wi.wi_unit
+      b.b_unit
       (1000.0 *. r.Harness.Measure.seconds)
       (Harness.Measure.throughput r ~ops);
     Printf.printf "faults     : %d (%.0f/s), fetched %d, evicted %d pages\n"
@@ -224,6 +245,97 @@ let run_cmd =
     Term.(
       const run $ workload_arg $ scheme_arg $ cluster_pages_arg $ epc_mb_arg
       $ ops_arg $ seed_arg)
+
+(* --- trace --------------------------------------------------------------- *)
+
+let trace_cmd =
+  let doc =
+    "Run a workload with event tracing enabled and export the trace \
+     (JSONL and/or a streaming FNV-1a digest for golden-trace comparison)."
+  in
+  let out_arg =
+    let doc = "Write the trace as JSON Lines to $(docv) ('-' = stdout)." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc ~docv:"FILE")
+  in
+  let digest_arg =
+    let doc = "Print a streaming FNV-1a digest of the canonical JSONL trace." in
+    Arg.(value & flag & info [ "digest" ] ~doc)
+  in
+  let os_view_arg =
+    let doc =
+      "Export only the OS-visible projection of the trace (what an \
+       untrusted OS could observe): enclave-private events are dropped \
+       and self-paging faults are masked to the enclave base."
+    in
+    Arg.(value & flag & info [ "os-view" ] ~doc)
+  in
+  let run workload scheme cluster_pages epc_mb ops seed out digest os_view =
+    (* Default export: JSONL on stdout unless --out/--digest says otherwise. *)
+    let out = if out = None && not digest then Some "-" else out in
+    let oc, close_oc =
+      match out with
+      | None -> (None, fun () -> ())
+      | Some "-" -> (Some stdout, fun () -> ())
+      | Some file ->
+        let ch = open_out file in
+        (Some ch, fun () -> close_out ch)
+    in
+    (* When the JSONL stream goes to stdout, keep it parseable: the
+       human-readable summary moves to stderr. *)
+    let summary_oc = if out = Some "-" then stderr else stdout in
+    let wrap s = if os_view then Trace.Sink.os_view s else s in
+    let exported = ref (fun () -> 0) in
+    let digest_of = ref None in
+    let on_system sys =
+      let tr = Harness.System.tracer_exn sys in
+      let counting, count = Trace.Sink.counting () in
+      exported := count;
+      Trace.Recorder.add_sink tr (wrap counting);
+      (match oc with
+      | None -> ()
+      | Some ch -> Trace.Recorder.add_sink tr (wrap (Trace.Sink.jsonl_channel ch)));
+      if digest then begin
+        let sink, result = Trace.Sink.digest () in
+        digest_of := Some result;
+        Trace.Recorder.add_sink tr (wrap sink)
+      end
+    in
+    let b =
+      build_workload ~trace:true ~on_system ~workload ~scheme ~cluster_pages
+        ~epc_mb ~seed ()
+    in
+    let sys = b.b_sys in
+    Harness.System.mark sys "measurement-start";
+    (* Run directly (not via Measure.run, which resets the clock): event
+       timestamps stay monotonic from platform construction onward. *)
+    Harness.System.run_in_enclave sys (fun () ->
+        for i = 1 to ops do
+          b.b_op i
+        done);
+    Harness.System.mark sys "measurement-end";
+    let tr = Harness.System.tracer_exn sys in
+    Trace.Recorder.close tr;
+    close_oc ();
+    Printf.fprintf summary_oc
+      "trace      : %s under %s, %d %s (seed %d)\n" workload scheme ops
+      b.b_unit seed;
+    Printf.fprintf summary_oc
+      "events     : %d emitted%s (ring retained %d of %d, dropped %d)\n"
+      (Trace.Recorder.emitted tr)
+      (if os_view then
+         Printf.sprintf ", %d exported in OS view" (!exported ())
+       else "")
+      (Trace.Recorder.retained tr)
+      (Trace.Recorder.capacity tr)
+      (Trace.Recorder.dropped tr);
+    (match !digest_of with
+    | None -> ()
+    | Some result -> Printf.fprintf summary_oc "digest     : %s\n" (result ()))
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const run $ workload_arg $ scheme_arg $ cluster_pages_arg $ epc_mb_arg
+      $ ops_arg $ seed_arg $ out_arg $ digest_arg $ os_view_arg)
 
 (* --- attack -------------------------------------------------------------- *)
 
@@ -295,4 +407,6 @@ let kernels_cmd =
 let () =
   let doc = "Autarky self-paging enclave simulator" in
   let info = Cmd.info "autarky_sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ costs_cmd; run_cmd; attack_cmd; kernels_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ costs_cmd; run_cmd; trace_cmd; attack_cmd; kernels_cmd ]))

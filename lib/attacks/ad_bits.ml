@@ -31,14 +31,23 @@ let scan t =
         end
       | None -> ())
     t.monitored;
-  if !accessed <> [] || !dirtied <> [] then
+  if !accessed <> [] || !dirtied <> [] then begin
+    let accessed = List.sort compare !accessed in
+    (match Sgx.Machine.tracer (Sim_os.Kernel.machine t.os) with
+    | None -> ()
+    | Some tr ->
+      Trace.Recorder.emit tr
+        ~enclave:(Sim_os.Kernel.enclave t.proc).Sgx.Enclave.id
+        ~actor:Trace.Event.Attacker
+        (Trace.Event.Probe { probe = "ad-scan"; vpages = accessed }));
     t.obs_rev <-
       {
         at_preempt = t.preempt_count;
-        accessed = List.sort compare !accessed;
+        accessed;
         dirtied = List.sort compare !dirtied;
       }
       :: t.obs_rev
+  end
 
 let attach ~os ~proc ~monitored ?(clear_dirty = true) () =
   let hooks = Sim_os.Kernel.hooks os in

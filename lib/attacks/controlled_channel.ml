@@ -16,6 +16,14 @@ type t = {
     Sim_os.Kernel.proc -> Sgx.Types.os_fault_report -> Sim_os.Kernel.fault_decision;
 }
 
+let emit t k =
+  match Sgx.Machine.tracer (Sim_os.Kernel.machine t.os) with
+  | None -> ()
+  | Some tr ->
+    Trace.Recorder.emit tr
+      ~enclave:(Sim_os.Kernel.enclave t.proc).Sgx.Enclave.id
+      ~actor:Trace.Event.Attacker (k ())
+
 let arm t vp =
   match t.arming with
   | Unmap -> Sim_os.Kernel.attacker_unmap t.os t.proc vp
@@ -34,6 +42,10 @@ let on_fault t proc report =
          attacker can do but let the kernel re-enter the enclave. *)
       Sim_os.Kernel.Benign
     else if Hashtbl.mem t.monitored vp then begin
+      (* A monitored page faulted: the attacker learned one step of the
+         victim's access sequence. *)
+      emit t (fun () ->
+          Trace.Event.Probe { probe = "cc-hit"; vpages = [ vp ] });
       t.trace_rev <- vp :: t.trace_rev;
       Sim_os.Kernel.attacker_restore t.os t.proc vp;
       (match t.repaired with

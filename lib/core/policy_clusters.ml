@@ -8,6 +8,14 @@ let create ~runtime ~clusters = { runtime; cl = clusters; fetches = 0 }
 let clusters t = t.cl
 let cluster_fetches t = t.fetches
 
+let emit t k =
+  match Sgx.Machine.tracer (Runtime.machine t.runtime) with
+  | None -> ()
+  | Some tr ->
+    Trace.Recorder.emit tr
+      ~enclave:(Runtime.enclave t.runtime).Sgx.Enclave.id
+      ~actor:(Trace.Event.Policy "page-clusters") (k ())
+
 (* A victim cluster must not overlap the incoming fetch set: evicting
    pages we are about to fetch would both waste work and break the
    residence invariant for partially-evicted clusters. *)
@@ -33,6 +41,9 @@ let on_miss t vp _sf =
     Sgx.Types.sgx_errorf
       "cluster fetch set of %d pages exceeds the runtime budget of %d"
       (List.length need) (Pager.budget pager);
+  emit t (fun () ->
+      Trace.Event.Decision
+        { policy = "page-clusters"; action = "cluster-fetch"; vpages = need });
   Pager.make_room pager ~incoming:(List.length need)
     ~victims:(choose_victims t ~fetching:need);
   Pager.fetch pager need;

@@ -3,6 +3,14 @@ type t = { runtime : Runtime.t; oram_cache : Oram_cache.t }
 let create ~runtime ~cache = { runtime; oram_cache = cache }
 let cache t = t.oram_cache
 
+let emit t k =
+  match Sgx.Machine.tracer (Runtime.machine t.runtime) with
+  | None -> ()
+  | Some tr ->
+    Trace.Recorder.emit tr
+      ~enclave:(Runtime.enclave t.runtime).Sgx.Enclave.id
+      ~actor:(Trace.Event.Policy "oram") (k ())
+
 let policy t =
   {
     Runtime.pol_name = "oram";
@@ -10,12 +18,14 @@ let policy t =
     pol_balloon = (fun _ -> 0);
     pol_on_miss =
       (fun vp _sf ->
-        Sgx.Enclave.terminate (Runtime.enclave t.runtime)
-          ~reason:
-            (Printf.sprintf
-               "fault on pinned page 0x%x under ORAM policy (attack or \
-                misconfiguration)"
-               vp));
+        let reason =
+          Printf.sprintf
+            "fault on pinned page 0x%x under ORAM policy (attack or \
+             misconfiguration)"
+            vp
+        in
+        emit t (fun () -> Trace.Event.Terminate { reason });
+        Sgx.Enclave.terminate (Runtime.enclave t.runtime) ~reason);
   }
 
 let accessor t ~fallback vaddr kind =

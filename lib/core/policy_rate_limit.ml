@@ -23,6 +23,14 @@ let create ~runtime ?(max_faults_per_unit = max_int) ?(evict_batch = 16)
     total = 0;
   }
 
+let emit t k =
+  match Sgx.Machine.tracer (Runtime.machine t.runtime) with
+  | None -> ()
+  | Some tr ->
+    Trace.Recorder.emit tr
+      ~enclave:(Runtime.enclave t.runtime).Sgx.Enclave.id
+      ~actor:(Trace.Event.Policy "rate-limit") (k ())
+
 let progress t = t.window <- 0
 let faults_in_window t = t.window
 let total_faults t = t.total
@@ -48,13 +56,19 @@ let on_miss t vp _sf =
   t.window <- t.window + 1;
   t.total <- t.total + 1;
   Hashtbl.replace t.fault_counts vp (fault_count t vp + 1);
-  if t.window > t.max_faults_per_unit then
-    Sgx.Enclave.terminate (Runtime.enclave t.runtime)
-      ~reason:
-        (Printf.sprintf
-           "page-fault rate limit exceeded (%d faults without progress): \
-            suspected controlled-channel attack"
-           t.window);
+  if t.window > t.max_faults_per_unit then begin
+    let reason =
+      Printf.sprintf
+        "page-fault rate limit exceeded (%d faults without progress): \
+         suspected controlled-channel attack"
+        t.window
+    in
+    emit t (fun () -> Trace.Event.Terminate { reason });
+    Sgx.Enclave.terminate (Runtime.enclave t.runtime) ~reason
+  end;
+  emit t (fun () ->
+      Trace.Event.Decision
+        { policy = "rate-limit"; action = "demand-fetch"; vpages = [ vp ] });
   let pager = Runtime.pager t.runtime in
   Pager.make_room pager ~incoming:1 ~victims:(victims t pager);
   Pager.fetch pager [ vp ]

@@ -25,12 +25,26 @@ let set_policy t p = t.rt_policy <- p
 let is_enclave_managed t vp = Hashtbl.mem t.enclave_managed vp
 let faults_handled t = t.faults
 
+let incr t name = Metrics.Counters.incr (Sgx.Machine.counters t.rt_machine) name
+
+(* In-enclave tracing: these events never leave the enclave and are
+   excluded from the OS-visible projection. *)
+let emit t ~actor k =
+  match Sgx.Machine.tracer t.rt_machine with
+  | None -> ()
+  | Some tr ->
+    Trace.Recorder.emit tr ~enclave:t.rt_enclave.Sgx.Enclave.id ~actor (k ())
+
+let terminate t ~reason =
+  emit t ~actor:Trace.Event.Runtime (fun () -> Trace.Event.Terminate { reason });
+  Sgx.Enclave.terminate t.rt_enclave ~reason
+
 let pinned_policy t =
   {
     pol_name = "pinned";
     pol_on_miss =
       (fun vp _sf ->
-        Sgx.Enclave.terminate t.rt_enclave
+        terminate t
           ~reason:
             (Printf.sprintf
                "fault on pinned enclave-managed page 0x%x (attack or misconfiguration)"
@@ -39,19 +53,19 @@ let pinned_policy t =
     pol_balloon = (fun _ -> 0);
   }
 
-let incr t name = Metrics.Counters.incr (Sgx.Machine.counters t.rt_machine) name
-
 (* The trusted exception handler, invoked (by hardware guarantee) on
    every page fault.  See the module documentation for the cases. *)
 let handle_exception t (enclave : Sgx.Enclave.t) =
   let cm = Sgx.Machine.model t.rt_machine in
   Sgx.Machine.charge t.rt_machine cm.runtime_handler;
   incr t "rt.handler_invocations";
+  emit t ~actor:Trace.Event.Runtime (fun () ->
+      Trace.Event.Handler { event = "exception-handler" });
   match Stack.top enclave.tcs.ssa with
   | exception Stack.Empty ->
     (* §5.3: the handler can only legitimately run with fault information
        in the SSA; spurious entry is an attack. *)
-    Sgx.Enclave.terminate enclave
+    terminate t
       ~reason:"exception handler entered with empty SSA (re-entrancy attack)"
   | sf ->
     t.faults <- t.faults + 1;
@@ -59,7 +73,11 @@ let handle_exception t (enclave : Sgx.Enclave.t) =
     if is_enclave_managed t vp then
       if Pager.resident t.rt_pager vp then begin
         incr t "rt.attack_detected";
-        Sgx.Enclave.terminate enclave
+        emit t ~actor:Trace.Event.Runtime (fun () ->
+            Trace.Event.Decision
+              { policy = t.rt_policy.pol_name; action = "attack-detected";
+                vpages = [ vp ] });
+        terminate t
           ~reason:
             (Format.asprintf
                "OS-induced fault (%a) on resident enclave-managed page 0x%x: \
@@ -77,6 +95,9 @@ let handle_exception t (enclave : Sgx.Enclave.t) =
       (* OS-managed page: forward to the OS pager (ordinary demand
          paging on insensitive pages). *)
       incr t "rt.forwarded_to_os";
+      emit t ~actor:Trace.Event.Runtime (fun () ->
+          Trace.Event.Decision
+            { policy = "runtime"; action = "forward-to-os"; vpages = [ vp ] });
       t.rt_os.page_in_os_managed vp
     end
 
@@ -105,6 +126,9 @@ let balloon_release t ~pages =
   let released = t.rt_policy.pol_balloon pages in
   Metrics.Counters.add (Sgx.Machine.counters t.rt_machine) "rt.balloon_released"
     released;
+  emit t ~actor:Trace.Event.Runtime (fun () ->
+      Trace.Event.Decision
+        { policy = t.rt_policy.pol_name; action = "balloon-release"; vpages = [] });
   released
 
 let mark_enclave_managed t pages =

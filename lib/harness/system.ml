@@ -4,6 +4,7 @@ type t = {
   sys_proc : Sim_os.Kernel.proc;
   sys_cpu : Sgx.Cpu.t;
   sys_runtime : Autarky.Runtime.t option;
+  sys_tracer : Trace.Recorder.t option;
   mutable next_region : Sgx.Types.vpage;
   region_end : Sgx.Types.vpage;
 }
@@ -23,12 +24,26 @@ let os_iface os proc : Autarky.Os_iface.t =
   }
 
 let create ?model ?(mode = Sgx.Machine.Full_exits) ?(mech = `Sgx1) ?budget
-    ~epc_frames ~epc_limit ~enclave_pages ~self_paging () =
+    ?(trace = false) ?trace_capacity ~epc_frames ~epc_limit ~enclave_pages
+    ~self_paging () =
   assert (epc_frames > 0 && epc_limit > 0 && enclave_pages > 0);
   let machine =
     match model with
     | Some m -> Sgx.Machine.create ~model:m ~mode ~epc_frames ()
     | None -> Sgx.Machine.create ~mode ~epc_frames ()
+  in
+  (* Install the recorder before the OS and enclave exist so enclave
+     construction and initial paging are part of the trace. *)
+  let tracer =
+    if trace then begin
+      let tr =
+        Trace.Recorder.create ?capacity:trace_capacity
+          ~clock:Sgx.Machine.(machine.clock) ()
+      in
+      Sgx.Machine.set_tracer machine (Some tr);
+      Some tr
+    end
+    else None
   in
   let os = Sim_os.Kernel.create machine in
   let proc =
@@ -68,6 +83,7 @@ let create ?model ?(mode = Sgx.Machine.Full_exits) ?(mech = `Sgx1) ?budget
     sys_proc = proc;
     sys_cpu = cpu;
     sys_runtime = runtime;
+    sys_tracer = tracer;
     next_region = enclave.base_vpage;
     region_end = enclave.base_vpage + enclave_pages;
   }
@@ -86,6 +102,20 @@ let runtime_exn t =
 
 let clock t = Sgx.Machine.(t.sys_machine.clock)
 let counters t = Sgx.Machine.counters t.sys_machine
+let tracer t = t.sys_tracer
+
+let tracer_exn t =
+  match t.sys_tracer with
+  | Some tr -> tr
+  | None -> invalid_arg "System.tracer_exn: tracing not enabled (pass ~trace:true)"
+
+let mark t name =
+  match t.sys_tracer with
+  | None -> ()
+  | Some tr ->
+    Trace.Recorder.emit tr
+      ~enclave:(enclave t).Sgx.Enclave.id ~actor:Trace.Event.Harness
+      (Trace.Event.Mark { name })
 
 let reserve t ~pages =
   assert (pages > 0);

@@ -21,6 +21,8 @@ val create :
   ?mode:Sgx.Machine.transition_mode ->
   ?mech:Autarky.Pager.mech ->
   ?budget:int ->
+  ?trace:bool ->
+  ?trace_capacity:int ->
   epc_frames:int -> epc_limit:int -> enclave_pages:int -> self_paging:bool ->
   unit -> t
 (** Build the platform, create and populate the enclave (all pages
@@ -28,7 +30,13 @@ val create :
     store), EINIT it, and — for a self-paging enclave — install the
     Autarky runtime with the given paging [mech] (default [`Sgx1]) and
     EPC [budget] (default [epc_limit - 64], leaving the OS working
-    room). *)
+    room).
+
+    [trace] (default [false]) installs a {!Trace.Recorder} on the
+    machine before the enclave is built, so every layer's events —
+    including enclave construction and initial paging — are recorded;
+    [trace_capacity] bounds the recorder's ring (sinks attached via
+    {!tracer} still see the complete stream). *)
 
 val machine : t -> Sgx.Machine.t
 val os : t -> Sim_os.Kernel.t
@@ -39,6 +47,14 @@ val runtime : t -> Autarky.Runtime.t option
 val runtime_exn : t -> Autarky.Runtime.t
 val clock : t -> Metrics.Clock.t
 val counters : t -> Metrics.Counters.t
+
+val tracer : t -> Trace.Recorder.t option
+val tracer_exn : t -> Trace.Recorder.t
+(** @raise Invalid_argument when the system was built without [~trace:true]. *)
+
+val mark : t -> string -> unit
+(** Emit a harness phase marker into the trace (no-op when tracing is
+    off) — lets offline analysis segment setup from measurement. *)
 
 val reserve : t -> pages:int -> Sgx.Types.vpage
 (** Carve a fresh region of the enclave's address space. *)

@@ -46,6 +46,13 @@ let charge t n = Machine.charge t.machine n
 let cmodel t = Machine.model t.machine
 let incr t name = Metrics.Counters.incr (Machine.counters t.machine) name
 
+(* Kernel-side tracing: one branch when no recorder is installed. *)
+let emit t proc ~actor k =
+  match Machine.tracer t.machine with
+  | None -> ()
+  | Some tr ->
+    Trace.Recorder.emit tr ~enclave:proc.enclave.id ~actor (k ())
+
 let create_proc t ~size_pages ~self_paging ~epc_limit =
   let enclave = Instructions.ecreate t.machine ~size_pages ~self_paging in
   let proc =
@@ -160,7 +167,9 @@ let do_evict_batch ?(os_initiated = true) t proc vps =
         Page_table.unmap proc.pt vp;
         proc.resident_count <- proc.resident_count - 1;
         if os_initiated then incr t "os.evict")
-      vps
+      vps;
+    emit t proc ~actor:Trace.Event.Os (fun () ->
+        Trace.Event.Evict { vpages = vps; enclave_initiated = not os_initiated })
 
 let do_evict ?(os_initiated = true) t proc vp =
   do_evict_batch ~os_initiated t proc [ vp ]
@@ -227,7 +236,9 @@ let do_fetch t proc vp ~pinned =
       map_page proc ~vpage:vp ~frame ~perms:sw.sw_perms;
       proc.resident_count <- proc.resident_count + 1;
       if not pinned then enqueue_os_resident proc vp;
-      if not pinned then incr t "os.fetch"
+      if not pinned then incr t "os.fetch";
+      emit t proc ~actor:Trace.Event.Os (fun () ->
+          Trace.Event.Fetch { vpages = [ vp ]; enclave_initiated = pinned })
     | Error e ->
       Types.sgx_errorf "ELDU failed for page 0x%x: %s" vp
         (Format.asprintf "%a" Instructions.pp_eldu_error e))
@@ -297,12 +308,14 @@ let os_callbacks t =
 
 (* --- Autarky system calls -------------------------------------------- *)
 
-let charge_hostcall t name =
+let charge_hostcall t proc name ~pages =
   charge t (cmodel t).exitless_call;
-  incr t name
+  incr t name;
+  emit t proc ~actor:Trace.Event.Os (fun () ->
+      Trace.Event.Syscall { name; pages })
 
 let ay_set_enclave_managed t proc pages =
-  charge_hostcall t "os.sys.set_enclave_managed";
+  charge_hostcall t proc "os.sys.set_enclave_managed" ~pages:(List.length pages);
   List.map
     (fun vp ->
       Hashtbl.replace proc.enclave_managed vp ();
@@ -310,7 +323,7 @@ let ay_set_enclave_managed t proc pages =
     pages
 
 let ay_set_os_managed t proc pages =
-  charge_hostcall t "os.sys.set_os_managed";
+  charge_hostcall t proc "os.sys.set_os_managed" ~pages:(List.length pages);
   List.iter
     (fun vp ->
       Hashtbl.remove proc.enclave_managed vp;
@@ -318,7 +331,7 @@ let ay_set_os_managed t proc pages =
     pages
 
 let ay_fetch_pages t proc pages =
-  charge_hostcall t "os.sys.fetch_pages";
+  charge_hostcall t proc "os.sys.fetch_pages" ~pages:(List.length pages);
   let needed = List.filter (fun vp -> not (resident t proc vp)) pages in
   match ensure_headroom t proc ~extra:(List.length needed) with
   | Error `Epc_exhausted -> Error `Epc_exhausted
@@ -327,12 +340,12 @@ let ay_fetch_pages t proc pages =
     Ok ()
 
 let ay_evict_pages t proc pages =
-  charge_hostcall t "os.sys.evict_pages";
+  charge_hostcall t proc "os.sys.evict_pages" ~pages:(List.length pages);
   do_evict_batch ~os_initiated:false t proc
     (List.filter (resident t proc) pages)
 
 let ay_aug_pages t proc pages =
-  charge_hostcall t "os.sys.aug_pages";
+  charge_hostcall t proc "os.sys.aug_pages" ~pages:(List.length pages);
   let needed = List.filter (fun vp -> not (resident t proc vp)) pages in
   match ensure_headroom t proc ~extra:(List.length needed) with
   | Error `Epc_exhausted -> Error `Epc_exhausted
@@ -348,7 +361,7 @@ let ay_aug_pages t proc pages =
     Ok ()
 
 let ay_remove_pages t proc pages =
-  charge_hostcall t "os.sys.remove_pages";
+  charge_hostcall t proc "os.sys.remove_pages" ~pages:(List.length pages);
   List.iter
     (fun vp ->
       if resident t proc vp then begin
@@ -375,7 +388,7 @@ let blob_load t proc vp =
   | None -> None
 
 let page_in_os_managed t proc vp =
-  charge_hostcall t "os.sys.page_in";
+  charge_hostcall t proc "os.sys.page_in" ~pages:1;
   if not (resident t proc vp) && Swap_store.mem proc.proc_swap vp then begin
     match ensure_headroom t proc ~extra:1 with
     | Ok () -> do_fetch t proc vp ~pinned:false
@@ -385,7 +398,7 @@ let page_in_os_managed t proc vp =
   else do_fetch t proc vp ~pinned:false
 
 let epc_headroom t proc =
-  charge_hostcall t "os.sys.headroom";
+  charge_hostcall t proc "os.sys.headroom" ~pages:0;
   max 0 (proc.epc_limit - proc.resident_count)
 
 (* --- Memory ballooning ------------------------------------------------ *)
@@ -405,6 +418,8 @@ let request_balloon t proc ~pages =
        keeps the resident accounting straight. *)
     let released = handler pages in
     Metrics.Counters.add (Machine.counters t.machine) "os.balloon_released" released;
+    emit t proc ~actor:Trace.Event.Os (fun () ->
+        Trace.Event.Balloon { requested = pages; released });
     released
 
 let reclaim_for_shrink t proc ~target =
@@ -443,35 +458,42 @@ let reclaim_global t ~needed ~requester =
 
 (* --- Adversarial manipulation ---------------------------------------- *)
 
+let probe t proc name vp =
+  incr t ("attacker." ^ name);
+  emit t proc ~actor:Trace.Event.Attacker (fun () ->
+      Trace.Event.Probe { probe = name; vpages = [ vp ] })
+
 let attacker_unmap t proc vp =
   (match Page_table.find proc.pt vp with
   | Some pte -> pte.present <- false
   | None -> ());
   Tlb.flush_page t.machine.tlb vp;
-  incr t "attacker.unmap"
+  probe t proc "unmap" vp
 
 let attacker_restore t proc vp =
   (match Epc.frame_of t.machine.epc ~enclave_id:proc.enclave.id ~vpage:vp with
   | Some frame -> map_page proc ~vpage:vp ~frame ~perms:(intended_perms_of proc vp)
   | None -> ());
-  incr t "attacker.restore"
+  probe t proc "restore" vp
 
 let attacker_set_perms t proc vp perms =
   (try Page_table.set_perms proc.pt vp perms with Not_found -> ());
   Tlb.flush_page t.machine.tlb vp;
-  incr t "attacker.set_perms"
+  probe t proc "set_perms" vp
 
 let attacker_clear_accessed t proc vp =
   Page_table.clear_accessed proc.pt vp;
   Tlb.flush_page t.machine.tlb vp;
-  incr t "attacker.clear_accessed"
+  probe t proc "clear_accessed" vp
 
 let attacker_clear_dirty t proc vp =
   Page_table.clear_dirty proc.pt vp;
   Tlb.flush_page t.machine.tlb vp;
-  incr t "attacker.clear_dirty"
+  probe t proc "clear_dirty" vp
 
-let attacker_read_ad _t proc vp =
+let attacker_read_ad t proc vp =
+  emit t proc ~actor:Trace.Event.Attacker (fun () ->
+      Trace.Event.Probe { probe = "read_ad"; vpages = [ vp ] });
   match Page_table.find proc.pt vp with
   | Some pte -> Some (pte.accessed, pte.dirty)
   | None -> None
@@ -486,10 +508,10 @@ let attacker_map_wrong t proc ~victim ~other =
         ~accessed:true ~dirty:true ())
   | None -> Types.sgx_errorf "attacker_map_wrong: page 0x%x not resident" other);
   Tlb.flush_page t.machine.tlb victim;
-  incr t "attacker.map_wrong"
+  probe t proc "map_wrong" victim
 
 let attacker_evict t proc vp =
   if resident t proc vp then do_evict t proc vp;
-  incr t "attacker.evict"
+  probe t proc "evict" vp
 
 let swap _t proc = proc.proc_swap

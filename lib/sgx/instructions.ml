@@ -16,6 +16,15 @@ let pp_eldu_error ppf = function
 
 let incr m name = Metrics.Counters.incr (Machine.counters m) name
 
+(* Transition tracing.  Taking the event as a thunk keeps the disabled
+   path to a single branch: no payload is built unless a recorder is
+   installed. *)
+let emit m ~enclave_id k =
+  match Machine.tracer m with
+  | None -> ()
+  | Some tr ->
+    Trace.Recorder.emit tr ~enclave:enclave_id ~actor:Trace.Event.Hw (k ())
+
 let ecreate m ~size_pages ~self_paging =
   incr m "sgx.ecreate";
   Machine.register_enclave m ~size_pages ~self_paging
@@ -64,18 +73,24 @@ let aex m (enclave : Enclave.t) ~reason =
   enclave.in_enclave <- false;
   Tlb.flush m.tlb;
   Machine.charge m cm.aex;
-  incr m "sgx.aex"
+  incr m "sgx.aex";
+  emit m ~enclave_id:enclave.id (fun () ->
+      Trace.Event.Aex { interrupt = reason = `Interrupt })
 
 let eresume m (enclave : Enclave.t) =
   let cm = Machine.model m in
   Machine.charge m cm.eresume;
   incr m "sgx.eresume";
-  if enclave.self_paging && enclave.tcs.pending_exception then Error `Pending_exception
+  if enclave.self_paging && enclave.tcs.pending_exception then begin
+    emit m ~enclave_id:enclave.id (fun () -> Trace.Event.Eresume { ok = false });
+    Error `Pending_exception
+  end
   else begin
     Enclave.assert_runnable enclave;
     if not (Stack.is_empty enclave.tcs.ssa) then ignore (Stack.pop enclave.tcs.ssa);
     Tlb.flush m.tlb;
     enclave.in_enclave <- true;
+    emit m ~enclave_id:enclave.id (fun () -> Trace.Event.Eresume { ok = true });
     Ok ()
   end
 
@@ -89,21 +104,26 @@ let enter_handler_and_resume m (enclave : Enclave.t) =
   Tlb.flush m.tlb;
   Machine.charge m cm.eenter;
   incr m "sgx.eenter";
+  emit m ~enclave_id:enclave.id (fun () -> Trace.Event.Eenter);
   enclave.entry enclave;
   (match m.mode with
   | Machine.Full_exits ->
     (* EEXIT to the stub, then ERESUME the saved frame. *)
     Machine.charge m cm.eexit;
     incr m "sgx.eexit";
+    emit m ~enclave_id:enclave.id (fun () -> Trace.Event.Eexit);
     enclave.in_enclave <- false;
     Tlb.flush m.tlb;
     Machine.charge m cm.eresume;
     incr m "sgx.eresume";
+    emit m ~enclave_id:enclave.id (fun () -> Trace.Event.Eresume { ok = true });
     Tlb.flush m.tlb
   | Machine.No_upcall | Machine.No_upcall_no_aex ->
     (* Proposed in-enclave ERESUME variant: pop the SSA without leaving. *)
     Machine.charge m cm.inenclave_resume;
-    incr m "sgx.inenclave_resume");
+    incr m "sgx.inenclave_resume";
+    emit m ~enclave_id:enclave.id (fun () ->
+        Trace.Event.Handler { event = "inenclave-resume" }));
   if not (Stack.is_empty enclave.tcs.ssa) then ignore (Stack.pop enclave.tcs.ssa);
   enclave.in_enclave <- true
 
@@ -117,9 +137,13 @@ let deliver_fault_in_enclave m (enclave : Enclave.t) sf =
      OS involvement, TLB preserved. *)
   Machine.charge m cm.aex_elided_entry;
   incr m "sgx.aex_elided";
+  emit m ~enclave_id:enclave.id (fun () ->
+      Trace.Event.Handler { event = "aex-elided-entry" });
   enclave.entry enclave;
   Machine.charge m cm.inenclave_resume;
   incr m "sgx.inenclave_resume";
+  emit m ~enclave_id:enclave.id (fun () ->
+      Trace.Event.Handler { event = "inenclave-resume" });
   if not (Stack.is_empty enclave.tcs.ssa) then ignore (Stack.pop enclave.tcs.ssa)
 
 let eenter_run m (enclave : Enclave.t) f =
@@ -130,9 +154,11 @@ let eenter_run m (enclave : Enclave.t) f =
   Tlb.flush m.tlb;
   Machine.charge m cm.eenter;
   incr m "sgx.eenter";
+  emit m ~enclave_id:enclave.id (fun () -> Trace.Event.Eenter);
   let finish () =
     Machine.charge m cm.eexit;
     incr m "sgx.eexit";
+    emit m ~enclave_id:enclave.id (fun () -> Trace.Event.Eexit);
     enclave.in_enclave <- false;
     Tlb.flush m.tlb
   in

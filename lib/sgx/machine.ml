@@ -21,6 +21,7 @@ type t = {
   mutable next_enclave_id : int;
   mutable next_base_vpage : Types.vpage;
   mutable mode : transition_mode;
+  mutable tracer : Trace.Recorder.t option;
 }
 
 let create ?(model = Metrics.Cost_model.default) ?(mode = Full_exits) ~epc_frames () =
@@ -39,11 +40,20 @@ let create ?(model = Metrics.Cost_model.default) ?(mode = Full_exits) ~epc_frame
     (* Leave page 0 unused so a 0 vaddr is never a valid enclave address. *)
     next_base_vpage = 0x10000;
     mode;
+    tracer = None;
   }
 
 let model t = Metrics.Clock.model t.clock
 let charge t n = Metrics.Clock.charge t.clock n
 let counters t = Metrics.Clock.counters t.clock
+
+let tracer t = t.tracer
+let set_tracer t tr = t.tracer <- tr
+
+let trace_access : Types.access_kind -> Trace.Event.access = function
+  | Types.Read -> Trace.Event.Read
+  | Types.Write -> Trace.Event.Write
+  | Types.Exec -> Trace.Event.Exec
 
 let register_enclave t ~size_pages ~self_paging =
   let id = t.next_enclave_id in

@@ -32,6 +32,10 @@ type t = {
   mutable next_enclave_id : int;
   mutable next_base_vpage : Types.vpage;
   mutable mode : transition_mode;
+  mutable tracer : Trace.Recorder.t option;
+      (** event recorder shared by every layer of this platform; [None]
+          (the default) disables tracing at the cost of one branch per
+          potential emit site *)
 }
 
 val create :
@@ -41,6 +45,11 @@ val create :
 val model : t -> Metrics.Cost_model.t
 val charge : t -> int -> unit
 val counters : t -> Metrics.Counters.t
+
+val tracer : t -> Trace.Recorder.t option
+val set_tracer : t -> Trace.Recorder.t option -> unit
+
+val trace_access : Types.access_kind -> Trace.Event.access
 
 val register_enclave : t -> size_pages:int -> self_paging:bool -> Enclave.t
 (** Allocate a fresh virtual region and enclave id (used by ECREATE). *)

@@ -34,6 +34,23 @@ let walk_checks (m : Machine.t) (pt : Page_table.t) (enclave : Enclave.t) vp kin
         end
     end
 
+let os_report (enclave : Enclave.t) vaddr kind =
+  if enclave.self_paging then
+    (* §5.1.2: hide the address and access type entirely; report a read
+       fault at the enclave base. *)
+    {
+      Types.fr_enclave_id = enclave.id;
+      fr_vaddr = Enclave.base_vaddr enclave;
+      fr_access = Types.Read;
+    }
+  else
+    (* Stock SGX: the page offset is masked but the page is visible. *)
+    {
+      Types.fr_enclave_id = enclave.id;
+      fr_vaddr = Types.vaddr_of_vpage (Types.vpage_of_vaddr vaddr);
+      fr_access = kind;
+    }
+
 let translate m pt enclave vaddr kind =
   if not (Enclave.contains_vaddr enclave vaddr) then
     Types.sgx_errorf "MMU: vaddr 0x%x outside enclave %d" vaddr enclave.id;
@@ -58,22 +75,19 @@ let translate m pt enclave vaddr kind =
     | Error cause ->
       Metrics.Counters.incr (Machine.counters m)
         (Format.asprintf "mmu.fault.%a" Types.pp_fault_cause cause);
+      (match Machine.tracer m with
+      | None -> ()
+      | Some tr ->
+        let report = os_report enclave vaddr kind in
+        Trace.Recorder.emit tr ~enclave:enclave.id ~actor:Trace.Event.Hw
+          (Trace.Event.Fault
+             {
+               vpage = vp;
+               access = Machine.trace_access kind;
+               cause = Format.asprintf "%a" Types.pp_fault_cause cause;
+               reported_vpage = Types.vpage_of_vaddr report.fr_vaddr;
+               reported_access = Machine.trace_access report.fr_access;
+               masked = enclave.self_paging;
+             }));
       Error cause
   end
-
-let os_report (enclave : Enclave.t) vaddr kind =
-  if enclave.self_paging then
-    (* §5.1.2: hide the address and access type entirely; report a read
-       fault at the enclave base. *)
-    {
-      Types.fr_enclave_id = enclave.id;
-      fr_vaddr = Enclave.base_vaddr enclave;
-      fr_access = Types.Read;
-    }
-  else
-    (* Stock SGX: the page offset is masked but the page is visible. *)
-    {
-      Types.fr_enclave_id = enclave.id;
-      fr_vaddr = Types.vaddr_of_vpage (Types.vpage_of_vaddr vaddr);
-      fr_access = kind;
-    }

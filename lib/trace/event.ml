@@ -1,0 +1,173 @@
+type actor = Hw | Os | Runtime | Policy of string | Attacker | Harness
+
+type access = Read | Write | Exec
+
+type kind =
+  | Fault of {
+      vpage : int;
+      access : access;
+      cause : string;
+      reported_vpage : int;
+      reported_access : access;
+      masked : bool;
+    }
+  | Aex of { interrupt : bool }
+  | Eenter
+  | Eexit
+  | Eresume of { ok : bool }
+  | Handler of { event : string }
+  | Fetch of { vpages : int list; enclave_initiated : bool }
+  | Evict of { vpages : int list; enclave_initiated : bool }
+  | Syscall of { name : string; pages : int }
+  | Decision of { policy : string; action : string; vpages : int list }
+  | Probe of { probe : string; vpages : int list }
+  | Balloon of { requested : int; released : int }
+  | Terminate of { reason : string }
+  | Mark of { name : string }
+
+type t = { seq : int; cycle : int; enclave : int; actor : actor; kind : kind }
+
+let actor_name = function
+  | Hw -> "hw"
+  | Os -> "os"
+  | Runtime -> "runtime"
+  | Policy p -> "policy:" ^ p
+  | Attacker -> "attacker"
+  | Harness -> "harness"
+
+let access_name = function Read -> "read" | Write -> "write" | Exec -> "exec"
+
+let kind_name = function
+  | Fault _ -> "fault"
+  | Aex _ -> "aex"
+  | Eenter -> "eenter"
+  | Eexit -> "eexit"
+  | Eresume _ -> "eresume"
+  | Handler _ -> "handler"
+  | Fetch _ -> "fetch"
+  | Evict _ -> "evict"
+  | Syscall _ -> "syscall"
+  | Decision _ -> "decision"
+  | Probe _ -> "probe"
+  | Balloon _ -> "balloon"
+  | Terminate _ -> "terminate"
+  | Mark _ -> "mark"
+
+(* --- OS-visible projection ------------------------------------------- *)
+
+let os_view ev =
+  match ev.kind with
+  | Fault f ->
+    (* The OS sees only the hardware fault report: for self-paging
+       enclaves a read at the enclave base, for legacy enclaves the
+       page-aligned address and access type.  The architectural cause
+       stays inside the SSA either way. *)
+    Some
+      { ev with
+        kind =
+          Fault
+            {
+              vpage = f.reported_vpage;
+              access = f.reported_access;
+              cause = "";
+              reported_vpage = f.reported_vpage;
+              reported_access = f.reported_access;
+              masked = f.masked;
+            } }
+  | Aex _ | Eenter | Eexit | Eresume _ -> Some ev
+  | Fetch _ | Evict _ | Syscall _ | Balloon _ -> Some ev
+  | Probe _ -> Some ev
+  | Terminate _ ->
+    (* The OS observes the enclave dying, not why. *)
+    Some { ev with kind = Terminate { reason = "" } }
+  | Handler _ | Decision _ | Mark _ -> None
+
+let os_visible ev = os_view ev <> None
+
+(* --- Canonical JSON --------------------------------------------------- *)
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_string_field buf name v =
+  Buffer.add_string buf ",\"";
+  Buffer.add_string buf name;
+  Buffer.add_string buf "\":\"";
+  escape buf v;
+  Buffer.add_char buf '"'
+
+let add_int_field buf name v =
+  Buffer.add_string buf (Printf.sprintf ",\"%s\":%d" name v)
+
+let add_bool_field buf name v =
+  Buffer.add_string buf
+    (Printf.sprintf ",\"%s\":%s" name (if v then "true" else "false"))
+
+let add_vpages_field buf name vps =
+  Buffer.add_string buf (Printf.sprintf ",\"%s\":[" name);
+  List.iteri
+    (fun i vp ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int vp))
+    vps;
+  Buffer.add_char buf ']'
+
+let to_buffer buf ev =
+  Buffer.add_string buf
+    (Printf.sprintf "{\"seq\":%d,\"cycle\":%d,\"enclave\":%d,\"actor\":\"%s\""
+       ev.seq ev.cycle ev.enclave (actor_name ev.actor));
+  Buffer.add_string buf ",\"kind\":\"";
+  Buffer.add_string buf (kind_name ev.kind);
+  Buffer.add_char buf '"';
+  (match ev.kind with
+  | Fault f ->
+    add_int_field buf "vpage" f.vpage;
+    add_string_field buf "access" (access_name f.access);
+    add_string_field buf "cause" f.cause;
+    add_int_field buf "reported_vpage" f.reported_vpage;
+    add_string_field buf "reported_access" (access_name f.reported_access);
+    add_bool_field buf "masked" f.masked
+  | Aex a -> add_bool_field buf "interrupt" a.interrupt
+  | Eenter | Eexit -> ()
+  | Eresume r -> add_bool_field buf "ok" r.ok
+  | Handler h -> add_string_field buf "event" h.event
+  | Fetch f ->
+    add_bool_field buf "enclave_initiated" f.enclave_initiated;
+    add_vpages_field buf "vpages" f.vpages
+  | Evict e ->
+    add_bool_field buf "enclave_initiated" e.enclave_initiated;
+    add_vpages_field buf "vpages" e.vpages
+  | Syscall s ->
+    add_string_field buf "name" s.name;
+    add_int_field buf "pages" s.pages
+  | Decision d ->
+    add_string_field buf "policy" d.policy;
+    add_string_field buf "action" d.action;
+    add_vpages_field buf "vpages" d.vpages
+  | Probe p ->
+    add_string_field buf "probe" p.probe;
+    add_vpages_field buf "vpages" p.vpages
+  | Balloon b ->
+    add_int_field buf "requested" b.requested;
+    add_int_field buf "released" b.released
+  | Terminate t -> add_string_field buf "reason" t.reason
+  | Mark m -> add_string_field buf "name" m.name);
+  Buffer.add_char buf '}'
+
+let to_json ev =
+  let buf = Buffer.create 128 in
+  to_buffer buf ev;
+  Buffer.contents buf
+
+let pp ppf ev = Format.pp_print_string ppf (to_json ev)

@@ -1,0 +1,72 @@
+(** Structured trace events.
+
+    One event = one architecturally meaningful occurrence in the
+    simulated system: a page fault, an enclave transition, a paging
+    action, an Autarky system call, a policy decision, an attacker
+    probe.  Events carry a monotonic sequence number, the virtual cycle
+    at which they occurred, the enclave they concern ([-1] when none)
+    and the acting component.
+
+    Events have a canonical single-line JSON form ({!to_json}) with a
+    fixed field order, which is both the JSONL export format and the
+    input to the streaming trace digest — two identical runs produce
+    byte-identical serialized streams. *)
+
+type actor =
+  | Hw        (** the CPU/MMU/SGX hardware model *)
+  | Os        (** the untrusted kernel *)
+  | Runtime   (** the in-enclave Autarky runtime *)
+  | Policy of string  (** a self-paging policy, by name *)
+  | Attacker  (** adversarial OS behaviour *)
+  | Harness   (** experiment scaffolding (phase markers) *)
+
+type access = Read | Write | Exec
+
+type kind =
+  | Fault of {
+      vpage : int;          (** true faulting page (enclave-private) *)
+      access : access;      (** true access kind (enclave-private) *)
+      cause : string;       (** architectural cause (enclave-private) *)
+      reported_vpage : int; (** page in the hardware's report to the OS *)
+      reported_access : access;
+      masked : bool;        (** self-paging: address/type hidden *)
+    }
+  | Aex of { interrupt : bool }
+  | Eenter
+  | Eexit
+  | Eresume of { ok : bool }
+  | Handler of { event : string }
+      (** enclave-private handler/transition step (AEX-elided entry,
+          in-enclave resume, exception-handler invocation) *)
+  | Fetch of { vpages : int list; enclave_initiated : bool }
+  | Evict of { vpages : int list; enclave_initiated : bool }
+  | Syscall of { name : string; pages : int }
+  | Decision of { policy : string; action : string; vpages : int list }
+      (** enclave-private policy decision *)
+  | Probe of { probe : string; vpages : int list }
+      (** attacker page-table manipulation or A/D-bit read *)
+  | Balloon of { requested : int; released : int }
+  | Terminate of { reason : string }
+  | Mark of { name : string }  (** harness phase marker *)
+
+type t = { seq : int; cycle : int; enclave : int; actor : actor; kind : kind }
+
+val actor_name : actor -> string
+val access_name : access -> string
+val kind_name : kind -> string
+
+val os_view : t -> t option
+(** The event as the untrusted OS could observe it: [None] for
+    enclave-private events ([Handler], [Decision], [Mark]); faults
+    reduced to the hardware's report (cause hidden, and for self-paging
+    enclaves address and access type replaced by the masked report);
+    termination reasons hidden.  Everything the OS itself performs
+    (syscalls, paging, probes, transitions) passes through unchanged. *)
+
+val os_visible : t -> bool
+
+val to_json : t -> string
+(** Canonical one-line JSON (fixed field order, no whitespace). *)
+
+val to_buffer : Buffer.t -> t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,16 @@
+type t = int64
+
+let offset_basis = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let empty = offset_basis
+
+let feed_char h c =
+  Int64.mul (Int64.logxor h (Int64.of_int (Char.code c))) prime
+
+let feed_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := feed_char !h c) s;
+  !h
+
+let to_hex h = Printf.sprintf "fnv64:%016Lx" h

@@ -1,0 +1,14 @@
+(** Streaming FNV-1a (64-bit) — the trace digest.
+
+    Cheap, dependency-free and stable across platforms; adequate for
+    regression anchoring (golden traces), not for adversarial
+    collision resistance. *)
+
+type t = int64
+
+val empty : t
+val feed_char : t -> char -> t
+val feed_string : t -> string -> t
+
+val to_hex : t -> string
+(** ["fnv64:<16 hex digits>"]. *)

@@ -1,0 +1,169 @@
+(* A minimal recursive-descent JSON syntax checker: enough to validate
+   that exported trace lines are well-formed without pulling a JSON
+   dependency into the tree. *)
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+type cursor = { s : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> fail "expected %C at %d, found %C" ch c.pos x
+  | None -> fail "expected %C at %d, found end of input" ch c.pos
+
+let skip_ws c =
+  let rec go () =
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let parse_string c =
+  expect c '"';
+  let rec go () =
+    match peek c with
+    | None -> fail "unterminated string at %d" c.pos
+    | Some '"' -> advance c
+    | Some '\\' -> (
+      advance c;
+      match peek c with
+      | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+        advance c;
+        go ()
+      | Some 'u' ->
+        advance c;
+        for _ = 1 to 4 do
+          match peek c with
+          | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance c
+          | _ -> fail "bad \\u escape at %d" c.pos
+        done;
+        go ()
+      | _ -> fail "bad escape at %d" c.pos)
+    | Some ch when Char.code ch < 0x20 -> fail "raw control char at %d" c.pos
+    | Some _ ->
+      advance c;
+      go ()
+  in
+  go ()
+
+let parse_digits c =
+  let any = ref false in
+  let rec go () =
+    match peek c with
+    | Some '0' .. '9' ->
+      any := true;
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  if not !any then fail "expected digits at %d" c.pos
+
+let parse_number c =
+  (match peek c with Some '-' -> advance c | _ -> ());
+  parse_digits c;
+  (match peek c with
+  | Some '.' ->
+    advance c;
+    parse_digits c
+  | _ -> ());
+  match peek c with
+  | Some ('e' | 'E') ->
+    advance c;
+    (match peek c with Some ('+' | '-') -> advance c | _ -> ());
+    parse_digits c
+  | _ -> ()
+
+let parse_literal c lit =
+  String.iter (fun ch -> expect c ch) lit
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | Some '"' -> parse_string c
+  | Some '{' -> parse_object c
+  | Some '[' -> parse_array c
+  | Some 't' -> parse_literal c "true"
+  | Some 'f' -> parse_literal c "false"
+  | Some 'n' -> parse_literal c "null"
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail "unexpected %C at %d" ch c.pos
+  | None -> fail "unexpected end of input at %d" c.pos
+
+and parse_object c =
+  expect c '{';
+  skip_ws c;
+  match peek c with
+  | Some '}' -> advance c
+  | _ ->
+    let rec members () =
+      skip_ws c;
+      parse_string c;
+      skip_ws c;
+      expect c ':';
+      parse_value c;
+      skip_ws c;
+      match peek c with
+      | Some ',' ->
+        advance c;
+        members ()
+      | _ -> expect c '}'
+    in
+    members ()
+
+and parse_array c =
+  expect c '[';
+  skip_ws c;
+  match peek c with
+  | Some ']' -> advance c
+  | _ ->
+    let rec elements () =
+      parse_value c;
+      skip_ws c;
+      match peek c with
+      | Some ',' ->
+        advance c;
+        elements ()
+      | _ -> expect c ']'
+    in
+    elements ()
+
+let validate line =
+  let c = { s = line; pos = 0 } in
+  match
+    skip_ws c;
+    (match peek c with
+    | Some '{' -> parse_object c
+    | _ -> fail "trace line must be a JSON object");
+    skip_ws c
+  with
+  | () ->
+    if c.pos <> String.length line then
+      Error (Printf.sprintf "trailing garbage at %d" c.pos)
+    else Ok ()
+  | exception Bad msg -> Error msg
+
+let validate_channel ic =
+  let line_no = ref 0 in
+  let errors = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       incr line_no;
+       if String.trim line <> "" then
+         match validate line with
+         | Ok () -> ()
+         | Error msg -> errors := (!line_no, msg) :: !errors
+     done
+   with End_of_file -> ());
+  (!line_no, List.rev !errors)

@@ -1,0 +1,10 @@
+(** Minimal JSON syntax validation for exported trace lines (no JSON
+    dependency in the tree).  Used by the smoke check and tests to
+    assert that every exported line is well-formed. *)
+
+val validate : string -> (unit, string) result
+(** Check that [line] is exactly one well-formed JSON object. *)
+
+val validate_channel : in_channel -> int * (int * string) list
+(** Validate every non-blank line; returns [(lines_read, errors)] where
+    each error is [(line_number, message)]. *)

@@ -1,0 +1,71 @@
+let by_actor actor evs =
+  List.filter (fun (ev : Event.t) -> ev.actor = actor) evs
+
+let by_kind name evs =
+  List.filter (fun (ev : Event.t) -> Event.kind_name ev.kind = name) evs
+
+let by_enclave id evs =
+  List.filter (fun (ev : Event.t) -> ev.enclave = id) evs
+
+let between ~first ~last evs =
+  List.filter (fun (ev : Event.t) -> ev.cycle >= first && ev.cycle <= last) evs
+
+let os_projection evs = List.filter_map Event.os_view evs
+
+let count_by_kind evs =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (ev : Event.t) ->
+      let k = Event.kind_name ev.kind in
+      Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    evs;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let count_by_actor evs =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (ev : Event.t) ->
+      let a = Event.actor_name ev.actor in
+      Hashtbl.replace tbl a (1 + Option.value ~default:0 (Hashtbl.find_opt tbl a)))
+    evs;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+(* Windowed rates: bucket events into fixed cycle windows.  Only
+   non-empty windows are reported, ascending. *)
+let windowed_counts ~window evs =
+  if window <= 0 then invalid_arg "Trace.Query.windowed_counts: window must be > 0";
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (ev : Event.t) ->
+      let w = ev.cycle / window in
+      Hashtbl.replace tbl w (1 + Option.value ~default:0 (Hashtbl.find_opt tbl w)))
+    evs;
+  Hashtbl.fold (fun w n acc -> (w * window, n) :: acc) tbl [] |> List.sort compare
+
+let peak_rate ~window evs =
+  List.fold_left (fun acc (_, n) -> max acc n) 0 (windowed_counts ~window evs)
+
+let touched_pages evs =
+  List.concat_map
+    (fun (ev : Event.t) ->
+      match ev.kind with
+      | Event.Fault f -> [ f.vpage ]
+      | Event.Fetch f -> f.vpages
+      | Event.Evict e -> e.vpages
+      | Event.Decision d -> d.vpages
+      | Event.Probe p -> p.vpages
+      | _ -> [])
+    evs
+  |> List.sort_uniq compare
+
+let digest evs =
+  List.fold_left
+    (fun h ev -> Fnv.feed_char (Fnv.feed_string h (Event.to_json ev)) '\n')
+    Fnv.empty evs
+  |> Fnv.to_hex
+
+let pp_summary ppf evs =
+  Format.fprintf ppf "%d events" (List.length evs);
+  List.iter
+    (fun (k, n) -> Format.fprintf ppf "@.  %-10s %6d" k n)
+    (count_by_kind evs)

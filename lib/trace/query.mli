@@ -1,0 +1,37 @@
+(** Offline analysis over recorded event lists.
+
+    All functions are pure; feed them {!Recorder.events}, a memory
+    sink's contents, or any event list. *)
+
+val by_actor : Event.actor -> Event.t list -> Event.t list
+val by_kind : string -> Event.t list -> Event.t list
+(** Filter by {!Event.kind_name} (e.g. ["fault"], ["fetch"]). *)
+
+val by_enclave : int -> Event.t list -> Event.t list
+val between : first:int -> last:int -> Event.t list -> Event.t list
+(** Events with [first <= cycle <= last]. *)
+
+val os_projection : Event.t list -> Event.t list
+(** What the untrusted OS could observe of this trace — the leakage
+    auditing surface.  See {!Event.os_view}. *)
+
+val count_by_kind : Event.t list -> (string * int) list
+val count_by_actor : Event.t list -> (string * int) list
+
+val windowed_counts : window:int -> Event.t list -> (int * int) list
+(** Bucket events into fixed cycle windows; returns
+    [(window_start_cycle, count)] for non-empty windows, ascending.
+    @raise Invalid_argument on a non-positive window. *)
+
+val peak_rate : window:int -> Event.t list -> int
+(** Maximum events in any single window (fault-burst detection). *)
+
+val touched_pages : Event.t list -> int list
+(** Every vpage named by a fault/fetch/evict/decision/probe event,
+    deduplicated and ascending. *)
+
+val digest : Event.t list -> string
+(** FNV-1a digest of the canonical JSONL serialization — equals the
+    streaming {!Sink.digest} of the same events. *)
+
+val pp_summary : Format.formatter -> Event.t list -> unit

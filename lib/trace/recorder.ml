@@ -1,0 +1,65 @@
+type t = {
+  clock : Metrics.Clock.t;
+  capacity : int;
+  ring : Event.t option array;
+  mutable head : int;  (* next write slot *)
+  mutable len : int;
+  mutable seq : int;
+  mutable dropped : int;
+  mutable sinks : Sink.t list;
+  mutable active : bool;
+}
+
+let create ?(capacity = 65_536) ~clock () =
+  if capacity <= 0 then invalid_arg "Trace.Recorder.create: capacity must be > 0";
+  {
+    clock;
+    capacity;
+    ring = Array.make capacity None;
+    head = 0;
+    len = 0;
+    seq = 0;
+    dropped = 0;
+    sinks = [];
+    active = true;
+  }
+
+let capacity t = t.capacity
+let emitted t = t.seq
+let dropped t = t.dropped
+let active t = t.active
+let set_active t b = t.active <- b
+
+let add_sink t sink = t.sinks <- t.sinks @ [ sink ]
+
+let emit t ?(enclave = -1) ~actor kind =
+  if t.active then begin
+    let ev =
+      { Event.seq = t.seq; cycle = Metrics.Clock.now t.clock; enclave; actor; kind }
+    in
+    t.seq <- t.seq + 1;
+    (* Bounded ring: overwrite the oldest retained event and account the
+       drop.  Sinks still see the full stream. *)
+    if t.len = t.capacity then t.dropped <- t.dropped + 1 else t.len <- t.len + 1;
+    t.ring.(t.head) <- Some ev;
+    t.head <- (t.head + 1) mod t.capacity;
+    List.iter (fun s -> Sink.push s ev) t.sinks
+  end
+
+let events t =
+  let start = (t.head - t.len + t.capacity) mod t.capacity in
+  List.init t.len (fun i ->
+      match t.ring.((start + i) mod t.capacity) with
+      | Some ev -> ev
+      | None -> assert false)
+
+let retained t = t.len
+
+let clear t =
+  Array.fill t.ring 0 t.capacity None;
+  t.head <- 0;
+  t.len <- 0
+
+let close t =
+  List.iter Sink.close t.sinks;
+  t.active <- false

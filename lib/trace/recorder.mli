@@ -1,0 +1,51 @@
+(** The per-system event recorder.
+
+    One recorder is shared by every layer of a simulated platform
+    (hardware, OS, runtime, policies, attacks, harness); it stamps each
+    event with a monotonic sequence number and the current virtual
+    cycle from the shared {!Metrics.Clock}.
+
+    Recording is designed to be free when disabled: components hold a
+    [Recorder.t option] and pay a single branch per potential event
+    when tracing is off.  Emission never charges the clock or touches
+    the counters, so enabling tracing does not perturb measured cycle
+    or counter totals.
+
+    Retention is a bounded ring ({!events} returns the tail, oldest
+    first); overflow drops the oldest event and is accounted in
+    {!dropped}.  Attached {!Sink}s observe the complete stream
+    regardless of ring capacity. *)
+
+type t
+
+val create : ?capacity:int -> clock:Metrics.Clock.t -> unit -> t
+(** Default capacity: 65536 events.  @raise Invalid_argument on a
+    non-positive capacity. *)
+
+val emit : t -> ?enclave:int -> actor:Event.actor -> Event.kind -> unit
+(** Stamp and record an event ([enclave] defaults to [-1] = none).
+    No-op when the recorder is inactive. *)
+
+val add_sink : t -> Sink.t -> unit
+(** Sinks receive events in attachment order. *)
+
+val events : t -> Event.t list
+(** The retained tail, in emission order. *)
+
+val retained : t -> int
+val capacity : t -> int
+
+val emitted : t -> int
+(** Total events emitted (including ones the ring has dropped). *)
+
+val dropped : t -> int
+(** Events evicted from the ring by overflow. *)
+
+val active : t -> bool
+val set_active : t -> bool -> unit
+
+val clear : t -> unit
+(** Empty the ring (does not reset [emitted]/[dropped] or sinks). *)
+
+val close : t -> unit
+(** Close all sinks and deactivate the recorder. *)

@@ -1,0 +1,86 @@
+type t = {
+  sink_name : string;
+  push : Event.t -> unit;
+  close : unit -> unit;
+}
+
+let name t = t.sink_name
+let push t ev = t.push ev
+let close t = t.close ()
+
+let memory () =
+  let acc = ref [] in
+  let sink =
+    {
+      sink_name = "memory";
+      push = (fun ev -> acc := ev :: !acc);
+      close = (fun () -> ());
+    }
+  in
+  (sink, fun () -> List.rev !acc)
+
+let counting () =
+  let n = ref 0 in
+  let sink =
+    {
+      sink_name = "counting";
+      push = (fun _ -> incr n);
+      close = (fun () -> ());
+    }
+  in
+  (sink, fun () -> !n)
+
+let jsonl_channel oc =
+  let buf = Buffer.create 256 in
+  {
+    sink_name = "jsonl";
+    push =
+      (fun ev ->
+        Buffer.clear buf;
+        Event.to_buffer buf ev;
+        Buffer.add_char buf '\n';
+        Buffer.output_buffer oc buf);
+    close = (fun () -> flush oc);
+  }
+
+let jsonl_buffer out =
+  {
+    sink_name = "jsonl-buffer";
+    push =
+      (fun ev ->
+        Event.to_buffer out ev;
+        Buffer.add_char out '\n');
+    close = (fun () -> ());
+  }
+
+let digest () =
+  let h = ref Fnv.empty in
+  let sink =
+    {
+      sink_name = "digest";
+      push =
+        (fun ev ->
+          h := Fnv.feed_string !h (Event.to_json ev);
+          h := Fnv.feed_char !h '\n');
+      close = (fun () -> ());
+    }
+  in
+  (sink, fun () -> Fnv.to_hex !h)
+
+let filtered ~keep inner =
+  {
+    sink_name = inner.sink_name ^ "/filtered";
+    push = (fun ev -> if keep ev then inner.push ev);
+    close = inner.close;
+  }
+
+let os_view inner =
+  {
+    sink_name = inner.sink_name ^ "/os-view";
+    push =
+      (fun ev ->
+        match Event.os_view ev with
+        | Some masked -> inner.push masked
+        | None -> ());
+    close = inner.close;
+  }

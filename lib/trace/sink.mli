@@ -1,0 +1,36 @@
+(** Pluggable trace consumers.
+
+    A sink receives every event as it is emitted (independently of the
+    recorder's bounded ring, which only retains the tail).  Sinks
+    compose: {!os_view} and {!filtered} wrap an inner sink so it sees a
+    projected or restricted stream. *)
+
+type t
+
+val name : t -> string
+val push : t -> Event.t -> unit
+val close : t -> unit
+
+val memory : unit -> t * (unit -> Event.t list)
+(** Collect every event; the closure returns them in emission order.
+    Unbounded — for tests and offline analysis. *)
+
+val counting : unit -> t * (unit -> int)
+(** Count events without retaining them. *)
+
+val jsonl_channel : out_channel -> t
+(** Write one canonical JSON line per event.  [close] flushes but does
+    not close the channel (the caller owns it). *)
+
+val jsonl_buffer : Buffer.t -> t
+
+val digest : unit -> t * (unit -> string)
+(** Streaming FNV-1a digest over the canonical JSONL stream; the
+    closure returns the current digest ["fnv64:..."]. *)
+
+val filtered : keep:(Event.t -> bool) -> t -> t
+
+val os_view : t -> t
+(** Restrict the inner sink to the OS-visible projection
+    ({!Event.os_view}): enclave-private events are suppressed, faults
+    and terminations are masked to what the OS actually observes. *)

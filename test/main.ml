@@ -18,5 +18,6 @@ let () =
       ("hypervisor", Test_hypervisor.suite);
       ("state-machine", Test_statemachine.suite);
       ("instrument", Test_instrument.suite);
+      ("trace", Test_trace.suite);
       ("mixed", Test_mixed.suite);
     ]

@@ -1,0 +1,20 @@
+(* Smoke check: every line of an exported trace must be well-formed
+   JSON.  Run by the @smoke alias against a tiny kvstore scenario. *)
+
+let () =
+  let file = Sys.argv.(1) in
+  let ic = open_in file in
+  let lines, errors = Trace.Jsonl.validate_channel ic in
+  close_in ic;
+  match errors with
+  | [] ->
+    if lines = 0 then begin
+      Printf.eprintf "smoke: %s is empty\n" file;
+      exit 1
+    end;
+    Printf.printf "smoke: %s ok (%d JSONL events)\n" file lines
+  | errs ->
+    List.iter
+      (fun (n, msg) -> Printf.eprintf "smoke: %s:%d: %s\n" file n msg)
+      errs;
+    exit 1
