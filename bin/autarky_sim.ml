@@ -387,6 +387,118 @@ let attack_cmd =
   in
   Cmd.v (Cmd.info "attack" ~doc) Term.(const run $ autarky_arg $ seed_arg)
 
+(* --- inject -------------------------------------------------------------- *)
+
+let inject_cmd =
+  let doc =
+    "Run the Byzantine-OS fault-injection campaign: N seeds x M scenarios \
+     per policy, differentially checked against uninjected golden runs.  \
+     Exits non-zero if any run resolves into silent corruption, a hang, a \
+     crash, or (with --verify-determinism) a non-deterministic verdict."
+  in
+  let seeds_arg =
+    let doc = "Number of seeds per (policy, scenario) cell." in
+    Arg.(value & opt int 5 & info [ "seeds" ] ~doc)
+  in
+  let inj_ops_arg =
+    let doc = "Workload operations per run." in
+    Arg.(value & opt int 120 & info [ "n"; "ops" ] ~doc)
+  in
+  let scenarios_arg =
+    let doc =
+      "Comma-separated scenarios (default all): bit-flip, replay, \
+       drop-blob, epc-burst, limit-shrink, balloon-storm, reentry."
+    in
+    Arg.(value & opt (some string) None & info [ "scenarios" ] ~doc)
+  in
+  let policies_arg =
+    let doc =
+      "Comma-separated policies (default all): rate-limit, clusters, oram."
+    in
+    Arg.(value & opt (some string) None & info [ "policies" ] ~doc)
+  in
+  let verify_arg =
+    let doc = "Re-execute every injected cell and require an identical \
+               verdict, injection count and trace digest." in
+    Arg.(value & flag & info [ "verify-determinism" ] ~doc)
+  in
+  let max_restarts_arg =
+    let doc = "Restart-monitor budget (restarts per window)." in
+    Arg.(value & opt int 3 & info [ "max-restarts" ] ~doc)
+  in
+  let parse_csv ~what ~of_name = function
+    | None -> None
+    | Some s ->
+      Some
+        (String.split_on_char ',' s
+        |> List.filter (fun x -> x <> "")
+        |> List.map (fun x ->
+               match of_name (String.trim x) with
+               | Some v -> v
+               | None -> failwith (Printf.sprintf "unknown %s %S" what x)))
+  in
+  let run seeds ops scenarios policies verify max_restarts =
+    let scenarios =
+      parse_csv ~what:"scenario" ~of_name:Inject.Fault.of_name scenarios
+    in
+    let policies =
+      parse_csv ~what:"policy" ~of_name:Inject.Campaign.policy_of_name policies
+    in
+    let s =
+      Inject.Campaign.run
+        ~seeds:(List.init seeds (fun i -> i + 1))
+        ~ops ?scenarios ?policies ~verify_determinism:verify ~max_restarts ()
+    in
+    (* Verdict table: one row per (policy, scenario), outcomes tallied
+       across seeds.  Deterministic: row order follows the campaign's
+       policy/scenario order, and all inputs are seeded. *)
+    Printf.printf "%-12s %-14s %6s | %9s %8s %8s %6s\n" "policy" "scenario"
+      "inject" "recovered" "degraded" "detected" "BAD";
+    let cells =
+      List.fold_left
+        (fun acc (r : Inject.Campaign.run_result) ->
+          let key = (r.r_policy, r.r_scenario) in
+          let n_rec, n_deg, n_det, n_bad, n_inj =
+            Option.value (List.assoc_opt key acc) ~default:(0, 0, 0, 0, 0)
+          in
+          let cell =
+            match r.r_outcome with
+            | Inject.Fault.Recovered ->
+              (n_rec + 1, n_deg, n_det, n_bad, n_inj + r.r_injected)
+            | Inject.Fault.Degraded ->
+              (n_rec, n_deg + 1, n_det, n_bad, n_inj + r.r_injected)
+            | Inject.Fault.Detected _ ->
+              (n_rec, n_deg, n_det + 1, n_bad, n_inj + r.r_injected)
+            | _ -> (n_rec, n_deg, n_det, n_bad + 1, n_inj + r.r_injected)
+          in
+          (key, cell) :: List.remove_assoc key acc)
+        [] s.runs
+      |> List.rev
+    in
+    List.iter
+      (fun ((p, sc), (n_rec, n_deg, n_det, n_bad, n_inj)) ->
+        Printf.printf "%-12s %-14s %6d | %9d %8d %8d %6d\n"
+          (Inject.Campaign.policy_name p)
+          (Inject.Fault.name sc) n_inj n_rec n_deg n_det n_bad)
+      cells;
+    List.iter
+      (fun (m : Inject.Campaign.monitor_row) ->
+        Printf.printf
+          "monitor    : %-12s %s, termination channel <= %.0f bits\n"
+          m.m_identity
+          (if m.m_refused then "REFUSES further restarts" else "allows restarts")
+          m.m_leaked)
+      s.monitor;
+    Printf.printf "campaign   : %d runs, %d unsafe, %d non-deterministic -> %s\n"
+      (List.length s.runs) s.unsafe s.nondeterministic
+      (if s.ok then "OK" else "FAILED");
+    if not s.ok then exit 1
+  in
+  Cmd.v (Cmd.info "inject" ~doc)
+    Term.(
+      const run $ seeds_arg $ inj_ops_arg $ scenarios_arg $ policies_arg
+      $ verify_arg $ max_restarts_arg)
+
 (* --- kernels --------------------------------------------------------------- *)
 
 let kernels_cmd =
@@ -409,4 +521,5 @@ let () =
   let info = Cmd.info "autarky_sim" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ costs_cmd; run_cmd; trace_cmd; attack_cmd; kernels_cmd ]))
+       (Cmd.group info
+          [ costs_cmd; run_cmd; trace_cmd; attack_cmd; inject_cmd; kernels_cmd ]))

@@ -10,6 +10,10 @@ type t = {
   n_pages : int;
   cache_base : Sgx.Types.vpage;
   capacity : int;
+  (* Slots [0, live) are in use; slots [live, capacity) have been
+     released under memory pressure ({!shrink}) and are never touched
+     again.  [live] only decreases. *)
+  mutable live : int;
   slots : int array;
   slot_of : (int, int) Hashtbl.t;
   dirty : bool array;
@@ -32,6 +36,7 @@ let create ?(writeback = `Dirty_only) ~machine ~enclave ~touch ~oram
     n_pages;
     cache_base = cache_base_vpage;
     capacity = capacity_pages;
+    live = capacity_pages;
     slots = Array.make capacity_pages (-1);
     slot_of = Hashtbl.create (2 * capacity_pages);
     dirty = Array.make capacity_pages false;
@@ -47,6 +52,7 @@ let in_data_region t vaddr =
 let data_region t = (t.data_base, t.n_pages)
 let hits t = t.hit_count
 let misses t = t.miss_count
+let live_capacity t = t.live
 
 let cache_page_data t slot =
   match
@@ -104,10 +110,39 @@ let slot_for t vaddr kind =
     t.miss_count <- t.miss_count + 1;
     Metrics.Counters.incr (Sgx.Machine.counters t.machine) "oram_cache.miss";
     let slot = t.hand in
-    t.hand <- (t.hand + 1) mod t.capacity;
+    t.hand <- (t.hand + 1) mod t.live;
     fill_slot t slot block;
     ignore kind;
     slot
+
+(* Graceful degradation under memory pressure: give up the top cache
+   slots (writing dirty occupants back to the ORAM first) and return the
+   released cache vpages so the caller can hand their frames back to the
+   OS.  The cache keeps at least a quarter of its original capacity —
+   shrinking to nothing would turn every access into a full ORAM round
+   trip *and* leave the round-robin hand nowhere to point. *)
+let shrink t ~pages =
+  let min_live = max 1 (t.capacity / 4) in
+  let target = max min_live (t.live - pages) in
+  let released = ref [] in
+  while t.live > target do
+    let slot = t.live - 1 in
+    let block = t.slots.(slot) in
+    if block >= 0 then begin
+      if t.writeback = `Always || t.dirty.(slot) then begin
+        Sgx.Machine.charge t.machine (oblivious_copy_cost t);
+        Oram.Path_oram.access t.oram ~block (fun oram_data ->
+            blit_page ~src:(cache_page_data t slot) ~dst:oram_data)
+      end;
+      Hashtbl.remove t.slot_of block;
+      t.slots.(slot) <- -1;
+      t.dirty.(slot) <- false
+    end;
+    t.live <- slot;
+    released := (t.cache_base + slot) :: !released
+  done;
+  if t.hand >= t.live then t.hand <- 0;
+  !released
 
 let access t vaddr kind =
   let slot = slot_for t vaddr kind in

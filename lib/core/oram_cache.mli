@@ -46,3 +46,15 @@ val write_stamp : t -> Sgx.Types.vaddr -> int -> unit
 
 val hits : t -> int
 val misses : t -> int
+
+val live_capacity : t -> int
+(** Cache slots currently in use (equals the creation capacity until
+    {!shrink} is called). *)
+
+val shrink : t -> pages:int -> Sgx.Types.vpage list
+(** Degrade under memory pressure: release up to [pages] cache slots
+    (dirty occupants are written back to the ORAM first) and return the
+    released cache vpages, which the caller must stop using and may
+    evict.  The cache never shrinks below a quarter of its original
+    capacity; the returned list may therefore be shorter than [pages]
+    (empty when already at the floor). *)

@@ -1,14 +1,27 @@
 type vpage = Sgx.Types.vpage
 
+type fetch_error =
+  [ `Epc_exhausted
+  | `Blob_missing of vpage
+  | `Blob_mac_mismatch of vpage
+  | `Blob_replayed of vpage ]
+
+let pp_fetch_error ppf = function
+  | `Epc_exhausted -> Format.pp_print_string ppf "EPC exhausted"
+  | `Blob_missing vp -> Format.fprintf ppf "backing-store blob for 0x%x missing" vp
+  | `Blob_mac_mismatch vp ->
+    Format.fprintf ppf "blob for 0x%x failed MAC verification" vp
+  | `Blob_replayed vp -> Format.fprintf ppf "stale blob replayed for 0x%x" vp
+
 type t = {
   set_enclave_managed : vpage list -> (vpage * bool) list;
   set_os_managed : vpage list -> unit;
-  fetch_pages : vpage list -> (unit, [ `Epc_exhausted ]) result;
+  fetch_pages : vpage list -> (unit, fetch_error) result;
   evict_pages : vpage list -> unit;
   aug_pages : vpage list -> (unit, [ `Epc_exhausted ]) result;
   remove_pages : vpage list -> unit;
   blob_store : vpage -> Sim_crypto.Sealer.sealed -> unit;
   blob_load : vpage -> Sim_crypto.Sealer.sealed option;
-  page_in_os_managed : vpage -> unit;
+  page_in_os_managed : vpage -> (unit, fetch_error) result;
   epc_headroom : unit -> int;
 }

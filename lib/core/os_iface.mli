@@ -6,15 +6,34 @@
     re-checked in-enclave by hardware (EPCM, MAC/versions) or by the
     runtime's own tracking.  The record is wired to the simulated kernel
     by the harness; keeping it a record of closures keeps the trusted
-    runtime free of any dependency on OS internals. *)
+    runtime free of any dependency on OS internals.
+
+    Every liveness-relevant call returns a [result] so a Byzantine OS
+    (or the fault-injection layer interposed by the harness) cannot
+    crash the runtime with an unexpected exception: transient refusals
+    ([`Epc_exhausted]) are retried with backoff, while blob faults —
+    deleted, tampered or replayed backing-store pages — are *detected*
+    attacks that terminate the enclave. *)
 
 type vpage = Sgx.Types.vpage
+
+(** Why the OS failed to produce a requested page. *)
+type fetch_error =
+  [ `Epc_exhausted        (** no EPC headroom (possibly transient) *)
+  | `Blob_missing of vpage
+        (** backing store has no blob and the page is not resident: the
+            OS deleted or withheld it *)
+  | `Blob_mac_mismatch of vpage  (** blob tampered (ELDU MAC failure) *)
+  | `Blob_replayed of vpage      (** stale blob (anti-replay failure) *)
+  ]
+
+val pp_fetch_error : Format.formatter -> fetch_error -> unit
 
 type t = {
   set_enclave_managed : vpage list -> (vpage * bool) list;
       (** claim pages for self-paging; returns current residence *)
   set_os_managed : vpage list -> unit;
-  fetch_pages : vpage list -> (unit, [ `Epc_exhausted ]) result;
+  fetch_pages : vpage list -> (unit, fetch_error) result;
       (** SGXv1: ELDU + map (batched) *)
   evict_pages : vpage list -> unit;
       (** SGXv1: EWB + unmap (batched) *)
@@ -25,7 +44,7 @@ type t = {
   blob_store : vpage -> Sim_crypto.Sealer.sealed -> unit;
       (** direct store of a runtime-sealed page to untrusted memory *)
   blob_load : vpage -> Sim_crypto.Sealer.sealed option;
-  page_in_os_managed : vpage -> unit;
+  page_in_os_managed : vpage -> (unit, fetch_error) result;
       (** forward a fault on an OS-managed page to the OS pager *)
   epc_headroom : unit -> int;
 }

@@ -156,8 +156,20 @@ let sgx2_fetch_one t vp =
         Sgx.Instructions.eacceptcopy t.machine t.enclave ~vpage:vp
           ~data:(Sgx.Page_data.of_bytes plaintext)))
   | None ->
-    (* First touch: accept the zero-filled EAUGed page. *)
-    Sgx.Instructions.eaccept t.machine t.enclave ~vpage:vp
+    if Hashtbl.mem t.versions vp then begin
+      (* The runtime sealed this page out; the OS "losing" its blob is
+         not a first touch but a detected attack on the backing store. *)
+      incr t "rt.attack_detected";
+      Sgx.Enclave.terminate t.enclave
+        ~reason:
+          (Printf.sprintf
+             "backing store lost the runtime-sealed blob for page 0x%x (OS \
+              deleted or withheld it): detected attack"
+             vp)
+    end
+    else
+      (* First touch: accept the zero-filled EAUGed page. *)
+      Sgx.Instructions.eaccept t.machine t.enclave ~vpage:vp
 
 (* --- Public fetch/evict --------------------------------------------- *)
 
@@ -175,6 +187,50 @@ let evict t pages =
     incr t "rt.evict_batches"
   end
 
+(* Bounded retry with exponential backoff for transient EPC exhaustion
+   (an OS under memory pressure, or a Byzantine OS injecting refusal
+   bursts).  Each retry charges a host-call round trip scaled by the
+   attempt number; a persistent refusal still terminates — the OS broke
+   the pinning contract — but a transient burst is *recovered* without
+   giving the OS a termination to observe. *)
+let max_fetch_attempts = 6
+
+let retry_epc_exhausted t op =
+  let cm = Sgx.Machine.model t.machine in
+  let rec go attempt =
+    match op () with
+    | Error `Epc_exhausted when attempt < max_fetch_attempts ->
+      incr t "rt.fetch_retries";
+      charge t (cm.exitless_call * (1 lsl attempt));
+      go (attempt + 1)
+    | r -> r
+  in
+  go 0
+
+let terminate_on_fetch_error t (e : Os_iface.fetch_error) : 'a =
+  let reason =
+    match e with
+    | `Epc_exhausted ->
+      "OS refused to provide EPC frames (pinning contract broken)"
+    | `Blob_missing vp ->
+      Printf.sprintf
+        "backing store lost the blob for page 0x%x (OS deleted or withheld \
+         it): detected attack"
+        vp
+    | `Blob_mac_mismatch vp ->
+      Printf.sprintf
+        "page integrity violation on 0x%x: blob failed MAC verification \
+         (tampering detected)"
+        vp
+    | `Blob_replayed vp ->
+      Printf.sprintf
+        "page freshness violation on 0x%x: stale blob replayed (anti-replay \
+         detected)"
+        vp
+  in
+  incr t "rt.attack_detected";
+  Sgx.Enclave.terminate t.enclave ~reason
+
 let fetch t pages =
   let pages = List.filter (fun vp -> not (resident t vp)) pages in
   if pages <> [] then begin
@@ -184,17 +240,20 @@ let fetch t pages =
         (List.length pages) (resident_count t) t.budget;
     (match t.pager_mech with
     | `Sgx1 -> (
-      match t.os.fetch_pages pages with
+      (* The kernel call skips already-resident pages, so a retried
+         batch keeps whatever partial progress the refused attempt
+         made. *)
+      match retry_epc_exhausted t (fun () -> t.os.fetch_pages pages) with
       | Ok () -> ()
-      | Error `Epc_exhausted ->
-        Sgx.Enclave.terminate t.enclave
-          ~reason:"OS refused to provide EPC frames (pinning contract broken)")
+      | Error e -> terminate_on_fetch_error t e)
     | `Sgx2 -> (
-      match t.os.aug_pages pages with
+      match
+        retry_epc_exhausted t (fun () ->
+            (t.os.aug_pages pages
+              :> (unit, Os_iface.fetch_error) result))
+      with
       | Ok () -> List.iter (sgx2_fetch_one t) pages
-      | Error `Epc_exhausted ->
-        Sgx.Enclave.terminate t.enclave
-          ~reason:"OS refused to provide EPC frames (pinning contract broken)"));
+      | Error e -> terminate_on_fetch_error t e));
     List.iter (mark_resident t) pages;
     Metrics.Counters.add (Sgx.Machine.counters t.machine) "rt.pages_fetched"
       (List.length pages);

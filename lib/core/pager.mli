@@ -42,9 +42,12 @@ val oldest_residents : t -> int -> vpage list
 
 val fetch : t -> vpage list -> unit
 (** Bring the given non-resident pages in (already-resident pages are
-    skipped).  The caller must have made room within the budget; if the
-    OS cannot provide frames the enclave terminates (the OS broke the
-    pinning contract or is starving us — §5.2.1). *)
+    skipped).  The caller must have made room within the budget.
+    Transient [`Epc_exhausted] refusals are retried with exponential
+    backoff (bounded; counted in ["rt.fetch_retries"]); a persistent
+    refusal terminates the enclave (the OS broke the pinning contract
+    or is starving us — §5.2.1), and a missing, tampered or replayed
+    backing-store blob terminates immediately as a detected attack. *)
 
 val evict : t -> vpage list -> unit
 (** Write the given resident pages out (non-resident ones are skipped). *)

@@ -1,10 +1,17 @@
 type t = {
   runtime : Runtime.t;
   cl : Clusters.t;
+  mutable min_budget : int;
   mutable fetches : int;
+  mutable balloon_calls : int;
 }
 
-let create ~runtime ~clusters = { runtime; cl = clusters; fetches = 0 }
+let create ~runtime ~clusters =
+  { runtime; cl = clusters; min_budget = 32; fetches = 0; balloon_calls = 0 }
+
+let set_min_budget t n =
+  assert (n > 0);
+  t.min_budget <- n
 let clusters t = t.cl
 let cluster_fetches t = t.fetches
 
@@ -50,8 +57,12 @@ let on_miss t vp _sf =
   t.fetches <- t.fetches + 1
 
 (* Ballooning: release whole clusters only — single-cluster eviction
-   preserves the residence invariant. *)
+   preserves the residence invariant.  Sustained pressure (a second and
+   further upcalls) also shrinks the pager budget toward [min_budget]
+   (which must stay above the largest cluster fetch set): degraded
+   cluster churn instead of a starvation termination. *)
 let balloon t n =
+  t.balloon_calls <- t.balloon_calls + 1;
   let pager = Runtime.pager t.runtime in
   let released = ref 0 in
   let stuck = ref false in
@@ -62,6 +73,19 @@ let balloon t n =
       Pager.evict pager vs;
       released := !released + List.length vs
   done;
+  if t.balloon_calls >= 2 then begin
+    let shrunk = max t.min_budget (Pager.budget pager - n) in
+    if shrunk < Pager.budget pager then begin
+      Pager.set_budget pager shrunk;
+      Metrics.Counters.incr
+        (Sgx.Machine.counters (Runtime.machine t.runtime))
+        "rt.policy_degraded";
+      emit t (fun () ->
+          Trace.Event.Decision
+            { policy = "page-clusters"; action = "degrade-shrink-budget";
+              vpages = [] })
+    end
+  end;
   !released
 
 let policy t =

@@ -11,6 +11,14 @@
 type t
 
 val create : runtime:Runtime.t -> clusters:Clusters.t -> t
+
+val set_min_budget : t -> int -> unit
+(** The floor (default 32) the pager budget degrades toward under
+    sustained memory-pressure upcalls: the first balloon call only
+    evicts whole clusters; the second and further ones also shrink the
+    budget, counted in ["rt.policy_degraded"].  Keep it larger than the
+    biggest cluster fetch set. *)
+
 val policy : t -> Runtime.policy
 val clusters : t -> Clusters.t
 val cluster_fetches : t -> int

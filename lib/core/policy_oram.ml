@@ -1,6 +1,10 @@
-type t = { runtime : Runtime.t; oram_cache : Oram_cache.t }
+type t = {
+  runtime : Runtime.t;
+  oram_cache : Oram_cache.t;
+  mutable balloon_calls : int;
+}
 
-let create ~runtime ~cache = { runtime; oram_cache = cache }
+let create ~runtime ~cache = { runtime; oram_cache = cache; balloon_calls = 0 }
 let cache t = t.oram_cache
 
 let emit t k =
@@ -11,11 +15,33 @@ let emit t k =
       ~enclave:(Runtime.enclave t.runtime).Sgx.Enclave.id
       ~actor:(Trace.Event.Policy "oram") (k ())
 
+(* Ballooning: the cache and metadata are all sensitive, so a single
+   memory-pressure upcall is refused outright.  Under *sustained*
+   pressure refusal just invites forced eviction (which would look like
+   an attack and kill the enclave), so the policy degrades instead:
+   shrink the ORAM cache — dirty slots are written back through the
+   oblivious protocol, leaking nothing — and hand the freed cache pages
+   back to the OS. *)
+let balloon t n =
+  t.balloon_calls <- t.balloon_calls + 1;
+  if t.balloon_calls < 2 then 0
+  else
+    match Oram_cache.shrink t.oram_cache ~pages:n with
+    | [] -> 0
+    | vs ->
+      Metrics.Counters.incr
+        (Sgx.Machine.counters (Runtime.machine t.runtime))
+        "rt.policy_degraded";
+      emit t (fun () ->
+          Trace.Event.Decision
+            { policy = "oram"; action = "degrade-shrink-cache"; vpages = vs });
+      Pager.evict (Runtime.pager t.runtime) vs;
+      List.length vs
+
 let policy t =
   {
     Runtime.pol_name = "oram";
-    (* The cache and metadata are all sensitive: refuse to deflate. *)
-    pol_balloon = (fun _ -> 0);
+    pol_balloon = (fun n -> balloon t n);
     pol_on_miss =
       (fun vp _sf ->
         let reason =

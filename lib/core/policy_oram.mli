@@ -5,7 +5,14 @@
     {!Oram_cache}.  All remaining enclave-managed pages (code, stack,
     cache, ORAM metadata) are pinned, so the runtime-level policy is the
     pinned one — any fault on them is an attack.  There is no leak: the
-    OS sees only the oblivious PathORAM traffic. *)
+    OS sees only the oblivious PathORAM traffic.
+
+    A single memory-pressure upcall is refused (everything is
+    sensitive); sustained pressure (a second and further upcalls)
+    degrades gracefully instead of risking forced eviction: the ORAM
+    cache shrinks — down to a quarter of its capacity — and the freed,
+    obliviously written-back cache pages are released to the OS
+    (counted in ["rt.policy_degraded"]). *)
 
 type t
 

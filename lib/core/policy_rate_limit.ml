@@ -5,22 +5,26 @@ type t = {
   max_faults_per_unit : int;
   evict_batch : int;
   eviction : eviction;
+  min_budget : int;
   fault_counts : (Sgx.Types.vpage, int) Hashtbl.t;
   mutable window : int;
   mutable total : int;
+  mutable balloon_calls : int;
 }
 
 let create ~runtime ?(max_faults_per_unit = max_int) ?(evict_batch = 16)
-    ?(eviction = `Fifo) () =
-  assert (max_faults_per_unit > 0 && evict_batch > 0);
+    ?(eviction = `Fifo) ?(min_budget = 16) () =
+  assert (max_faults_per_unit > 0 && evict_batch > 0 && min_budget > 0);
   {
     runtime;
     max_faults_per_unit;
     evict_batch;
     eviction;
+    min_budget;
     fault_counts = Hashtbl.create 4096;
     window = 0;
     total = 0;
+    balloon_calls = 0;
   }
 
 let emit t k =
@@ -74,8 +78,13 @@ let on_miss t vp _sf =
   Pager.fetch pager [ vp ]
 
 (* Ballooning: FIFO/frequency batch eviction leaks no more than the
-   policy's normal eviction traffic. *)
+   policy's normal eviction traffic.  Under sustained pressure (a
+   second and further upcalls) the policy also shrinks the pager budget
+   toward [min_budget] so subsequent paging stays inside what the OS
+   can actually provide — degraded throughput instead of a starvation
+   termination. *)
 let balloon t n =
+  t.balloon_calls <- t.balloon_calls + 1;
   let pager = Runtime.pager t.runtime in
   let released = ref 0 in
   let stuck = ref false in
@@ -87,6 +96,19 @@ let balloon t n =
       Pager.evict pager take;
       released := !released + List.length take
   done;
+  if t.balloon_calls >= 2 then begin
+    let shrunk = max t.min_budget (Pager.budget pager - n) in
+    if shrunk < Pager.budget pager then begin
+      Pager.set_budget pager shrunk;
+      Metrics.Counters.incr
+        (Sgx.Machine.counters (Runtime.machine t.runtime))
+        "rt.policy_degraded";
+      emit t (fun () ->
+          Trace.Event.Decision
+            { policy = "rate-limit"; action = "degrade-shrink-budget";
+              vpages = [] })
+    end
+  end;
   !released
 
 let policy t =

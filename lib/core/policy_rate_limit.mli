@@ -25,9 +25,13 @@ type t
 
 val create :
   runtime:Runtime.t -> ?max_faults_per_unit:int -> ?evict_batch:int ->
-  ?eviction:eviction -> unit -> t
+  ?eviction:eviction -> ?min_budget:int -> unit -> t
 (** [max_faults_per_unit] defaults to [max_int] (no limit — pure demand
-    paging); [evict_batch] defaults to 16; [eviction] to [`Fifo]. *)
+    paging); [evict_batch] defaults to 16; [eviction] to [`Fifo].
+    [min_budget] (default 16) is the floor the pager budget degrades
+    toward under sustained memory-pressure upcalls: the first balloon
+    call only evicts, the second and further ones also shrink the
+    budget (counted in ["rt.policy_degraded"]). *)
 
 val policy : t -> Runtime.policy
 (** Install with {!Runtime.set_policy}. *)

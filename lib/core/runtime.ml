@@ -87,18 +87,45 @@ let handle_exception t (enclave : Sgx.Enclave.t) =
       else begin
         incr t "rt.legitimate_miss";
         t.rt_policy.pol_on_miss vp sf;
-        if not (Pager.resident t.rt_pager vp) then
-          Sgx.Types.sgx_errorf
-            "policy %s did not fetch faulting page 0x%x" t.rt_policy.pol_name vp
+        if not (Pager.resident t.rt_pager vp) then begin
+          (* An OS-triggerable condition (a policy starved of frames, or
+             an OS lying about what it fetched) must stay a modeled
+             termination, never an OCaml exception escaping the trusted
+             fault handler. *)
+          incr t "rt.policy_no_fetch";
+          terminate t
+            ~reason:
+              (Printf.sprintf
+                 "policy %s did not fetch faulting page 0x%x (OS starvation \
+                  or broken contract)"
+                 t.rt_policy.pol_name vp)
+        end
       end
     else begin
       (* OS-managed page: forward to the OS pager (ordinary demand
-         paging on insensitive pages). *)
+         paging on insensitive pages).  Transient EPC exhaustion is
+         retried with backoff; blob faults are detected attacks. *)
       incr t "rt.forwarded_to_os";
       emit t ~actor:Trace.Event.Runtime (fun () ->
           Trace.Event.Decision
             { policy = "runtime"; action = "forward-to-os"; vpages = [ vp ] });
-      t.rt_os.page_in_os_managed vp
+      let max_attempts = 6 in
+      let rec forward attempt =
+        match t.rt_os.page_in_os_managed vp with
+        | Ok () -> ()
+        | Error `Epc_exhausted when attempt < max_attempts ->
+          incr t "rt.fetch_retries";
+          Sgx.Machine.charge t.rt_machine (cm.exitless_call * (1 lsl attempt));
+          forward (attempt + 1)
+        | Error e ->
+          incr t "rt.attack_detected";
+          terminate t
+            ~reason:
+              (Format.asprintf
+                 "OS failed to page in OS-managed page 0x%x: %a" vp
+                 Os_iface.pp_fetch_error e)
+      in
+      forward 0
     end
 
 let create ~machine ~enclave ~os ~mech ~budget =

@@ -24,8 +24,8 @@ let os_iface os proc : Autarky.Os_iface.t =
   }
 
 let create ?model ?(mode = Sgx.Machine.Full_exits) ?(mech = `Sgx1) ?budget
-    ?(trace = false) ?trace_capacity ~epc_frames ~epc_limit ~enclave_pages
-    ~self_paging () =
+    ?(trace = false) ?trace_capacity ?wrap_os ~epc_frames ~epc_limit
+    ~enclave_pages ~self_paging () =
   assert (epc_frames > 0 && epc_limit > 0 && enclave_pages > 0);
   let machine =
     match model with
@@ -60,10 +60,14 @@ let create ?model ?(mode = Sgx.Machine.Full_exits) ?(mech = `Sgx1) ?budget
   let runtime =
     if self_paging then begin
       let budget = Option.value budget ~default:(max 1 (epc_limit - 64)) in
-      let rt =
-        Autarky.Runtime.create ~machine ~enclave ~os:(os_iface os proc) ~mech
-          ~budget
+      (* [wrap_os] interposes on the kernel/runtime boundary — the
+         fault-injection layer's hook. *)
+      let iface =
+        match wrap_os with
+        | None -> os_iface os proc
+        | Some w -> w (os_iface os proc)
       in
+      let rt = Autarky.Runtime.create ~machine ~enclave ~os:iface ~mech ~budget in
       (* Cooperative ballooning: the OS's memory-pressure upcall lands in
          the runtime, which applies the active policy's deflation rules. *)
       Sim_os.Kernel.set_balloon_handler os proc (fun pages ->

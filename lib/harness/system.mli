@@ -23,6 +23,7 @@ val create :
   ?budget:int ->
   ?trace:bool ->
   ?trace_capacity:int ->
+  ?wrap_os:(Autarky.Os_iface.t -> Autarky.Os_iface.t) ->
   epc_frames:int -> epc_limit:int -> enclave_pages:int -> self_paging:bool ->
   unit -> t
 (** Build the platform, create and populate the enclave (all pages
@@ -36,7 +37,13 @@ val create :
     machine before the enclave is built, so every layer's events —
     including enclave construction and initial paging — are recorded;
     [trace_capacity] bounds the recorder's ring (sinks attached via
-    {!tracer} still see the complete stream). *)
+    {!tracer} still see the complete stream).
+
+    [wrap_os] interposes on the {!Autarky.Os_iface.t} record before it
+    is handed to the runtime — the hook through which the Byzantine-OS
+    fault-injection layer ([Inject.Injector.wrap_os]) intercepts the
+    kernel/runtime boundary.  Only meaningful for self-paging
+    enclaves. *)
 
 val machine : t -> Sgx.Machine.t
 val os : t -> Sim_os.Kernel.t

@@ -1,0 +1,310 @@
+type policy_kind = Rate_limit | Clusters | Oram
+
+let all_policies = [ Rate_limit; Clusters; Oram ]
+
+let policy_name = function
+  | Rate_limit -> "rate-limit"
+  | Clusters -> "clusters"
+  | Oram -> "oram"
+
+let policy_of_name s =
+  List.find_opt (fun p -> policy_name p = s) all_policies
+
+exception Hang_detected
+
+let page = Sgx.Types.page_bytes
+
+(* Campaign platform geometry: a 320-page enclave against a 96-frame
+   allowance and a 48-page runtime budget.  The initially-resident
+   96-page prefix stays OS-managed (evictable kernel working room); the
+   64-page data region is protected by the policy under test; the
+   32-page side region stays OS-managed so the forwarded demand-paging
+   path is exercised too.  Both protected regions start beyond the EPC
+   allowance, i.e. as sealed blobs in the backing store — tampering
+   targets from the first operation on. *)
+let epc_frames = 192
+let epc_limit = 96
+let enclave_pages = 320
+let budget = 48
+let prefix_pages = 96
+let data_pages = 64
+let side_pages = 32
+let oram_cache_pages = 16
+
+type exec = {
+  e_raw : [ `Completed | `Terminated of string | `Hang | `Crash of string ];
+  e_output : int64;  (* FNV over the values the workload read *)
+  e_mismatch : bool;  (* a read disagreed with the shadow model *)
+  e_cycles : int;
+  e_degraded : bool;
+  e_injected : int;
+  e_digest : string;  (* trace digest, injections included *)
+}
+
+(* One run: build a fresh platform (optionally with an injector wired
+   into the OS interface), drive a seeded mixed read/write workload over
+   the data and side regions, tick the injector between operations, and
+   record how the run resolved. *)
+let exec_run ~policy ~seed ~ops ~scenario ~cycle_cap =
+  let inj =
+    Option.map
+      (fun sc ->
+        Injector.create
+          ~seed:(Int64.of_int ((seed * 7919) + 17))
+          ~scenario:sc ())
+      scenario
+  in
+  let wrap_os = Option.map (fun i os -> Injector.wrap_os i os) inj in
+  let sys =
+    Harness.System.create ?wrap_os ~trace:true ~mech:`Sgx1 ~epc_frames
+      ~epc_limit ~enclave_pages ~self_paging:true ~budget ()
+  in
+  let tr = Harness.System.tracer_exn sys in
+  let dsink, dres = Trace.Sink.digest () in
+  Trace.Recorder.add_sink tr dsink;
+  let rt = Harness.System.runtime_exn sys in
+  let cpu = Harness.System.cpu sys in
+  let _prefix = Harness.System.reserve sys ~pages:prefix_pages in
+  (* Data region + policy wiring; [read_v]/[write_v] are the workload's
+     value accessors for the protected region. *)
+  let data_base, read_v, write_v =
+    match policy with
+    | Rate_limit ->
+      let base = Harness.System.reserve sys ~pages:data_pages in
+      let rl = Autarky.Policy_rate_limit.create ~runtime:rt () in
+      Autarky.Runtime.set_policy rt (Autarky.Policy_rate_limit.policy rl);
+      Harness.System.manage sys (List.init data_pages (fun i -> base + i));
+      ( base,
+        (fun a -> Sgx.Cpu.read_stamp cpu a),
+        fun a v -> Sgx.Cpu.write_stamp cpu a v )
+    | Clusters ->
+      let heap =
+        Harness.System.allocator sys ~pages:data_pages ~cluster_pages:4
+      in
+      for _ = 1 to data_pages do
+        ignore (Autarky.Allocator.alloc_page heap)
+      done;
+      let pc =
+        Autarky.Policy_clusters.create ~runtime:rt
+          ~clusters:(Autarky.Allocator.clusters heap)
+      in
+      Autarky.Policy_clusters.set_min_budget pc 16;
+      Autarky.Runtime.set_policy rt (Autarky.Policy_clusters.policy pc);
+      Harness.System.manage sys (Autarky.Allocator.allocated_pages heap);
+      ( Autarky.Allocator.base_vpage heap,
+        (fun a -> Sgx.Cpu.read_stamp cpu a),
+        fun a v -> Sgx.Cpu.write_stamp cpu a v )
+    | Oram ->
+      let base = Harness.System.reserve sys ~pages:data_pages in
+      let cache_base = Harness.System.reserve sys ~pages:oram_cache_pages in
+      let oram =
+        Oram.Path_oram.create
+          ~clock:(Harness.System.clock sys)
+          ~rng:(Metrics.Rng.create ~seed:(Int64.of_int (9_000 + seed)))
+          ~n_blocks:data_pages ()
+      in
+      let cache =
+        Autarky.Oram_cache.create
+          ~machine:(Harness.System.machine sys)
+          ~enclave:(Harness.System.enclave sys)
+          ~touch:(fun a k -> Sgx.Cpu.access cpu a k)
+          ~oram ~data_base_vpage:base ~n_pages:data_pages
+          ~cache_base_vpage:cache_base ~capacity_pages:oram_cache_pages ()
+      in
+      Harness.System.pin sys
+        (List.init oram_cache_pages (fun i -> cache_base + i));
+      let pol = Autarky.Policy_oram.create ~runtime:rt ~cache in
+      Autarky.Runtime.set_policy rt (Autarky.Policy_oram.policy pol);
+      ( base,
+        (fun a -> Autarky.Oram_cache.read_stamp cache a),
+        fun a v -> Autarky.Oram_cache.write_stamp cache a v )
+  in
+  let side_base = Harness.System.reserve sys ~pages:side_pages in
+  Option.iter
+    (fun i ->
+      let targets =
+        List.init data_pages (fun j -> data_base + j)
+        @ List.init side_pages (fun j -> side_base + j)
+      in
+      Injector.attach i ~sys ~targets)
+    inj;
+  (* The workload proper: seeded mix of side-region touches (25%) and
+     data-region writes (~22%) / reads, with a shadow model checked on
+     every read and folded into the output digest. *)
+  let rng = Metrics.Rng.create ~seed:(Int64.of_int seed) in
+  let shadow = Array.make data_pages 0 in
+  let output = ref Trace.Fnv.empty in
+  let mismatch = ref false in
+  let clock = Harness.System.clock sys in
+  let raw =
+    try
+      for _op = 1 to ops do
+        if Metrics.Clock.now clock > cycle_cap then raise Hang_detected;
+        Harness.System.run_in_enclave sys (fun () ->
+            if Metrics.Rng.float rng < 0.25 then
+              Sgx.Cpu.read cpu
+                ((side_base + Metrics.Rng.int rng side_pages) * page)
+            else begin
+              let i = Metrics.Rng.int rng data_pages in
+              let a = (data_base + i) * page in
+              if Metrics.Rng.float rng < 0.3 then begin
+                let v = 1 + Metrics.Rng.int rng 1_000_000 in
+                shadow.(i) <- v;
+                write_v a v
+              end
+              else begin
+                let v = read_v a in
+                if v <> shadow.(i) then mismatch := true;
+                output :=
+                  Trace.Fnv.feed_string !output (Printf.sprintf "%d:%d;" i v)
+              end
+            end);
+        Option.iter Injector.tick inj
+      done;
+      `Completed
+    with
+    | Sgx.Types.Enclave_terminated { reason; _ } -> `Terminated reason
+    | Hang_detected -> `Hang
+    | e -> `Crash (Printexc.to_string e)
+  in
+  Trace.Recorder.close tr;
+  {
+    e_raw = raw;
+    e_output = !output;
+    e_mismatch = !mismatch;
+    e_cycles = Metrics.Clock.now clock;
+    e_degraded =
+      Metrics.Counters.get (Harness.System.counters sys) "rt.policy_degraded"
+      > 0;
+    e_injected = (match inj with None -> 0 | Some i -> Injector.injected i);
+    e_digest = dres ();
+  }
+
+let classify ~golden x =
+  match x.e_raw with
+  | `Crash msg -> Fault.Crash msg
+  | `Hang -> Fault.Hang "exceeded the cycle watchdog (32x the golden run)"
+  | `Terminated reason -> Fault.Detected reason
+  | `Completed ->
+    if x.e_mismatch then
+      Fault.Silent_corruption "a read disagreed with the shadow model"
+    else if x.e_output <> golden.e_output then
+      Fault.Silent_corruption "output diverged from the uninjected golden run"
+    else if x.e_degraded then Fault.Degraded
+    else Fault.Recovered
+
+(* --- the campaign ------------------------------------------------------ *)
+
+type run_result = {
+  r_policy : policy_kind;
+  r_scenario : Fault.scenario;
+  r_seed : int;
+  r_outcome : Fault.outcome;
+  r_injected : int;
+  r_digest : string;
+}
+
+type monitor_row = { m_identity : string; m_refused : bool; m_leaked : float }
+
+type summary = {
+  runs : run_result list;
+  unsafe : int;
+  nondeterministic : int;
+  monitor : monitor_row list;
+  ok : bool;
+}
+
+let run ?(seeds = [ 1; 2; 3; 4; 5 ]) ?(ops = 120) ?(scenarios = Fault.all)
+    ?(policies = all_policies) ?(verify_determinism = false)
+    ?(max_restarts = 3) () =
+  let golden = Hashtbl.create 16 in
+  let golden_for policy seed =
+    match Hashtbl.find_opt golden (policy, seed) with
+    | Some g -> g
+    | None ->
+      let g =
+        exec_run ~policy ~seed ~ops ~scenario:None ~cycle_cap:max_int
+      in
+      (match g.e_raw with
+      | `Completed when not g.e_mismatch -> ()
+      | _ ->
+        failwith
+          (Printf.sprintf "golden run failed (policy %s, seed %d)"
+             (policy_name policy) seed));
+      Hashtbl.replace golden (policy, seed) g;
+      g
+  in
+  (* The restart monitor sees every Detected verdict as one termination
+     + restart of the policy's enclave identity.  Its clock never
+     advances, so the whole campaign lands in one sliding window — the
+     worst case for the termination channel. *)
+  let mclock = Metrics.Clock.create Metrics.Cost_model.default in
+  let monitor = Autarky.Restart_monitor.create ~clock:mclock ~max_restarts () in
+  let nondet = ref 0 in
+  let runs =
+    List.concat_map
+      (fun policy ->
+        List.concat_map
+          (fun sc ->
+            List.map
+              (fun seed ->
+                let g = golden_for policy seed in
+                let cap = (g.e_cycles * 32) + 50_000_000 in
+                let x =
+                  exec_run ~policy ~seed ~ops ~scenario:(Some sc)
+                    ~cycle_cap:cap
+                in
+                let outcome = classify ~golden:g x in
+                if verify_determinism then begin
+                  let x2 =
+                    exec_run ~policy ~seed ~ops ~scenario:(Some sc)
+                      ~cycle_cap:cap
+                  in
+                  let o2 = classify ~golden:g x2 in
+                  if
+                    o2 <> outcome || x2.e_digest <> x.e_digest
+                    || x2.e_injected <> x.e_injected
+                  then incr nondet
+                end;
+                (match outcome with
+                | Fault.Detected reason ->
+                  let identity = policy_name policy in
+                  Autarky.Restart_monitor.record_termination monitor ~identity
+                    ~reason;
+                  ignore
+                    (Autarky.Restart_monitor.record_start monitor ~identity)
+                | _ -> ());
+                {
+                  r_policy = policy;
+                  r_scenario = sc;
+                  r_seed = seed;
+                  r_outcome = outcome;
+                  r_injected = x.e_injected;
+                  r_digest = x.e_digest;
+                })
+              seeds)
+          scenarios)
+      policies
+  in
+  let unsafe =
+    List.length (List.filter (fun r -> not (Fault.is_safe r.r_outcome)) runs)
+  in
+  let monitor_rows =
+    List.map
+      (fun p ->
+        let identity = policy_name p in
+        {
+          m_identity = identity;
+          m_refused = Autarky.Restart_monitor.refused monitor ~identity;
+          m_leaked =
+            Autarky.Restart_monitor.leaked_bits_bound monitor ~identity;
+        })
+      policies
+  in
+  {
+    runs;
+    unsafe;
+    nondeterministic = !nondet;
+    monitor = monitor_rows;
+    ok = unsafe = 0 && !nondet = 0;
+  }

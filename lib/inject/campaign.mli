@@ -1,0 +1,66 @@
+(** Fault-injection campaigns: N seeds x M scenarios per policy, each
+    run differentially checked against an uninjected golden run of the
+    same (policy, seed) cell.
+
+    Each cell builds a fresh self-paging platform (fixed geometry, see
+    the implementation), wires a fresh {!Injector} into the OS
+    interface, and drives a seeded mixed workload over a policy-protected
+    data region and an OS-managed side region, ticking the injector
+    between operations.  The run resolves into a {!Fault.outcome}:
+
+    {ul
+    {- completed with output identical to the golden run —
+       [Recovered], or [Degraded] when a policy shrank its budget/cache
+       under pressure (["rt.policy_degraded"]);}
+    {- modeled enclave termination — [Detected], recorded against the
+       campaign's {!Autarky.Restart_monitor} (whose clock never
+       advances, so the whole campaign is one worst-case window for the
+       termination channel);}
+    {- anything else — [Silent_corruption] / [Hang] / [Crash], which
+       count as subsystem failures and clear {!summary.ok}.}}
+
+    Determinism contract: the same seed yields the same injection
+    schedule, verdict and trace digest; [verify_determinism] re-executes
+    every injected cell and compares all three. *)
+
+type policy_kind = Rate_limit | Clusters | Oram
+
+val all_policies : policy_kind list
+val policy_name : policy_kind -> string
+val policy_of_name : string -> policy_kind option
+
+type run_result = {
+  r_policy : policy_kind;
+  r_scenario : Fault.scenario;
+  r_seed : int;
+  r_outcome : Fault.outcome;
+  r_injected : int;  (** injections actually performed *)
+  r_digest : string;  (** trace digest of the injected run *)
+}
+
+type monitor_row = {
+  m_identity : string;
+  m_refused : bool;
+      (** the restart monitor cut this identity off (budget exhausted) *)
+  m_leaked : float;  (** upper bound on termination-channel leakage, bits *)
+}
+
+type summary = {
+  runs : run_result list;
+  unsafe : int;  (** runs that resolved into a non-safe outcome *)
+  nondeterministic : int;  (** cells whose re-execution diverged *)
+  monitor : monitor_row list;
+  ok : bool;  (** [unsafe = 0 && nondeterministic = 0] *)
+}
+
+val run :
+  ?seeds:int list ->
+  ?ops:int ->
+  ?scenarios:Fault.scenario list ->
+  ?policies:policy_kind list ->
+  ?verify_determinism:bool ->
+  ?max_restarts:int ->
+  unit -> summary
+(** Defaults: seeds [1..5], 120 operations per run, every scenario,
+    every policy, no determinism re-execution, restart budget 3.
+    @raise Failure when an uninjected golden run fails to complete. *)

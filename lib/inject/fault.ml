@@ -1,0 +1,54 @@
+type scenario =
+  | Bit_flip
+  | Replay
+  | Drop_blob
+  | Epc_burst
+  | Limit_shrink
+  | Balloon_storm
+  | Reentry
+
+let all =
+  [ Bit_flip; Replay; Drop_blob; Epc_burst; Limit_shrink; Balloon_storm;
+    Reentry ]
+
+let name = function
+  | Bit_flip -> "bit-flip"
+  | Replay -> "replay"
+  | Drop_blob -> "drop-blob"
+  | Epc_burst -> "epc-burst"
+  | Limit_shrink -> "limit-shrink"
+  | Balloon_storm -> "balloon-storm"
+  | Reentry -> "reentry"
+
+let of_name s =
+  List.find_opt (fun sc -> name sc = s) all
+
+let pp_scenario ppf sc = Format.pp_print_string ppf (name sc)
+
+type outcome =
+  | Recovered
+  | Degraded
+  | Detected of string
+  | Silent_corruption of string
+  | Hang of string
+  | Crash of string
+
+let is_safe = function
+  | Recovered | Degraded | Detected _ -> true
+  | Silent_corruption _ | Hang _ | Crash _ -> false
+
+let outcome_name = function
+  | Recovered -> "recovered"
+  | Degraded -> "degraded"
+  | Detected _ -> "detected"
+  | Silent_corruption _ -> "silent-corruption"
+  | Hang _ -> "hang"
+  | Crash _ -> "crash"
+
+let pp_outcome ppf = function
+  | Recovered -> Format.pp_print_string ppf "recovered"
+  | Degraded -> Format.pp_print_string ppf "degraded"
+  | Detected r -> Format.fprintf ppf "detected (%s)" r
+  | Silent_corruption r -> Format.fprintf ppf "SILENT CORRUPTION (%s)" r
+  | Hang r -> Format.fprintf ppf "HANG (%s)" r
+  | Crash r -> Format.fprintf ppf "CRASH (%s)" r

@@ -1,0 +1,48 @@
+(** The Byzantine-OS fault taxonomy and the detect-or-recover verdicts.
+
+    A scenario is one way an actively malicious (or merely broken) OS
+    can violate the kernel/runtime contract of §5.2.1; an outcome is how
+    a run of the hardened runtime resolved under that scenario.  The
+    safety property of the subsystem is that every injected fault
+    resolves into one of the three {e safe} outcomes — the enclave never
+    silently computes on corrupt state, never hangs, and never escapes
+    the modeled termination path with a raw simulator exception. *)
+
+(** What the injector does to the kernel/runtime boundary. *)
+type scenario =
+  | Bit_flip  (** flip one ciphertext bit of a stored sealed blob *)
+  | Replay  (** re-install a stale (previously valid) sealed blob *)
+  | Drop_blob  (** delete a stored blob — the OS "loses" an evicted page *)
+  | Epc_burst
+      (** transient [`Epc_exhausted] refusals on the fetch syscalls *)
+  | Limit_shrink
+      (** halve the process's EPC limit for a while, reclaiming and
+          ballooning down to the new allowance, then restore it *)
+  | Balloon_storm  (** repeated memory-pressure upcalls *)
+  | Reentry  (** spurious handler invocation with no pending exception *)
+
+val all : scenario list
+val name : scenario -> string
+val of_name : string -> scenario option
+val pp_scenario : Format.formatter -> scenario -> unit
+
+(** How one injected run resolved.  The first three are the acceptable
+    verdicts; the last three are subsystem failures a campaign reports
+    loudly. *)
+type outcome =
+  | Recovered  (** completed with output identical to the golden run *)
+  | Degraded
+      (** completed correctly, but a policy shrank its cache or budget
+          under sustained pressure (["rt.policy_degraded"] > 0) *)
+  | Detected of string
+      (** modeled enclave termination with the given reason — the
+          Autarky answer to tampering, replay, lost blobs, starvation
+          and re-entrancy *)
+  | Silent_corruption of string
+      (** completed but diverged from the uninjected golden run *)
+  | Hang of string  (** exceeded the cycle watchdog *)
+  | Crash of string  (** a raw exception escaped the modeled paths *)
+
+val is_safe : outcome -> bool
+val outcome_name : outcome -> string
+val pp_outcome : Format.formatter -> outcome -> unit

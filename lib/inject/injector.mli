@@ -1,0 +1,46 @@
+(** Deterministic, seed-driven Byzantine-OS fault injector.
+
+    One injector drives one {!Fault.scenario} against one simulated
+    platform.  It interposes on the kernel/runtime boundary in two ways:
+
+    {ul
+    {- {!wrap_os} wraps the {!Autarky.Os_iface.t} record before the
+       runtime sees it (pass it as [?wrap_os] to
+       {!Harness.System.create}), so armed [`Epc_exhausted] bursts are
+       served to [fetch_pages] / [aug_pages] / [page_in_os_managed]
+       calls from inside the runtime's own fetch paths;}
+    {- {!tick}, called by the campaign between workload operations,
+       draws one uniform variate and — at the configured [rate] — fires
+       the scenario's action against the kernel, the backing store or
+       the enclave directly.}}
+
+    All randomness flows through a private {!Metrics.Rng.t}, so the same
+    seed produces the same injection schedule, the same trace events and
+    the same verdict, run after run.  Every firing emits a
+    {!Trace.Event.Inject} event (actor [Attacker]) before acting. *)
+
+type t
+
+val create :
+  seed:int64 -> scenario:Fault.scenario -> ?rate:float -> unit -> t
+(** [rate] (default 0.08) is the per-{!tick} firing probability. *)
+
+val scenario : t -> Fault.scenario
+
+val injected : t -> int
+(** Injections actually performed (a tick that found nothing to corrupt
+    — e.g. no blob currently stored — does not count). *)
+
+val wrap_os : t -> Autarky.Os_iface.t -> Autarky.Os_iface.t
+(** Interpose on the kernel/runtime boundary.  Safe to install before
+    {!attach}: the gate is inert until a burst is armed. *)
+
+val attach : t -> sys:Harness.System.t -> targets:Sgx.Types.vpage list -> unit
+(** Point the injector at a built platform.  [targets] are the pages
+    whose backing-store blobs tampering scenarios may corrupt. *)
+
+val tick : t -> unit
+(** One injection opportunity.  Must be called outside the enclave
+    (between workload operations).  May raise
+    {!Sgx.Types.Enclave_terminated} when the fired action is detected
+    immediately (e.g. [Reentry]). *)

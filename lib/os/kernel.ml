@@ -29,7 +29,18 @@ type t = {
   kernel_hooks : hooks;
 }
 
-type fetch_error = [ `Epc_exhausted ]
+type fetch_error =
+  [ `Epc_exhausted
+  | `Blob_missing of Types.vpage
+  | `Blob_mac_mismatch of Types.vpage
+  | `Blob_replayed of Types.vpage ]
+
+let pp_fetch_error ppf = function
+  | `Epc_exhausted -> Format.pp_print_string ppf "EPC exhausted"
+  | `Blob_missing vp -> Format.fprintf ppf "backing-store blob for 0x%x missing" vp
+  | `Blob_mac_mismatch vp ->
+    Format.fprintf ppf "blob for 0x%x failed MAC verification" vp
+  | `Blob_replayed vp -> Format.fprintf ppf "stale blob replayed for 0x%x" vp
 
 let create machine =
   {
@@ -228,7 +239,7 @@ let ensure_headroom t proc ~extra =
 
 (* --- Fetch ----------------------------------------------------------- *)
 
-let do_fetch t proc vp ~pinned =
+let do_fetch t proc vp ~pinned : (unit, fetch_error) result =
   match Swap_store.take proc.proc_swap vp with
   | Some (Swap_store.V1 sw) -> (
     match Instructions.eldu t.machine proc.enclave sw with
@@ -238,30 +249,46 @@ let do_fetch t proc vp ~pinned =
       if not pinned then enqueue_os_resident proc vp;
       if not pinned then incr t "os.fetch";
       emit t proc ~actor:Trace.Event.Os (fun () ->
-          Trace.Event.Fetch { vpages = [ vp ]; enclave_initiated = pinned })
-    | Error e ->
-      Types.sgx_errorf "ELDU failed for page 0x%x: %s" vp
-        (Format.asprintf "%a" Instructions.pp_eldu_error e))
+          Trace.Event.Fetch { vpages = [ vp ]; enclave_initiated = pinned });
+      Ok ()
+    | Error `Mac_mismatch -> Error (`Blob_mac_mismatch vp)
+    | Error `Replayed -> Error (`Blob_replayed vp)
+    | Error `Epc_full ->
+      (* The caller ensured headroom; running out here is a simulator
+         bug, not OS behaviour. *)
+      Types.sgx_errorf "ELDU: EPC full after headroom check for page 0x%x" vp)
   | Some (Swap_store.V2 _) ->
     Types.sgx_errorf "OS fetch of runtime-sealed (SGXv2) page 0x%x" vp
   | None -> (
-    (* No blob: the page is resident but was unmapped or had its
-       permissions restricted — restore the intended mapping. *)
+    (* No blob: either the page is resident but was unmapped or had its
+       permissions restricted — restore the intended mapping — or the
+       OS deleted the blob of a swapped-out page (a Byzantine fault the
+       runtime must detect). *)
     match Epc.frame_of t.machine.epc ~enclave_id:proc.enclave.id ~vpage:vp with
     | Some frame ->
       map_page proc ~vpage:vp ~frame ~perms:(intended_perms_of proc vp);
-      incr t "os.remap"
-    | None -> Types.sgx_errorf "fault on never-populated page 0x%x" vp)
+      incr t "os.remap";
+      Ok ()
+    | None -> Error (`Blob_missing vp))
 
 (* --- Fault handling -------------------------------------------------- *)
 
+(* Legacy enclaves have no trusted layer to turn OS misbehaviour into a
+   modeled termination, so failures here stay simulator errors. *)
 let service_legacy_fault t proc vp =
-  if not (Swap_store.mem proc.proc_swap vp) then do_fetch t proc vp ~pinned:false
-  else
-    match ensure_headroom t proc ~extra:1 with
-    | Ok () -> do_fetch t proc vp ~pinned:false
-    | Error `Epc_exhausted ->
-      Types.sgx_errorf "OS cannot make EPC headroom for page 0x%x" vp
+  let fetched =
+    if not (Swap_store.mem proc.proc_swap vp) then do_fetch t proc vp ~pinned:false
+    else
+      match ensure_headroom t proc ~extra:1 with
+      | Ok () -> do_fetch t proc vp ~pinned:false
+      | Error `Epc_exhausted ->
+        Types.sgx_errorf "OS cannot make EPC headroom for page 0x%x" vp
+  in
+  match fetched with
+  | Ok () -> ()
+  | Error e ->
+    Types.sgx_errorf "legacy demand paging failed for page 0x%x: %s" vp
+      (Format.asprintf "%a" pp_fetch_error e)
 
 let handle_fault t (report : Types.os_fault_report) =
   let proc =
@@ -336,8 +363,16 @@ let ay_fetch_pages t proc pages =
   match ensure_headroom t proc ~extra:(List.length needed) with
   | Error `Epc_exhausted -> Error `Epc_exhausted
   | Ok () ->
-    List.iter (fun vp -> do_fetch t proc vp ~pinned:true) needed;
-    Ok ()
+    (* Stop at the first blob fault: the error names the offending page
+       so the runtime can report exactly what the OS broke. *)
+    let rec fetch_all = function
+      | [] -> Ok ()
+      | vp :: rest -> (
+        match do_fetch t proc vp ~pinned:true with
+        | Ok () -> fetch_all rest
+        | Error _ as e -> e)
+    in
+    fetch_all needed
 
 let ay_evict_pages t proc pages =
   charge_hostcall t proc "os.sys.evict_pages" ~pages:(List.length pages);
@@ -387,14 +422,12 @@ let blob_load t proc vp =
     None
   | None -> None
 
-let page_in_os_managed t proc vp =
+let page_in_os_managed t proc vp : (unit, fetch_error) result =
   charge_hostcall t proc "os.sys.page_in" ~pages:1;
-  if not (resident t proc vp) && Swap_store.mem proc.proc_swap vp then begin
+  if not (resident t proc vp) && Swap_store.mem proc.proc_swap vp then
     match ensure_headroom t proc ~extra:1 with
     | Ok () -> do_fetch t proc vp ~pinned:false
-    | Error `Epc_exhausted ->
-      Types.sgx_errorf "page_in_os_managed: no EPC headroom for 0x%x" vp
-  end
+    | Error `Epc_exhausted -> Error `Epc_exhausted
   else do_fetch t proc vp ~pinned:false
 
 let epc_headroom t proc =

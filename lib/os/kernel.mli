@@ -70,7 +70,17 @@ val os_callbacks : t -> Sgx.Cpu.os_callbacks
     each call charges one host-call round trip regardless of batch
     size — the reason the ABI takes page lists. *)
 
-type fetch_error = [ `Epc_exhausted ]
+(** Why the kernel failed to produce a requested page.  [`Epc_exhausted]
+    is (possibly transiently) benign; the [`Blob_*] cases are Byzantine
+    faults on the backing store — deleted, tampered or replayed blobs —
+    that a self-paging runtime must detect. *)
+type fetch_error =
+  [ `Epc_exhausted
+  | `Blob_missing of Sgx.Types.vpage
+  | `Blob_mac_mismatch of Sgx.Types.vpage
+  | `Blob_replayed of Sgx.Types.vpage ]
+
+val pp_fetch_error : Format.formatter -> fetch_error -> unit
 
 val ay_set_enclave_managed :
   t -> proc -> Sgx.Types.vpage list -> (Sgx.Types.vpage * bool) list
@@ -83,7 +93,9 @@ val ay_set_os_managed : t -> proc -> Sgx.Types.vpage list -> unit
 val ay_fetch_pages :
   t -> proc -> Sgx.Types.vpage list -> (unit, fetch_error) result
 (** SGXv1 path: ELDU each page from the backing store and map it.
-    Fails (without partial effect) if EPC headroom cannot be made. *)
+    Fails without partial effect if EPC headroom cannot be made; fails
+    at the offending page if its blob is missing, tampered or stale
+    (pages before it in the batch stay fetched). *)
 
 val ay_evict_pages : t -> proc -> Sgx.Types.vpage list -> unit
 (** SGXv1 path: EWB each resident page to the backing store and unmap. *)
@@ -91,7 +103,7 @@ val ay_evict_pages : t -> proc -> Sgx.Types.vpage list -> unit
 (** {1 SGXv2 support calls (used by the runtime's in-enclave pager)} *)
 
 val ay_aug_pages :
-  t -> proc -> Sgx.Types.vpage list -> (unit, fetch_error) result
+  t -> proc -> Sgx.Types.vpage list -> (unit, [ `Epc_exhausted ]) result
 (** EAUG + map each page (pending until the enclave EACCEPTCOPYs). *)
 
 val ay_remove_pages : t -> proc -> Sgx.Types.vpage list -> unit
@@ -103,7 +115,8 @@ val blob_store : t -> proc -> Sgx.Types.vpage -> Sim_crypto.Sealer.sealed -> uni
 
 val blob_load : t -> proc -> Sgx.Types.vpage -> Sim_crypto.Sealer.sealed option
 
-val page_in_os_managed : t -> proc -> Sgx.Types.vpage -> unit
+val page_in_os_managed :
+  t -> proc -> Sgx.Types.vpage -> (unit, fetch_error) result
 (** Demand-paging service for a fault the runtime forwarded because it
     hit an OS-managed page. *)
 
@@ -128,7 +141,8 @@ val reclaim_for_shrink : t -> proc -> target:int -> unit
     [target] or no evictable page remains (used when a hypervisor shrinks
     the guest's partition). *)
 
-val reclaim_global : t -> needed:int -> requester:proc -> (unit, fetch_error) result
+val reclaim_global :
+  t -> needed:int -> requester:proc -> (unit, [ `Epc_exhausted ]) result
 (** Multi-enclave memory pressure: free EPC frames for [requester] by
     evicting other processes' OS-managed pages and, failing that,
     ballooning their enclaves.  Static partitioning (disjoint

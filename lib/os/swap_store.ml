@@ -16,3 +16,4 @@ let peek t vp = Hashtbl.find_opt t vp
 let mem t vp = Hashtbl.mem t vp
 let size t = Hashtbl.length t
 let replace_raw t vp blob = Hashtbl.replace t vp blob
+let delete t vp = Hashtbl.remove t vp

@@ -24,3 +24,7 @@ val size : t -> int
 
 val replace_raw : t -> Sgx.Types.vpage -> blob -> unit
 (** Adversarial: overwrite a stored blob without any checks. *)
+
+val delete : t -> Sgx.Types.vpage -> unit
+(** Adversarial: drop a stored blob (the OS "loses" an evicted page). *)
+

@@ -22,6 +22,7 @@ type kind =
   | Decision of { policy : string; action : string; vpages : int list }
   | Probe of { probe : string; vpages : int list }
   | Balloon of { requested : int; released : int }
+  | Inject of { scenario : string; detail : string; vpages : int list }
   | Terminate of { reason : string }
   | Mark of { name : string }
 
@@ -50,6 +51,7 @@ let kind_name = function
   | Decision _ -> "decision"
   | Probe _ -> "probe"
   | Balloon _ -> "balloon"
+  | Inject _ -> "inject"
   | Terminate _ -> "terminate"
   | Mark _ -> "mark"
 
@@ -76,7 +78,7 @@ let os_view ev =
             } }
   | Aex _ | Eenter | Eexit | Eresume _ -> Some ev
   | Fetch _ | Evict _ | Syscall _ | Balloon _ -> Some ev
-  | Probe _ -> Some ev
+  | Probe _ | Inject _ -> Some ev
   | Terminate _ ->
     (* The OS observes the enclave dying, not why. *)
     Some { ev with kind = Terminate { reason = "" } }
@@ -161,6 +163,10 @@ let to_buffer buf ev =
   | Balloon b ->
     add_int_field buf "requested" b.requested;
     add_int_field buf "released" b.released
+  | Inject i ->
+    add_string_field buf "scenario" i.scenario;
+    add_string_field buf "detail" i.detail;
+    add_vpages_field buf "vpages" i.vpages
   | Terminate t -> add_string_field buf "reason" t.reason
   | Mark m -> add_string_field buf "name" m.name);
   Buffer.add_char buf '}'

@@ -46,6 +46,9 @@ type kind =
   | Probe of { probe : string; vpages : int list }
       (** attacker page-table manipulation or A/D-bit read *)
   | Balloon of { requested : int; released : int }
+  | Inject of { scenario : string; detail : string; vpages : int list }
+      (** Byzantine-OS fault injection (the attacker tampering with the
+          kernel/runtime boundary); OS-visible — the adversary is the OS *)
   | Terminate of { reason : string }
   | Mark of { name : string }  (** harness phase marker *)
 

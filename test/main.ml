@@ -20,4 +20,5 @@ let () =
       ("instrument", Test_instrument.suite);
       ("trace", Test_trace.suite);
       ("mixed", Test_mixed.suite);
+      ("inject", Test_inject.suite);
     ]

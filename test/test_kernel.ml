@@ -88,7 +88,7 @@ let test_fetch_evict_pages () =
   ignore (Sim_os.Kernel.ay_set_enclave_managed os proc [ vp proc 40 ]);
   (match Sim_os.Kernel.ay_fetch_pages os proc [ vp proc 40 ] with
   | Ok () -> ()
-  | Error `Epc_exhausted -> Alcotest.fail "fetch failed");
+  | Error _ -> Alcotest.fail "fetch failed");
   checkb "fetched" true (Sim_os.Kernel.resident os proc (vp proc 40));
   (* PTE must carry preset A/D bits for a self-paging enclave. *)
   (match Sim_os.Kernel.attacker_read_ad os proc (vp proc 40) with
@@ -103,7 +103,10 @@ let test_enclave_managed_pinned () =
   ignore (Sim_os.Kernel.ay_set_enclave_managed os proc [ vp proc 0; vp proc 1 ]);
   (* Force pressure: fetch many other pages as OS-managed. *)
   for i = 8 to 15 do
-    Sim_os.Kernel.page_in_os_managed os proc (vp proc i)
+    match Sim_os.Kernel.page_in_os_managed os proc (vp proc i) with
+    | Ok () -> ()
+    | Error e ->
+      Alcotest.failf "page-in failed: %a" Sim_os.Kernel.pp_fetch_error e
   done;
   checkb "pinned page 0 still resident" true
     (Sim_os.Kernel.resident os proc (vp proc 0));
@@ -117,6 +120,8 @@ let test_fetch_fails_when_exhausted () =
   ignore (Sim_os.Kernel.ay_set_enclave_managed os proc all);
   match Sim_os.Kernel.ay_fetch_pages os proc [ vp proc 12 ] with
   | Error `Epc_exhausted -> ()
+  | Error e ->
+    Alcotest.failf "unexpected error: %a" Sim_os.Kernel.pp_fetch_error e
   | Ok () -> Alcotest.fail "fetch should have failed"
 
 let test_aug_remove_pages () =
