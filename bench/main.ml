@@ -20,6 +20,8 @@ let experiments =
     ("micro", "bechamel microbenchmarks of core primitives", Exp_micro.run);
     ("ablation", "design-choice sweeps (batch size, cache size, check cost, write-back)",
      Exp_ablation.run);
+    ("perf", "perf-regression harness: crypto micro + workload matrix \
+              (BENCH_perf.json)", Exp_perf.run);
   ]
 
 let usage () =
@@ -35,12 +37,21 @@ let () =
     print_endline "Autarky reproduction bench — all experiments";
     List.iter (fun (_, _, run) -> run ()) experiments
   | ids ->
+    (* Validate the whole request before running anything: a typo in the
+       last id must not cost the hours of experiments named before it. *)
+    let unknown =
+      List.filter
+        (fun id -> not (List.exists (fun (i, _, _) -> i = id) experiments))
+        ids
+    in
+    (match unknown with
+    | [] -> ()
+    | _ ->
+      List.iter (fun id -> Printf.eprintf "unknown experiment %S\n" id) unknown;
+      usage ();
+      exit 1);
     List.iter
       (fun id ->
-        match List.find_opt (fun (i, _, _) -> i = id) experiments with
-        | Some (_, _, run) -> run ()
-        | None ->
-          Printf.eprintf "unknown experiment %S\n" id;
-          usage ();
-          exit 1)
+        let _, _, run = List.find (fun (i, _, _) -> i = id) experiments in
+        run ())
       ids

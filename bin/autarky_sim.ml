@@ -499,6 +499,39 @@ let inject_cmd =
       const run $ seeds_arg $ inj_ops_arg $ scenarios_arg $ policies_arg
       $ verify_arg $ max_restarts_arg)
 
+(* --- perf ------------------------------------------------------------------ *)
+
+let perf_cmd =
+  let doc =
+    "Run the performance-regression harness: crypto microbenchmarks \
+     (optimized vs boxed reference) plus a fixed-seed workload matrix, \
+     reporting wall ns/access, allocated bytes/access and modeled cycles."
+  in
+  let quick_arg =
+    let doc =
+      "CI smoke mode: fewer iterations and a reduced matrix; no JSON file \
+       unless $(b,--out) is given."
+    in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let out_arg =
+    let doc =
+      "Write the autarky-perf/1 JSON report to $(docv).  Defaults to \
+       BENCH_perf.json in full mode, no file in quick mode."
+    in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc ~docv:"FILE")
+  in
+  let run quick out seed =
+    let out =
+      match (out, quick) with
+      | Some f, _ -> Some f
+      | None, false -> Some "BENCH_perf.json"
+      | None, true -> None
+    in
+    ignore (Harness.Perf.run ~quick ~seed ?out ())
+  in
+  Cmd.v (Cmd.info "perf" ~doc) Term.(const run $ quick_arg $ out_arg $ seed_arg)
+
 (* --- kernels --------------------------------------------------------------- *)
 
 let kernels_cmd =
@@ -522,4 +555,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ costs_cmd; run_cmd; trace_cmd; attack_cmd; inject_cmd; kernels_cmd ]))
+          [
+            costs_cmd;
+            run_cmd;
+            trace_cmd;
+            attack_cmd;
+            inject_cmd;
+            kernels_cmd;
+            perf_cmd;
+          ]))

@@ -20,6 +20,7 @@ type t = {
   mutable hand : int;
   mutable hit_count : int;
   mutable miss_count : int;
+  c_miss : Metrics.Counters.cell;
 }
 
 let create ?(writeback = `Dirty_only) ~machine ~enclave ~touch ~oram
@@ -43,6 +44,7 @@ let create ?(writeback = `Dirty_only) ~machine ~enclave ~touch ~oram
     hand = 0;
     hit_count = 0;
     miss_count = 0;
+    c_miss = Metrics.Counters.cell (Sgx.Machine.counters machine) "oram_cache.miss";
   }
 
 let in_data_region t vaddr =
@@ -108,7 +110,7 @@ let slot_for t vaddr kind =
     slot
   | None ->
     t.miss_count <- t.miss_count + 1;
-    Metrics.Counters.incr (Sgx.Machine.counters t.machine) "oram_cache.miss";
+    Metrics.Counters.cell_incr t.c_miss;
     let slot = t.hand in
     t.hand <- (t.hand + 1) mod t.live;
     fill_slot t slot block;

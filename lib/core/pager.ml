@@ -17,10 +17,19 @@ type t = {
   sealer : Sim_crypto.Sealer.t;  (* runtime paging keys (SGXv2 path) *)
   versions : (vpage, int64) Hashtbl.t;
   mutable version_counter : int64;
+  (* Counter cells interned at construction: fetch/evict run on every
+     policy decision and must not hash counter names. *)
+  c_pages_fetched : Metrics.Counters.cell;
+  c_pages_evicted : Metrics.Counters.cell;
+  c_fetch_batches : Metrics.Counters.cell;
+  c_evict_batches : Metrics.Counters.cell;
+  c_fetch_retries : Metrics.Counters.cell;
+  c_attack_detected : Metrics.Counters.cell;
 }
 
 let create ~machine ~enclave ~os ~mech ~budget =
   assert (budget > 0);
+  let cell = Metrics.Counters.cell (Sgx.Machine.counters machine) in
   {
     machine;
     enclave;
@@ -34,6 +43,12 @@ let create ~machine ~enclave ~os ~mech ~budget =
     sealer = Sim_crypto.Sealer.create ~master_key:"autarky-runtime-paging-key";
     versions = Hashtbl.create 4096;
     version_counter = 0L;
+    c_pages_fetched = cell "rt.pages_fetched";
+    c_pages_evicted = cell "rt.pages_evicted";
+    c_fetch_batches = cell "rt.fetch_batches";
+    c_evict_batches = cell "rt.evict_batches";
+    c_fetch_retries = cell "rt.fetch_retries";
+    c_attack_detected = cell "rt.attack_detected";
   }
 
 let mech t = t.pager_mech
@@ -41,7 +56,7 @@ let budget t = t.budget
 let set_budget t n = t.budget <- n
 let resident t vp = Hashtbl.mem t.resident_set vp
 let resident_count t = Hashtbl.length t.resident_set
-let incr t name = Metrics.Counters.incr (Sgx.Machine.counters t.machine) name
+let incr _t cell = Metrics.Counters.cell_incr cell
 let charge t n = Sgx.Machine.charge t.machine n
 
 let mark_resident t vp =
@@ -106,10 +121,14 @@ let fresh_version t =
 
 (* --- SGXv2 in-enclave paging ---------------------------------------- *)
 
-let sgx2_evict_one t vp =
+(* SGXv2 eviction is split in two around a batched seal: first make
+   every page read-only and snapshot it, then seal the whole run
+   through the sealer (which reuses its scratch buffers across pages),
+   then publish the blobs and trim.  Bit-identical to sealing one page
+   at a time — only the instruction interleave across pages changes. *)
+let sgx2_evict_prepare t vp =
   let cm = Sgx.Machine.model t.machine in
-  (* Make the page read-only so sealing is race-free, then seal and
-     store it in untrusted memory, trim, and have the OS remove it. *)
+  (* Make the page read-only so sealing is race-free. *)
   Sgx.Instructions.emodpr t.machine t.enclave ~vpage:vp ~perms:Sgx.Types.perms_ro;
   Sgx.Instructions.eaccept t.machine t.enclave ~vpage:vp;
   let data =
@@ -120,15 +139,17 @@ let sgx2_evict_one t vp =
   charge t (Metrics.Cost_model.sw_page_crypto cm);
   let version = fresh_version t in
   Hashtbl.replace t.versions vp version;
-  let sealed =
-    Sim_crypto.Sealer.seal t.sealer
-      ~vaddr:(Int64.of_int (Sgx.Types.vaddr_of_vpage vp))
-      ~version
-      (Sgx.Page_data.to_bytes data)
-  in
+  (Int64.of_int (Sgx.Types.vaddr_of_vpage vp), version, Sgx.Page_data.to_bytes data)
+
+let sgx2_evict_finish t vp sealed =
   t.os.blob_store vp sealed;
   Sgx.Instructions.emodt t.machine t.enclave ~vpage:vp;
   Sgx.Instructions.eaccept t.machine t.enclave ~vpage:vp
+
+let sgx2_evict t pages =
+  let items = List.map (sgx2_evict_prepare t) pages in
+  let sealed = Sim_crypto.Sealer.seal_batch t.sealer items in
+  List.iter2 (sgx2_evict_finish t) pages sealed
 
 let sgx2_fetch_one t vp =
   let cm = Sgx.Machine.model t.machine in
@@ -159,7 +180,7 @@ let sgx2_fetch_one t vp =
     if Hashtbl.mem t.versions vp then begin
       (* The runtime sealed this page out; the OS "losing" its blob is
          not a first touch but a detected attack on the backing store. *)
-      incr t "rt.attack_detected";
+      incr t t.c_attack_detected;
       Sgx.Enclave.terminate t.enclave
         ~reason:
           (Printf.sprintf
@@ -179,12 +200,11 @@ let evict t pages =
     (match t.pager_mech with
     | `Sgx1 -> t.os.evict_pages pages
     | `Sgx2 ->
-      List.iter (sgx2_evict_one t) pages;
+      sgx2_evict t pages;
       t.os.remove_pages pages);
     List.iter (mark_evicted t) pages;
-    Metrics.Counters.add (Sgx.Machine.counters t.machine) "rt.pages_evicted"
-      (List.length pages);
-    incr t "rt.evict_batches"
+    Metrics.Counters.cell_add t.c_pages_evicted (List.length pages);
+    incr t t.c_evict_batches
   end
 
 (* Bounded retry with exponential backoff for transient EPC exhaustion
@@ -200,7 +220,7 @@ let retry_epc_exhausted t op =
   let rec go attempt =
     match op () with
     | Error `Epc_exhausted when attempt < max_fetch_attempts ->
-      incr t "rt.fetch_retries";
+      incr t t.c_fetch_retries;
       charge t (cm.exitless_call * (1 lsl attempt));
       go (attempt + 1)
     | r -> r
@@ -228,7 +248,7 @@ let terminate_on_fetch_error t (e : Os_iface.fetch_error) : 'a =
          detected)"
         vp
   in
-  incr t "rt.attack_detected";
+  incr t t.c_attack_detected;
   Sgx.Enclave.terminate t.enclave ~reason
 
 let fetch t pages =
@@ -255,9 +275,8 @@ let fetch t pages =
       | Ok () -> List.iter (sgx2_fetch_one t) pages
       | Error e -> terminate_on_fetch_error t e));
     List.iter (mark_resident t) pages;
-    Metrics.Counters.add (Sgx.Machine.counters t.machine) "rt.pages_fetched"
-      (List.length pages);
-    incr t "rt.fetch_batches"
+    Metrics.Counters.cell_add t.c_pages_fetched (List.length pages);
+    incr t t.c_fetch_batches
   end
 
 let make_room t ~incoming ~victims =

@@ -4,10 +4,21 @@ type t = {
   mutable min_budget : int;
   mutable fetches : int;
   mutable balloon_calls : int;
+  c_degraded : Metrics.Counters.cell;
 }
 
 let create ~runtime ~clusters =
-  { runtime; cl = clusters; min_budget = 32; fetches = 0; balloon_calls = 0 }
+  {
+    runtime;
+    cl = clusters;
+    min_budget = 32;
+    fetches = 0;
+    balloon_calls = 0;
+    c_degraded =
+      Metrics.Counters.cell
+        (Sgx.Machine.counters (Runtime.machine runtime))
+        "rt.policy_degraded";
+  }
 
 let set_min_budget t n =
   assert (n > 0);
@@ -77,9 +88,7 @@ let balloon t n =
     let shrunk = max t.min_budget (Pager.budget pager - n) in
     if shrunk < Pager.budget pager then begin
       Pager.set_budget pager shrunk;
-      Metrics.Counters.incr
-        (Sgx.Machine.counters (Runtime.machine t.runtime))
-        "rt.policy_degraded";
+      Metrics.Counters.cell_incr t.c_degraded;
       emit t (fun () ->
           Trace.Event.Decision
             { policy = "page-clusters"; action = "degrade-shrink-budget";

@@ -2,9 +2,19 @@ type t = {
   runtime : Runtime.t;
   oram_cache : Oram_cache.t;
   mutable balloon_calls : int;
+  c_degraded : Metrics.Counters.cell;
 }
 
-let create ~runtime ~cache = { runtime; oram_cache = cache; balloon_calls = 0 }
+let create ~runtime ~cache =
+  {
+    runtime;
+    oram_cache = cache;
+    balloon_calls = 0;
+    c_degraded =
+      Metrics.Counters.cell
+        (Sgx.Machine.counters (Runtime.machine runtime))
+        "rt.policy_degraded";
+  }
 let cache t = t.oram_cache
 
 let emit t k =
@@ -29,9 +39,7 @@ let balloon t n =
     match Oram_cache.shrink t.oram_cache ~pages:n with
     | [] -> 0
     | vs ->
-      Metrics.Counters.incr
-        (Sgx.Machine.counters (Runtime.machine t.runtime))
-        "rt.policy_degraded";
+      Metrics.Counters.cell_incr t.c_degraded;
       emit t (fun () ->
           Trace.Event.Decision
             { policy = "oram"; action = "degrade-shrink-cache"; vpages = vs });

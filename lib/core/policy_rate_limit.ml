@@ -10,6 +10,7 @@ type t = {
   mutable window : int;
   mutable total : int;
   mutable balloon_calls : int;
+  c_degraded : Metrics.Counters.cell;
 }
 
 let create ~runtime ?(max_faults_per_unit = max_int) ?(evict_batch = 16)
@@ -25,6 +26,10 @@ let create ~runtime ?(max_faults_per_unit = max_int) ?(evict_batch = 16)
     window = 0;
     total = 0;
     balloon_calls = 0;
+    c_degraded =
+      Metrics.Counters.cell
+        (Sgx.Machine.counters (Runtime.machine runtime))
+        "rt.policy_degraded";
   }
 
 let emit t k =
@@ -100,9 +105,7 @@ let balloon t n =
     let shrunk = max t.min_budget (Pager.budget pager - n) in
     if shrunk < Pager.budget pager then begin
       Pager.set_budget pager shrunk;
-      Metrics.Counters.incr
-        (Sgx.Machine.counters (Runtime.machine t.runtime))
-        "rt.policy_degraded";
+      Metrics.Counters.cell_incr t.c_degraded;
       emit t (fun () ->
           Trace.Event.Decision
             { policy = "rate-limit"; action = "degrade-shrink-budget";

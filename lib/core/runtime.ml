@@ -14,6 +14,15 @@ type t = {
   enclave_managed : (vpage, unit) Hashtbl.t;
   mutable rt_policy : policy;
   mutable faults : int;
+  (* Interned at construction: the fault handler runs on every miss. *)
+  c_handler_invocations : Metrics.Counters.cell;
+  c_attack_detected : Metrics.Counters.cell;
+  c_legitimate_miss : Metrics.Counters.cell;
+  c_policy_no_fetch : Metrics.Counters.cell;
+  c_forwarded_to_os : Metrics.Counters.cell;
+  c_fetch_retries : Metrics.Counters.cell;
+  c_balloon_upcalls : Metrics.Counters.cell;
+  c_balloon_released : Metrics.Counters.cell;
 }
 
 let machine t = t.rt_machine
@@ -25,7 +34,7 @@ let set_policy t p = t.rt_policy <- p
 let is_enclave_managed t vp = Hashtbl.mem t.enclave_managed vp
 let faults_handled t = t.faults
 
-let incr t name = Metrics.Counters.incr (Sgx.Machine.counters t.rt_machine) name
+let incr _t cell = Metrics.Counters.cell_incr cell
 
 (* In-enclave tracing: these events never leave the enclave and are
    excluded from the OS-visible projection. *)
@@ -58,7 +67,7 @@ let pinned_policy t =
 let handle_exception t (enclave : Sgx.Enclave.t) =
   let cm = Sgx.Machine.model t.rt_machine in
   Sgx.Machine.charge t.rt_machine cm.runtime_handler;
-  incr t "rt.handler_invocations";
+  incr t t.c_handler_invocations;
   emit t ~actor:Trace.Event.Runtime (fun () ->
       Trace.Event.Handler { event = "exception-handler" });
   match Stack.top enclave.tcs.ssa with
@@ -72,7 +81,7 @@ let handle_exception t (enclave : Sgx.Enclave.t) =
     let vp = Sgx.Types.vpage_of_vaddr sf.sf_vaddr in
     if is_enclave_managed t vp then
       if Pager.resident t.rt_pager vp then begin
-        incr t "rt.attack_detected";
+        incr t t.c_attack_detected;
         emit t ~actor:Trace.Event.Runtime (fun () ->
             Trace.Event.Decision
               { policy = t.rt_policy.pol_name; action = "attack-detected";
@@ -85,14 +94,14 @@ let handle_exception t (enclave : Sgx.Enclave.t) =
                Sgx.Types.pp_fault_cause sf.sf_cause vp)
       end
       else begin
-        incr t "rt.legitimate_miss";
+        incr t t.c_legitimate_miss;
         t.rt_policy.pol_on_miss vp sf;
         if not (Pager.resident t.rt_pager vp) then begin
           (* An OS-triggerable condition (a policy starved of frames, or
              an OS lying about what it fetched) must stay a modeled
              termination, never an OCaml exception escaping the trusted
              fault handler. *)
-          incr t "rt.policy_no_fetch";
+          incr t t.c_policy_no_fetch;
           terminate t
             ~reason:
               (Printf.sprintf
@@ -105,7 +114,7 @@ let handle_exception t (enclave : Sgx.Enclave.t) =
       (* OS-managed page: forward to the OS pager (ordinary demand
          paging on insensitive pages).  Transient EPC exhaustion is
          retried with backoff; blob faults are detected attacks. *)
-      incr t "rt.forwarded_to_os";
+      incr t t.c_forwarded_to_os;
       emit t ~actor:Trace.Event.Runtime (fun () ->
           Trace.Event.Decision
             { policy = "runtime"; action = "forward-to-os"; vpages = [ vp ] });
@@ -114,11 +123,11 @@ let handle_exception t (enclave : Sgx.Enclave.t) =
         match t.rt_os.page_in_os_managed vp with
         | Ok () -> ()
         | Error `Epc_exhausted when attempt < max_attempts ->
-          incr t "rt.fetch_retries";
+          incr t t.c_fetch_retries;
           Sgx.Machine.charge t.rt_machine (cm.exitless_call * (1 lsl attempt));
           forward (attempt + 1)
         | Error e ->
-          incr t "rt.attack_detected";
+          incr t t.c_attack_detected;
           terminate t
             ~reason:
               (Format.asprintf
@@ -129,6 +138,7 @@ let handle_exception t (enclave : Sgx.Enclave.t) =
     end
 
 let create ~machine ~enclave ~os ~mech ~budget =
+  let cell = Metrics.Counters.cell (Sgx.Machine.counters machine) in
   let t =
     {
       rt_machine = machine;
@@ -140,6 +150,14 @@ let create ~machine ~enclave ~os ~mech ~budget =
         { pol_name = "uninitialized"; pol_on_miss = (fun _ _ -> ());
           pol_balloon = (fun _ -> 0) };
       faults = 0;
+      c_handler_invocations = cell "rt.handler_invocations";
+      c_attack_detected = cell "rt.attack_detected";
+      c_legitimate_miss = cell "rt.legitimate_miss";
+      c_policy_no_fetch = cell "rt.policy_no_fetch";
+      c_forwarded_to_os = cell "rt.forwarded_to_os";
+      c_fetch_retries = cell "rt.fetch_retries";
+      c_balloon_upcalls = cell "rt.balloon_upcalls";
+      c_balloon_released = cell "rt.balloon_released";
     }
   in
   t.rt_policy <- pinned_policy t;
@@ -149,10 +167,9 @@ let create ~machine ~enclave ~os ~mech ~budget =
 let balloon_release t ~pages =
   let cm = Sgx.Machine.model t.rt_machine in
   Sgx.Machine.charge t.rt_machine cm.runtime_handler;
-  incr t "rt.balloon_upcalls";
+  incr t t.c_balloon_upcalls;
   let released = t.rt_policy.pol_balloon pages in
-  Metrics.Counters.add (Sgx.Machine.counters t.rt_machine) "rt.balloon_released"
-    released;
+  Metrics.Counters.cell_add t.c_balloon_released released;
   emit t ~actor:Trace.Event.Runtime (fun () ->
       Trace.Event.Decision
         { policy = t.rt_policy.pol_name; action = "balloon-release"; vpages = [] });

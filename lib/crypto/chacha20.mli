@@ -2,7 +2,11 @@
 
     Stands in for the AES-NI / MEE encryption the paper's prototype uses
     for swapped-out page contents.  Pure OCaml, constant-shape (no
-    data-dependent branches on key or plaintext). *)
+    data-dependent branches on key or plaintext).
+
+    Implemented on unboxed native-int arithmetic with preallocated
+    state and keystream scratch; bit-identical to the boxed reference
+    in {!Chacha20_ref}. *)
 
 type key = bytes
 (** 32-byte key. *)

@@ -1,0 +1,91 @@
+(* Reference ChaCha20 on boxed [Int32] arithmetic — the original
+   implementation, kept verbatim as the differential-testing and
+   benchmarking baseline for the unboxed {!Chacha20}.  Do not optimize
+   this module; its value is being obviously correct and slow. *)
+
+type key = bytes
+type nonce = bytes
+
+let key_of_string s =
+  if String.length s = 0 then invalid_arg "Chacha20_ref.key_of_string: empty";
+  Bytes.init 32 (fun i -> s.[i mod String.length s])
+
+let rotl32 x n =
+  Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
+
+let quarter_round st a b c d =
+  st.(a) <- Int32.add st.(a) st.(b);
+  st.(d) <- rotl32 (Int32.logxor st.(d) st.(a)) 16;
+  st.(c) <- Int32.add st.(c) st.(d);
+  st.(b) <- rotl32 (Int32.logxor st.(b) st.(c)) 12;
+  st.(a) <- Int32.add st.(a) st.(b);
+  st.(d) <- rotl32 (Int32.logxor st.(d) st.(a)) 8;
+  st.(c) <- Int32.add st.(c) st.(d);
+  st.(b) <- rotl32 (Int32.logxor st.(b) st.(c)) 7
+
+let le32 b off =
+  let byte i = Int32.of_int (Char.code (Bytes.get b (off + i))) in
+  Int32.logor (byte 0)
+    (Int32.logor
+       (Int32.shift_left (byte 1) 8)
+       (Int32.logor (Int32.shift_left (byte 2) 16) (Int32.shift_left (byte 3) 24)))
+
+let store_le32 b off v =
+  Bytes.set b off (Char.chr (Int32.to_int (Int32.logand v 0xFFl)));
+  Bytes.set b (off + 1)
+    (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v 8) 0xFFl)));
+  Bytes.set b (off + 2)
+    (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v 16) 0xFFl)));
+  Bytes.set b (off + 3)
+    (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v 24) 0xFFl)))
+
+let block ~key ~counter ~nonce =
+  if Bytes.length key <> 32 then
+    invalid_arg "Chacha20_ref.block: key must be 32 bytes";
+  if Bytes.length nonce <> 12 then
+    invalid_arg "Chacha20_ref.block: nonce must be 12 bytes";
+  let init = Array.make 16 0l in
+  init.(0) <- 0x61707865l;
+  init.(1) <- 0x3320646el;
+  init.(2) <- 0x79622d32l;
+  init.(3) <- 0x6b206574l;
+  for i = 0 to 7 do
+    init.(4 + i) <- le32 key (4 * i)
+  done;
+  init.(12) <- counter;
+  for i = 0 to 2 do
+    init.(13 + i) <- le32 nonce (4 * i)
+  done;
+  let st = Array.copy init in
+  for _round = 1 to 10 do
+    quarter_round st 0 4 8 12;
+    quarter_round st 1 5 9 13;
+    quarter_round st 2 6 10 14;
+    quarter_round st 3 7 11 15;
+    quarter_round st 0 5 10 15;
+    quarter_round st 1 6 11 12;
+    quarter_round st 2 7 8 13;
+    quarter_round st 3 4 9 14
+  done;
+  let out = Bytes.create 64 in
+  for i = 0 to 15 do
+    store_le32 out (4 * i) (Int32.add st.(i) init.(i))
+  done;
+  out
+
+let xor_stream ~key ?(counter = 0l) ~nonce data =
+  let n = Bytes.length data in
+  let out = Bytes.create n in
+  let nblocks = (n + 63) / 64 in
+  for blk = 0 to nblocks - 1 do
+    let ks = block ~key ~counter:(Int32.add counter (Int32.of_int blk)) ~nonce in
+    let base = blk * 64 in
+    let len = min 64 (n - base) in
+    for i = 0 to len - 1 do
+      Bytes.set out (base + i)
+        (Char.chr
+           (Char.code (Bytes.get data (base + i))
+           lxor Char.code (Bytes.get ks i)))
+    done
+  done;
+  out

@@ -1,0 +1,13 @@
+(** Reference ChaCha20 implementation (boxed [Int32] arithmetic).
+
+    The original, deliberately straightforward implementation, preserved
+    as the baseline the optimized {!Chacha20} is differentially tested
+    and benchmarked against.  Identical bit-for-bit output, roughly an
+    order of magnitude slower. *)
+
+type key = bytes
+type nonce = bytes
+
+val key_of_string : string -> key
+val block : key:key -> counter:int32 -> nonce:nonce -> bytes
+val xor_stream : key:key -> ?counter:int32 -> nonce:nonce -> bytes -> bytes

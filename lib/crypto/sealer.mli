@@ -3,10 +3,15 @@
     Models the guarantees SGX's [EWB]/[ELDU] give to evicted EPC pages
     (confidentiality, integrity, freshness via version counters), and the
     custom in-enclave encryption the paper's SGXv2 path uses
-    (ChaCha20 + SipHash encrypt-then-MAC, version bound into the MAC). *)
+    (ChaCha20 + SipHash encrypt-then-MAC, version bound into the MAC).
+
+    A sealing context owns reused nonce and MAC scratch buffers, so the
+    hot eviction/reload paths allocate only the ciphertext or plaintext
+    they return. *)
 
 type t
-(** Sealing context holding the encryption and MAC keys. *)
+(** Sealing context holding the encryption and MAC keys plus reused
+    scratch buffers. *)
 
 type sealed = {
   ciphertext : bytes;
@@ -31,3 +36,17 @@ val unseal :
 (** Verify the MAC and the version, then decrypt.  A stale [sealed] value
     replayed by the untrusted OS fails with [Replayed]; any bit flip in
     the ciphertext or metadata fails with [Mac_mismatch]. *)
+
+(** {1 Batch operations}
+
+    Seal or unseal a run of pages through one context, reusing its
+    scratch buffers across pages.  Results are in input order and
+    bit-identical to sealing each page individually. *)
+
+val seal_batch : t -> (int64 * int64 * bytes) list -> sealed list
+(** Each item is [(vaddr, version, plaintext)]. *)
+
+val unseal_batch :
+  t -> (int64 * int64 * sealed) list -> (bytes list, int64 * error) result
+(** Each item is [(vaddr, expected_version, sealed)].  Stops at the
+    first failure, identifying the offending [vaddr]. *)

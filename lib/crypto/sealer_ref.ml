@@ -1,0 +1,60 @@
+(* Reference sealer on the boxed reference primitives — the original
+   implementation, kept as the interoperability baseline: a blob sealed
+   here must unseal under {!Sealer} with the same master key (and vice
+   versa), with identical ciphertext and MAC. *)
+
+type t = { enc_key : Chacha20_ref.key; mac_key : Siphash_ref.key }
+
+type sealed = Sealer.sealed = {
+  ciphertext : bytes;
+  mac : int64;
+  vaddr : int64;
+  version : int64;
+}
+
+let create ~master_key =
+  let enc_key = Chacha20_ref.key_of_string ("enc:" ^ master_key) in
+  let mac_material = Chacha20_ref.key_of_string ("mac:" ^ master_key) in
+  { enc_key; mac_key = Siphash_ref.key_of_bytes mac_material }
+
+let store_le64 b off v =
+  for i = 0 to 7 do
+    Bytes.set b (off + i)
+      (Char.chr
+         (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
+  done
+
+let nonce_of ~vaddr ~version =
+  let nonce = Bytes.create 12 in
+  store_le64 nonce 0 (Int64.logxor vaddr (Int64.shift_left version 17));
+  Bytes.set nonce 8 (Char.chr (Int64.to_int (Int64.logand version 0xFFL)));
+  Bytes.set nonce 9
+    (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical version 8) 0xFFL)));
+  Bytes.set nonce 10
+    (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical version 16) 0xFFL)));
+  Bytes.set nonce 11
+    (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical version 24) 0xFFL)));
+  nonce
+
+let mac_of t ~vaddr ~version ciphertext =
+  let n = Bytes.length ciphertext in
+  let buf = Bytes.create (n + 16) in
+  Bytes.blit ciphertext 0 buf 0 n;
+  store_le64 buf n vaddr;
+  store_le64 buf (n + 8) version;
+  Siphash_ref.hash t.mac_key buf
+
+let seal t ~vaddr ~version plaintext =
+  let nonce = nonce_of ~vaddr ~version in
+  let ciphertext = Chacha20_ref.xor_stream ~key:t.enc_key ~nonce plaintext in
+  let mac = mac_of t ~vaddr ~version ciphertext in
+  { ciphertext; mac; vaddr; version }
+
+let unseal t ~vaddr ~expected_version sealed =
+  if sealed.version <> expected_version then Error Sealer.Replayed
+  else
+    let mac = mac_of t ~vaddr:sealed.vaddr ~version:sealed.version sealed.ciphertext in
+    if mac <> sealed.mac || sealed.vaddr <> vaddr then Error Sealer.Mac_mismatch
+    else
+      let nonce = nonce_of ~vaddr:sealed.vaddr ~version:sealed.version in
+      Ok (Chacha20_ref.xor_stream ~key:t.enc_key ~nonce sealed.ciphertext)

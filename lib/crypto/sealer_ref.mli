@@ -1,0 +1,23 @@
+(** Reference sealer built on the boxed reference primitives.
+
+    Same construction as {!Sealer} (same key derivation, nonce layout
+    and MAC coverage), produced and consumed with the slow reference
+    ChaCha20/SipHash.  Shares {!Sealer.sealed} and {!Sealer.error}, so
+    blobs interoperate across the two implementations — the property
+    the differential tests and the sealing microbenchmark rely on. *)
+
+type t
+
+type sealed = Sealer.sealed = {
+  ciphertext : bytes;
+  mac : int64;
+  vaddr : int64;
+  version : int64;
+}
+
+val create : master_key:string -> t
+val seal : t -> vaddr:int64 -> version:int64 -> bytes -> sealed
+
+val unseal :
+  t -> vaddr:int64 -> expected_version:int64 -> sealed ->
+  (bytes, Sealer.error) result

@@ -1,9 +1,14 @@
 (** SipHash-2-4: a fast keyed 64-bit MAC (Aumasson & Bernstein).
 
     Used by the page sealer to authenticate swapped-out page contents,
-    standing in for the GCM/integrity-tree MACs of real SGX. *)
+    standing in for the GCM/integrity-tree MACs of real SGX.
 
-type key = { k0 : int64; k1 : int64 }
+    Implemented on unboxed native-int arithmetic (32-bit lane halves);
+    bit-identical to the boxed reference in {!Siphash_ref}. *)
+
+type key
+(** Expanded 128-bit key.  Abstract: the internal representation is a
+    pair of 64-bit lanes split into native-int halves. *)
 
 val key_of_bytes : bytes -> key
 (** First 16 bytes of the argument, little-endian. Raises

@@ -1,0 +1,81 @@
+(* Reference SipHash-2-4 on boxed [Int64] arithmetic — the original
+   implementation, kept verbatim as the differential-testing and
+   benchmarking baseline for the unboxed {!Siphash}. *)
+
+type key = { k0 : int64; k1 : int64 }
+
+let le64 b off =
+  let byte i = Int64.of_int (Char.code (Bytes.get b (off + i))) in
+  let acc = ref 0L in
+  for i = 7 downto 0 do
+    acc := Int64.logor (Int64.shift_left !acc 8) (byte i)
+  done;
+  !acc
+
+let key_of_bytes b =
+  if Bytes.length b < 16 then invalid_arg "Siphash_ref.key_of_bytes: need 16 bytes";
+  { k0 = le64 b 0; k1 = le64 b 8 }
+
+let rotl x n =
+  Int64.logor (Int64.shift_left x n) (Int64.shift_right_logical x (64 - n))
+
+type state = {
+  mutable v0 : int64;
+  mutable v1 : int64;
+  mutable v2 : int64;
+  mutable v3 : int64;
+}
+
+let sipround s =
+  s.v0 <- Int64.add s.v0 s.v1;
+  s.v1 <- rotl s.v1 13;
+  s.v1 <- Int64.logxor s.v1 s.v0;
+  s.v0 <- rotl s.v0 32;
+  s.v2 <- Int64.add s.v2 s.v3;
+  s.v3 <- rotl s.v3 16;
+  s.v3 <- Int64.logxor s.v3 s.v2;
+  s.v0 <- Int64.add s.v0 s.v3;
+  s.v3 <- rotl s.v3 21;
+  s.v3 <- Int64.logxor s.v3 s.v0;
+  s.v2 <- Int64.add s.v2 s.v1;
+  s.v1 <- rotl s.v1 17;
+  s.v1 <- Int64.logxor s.v1 s.v2;
+  s.v2 <- rotl s.v2 32
+
+let hash key data =
+  let n = Bytes.length data in
+  let s =
+    {
+      v0 = Int64.logxor key.k0 0x736f6d6570736575L;
+      v1 = Int64.logxor key.k1 0x646f72616e646f6dL;
+      v2 = Int64.logxor key.k0 0x6c7967656e657261L;
+      v3 = Int64.logxor key.k1 0x7465646279746573L;
+    }
+  in
+  let compress m =
+    s.v3 <- Int64.logxor s.v3 m;
+    sipround s;
+    sipround s;
+    s.v0 <- Int64.logxor s.v0 m
+  in
+  let full_words = n / 8 in
+  for w = 0 to full_words - 1 do
+    compress (le64 data (8 * w))
+  done;
+  (* Final word: remaining bytes plus length in the top byte. *)
+  let last = ref (Int64.shift_left (Int64.of_int (n land 0xFF)) 56) in
+  for i = n - 1 downto full_words * 8 do
+    last :=
+      Int64.logor
+        (Int64.shift_left (Int64.of_int (Char.code (Bytes.get data i))) (8 * (i mod 8)))
+        !last
+  done;
+  compress !last;
+  s.v2 <- Int64.logxor s.v2 0xFFL;
+  sipround s;
+  sipround s;
+  sipround s;
+  sipround s;
+  Int64.logxor (Int64.logxor s.v0 s.v1) (Int64.logxor s.v2 s.v3)
+
+let hash_string key s = hash key (Bytes.of_string s)

@@ -1,0 +1,11 @@
+(** Reference SipHash-2-4 implementation (boxed [Int64] arithmetic).
+
+    The original, deliberately straightforward implementation, preserved
+    as the baseline the optimized {!Siphash} is differentially tested
+    and benchmarked against.  Identical output for every input. *)
+
+type key = { k0 : int64; k1 : int64 }
+
+val key_of_bytes : bytes -> key
+val hash : key -> bytes -> int64
+val hash_string : key -> string -> int64

@@ -18,8 +18,21 @@ let run sys ?(reset = true) f =
   let t0 = base "mmu.tlb_miss" in
   let pf0 = base "rt.pages_fetched" + base "os.fetch" in
   let pe0 = base "rt.pages_evicted" + base "os.evict" in
+  let baseline = Metrics.Counters.snapshot counters in
   System.run_in_enclave sys f;
   let cycles = Metrics.Clock.span_cycles clock start in
+  (* [counters] is delta-based against the same pre-phase baseline as
+     the named fields: counters already non-zero before the phase are
+     reported net of their starting value. *)
+  let deltas =
+    List.filter_map
+      (fun (name, v) ->
+        let d =
+          match List.assoc_opt name baseline with Some b -> v - b | None -> v
+        in
+        if d <> 0 then Some (name, d) else None)
+      (Metrics.Counters.snapshot counters)
+  in
   {
     cycles;
     seconds = Metrics.Cost_model.seconds (Metrics.Clock.model clock) cycles;
@@ -27,7 +40,7 @@ let run sys ?(reset = true) f =
     tlb_misses = base "mmu.tlb_miss" - t0;
     pages_fetched = base "rt.pages_fetched" + base "os.fetch" - pf0;
     pages_evicted = base "rt.pages_evicted" + base "os.evict" - pe0;
-    counters = Metrics.Counters.snapshot counters;
+    counters = deltas;
   }
 
 let throughput r ~ops =

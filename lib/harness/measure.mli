@@ -8,11 +8,16 @@ type result = {
   pages_fetched : int;
   pages_evicted : int;
   counters : (string * int) list;
+      (** per-counter deltas over the measured phase, non-zero entries
+          only, sorted by name — like the named fields, relative to the
+          pre-phase baseline *)
 }
 
 val run : System.t -> ?reset:bool -> (unit -> unit) -> result
 (** Reset the clock and counters (unless [reset:false]), run the phase
-    inside one enclave entry, and collect the deltas. *)
+    inside one enclave entry, and collect the deltas.  Every field of
+    the result, including [counters], is a delta against the same
+    baseline taken just before the phase ran. *)
 
 val throughput : result -> ops:int -> float
 (** Operations per (virtual) second. *)

@@ -1,0 +1,372 @@
+(* Performance-regression harness (BENCH_perf.json).
+
+   Two sections:
+
+   - [micro]: wall-clock and allocation rates of the crypto hot paths,
+     measured for both the optimized implementations and the preserved
+     boxed references ({!Sim_crypto.Chacha20_ref} & co.), so the
+     speedup of the unboxed rewrite is itself a regression-tested
+     number.
+
+   - [matrix]: a fixed-seed workload matrix (ycsb / uthash / kvstore x
+     rate-limit / clusters / oram x SGXv1 / SGXv2) reporting real wall
+     nanoseconds per access, allocated bytes per access
+     ([Gc.allocated_bytes]) and modeled cycles per access.
+
+   Wall-clock numbers vary run to run; the JSON schema
+   ("autarky-perf/1") is stable so downstream tooling can diff fields
+   across commits. *)
+
+type micro_row = {
+  mi_name : string;
+  mi_iters : int;
+  mi_new_ns : float;  (* wall ns per op, optimized implementation *)
+  mi_new_alloc : float;  (* allocated bytes per op *)
+  mi_ref_ns : float;  (* wall ns per op, boxed reference *)
+  mi_ref_alloc : float;
+}
+
+let speedup r = if r.mi_new_ns > 0.0 then r.mi_ref_ns /. r.mi_new_ns else 0.0
+
+type matrix_row = {
+  mx_workload : string;
+  mx_policy : string;
+  mx_mech : string;
+  mx_ops : int;
+  mx_wall_ns : float;  (* wall ns per access *)
+  mx_alloc : float;  (* allocated bytes per access *)
+  mx_cycles : float;  (* modeled cycles per access *)
+  mx_faults : int;
+}
+
+type report = {
+  r_quick : bool;
+  r_seed : int;
+  r_micro : micro_row list;
+  r_matrix : matrix_row list;
+}
+
+(* --- measurement ------------------------------------------------------ *)
+
+(* Best-of-[reps] minimum for both wall time and allocation rate: the
+   minimum filters scheduler noise from the former and occasional GC
+   accounting jitter from the latter (the per-op allocation itself is
+   deterministic). *)
+let time_alloc ?(reps = 5) ~iters f =
+  f ();
+  (* warmup: fault in code paths and scratch buffers *)
+  let n = float_of_int iters in
+  let best = ref infinity in
+  let alloc = ref infinity in
+  for _ = 1 to reps do
+    let a0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    let t1 = Unix.gettimeofday () in
+    let a1 = Gc.allocated_bytes () in
+    let ns = (t1 -. t0) *. 1e9 /. n in
+    if ns < !best then best := ns;
+    let a = (a1 -. a0) /. n in
+    if a < !alloc then alloc := a
+  done;
+  (!best, !alloc)
+
+(* --- micro section ---------------------------------------------------- *)
+
+let page_bytes = Sgx.Types.page_bytes
+
+let micro_section ~quick =
+  let iters = if quick then 300 else 3_000 in
+  let page = Bytes.init page_bytes (fun i -> Char.chr (i land 0xFF)) in
+  let key = Sim_crypto.Chacha20.key_of_string "perf-bench-key" in
+  let nonce = Bytes.make 12 'n' in
+  let sip_key = Bytes.init 16 Char.chr in
+  let sip_new = Sim_crypto.Siphash.key_of_bytes sip_key in
+  let sip_ref = Sim_crypto.Siphash_ref.key_of_bytes sip_key in
+  let sealer_new = Sim_crypto.Sealer.create ~master_key:"perf" in
+  let sealer_ref = Sim_crypto.Sealer_ref.create ~master_key:"perf" in
+  let cases =
+    [
+      ( "chacha20.xor_stream/page",
+        (fun () -> ignore (Sim_crypto.Chacha20.xor_stream ~key ~nonce page)),
+        fun () -> ignore (Sim_crypto.Chacha20_ref.xor_stream ~key ~nonce page) );
+      ( "siphash.hash/page",
+        (fun () -> ignore (Sim_crypto.Siphash.hash sip_new page)),
+        fun () -> ignore (Sim_crypto.Siphash_ref.hash sip_ref page) );
+      ( "sealer.seal+unseal/page",
+        (fun () ->
+          let s =
+            Sim_crypto.Sealer.seal sealer_new ~vaddr:0x1000L ~version:1L page
+          in
+          match
+            Sim_crypto.Sealer.unseal sealer_new ~vaddr:0x1000L
+              ~expected_version:1L s
+          with
+          | Ok _ -> ()
+          | Error _ -> assert false),
+        fun () ->
+          let s =
+            Sim_crypto.Sealer_ref.seal sealer_ref ~vaddr:0x1000L ~version:1L page
+          in
+          match
+            Sim_crypto.Sealer_ref.unseal sealer_ref ~vaddr:0x1000L
+              ~expected_version:1L s
+          with
+          | Ok _ -> ()
+          | Error _ -> assert false );
+    ]
+  in
+  List.map
+    (fun (name, new_op, ref_op) ->
+      let new_ns, new_alloc = time_alloc ~iters new_op in
+      let ref_ns, ref_alloc = time_alloc ~iters ref_op in
+      {
+        mi_name = name;
+        mi_iters = iters;
+        mi_new_ns = new_ns;
+        mi_new_alloc = new_alloc;
+        mi_ref_ns = ref_ns;
+        mi_ref_alloc = ref_alloc;
+      })
+    cases
+
+(* --- matrix section --------------------------------------------------- *)
+
+(* One cell = one fresh platform: a self-paging enclave under the given
+   policy and paging mechanism, driven by a fixed-seed workload. *)
+let run_cell ~workload ~policy ~mech ~seed ~ops =
+  (* 4 MiB EPC: small enough that the 16 MiB heap pages heavily, large
+     enough that the pinned ORAM cache (2/3 of EPC) fits the paging
+     budget (EPC - 256). *)
+  let epc_limit = 1_024 in
+  let enclave_pages = 8 * epc_limit in
+  let rng = Metrics.Rng.create ~seed:(Int64.of_int seed) in
+  let sys =
+    System.create ~mech ~epc_frames:(epc_limit + 1_024) ~epc_limit
+      ~enclave_pages ~self_paging:true
+      ~budget:(max 64 (epc_limit - 256))
+      ()
+  in
+  let heap_pages = 4 * epc_limit in
+  let heap = System.allocator sys ~pages:heap_pages ~cluster_pages:10 in
+  let alloc ~bytes = Autarky.Allocator.alloc heap ~bytes in
+  let rt = System.runtime_exn sys in
+  let progress_hook = ref (fun () -> ()) in
+  let instrument = ref None in
+  let finish = ref (fun () -> ()) in
+  (match policy with
+  | "rate-limit" ->
+    let rl =
+      Autarky.Policy_rate_limit.create ~runtime:rt ~max_faults_per_unit:512 ()
+    in
+    progress_hook := (fun () -> Autarky.Policy_rate_limit.progress rl);
+    finish :=
+      fun () ->
+        Autarky.Runtime.set_policy rt (Autarky.Policy_rate_limit.policy rl);
+        System.manage sys (Autarky.Allocator.allocated_pages heap)
+  | "clusters" ->
+    finish :=
+      fun () ->
+        let pc =
+          Autarky.Policy_clusters.create ~runtime:rt
+            ~clusters:(Autarky.Allocator.clusters heap)
+        in
+        Autarky.Runtime.set_policy rt (Autarky.Policy_clusters.policy pc);
+        System.manage sys (Autarky.Allocator.allocated_pages heap)
+  | "oram" ->
+    let cache_pages = max 64 (epc_limit * 2 / 3) in
+    let cache_base = System.reserve sys ~pages:cache_pages in
+    let oram =
+      Oram.Path_oram.create ~clock:(System.clock sys)
+        ~rng:(Metrics.Rng.create ~seed:9L) ~n_blocks:heap_pages ()
+    in
+    let cache =
+      Autarky.Oram_cache.create ~machine:(System.machine sys)
+        ~enclave:(System.enclave sys)
+        ~touch:(fun a k -> Sgx.Cpu.access (System.cpu sys) a k)
+        ~oram
+        ~data_base_vpage:(Autarky.Allocator.base_vpage heap)
+        ~n_pages:heap_pages ~cache_base_vpage:cache_base
+        ~capacity_pages:cache_pages ()
+    in
+    System.pin sys (List.init cache_pages (fun i -> cache_base + i));
+    let pol = Autarky.Policy_oram.create ~runtime:rt ~cache in
+    instrument :=
+      Some
+        (Autarky.Policy_oram.accessor pol ~fallback:(fun a k ->
+             Sgx.Cpu.access (System.cpu sys) a k));
+    finish := fun () -> Autarky.Runtime.set_policy rt (Autarky.Policy_oram.policy pol)
+  | other -> invalid_arg (Printf.sprintf "Perf.run_cell: unknown policy %S" other));
+  let vm =
+    match !instrument with
+    | Some i ->
+      System.vm sys ~instrument:i ~on_progress:(fun () -> !progress_hook ()) ()
+    | None -> System.vm sys ~on_progress:(fun () -> !progress_hook ()) ()
+  in
+  let op =
+    match workload with
+    | "ycsb" ->
+      let n_entries = heap_pages * 3 in
+      let kv =
+        Workloads.Kvstore.create ~vm ~alloc ~rng ~n_entries ~value_bytes:1_024 ()
+      in
+      let dist = Metrics.Dist.scrambled_zipfian ~n:n_entries () in
+      let gen = Workloads.Ycsb.workload_c ~dist ~rng in
+      fun _ ->
+        (match Workloads.Ycsb.next gen with
+        | Workloads.Ycsb.Get k -> ignore (Workloads.Kvstore.get kv ~key:k)
+        | _ -> ())
+    | "uthash" ->
+      let t =
+        Workloads.Uthash.create ~vm ~alloc ~rng ~n_items:(heap_pages * 12)
+          ~item_bytes:256 ~target_chain:10
+      in
+      let n = Workloads.Uthash.n_items t in
+      (* Uthash emits no progress events of its own; the request is the
+         natural progress unit (cf. bench/exp_fig7.ml). *)
+      fun i ->
+        ignore (Workloads.Uthash.find t ~key:(i * 7919 mod n));
+        vm.Workloads.Vm.progress ()
+    | "kvstore" ->
+      let n_entries = heap_pages * 3 in
+      let kv =
+        Workloads.Kvstore.create ~vm ~alloc ~rng ~n_entries ~value_bytes:1_024 ()
+      in
+      let dist = Metrics.Dist.uniform ~n:n_entries in
+      fun _ ->
+        ignore (Workloads.Kvstore.get kv ~key:(Metrics.Dist.sample dist rng))
+    | other ->
+      invalid_arg (Printf.sprintf "Perf.run_cell: unknown workload %S" other)
+  in
+  !finish ();
+  let a0 = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Measure.run sys (fun () ->
+        for i = 1 to ops do
+          op i
+        done)
+  in
+  let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+  let alloc_bytes = Gc.allocated_bytes () -. a0 in
+  let n = float_of_int ops in
+  {
+    mx_workload = workload;
+    mx_policy = policy;
+    mx_mech = (match mech with `Sgx1 -> "sgx1" | `Sgx2 -> "sgx2");
+    mx_ops = ops;
+    mx_wall_ns = wall_ns /. n;
+    mx_alloc = alloc_bytes /. n;
+    mx_cycles = float_of_int r.Measure.cycles /. n;
+    mx_faults = r.Measure.page_faults;
+  }
+
+let matrix_section ~quick ~seed =
+  let workloads = if quick then [ "ycsb" ] else [ "ycsb"; "uthash"; "kvstore" ] in
+  let policies = [ "rate-limit"; "clusters"; "oram" ] in
+  let mechs = [ `Sgx1; `Sgx2 ] in
+  let ops = if quick then 1_000 else 8_000 in
+  List.concat_map
+    (fun workload ->
+      List.concat_map
+        (fun policy ->
+          List.map (fun mech -> run_cell ~workload ~policy ~mech ~seed ~ops) mechs)
+        policies)
+    workloads
+
+(* --- JSON ------------------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json r =
+  let b = Buffer.create 4_096 in
+  let f = Printf.sprintf "%.2f" in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"autarky-perf/1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" r.r_quick);
+  Buffer.add_string b (Printf.sprintf "  \"seed\": %d,\n" r.r_seed);
+  Buffer.add_string b (Printf.sprintf "  \"page_bytes\": %d,\n" page_bytes);
+  Buffer.add_string b "  \"micro\": [\n";
+  List.iteri
+    (fun i m ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"iters\": %d, \"new_wall_ns_per_op\": %s, \
+            \"new_alloc_bytes_per_op\": %s, \"ref_wall_ns_per_op\": %s, \
+            \"ref_alloc_bytes_per_op\": %s, \"speedup_wall\": %s}%s\n"
+           (json_escape m.mi_name) m.mi_iters (f m.mi_new_ns) (f m.mi_new_alloc)
+           (f m.mi_ref_ns) (f m.mi_ref_alloc)
+           (f (speedup m))
+           (if i = List.length r.r_micro - 1 then "" else ",")))
+    r.r_micro;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"matrix\": [\n";
+  List.iteri
+    (fun i m ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"workload\": \"%s\", \"policy\": \"%s\", \"mech\": \"%s\", \
+            \"ops\": %d, \"wall_ns_per_access\": %s, \
+            \"alloc_bytes_per_access\": %s, \"modeled_cycles_per_access\": %s, \
+            \"page_faults\": %d}%s\n"
+           (json_escape m.mx_workload) (json_escape m.mx_policy)
+           (json_escape m.mx_mech) m.mx_ops (f m.mx_wall_ns) (f m.mx_alloc)
+           (f m.mx_cycles) m.mx_faults
+           (if i = List.length r.r_matrix - 1 then "" else ",")))
+    r.r_matrix;
+  Buffer.add_string b "  ]\n";
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+(* --- driver ----------------------------------------------------------- *)
+
+let print_summary r =
+  Printf.printf "perf: crypto microbenchmarks (%s mode)\n"
+    (if r.r_quick then "quick" else "full");
+  Printf.printf "  %-26s %12s %12s %10s %14s\n" "op" "new ns/op" "ref ns/op"
+    "speedup" "new alloc B/op";
+  List.iter
+    (fun m ->
+      Printf.printf "  %-26s %12.0f %12.0f %9.1fx %14.0f\n" m.mi_name m.mi_new_ns
+        m.mi_ref_ns (speedup m) m.mi_new_alloc)
+    r.r_micro;
+  Printf.printf "perf: workload matrix (seed %d)\n" r.r_seed;
+  Printf.printf "  %-9s %-11s %-5s %12s %12s %14s %8s\n" "workload" "policy"
+    "mech" "wall ns/acc" "alloc B/acc" "cycles/acc" "faults";
+  List.iter
+    (fun m ->
+      Printf.printf "  %-9s %-11s %-5s %12.0f %12.1f %14.0f %8d\n" m.mx_workload
+        m.mx_policy m.mx_mech m.mx_wall_ns m.mx_alloc m.mx_cycles m.mx_faults)
+    r.r_matrix
+
+let run ?(quick = false) ?(seed = 42) ?out () =
+  let r =
+    {
+      r_quick = quick;
+      r_seed = seed;
+      r_micro = micro_section ~quick;
+      r_matrix = matrix_section ~quick ~seed;
+    }
+  in
+  print_summary r;
+  (match out with
+  | None -> ()
+  | Some file ->
+    let oc = open_out file in
+    output_string oc (to_json r);
+    close_out oc;
+    Printf.printf "perf: wrote %s\n" file);
+  r

@@ -1,0 +1,48 @@
+(** Performance-regression harness behind [autarky_sim perf] and the
+    bench "perf" experiment.
+
+    Measures real wall-clock time ([Unix.gettimeofday]) and allocation
+    rates ([Gc.allocated_bytes]) — not the simulator's virtual clock —
+    for (a) the crypto hot paths against their preserved boxed
+    reference implementations, and (b) a fixed-seed workload matrix
+    across policies and paging mechanisms.  Writes the stable
+    ["autarky-perf/1"] JSON schema (see DESIGN.md §11). *)
+
+type micro_row = {
+  mi_name : string;
+  mi_iters : int;
+  mi_new_ns : float;     (** wall ns per op, optimized implementation *)
+  mi_new_alloc : float;  (** allocated bytes per op *)
+  mi_ref_ns : float;     (** wall ns per op, boxed reference *)
+  mi_ref_alloc : float;
+}
+
+val speedup : micro_row -> float
+(** Reference wall time over optimized wall time. *)
+
+type matrix_row = {
+  mx_workload : string;
+  mx_policy : string;
+  mx_mech : string;      (** "sgx1" or "sgx2" *)
+  mx_ops : int;
+  mx_wall_ns : float;    (** wall ns per access *)
+  mx_alloc : float;      (** allocated bytes per access *)
+  mx_cycles : float;     (** modeled cycles per access *)
+  mx_faults : int;
+}
+
+type report = {
+  r_quick : bool;
+  r_seed : int;
+  r_micro : micro_row list;
+  r_matrix : matrix_row list;
+}
+
+val to_json : report -> string
+(** Render the stable ["autarky-perf/1"] schema. *)
+
+val run : ?quick:bool -> ?seed:int -> ?out:string -> unit -> report
+(** Run the microbenchmarks and the workload matrix, print a summary
+    table, and — when [out] is given — write the JSON report there.
+    [quick] (default false) shrinks iteration counts and the matrix to
+    a CI-friendly smoke run. *)

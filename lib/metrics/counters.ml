@@ -1,23 +1,45 @@
-type t = (string, int ref) Hashtbl.t
+(* Named event counters with interned cells.
+
+   The string-keyed API ([incr]/[add]/[get]) hashes the name on every
+   call, which is fine for cold paths but shows up on the simulator's
+   per-access paths (TLB miss, fault accounting, fetch/evict).  Hot
+   paths intern a [cell] handle once at construction time and bump it
+   with a single mutable-field write.
+
+   Cell handles stay valid forever: [reset] zeroes every cell in place
+   instead of dropping the table, so a handle resolved before a
+   [Clock.reset] (e.g. by [Harness.Measure.run]) keeps counting into
+   the same cell afterwards. *)
+
+type cell = { cell_name : string; mutable count : int }
+type t = (string, cell) Hashtbl.t
 
 let create () = Hashtbl.create 64
 
 let cell t name =
   match Hashtbl.find_opt t name with
-  | Some r -> r
+  | Some c -> c
   | None ->
-    let r = ref 0 in
-    Hashtbl.add t name r;
-    r
+    let c = { cell_name = name; count = 0 } in
+    Hashtbl.add t name c;
+    c
 
-let incr t name = Stdlib.incr (cell t name)
-let add t name n = cell t name := !(cell t name) + n
-let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
-let reset t = Hashtbl.reset t
-let reset_one t name = match Hashtbl.find_opt t name with Some r -> r := 0 | None -> ()
+let name c = c.cell_name
+let cell_incr c = c.count <- c.count + 1
+let cell_add c n = c.count <- c.count + n
+let cell_get c = c.count
+
+let incr t name = cell_incr (cell t name)
+let add t name n = cell_add (cell t name) n
+let get t name = match Hashtbl.find_opt t name with Some c -> c.count | None -> 0
+
+(* Interned handles must survive a reset; zero in place. *)
+let reset t = Hashtbl.iter (fun _ c -> c.count <- 0) t
+let reset_one t name =
+  match Hashtbl.find_opt t name with Some c -> c.count <- 0 | None -> ()
 
 let snapshot t =
-  Hashtbl.fold (fun k r acc -> if !r <> 0 then (k, !r) :: acc else acc) t []
+  Hashtbl.fold (fun k c acc -> if c.count <> 0 then (k, c.count) :: acc else acc) t []
   |> List.sort compare
 
 let pp ppf t =

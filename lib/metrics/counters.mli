@@ -6,13 +6,34 @@
 
 type t
 
+type cell
+(** Interned handle to one named counter.  Resolving a name with [cell]
+    costs one hash lookup; bumping the returned handle afterwards is a
+    single mutable-field write.  Hot paths (TLB miss, fault accounting,
+    fetch/evict) resolve their cells once at construction time. *)
+
 val create : unit -> t
+
+val cell : t -> string -> cell
+(** Intern [name], creating the counter at zero if needed.  The same
+    name always yields the same cell, and handles remain valid (and
+    aliased to the name) across [reset]/[reset_one]. *)
+
+val name : cell -> string
+val cell_incr : cell -> unit
+val cell_add : cell -> int -> unit
+val cell_get : cell -> int
+
 val incr : t -> string -> unit
 val add : t -> string -> int -> unit
 val get : t -> string -> int
 (** 0 when the counter was never touched. *)
 
 val reset : t -> unit
+(** Zero every counter in place.  Interned cells are preserved, not
+    dropped: handles resolved before the reset keep counting into the
+    same (now zeroed) cells. *)
+
 val reset_one : t -> string -> unit
 
 val snapshot : t -> (string * int) list

@@ -16,6 +16,7 @@ type t = {
   stash_capacity : int;
   mutable tracing : bool;
   mutable trace : int list;
+  c_access : Metrics.Counters.cell;
 }
 
 let rec pow2_at_least n acc = if acc >= n then acc else pow2_at_least n (acc * 2)
@@ -47,6 +48,7 @@ let create ~clock ~rng ?(z = 4) ?(metadata = `Direct) ~n_blocks () =
     stash_capacity = 128;
     tracing = false;
     trace = [];
+    c_access = Metrics.Counters.cell (Metrics.Clock.counters clock) "oram.access";
   }
 
 let n_blocks t = t.n_blocks
@@ -171,7 +173,7 @@ let access t ~block f =
   in
   f data;
   write_path t leaf;
-  Metrics.Counters.incr (Metrics.Clock.counters t.clock) "oram.access"
+  Metrics.Counters.cell_incr t.c_access
 
 let read t ~block =
   let out = ref (Sgx.Page_data.create ()) in

@@ -23,10 +23,34 @@ type hooks = {
   mutable on_preempt : proc -> unit;
 }
 
+(* Counter cells interned at kernel construction: the fault/fetch/evict
+   and host-call paths run on every simulated paging event and must not
+   hash counter names. *)
+type cells = {
+  k_fault : Metrics.Counters.cell;
+  k_evict : Metrics.Counters.cell;
+  k_fetch : Metrics.Counters.cell;
+  k_remap : Metrics.Counters.cell;
+  k_preempt : Metrics.Counters.cell;
+  k_silent_resume : Metrics.Counters.cell;
+  k_silent_resume_blocked : Metrics.Counters.cell;
+  k_balloon_requests : Metrics.Counters.cell;
+  k_balloon_released : Metrics.Counters.cell;
+  k_sys_set_enclave_managed : Metrics.Counters.cell;
+  k_sys_set_os_managed : Metrics.Counters.cell;
+  k_sys_fetch_pages : Metrics.Counters.cell;
+  k_sys_evict_pages : Metrics.Counters.cell;
+  k_sys_aug_pages : Metrics.Counters.cell;
+  k_sys_remove_pages : Metrics.Counters.cell;
+  k_sys_page_in : Metrics.Counters.cell;
+  k_sys_headroom : Metrics.Counters.cell;
+}
+
 type t = {
   machine : Machine.t;
   procs : (int, proc) Hashtbl.t;
   kernel_hooks : hooks;
+  cells : cells;
 }
 
 type fetch_error =
@@ -43,11 +67,32 @@ let pp_fetch_error ppf = function
   | `Blob_replayed vp -> Format.fprintf ppf "stale blob replayed for 0x%x" vp
 
 let create machine =
+  let cell = Metrics.Counters.cell (Machine.counters machine) in
   {
     machine;
     procs = Hashtbl.create 8;
     kernel_hooks =
       { on_fault = (fun _ _ -> Benign); on_preempt = (fun _ -> ()) };
+    cells =
+      {
+        k_fault = cell "os.fault";
+        k_evict = cell "os.evict";
+        k_fetch = cell "os.fetch";
+        k_remap = cell "os.remap";
+        k_preempt = cell "os.preempt";
+        k_silent_resume = cell "os.silent_resume";
+        k_silent_resume_blocked = cell "os.silent_resume_blocked";
+        k_balloon_requests = cell "os.balloon_requests";
+        k_balloon_released = cell "os.balloon_released";
+        k_sys_set_enclave_managed = cell "os.sys.set_enclave_managed";
+        k_sys_set_os_managed = cell "os.sys.set_os_managed";
+        k_sys_fetch_pages = cell "os.sys.fetch_pages";
+        k_sys_evict_pages = cell "os.sys.evict_pages";
+        k_sys_aug_pages = cell "os.sys.aug_pages";
+        k_sys_remove_pages = cell "os.sys.remove_pages";
+        k_sys_page_in = cell "os.sys.page_in";
+        k_sys_headroom = cell "os.sys.headroom";
+      };
   }
 
 let machine t = t.machine
@@ -55,7 +100,7 @@ let hooks t = t.kernel_hooks
 
 let charge t n = Machine.charge t.machine n
 let cmodel t = Machine.model t.machine
-let incr t name = Metrics.Counters.incr (Machine.counters t.machine) name
+let incr _t cell = Metrics.Counters.cell_incr cell
 
 (* Kernel-side tracing: one branch when no recorder is installed. *)
 let emit t proc ~actor k =
@@ -177,7 +222,7 @@ let do_evict_batch ?(os_initiated = true) t proc vps =
         Swap_store.put proc.proc_swap vp (Swap_store.V1 sw);
         Page_table.unmap proc.pt vp;
         proc.resident_count <- proc.resident_count - 1;
-        if os_initiated then incr t "os.evict")
+        if os_initiated then incr t t.cells.k_evict)
       vps;
     emit t proc ~actor:Trace.Event.Os (fun () ->
         Trace.Event.Evict { vpages = vps; enclave_initiated = not os_initiated })
@@ -247,7 +292,7 @@ let do_fetch t proc vp ~pinned : (unit, fetch_error) result =
       map_page proc ~vpage:vp ~frame ~perms:sw.sw_perms;
       proc.resident_count <- proc.resident_count + 1;
       if not pinned then enqueue_os_resident proc vp;
-      if not pinned then incr t "os.fetch";
+      if not pinned then incr t t.cells.k_fetch;
       emit t proc ~actor:Trace.Event.Os (fun () ->
           Trace.Event.Fetch { vpages = [ vp ]; enclave_initiated = pinned });
       Ok ()
@@ -267,7 +312,7 @@ let do_fetch t proc vp ~pinned : (unit, fetch_error) result =
     match Epc.frame_of t.machine.epc ~enclave_id:proc.enclave.id ~vpage:vp with
     | Some frame ->
       map_page proc ~vpage:vp ~frame ~perms:(intended_perms_of proc vp);
-      incr t "os.remap";
+      incr t t.cells.k_remap;
       Ok ()
     | None -> Error (`Blob_missing vp))
 
@@ -297,7 +342,7 @@ let handle_fault t (report : Types.os_fault_report) =
     | None -> Types.sgx_errorf "fault for unknown enclave %d" report.fr_enclave_id
   in
   charge t (cmodel t).os_fault_handler;
-  incr t "os.fault";
+  incr t t.cells.k_fault;
   let decision = t.kernel_hooks.on_fault proc report in
   if proc.enclave.self_paging then
     (* The OS knows only that some fault occurred.  Attempting to resume
@@ -306,11 +351,11 @@ let handle_fault t (report : Types.os_fault_report) =
     match Instructions.eresume t.machine proc.enclave with
     | Ok () -> ()
     | Error `Pending_exception ->
-      incr t "os.silent_resume_blocked";
+      incr t t.cells.k_silent_resume_blocked;
       Instructions.enter_handler_and_resume t.machine proc.enclave
   else begin
     (match decision with
-    | Fixed_silently -> incr t "os.silent_resume"
+    | Fixed_silently -> incr t t.cells.k_silent_resume
     | Benign ->
       service_legacy_fault t proc (Types.vpage_of_vaddr report.fr_vaddr));
     match Instructions.eresume t.machine proc.enclave with
@@ -324,7 +369,7 @@ let handle_preempt t ~enclave_id =
   | None -> ()
   | Some proc ->
     charge t (cmodel t).syscall;
-    incr t "os.preempt";
+    incr t t.cells.k_preempt;
     t.kernel_hooks.on_preempt proc
 
 let os_callbacks t =
@@ -335,14 +380,14 @@ let os_callbacks t =
 
 (* --- Autarky system calls -------------------------------------------- *)
 
-let charge_hostcall t proc name ~pages =
+let charge_hostcall t proc cell ~pages =
   charge t (cmodel t).exitless_call;
-  incr t name;
+  incr t cell;
   emit t proc ~actor:Trace.Event.Os (fun () ->
-      Trace.Event.Syscall { name; pages })
+      Trace.Event.Syscall { name = Metrics.Counters.name cell; pages })
 
 let ay_set_enclave_managed t proc pages =
-  charge_hostcall t proc "os.sys.set_enclave_managed" ~pages:(List.length pages);
+  charge_hostcall t proc t.cells.k_sys_set_enclave_managed ~pages:(List.length pages);
   List.map
     (fun vp ->
       Hashtbl.replace proc.enclave_managed vp ();
@@ -350,7 +395,7 @@ let ay_set_enclave_managed t proc pages =
     pages
 
 let ay_set_os_managed t proc pages =
-  charge_hostcall t proc "os.sys.set_os_managed" ~pages:(List.length pages);
+  charge_hostcall t proc t.cells.k_sys_set_os_managed ~pages:(List.length pages);
   List.iter
     (fun vp ->
       Hashtbl.remove proc.enclave_managed vp;
@@ -358,7 +403,7 @@ let ay_set_os_managed t proc pages =
     pages
 
 let ay_fetch_pages t proc pages =
-  charge_hostcall t proc "os.sys.fetch_pages" ~pages:(List.length pages);
+  charge_hostcall t proc t.cells.k_sys_fetch_pages ~pages:(List.length pages);
   let needed = List.filter (fun vp -> not (resident t proc vp)) pages in
   match ensure_headroom t proc ~extra:(List.length needed) with
   | Error `Epc_exhausted -> Error `Epc_exhausted
@@ -375,12 +420,12 @@ let ay_fetch_pages t proc pages =
     fetch_all needed
 
 let ay_evict_pages t proc pages =
-  charge_hostcall t proc "os.sys.evict_pages" ~pages:(List.length pages);
+  charge_hostcall t proc t.cells.k_sys_evict_pages ~pages:(List.length pages);
   do_evict_batch ~os_initiated:false t proc
     (List.filter (resident t proc) pages)
 
 let ay_aug_pages t proc pages =
-  charge_hostcall t proc "os.sys.aug_pages" ~pages:(List.length pages);
+  charge_hostcall t proc t.cells.k_sys_aug_pages ~pages:(List.length pages);
   let needed = List.filter (fun vp -> not (resident t proc vp)) pages in
   match ensure_headroom t proc ~extra:(List.length needed) with
   | Error `Epc_exhausted -> Error `Epc_exhausted
@@ -396,7 +441,7 @@ let ay_aug_pages t proc pages =
     Ok ()
 
 let ay_remove_pages t proc pages =
-  charge_hostcall t proc "os.sys.remove_pages" ~pages:(List.length pages);
+  charge_hostcall t proc t.cells.k_sys_remove_pages ~pages:(List.length pages);
   List.iter
     (fun vp ->
       if resident t proc vp then begin
@@ -423,7 +468,7 @@ let blob_load t proc vp =
   | None -> None
 
 let page_in_os_managed t proc vp : (unit, fetch_error) result =
-  charge_hostcall t proc "os.sys.page_in" ~pages:1;
+  charge_hostcall t proc t.cells.k_sys_page_in ~pages:1;
   if not (resident t proc vp) && Swap_store.mem proc.proc_swap vp then
     match ensure_headroom t proc ~extra:1 with
     | Ok () -> do_fetch t proc vp ~pinned:false
@@ -431,7 +476,7 @@ let page_in_os_managed t proc vp : (unit, fetch_error) result =
   else do_fetch t proc vp ~pinned:false
 
 let epc_headroom t proc =
-  charge_hostcall t proc "os.sys.headroom" ~pages:0;
+  charge_hostcall t proc t.cells.k_sys_headroom ~pages:0;
   max 0 (proc.epc_limit - proc.resident_count)
 
 (* --- Memory ballooning ------------------------------------------------ *)
@@ -446,11 +491,11 @@ let request_balloon t proc ~pages =
     (* The upcall enters the enclave and returns: one EENTER/EEXIT pair
        on top of whatever eviction work the policy performs. *)
     charge t (cm.eenter + cm.eexit);
-    incr t "os.balloon_requests";
+    incr t t.cells.k_balloon_requests;
     (* The handler evicts through the normal ay_evict_pages path, which
        keeps the resident accounting straight. *)
     let released = handler pages in
-    Metrics.Counters.add (Machine.counters t.machine) "os.balloon_released" released;
+    Metrics.Counters.cell_add t.cells.k_balloon_released released;
     emit t proc ~actor:Trace.Event.Os (fun () ->
         Trace.Event.Balloon { requested = pages; released });
     released
@@ -492,7 +537,9 @@ let reclaim_global t ~needed ~requester =
 (* --- Adversarial manipulation ---------------------------------------- *)
 
 let probe t proc name vp =
-  incr t ("attacker." ^ name);
+  (* Attacker probes are cold-path and open-vocabulary; keep the string
+     API here. *)
+  Metrics.Counters.incr (Machine.counters t.machine) ("attacker." ^ name);
   emit t proc ~actor:Trace.Event.Attacker (fun () ->
       Trace.Event.Probe { probe = name; vpages = [ vp ] })
 

@@ -31,7 +31,7 @@ let set_preempt_interval t interval = t.preempt_interval <- interval
 let handle_fault t vaddr kind cause =
   let m = t.machine in
   let sf = { Types.sf_vaddr = vaddr; sf_access = kind; sf_cause = cause } in
-  Metrics.Counters.incr (Machine.counters m) "cpu.page_fault";
+  Metrics.Counters.cell_incr (Machine.hot m).Machine.c_page_fault;
   if t.enclave.self_paging && m.mode = Machine.No_upcall_no_aex then
     (* Proposed ISA optimization: no AEX, handler runs in-enclave. *)
     Instructions.deliver_fault_in_enclave m t.enclave sf

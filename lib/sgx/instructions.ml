@@ -14,7 +14,7 @@ let pp_eldu_error ppf = function
   | `Replayed -> Format.pp_print_string ppf "replayed page"
   | `Epc_full -> Format.pp_print_string ppf "EPC full"
 
-let incr m name = Metrics.Counters.incr (Machine.counters m) name
+let incr cell = Metrics.Counters.cell_incr cell
 
 (* Transition tracing.  Taking the event as a thunk keeps the disabled
    path to a single branch: no payload is built unless a recorder is
@@ -26,7 +26,7 @@ let emit m ~enclave_id k =
     Trace.Recorder.emit tr ~enclave:enclave_id ~actor:Trace.Event.Hw (k ())
 
 let ecreate m ~size_pages ~self_paging =
-  incr m "sgx.ecreate";
+  incr (Machine.hot m).Machine.c_ecreate;
   Machine.register_enclave m ~size_pages ~self_paging
 
 let find_frame m (enclave : Enclave.t) ~vpage =
@@ -50,14 +50,14 @@ let eadd m (enclave : Enclave.t) ~vpage ~data ~perms ~ptype =
     Epc.bind m.epc ~frame ~enclave_id:enclave.id ~vpage ~perms ~ptype ~pending:false;
     Epc.set_data m.epc frame data;
     Machine.charge m cm.eadd;
-    incr m "sgx.eadd";
+    incr (Machine.hot m).Machine.c_eadd;
     frame
 
 let einit m (enclave : Enclave.t) =
   (match enclave.state with
   | Enclave.Created -> enclave.state <- Enclave.Initialized
   | _ -> Types.sgx_errorf "EINIT: enclave %d not in created state" enclave.id);
-  incr m "sgx.einit"
+  incr (Machine.hot m).Machine.c_einit
 
 (* --- Entry/exit/fault delivery ------------------------------------- *)
 
@@ -73,14 +73,14 @@ let aex m (enclave : Enclave.t) ~reason =
   enclave.in_enclave <- false;
   Tlb.flush m.tlb;
   Machine.charge m cm.aex;
-  incr m "sgx.aex";
+  incr (Machine.hot m).Machine.c_aex;
   emit m ~enclave_id:enclave.id (fun () ->
       Trace.Event.Aex { interrupt = reason = `Interrupt })
 
 let eresume m (enclave : Enclave.t) =
   let cm = Machine.model m in
   Machine.charge m cm.eresume;
-  incr m "sgx.eresume";
+  incr (Machine.hot m).Machine.c_eresume;
   if enclave.self_paging && enclave.tcs.pending_exception then begin
     emit m ~enclave_id:enclave.id (fun () -> Trace.Event.Eresume { ok = false });
     Error `Pending_exception
@@ -103,25 +103,25 @@ let enter_handler_and_resume m (enclave : Enclave.t) =
   enclave.in_enclave <- true;
   Tlb.flush m.tlb;
   Machine.charge m cm.eenter;
-  incr m "sgx.eenter";
+  incr (Machine.hot m).Machine.c_eenter;
   emit m ~enclave_id:enclave.id (fun () -> Trace.Event.Eenter);
   enclave.entry enclave;
   (match m.mode with
   | Machine.Full_exits ->
     (* EEXIT to the stub, then ERESUME the saved frame. *)
     Machine.charge m cm.eexit;
-    incr m "sgx.eexit";
+    incr (Machine.hot m).Machine.c_eexit;
     emit m ~enclave_id:enclave.id (fun () -> Trace.Event.Eexit);
     enclave.in_enclave <- false;
     Tlb.flush m.tlb;
     Machine.charge m cm.eresume;
-    incr m "sgx.eresume";
+    incr (Machine.hot m).Machine.c_eresume;
     emit m ~enclave_id:enclave.id (fun () -> Trace.Event.Eresume { ok = true });
     Tlb.flush m.tlb
   | Machine.No_upcall | Machine.No_upcall_no_aex ->
     (* Proposed in-enclave ERESUME variant: pop the SSA without leaving. *)
     Machine.charge m cm.inenclave_resume;
-    incr m "sgx.inenclave_resume";
+    incr (Machine.hot m).Machine.c_inenclave_resume;
     emit m ~enclave_id:enclave.id (fun () ->
         Trace.Event.Handler { event = "inenclave-resume" }));
   if not (Stack.is_empty enclave.tcs.ssa) then ignore (Stack.pop enclave.tcs.ssa);
@@ -136,12 +136,12 @@ let deliver_fault_in_enclave m (enclave : Enclave.t) sf =
   (* The hardware simulates a nested re-entry to the handler: no AEX, no
      OS involvement, TLB preserved. *)
   Machine.charge m cm.aex_elided_entry;
-  incr m "sgx.aex_elided";
+  incr (Machine.hot m).Machine.c_aex_elided;
   emit m ~enclave_id:enclave.id (fun () ->
       Trace.Event.Handler { event = "aex-elided-entry" });
   enclave.entry enclave;
   Machine.charge m cm.inenclave_resume;
-  incr m "sgx.inenclave_resume";
+  incr (Machine.hot m).Machine.c_inenclave_resume;
   emit m ~enclave_id:enclave.id (fun () ->
       Trace.Event.Handler { event = "inenclave-resume" });
   if not (Stack.is_empty enclave.tcs.ssa) then ignore (Stack.pop enclave.tcs.ssa)
@@ -153,11 +153,11 @@ let eenter_run m (enclave : Enclave.t) f =
   enclave.in_enclave <- true;
   Tlb.flush m.tlb;
   Machine.charge m cm.eenter;
-  incr m "sgx.eenter";
+  incr (Machine.hot m).Machine.c_eenter;
   emit m ~enclave_id:enclave.id (fun () -> Trace.Event.Eenter);
   let finish () =
     Machine.charge m cm.eexit;
-    incr m "sgx.eexit";
+    incr (Machine.hot m).Machine.c_eexit;
     emit m ~enclave_id:enclave.id (fun () -> Trace.Event.Eexit);
     enclave.in_enclave <- false;
     Tlb.flush m.tlb
@@ -181,7 +181,7 @@ let epa m =
       ~perms:Types.perms_ro ~ptype:Types.Pt_va ~pending:false;
     Machine.provision_va_page m ~frame;
     Machine.charge m cm.epa;
-    incr m "sgx.epa";
+    incr (Machine.hot m).Machine.c_epa;
     Ok frame
 
 let eblock m (enclave : Enclave.t) ~vpage =
@@ -194,7 +194,7 @@ let eblock m (enclave : Enclave.t) ~vpage =
   end;
   Tlb.flush_page m.tlb vpage;
   Machine.charge m cm.eblock;
-  incr m "sgx.eblock"
+  incr (Machine.hot m).Machine.c_eblock
 
 let etrack m (enclave : Enclave.t) =
   let cm = Machine.model m in
@@ -203,7 +203,7 @@ let etrack m (enclave : Enclave.t) =
   Tlb.flush m.tlb;
   enclave.blocked_since_track <- 0;
   Machine.charge m (cm.etrack + cm.tlb_shootdown);
-  incr m "sgx.etrack"
+  incr (Machine.hot m).Machine.c_etrack
 
 let ewb m (enclave : Enclave.t) ~vpage =
   let cm = Machine.model m in
@@ -239,7 +239,7 @@ let ewb m (enclave : Enclave.t) ~vpage =
   in
   Epc.release m.epc frame;
   Machine.charge m (cm.ewb + Metrics.Cost_model.hw_page_crypto cm);
-  incr m "sgx.ewb";
+  incr (Machine.hot m).Machine.c_ewb;
   sw
 
 let eldu m (enclave : Enclave.t) (sw : swapped) =
@@ -248,7 +248,7 @@ let eldu m (enclave : Enclave.t) (sw : swapped) =
     Types.sgx_errorf "ELDU: page belongs to enclave %d, not %d" sw.sw_enclave_id
       enclave.id;
   Machine.charge m (cm.eldu + Metrics.Cost_model.hw_page_crypto cm);
-  incr m "sgx.eldu";
+  incr (Machine.hot m).Machine.c_eldu;
   match Machine.read_va_slot m sw.sw_va_slot with
   | None -> Error `Replayed
   | Some expected -> (
@@ -302,7 +302,7 @@ let eaug m (enclave : Enclave.t) ~vpage =
     Epc.bind m.epc ~frame ~enclave_id:enclave.id ~vpage ~perms:Types.perms_rw
       ~ptype:Types.Pt_reg ~pending:true;
     Machine.charge m cm.eaug;
-    incr m "sgx.eaug";
+    incr (Machine.hot m).Machine.c_eaug;
     Ok frame
 
 let eaccept m (enclave : Enclave.t) ~vpage =
@@ -314,7 +314,7 @@ let eaccept m (enclave : Enclave.t) ~vpage =
   entry.pending <- false;
   entry.modified <- false;
   Machine.charge m cm.eaccept;
-  incr m "sgx.eaccept"
+  incr (Machine.hot m).Machine.c_eaccept
 
 let eacceptcopy m (enclave : Enclave.t) ~vpage ~data =
   let cm = Machine.model m in
@@ -326,7 +326,7 @@ let eacceptcopy m (enclave : Enclave.t) ~vpage ~data =
   entry.perms <- Types.perms_rw;
   Epc.set_data m.epc frame data;
   Machine.charge m cm.eacceptcopy;
-  incr m "sgx.eacceptcopy"
+  incr (Machine.hot m).Machine.c_eacceptcopy
 
 let emodpr m (enclave : Enclave.t) ~vpage ~perms =
   let cm = Machine.model m in
@@ -340,7 +340,7 @@ let emodpr m (enclave : Enclave.t) ~vpage ~perms =
   (* OS-side TLB shootdown required for the restriction to take effect. *)
   Tlb.flush_page m.tlb vpage;
   Machine.charge m (cm.emodpr + cm.tlb_shootdown);
-  incr m "sgx.emodpr"
+  incr (Machine.hot m).Machine.c_emodpr
 
 let emodt m (enclave : Enclave.t) ~vpage =
   let cm = Machine.model m in
@@ -351,7 +351,7 @@ let emodt m (enclave : Enclave.t) ~vpage =
   entry.modified <- true;
   Tlb.flush_page m.tlb vpage;
   Machine.charge m (cm.emodt + cm.tlb_shootdown);
-  incr m "sgx.emodt"
+  incr (Machine.hot m).Machine.c_emodt
 
 let eremove m (enclave : Enclave.t) ~vpage =
   let cm = Machine.model m in
@@ -362,7 +362,7 @@ let eremove m (enclave : Enclave.t) ~vpage =
     Types.sgx_errorf "EREMOVE: page 0x%x not trimmed and accepted" vpage;
   Epc.release m.epc frame;
   Machine.charge m cm.eremove;
-  incr m "sgx.eremove"
+  incr (Machine.hot m).Machine.c_eremove
 
 let page_data m (enclave : Enclave.t) ~vpage =
   match find_frame m enclave ~vpage with

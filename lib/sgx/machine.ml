@@ -7,8 +7,38 @@ let pp_transition_mode ppf m =
     | No_upcall -> "no-upcall"
     | No_upcall_no_aex -> "no-upcall/AEX")
 
+(* Pre-resolved counter cells for the per-access and per-transition hot
+   paths: no string hashing on a TLB miss, fault, or SGX instruction.
+   [c_fault] is indexed by [Types.fault_cause_index]. *)
+type hot_counters = {
+  c_tlb_miss : Metrics.Counters.cell;
+  c_page_fault : Metrics.Counters.cell;
+  c_fault : Metrics.Counters.cell array;
+  c_ecreate : Metrics.Counters.cell;
+  c_eadd : Metrics.Counters.cell;
+  c_einit : Metrics.Counters.cell;
+  c_aex : Metrics.Counters.cell;
+  c_eresume : Metrics.Counters.cell;
+  c_eenter : Metrics.Counters.cell;
+  c_eexit : Metrics.Counters.cell;
+  c_aex_elided : Metrics.Counters.cell;
+  c_inenclave_resume : Metrics.Counters.cell;
+  c_epa : Metrics.Counters.cell;
+  c_eblock : Metrics.Counters.cell;
+  c_etrack : Metrics.Counters.cell;
+  c_ewb : Metrics.Counters.cell;
+  c_eldu : Metrics.Counters.cell;
+  c_eaug : Metrics.Counters.cell;
+  c_eaccept : Metrics.Counters.cell;
+  c_eacceptcopy : Metrics.Counters.cell;
+  c_emodpr : Metrics.Counters.cell;
+  c_emodt : Metrics.Counters.cell;
+  c_eremove : Metrics.Counters.cell;
+}
+
 type t = {
   clock : Metrics.Clock.t;
+  hot : hot_counters;
   epc : Epc.t;
   tlb : Tlb.t;
   sealer : Sim_crypto.Sealer.t;
@@ -24,9 +54,43 @@ type t = {
   mutable tracer : Trace.Recorder.t option;
 }
 
-let create ?(model = Metrics.Cost_model.default) ?(mode = Full_exits) ~epc_frames () =
+let hot_counters_of counters =
+  let cell = Metrics.Counters.cell counters in
   {
-    clock = Metrics.Clock.create model;
+    c_tlb_miss = cell "mmu.tlb_miss";
+    c_page_fault = cell "cpu.page_fault";
+    c_fault =
+      Array.map
+        (fun cause ->
+          cell (Format.asprintf "mmu.fault.%a" Types.pp_fault_cause cause))
+        Types.all_fault_causes;
+    c_ecreate = cell "sgx.ecreate";
+    c_eadd = cell "sgx.eadd";
+    c_einit = cell "sgx.einit";
+    c_aex = cell "sgx.aex";
+    c_eresume = cell "sgx.eresume";
+    c_eenter = cell "sgx.eenter";
+    c_eexit = cell "sgx.eexit";
+    c_aex_elided = cell "sgx.aex_elided";
+    c_inenclave_resume = cell "sgx.inenclave_resume";
+    c_epa = cell "sgx.epa";
+    c_eblock = cell "sgx.eblock";
+    c_etrack = cell "sgx.etrack";
+    c_ewb = cell "sgx.ewb";
+    c_eldu = cell "sgx.eldu";
+    c_eaug = cell "sgx.eaug";
+    c_eaccept = cell "sgx.eaccept";
+    c_eacceptcopy = cell "sgx.eacceptcopy";
+    c_emodpr = cell "sgx.emodpr";
+    c_emodt = cell "sgx.emodt";
+    c_eremove = cell "sgx.eremove";
+  }
+
+let create ?(model = Metrics.Cost_model.default) ?(mode = Full_exits) ~epc_frames () =
+  let clock = Metrics.Clock.create model in
+  {
+    clock;
+    hot = hot_counters_of (Metrics.Clock.counters clock);
     epc = Epc.create ~frames:epc_frames;
     tlb = Tlb.create ();
     sealer = Sim_crypto.Sealer.create ~master_key:"sgx-epc-paging-key";
@@ -46,6 +110,7 @@ let create ?(model = Metrics.Cost_model.default) ?(mode = Full_exits) ~epc_frame
 let model t = Metrics.Clock.model t.clock
 let charge t n = Metrics.Clock.charge t.clock n
 let counters t = Metrics.Clock.counters t.clock
+let hot t = t.hot
 
 let tracer t = t.tracer
 let set_tracer t tr = t.tracer <- tr

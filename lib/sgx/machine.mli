@@ -15,8 +15,38 @@ type transition_mode = Full_exits | No_upcall | No_upcall_no_aex
 
 val pp_transition_mode : Format.formatter -> transition_mode -> unit
 
+(** Counter cells pre-resolved at machine construction so the
+    per-access and per-transition paths never hash a counter name.
+    [c_fault] is indexed by {!Types.fault_cause_index}. *)
+type hot_counters = {
+  c_tlb_miss : Metrics.Counters.cell;
+  c_page_fault : Metrics.Counters.cell;
+  c_fault : Metrics.Counters.cell array;
+  c_ecreate : Metrics.Counters.cell;
+  c_eadd : Metrics.Counters.cell;
+  c_einit : Metrics.Counters.cell;
+  c_aex : Metrics.Counters.cell;
+  c_eresume : Metrics.Counters.cell;
+  c_eenter : Metrics.Counters.cell;
+  c_eexit : Metrics.Counters.cell;
+  c_aex_elided : Metrics.Counters.cell;
+  c_inenclave_resume : Metrics.Counters.cell;
+  c_epa : Metrics.Counters.cell;
+  c_eblock : Metrics.Counters.cell;
+  c_etrack : Metrics.Counters.cell;
+  c_ewb : Metrics.Counters.cell;
+  c_eldu : Metrics.Counters.cell;
+  c_eaug : Metrics.Counters.cell;
+  c_eaccept : Metrics.Counters.cell;
+  c_eacceptcopy : Metrics.Counters.cell;
+  c_emodpr : Metrics.Counters.cell;
+  c_emodt : Metrics.Counters.cell;
+  c_eremove : Metrics.Counters.cell;
+}
+
 type t = {
   clock : Metrics.Clock.t;
+  hot : hot_counters;
   epc : Epc.t;
   tlb : Tlb.t;
   sealer : Sim_crypto.Sealer.t;  (** hardware paging keys (EWB/ELDU) *)
@@ -45,6 +75,7 @@ val create :
 val model : t -> Metrics.Cost_model.t
 val charge : t -> int -> unit
 val counters : t -> Metrics.Counters.t
+val hot : t -> hot_counters
 
 val tracer : t -> Trace.Recorder.t option
 val set_tracer : t -> Trace.Recorder.t option -> unit

@@ -62,7 +62,7 @@ let translate m pt enclave vaddr kind =
   end
   else begin
     Machine.charge m cm.tlb_walk;
-    Metrics.Counters.incr (Machine.counters m) "mmu.tlb_miss";
+    Metrics.Counters.cell_incr (Machine.hot m).Machine.c_tlb_miss;
     match walk_checks m pt enclave vp kind with
     | Ok pte ->
       (* The TLB entry caches the PTE's dirty state: a later write only
@@ -73,8 +73,8 @@ let translate m pt enclave vaddr kind =
       Machine.charge m cm.mem_access;
       Ok ()
     | Error cause ->
-      Metrics.Counters.incr (Machine.counters m)
-        (Format.asprintf "mmu.fault.%a" Types.pp_fault_cause cause);
+      Metrics.Counters.cell_incr
+        (Machine.hot m).Machine.c_fault.(Types.fault_cause_index cause);
       (match Machine.tracer m with
       | None -> ()
       | Some tr ->

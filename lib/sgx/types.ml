@@ -59,6 +59,22 @@ type fault_cause =
   | Ad_clear           (** Autarky check: accessed/dirty bit was clear *)
   | Non_epc_mapping    (** enclave address mapped to non-EPC memory *)
 
+(* Dense index for per-cause counter arrays; keep in sync with
+   [all_fault_causes]. *)
+let fault_cause_index = function
+  | Not_present -> 0
+  | Permission Read -> 1
+  | Permission Write -> 2
+  | Permission Exec -> 3
+  | Epcm_mismatch -> 4
+  | Epcm_pending -> 5
+  | Ad_clear -> 6
+  | Non_epc_mapping -> 7
+
+let all_fault_causes =
+  [| Not_present; Permission Read; Permission Write; Permission Exec;
+     Epcm_mismatch; Epcm_pending; Ad_clear; Non_epc_mapping |]
+
 let pp_fault_cause ppf c =
   Format.pp_print_string ppf
     (match c with

@@ -47,6 +47,46 @@ let test_chacha_key_validation () =
     (Invalid_argument "Chacha20.block: key must be 32 bytes") (fun () ->
       ignore (Sim_crypto.Chacha20.block ~key:(Bytes.make 16 'k') ~counter:0l ~nonce))
 
+let hex_to_bytes s =
+  let s = String.concat "" (String.split_on_char ' ' s) in
+  let s = String.concat "" (String.split_on_char '\n' s) in
+  Bytes.init (String.length s / 2) (fun i ->
+      Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+
+let test_chacha_rfc8439_encryption () =
+  (* RFC 8439 §2.4.2: full ChaCha20 encryption test vector. *)
+  let key = Bytes.init 32 Char.chr in
+  let nonce = hex_to_bytes "000000000000004a00000000" in
+  let plaintext =
+    Bytes.of_string
+      "Ladies and Gentlemen of the class of '99: If I could offer you only \
+       one tip for the future, sunscreen would be it."
+  in
+  let expected =
+    hex_to_bytes
+      "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+       f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+       07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+       5af90bbf74a35be6b40b8eedf2785e42874d"
+  in
+  let ct = Sim_crypto.Chacha20.xor_stream ~key ~counter:1l ~nonce plaintext in
+  checkb "RFC 8439 §2.4.2 ciphertext" true (Bytes.equal ct expected)
+
+let test_chacha_matches_reference () =
+  (* Differential: the unboxed implementation is bit-identical to the
+     boxed reference at every length straddling the block boundaries. *)
+  let rng = Random.State.make [| 0x5eed |] in
+  let k = Bytes.init 32 (fun _ -> Char.chr (Random.State.int rng 256)) in
+  for len = 0 to 200 do
+    let pt = Bytes.init len (fun _ -> Char.chr (Random.State.int rng 256)) in
+    let a = Sim_crypto.Chacha20.xor_stream ~key:k ~counter:7l ~nonce pt in
+    let b = Sim_crypto.Chacha20_ref.xor_stream ~key:k ~counter:7l ~nonce pt in
+    checkb (Printf.sprintf "xor_stream len %d" len) true (Bytes.equal a b)
+  done;
+  let blk_a = Sim_crypto.Chacha20.block ~key:k ~counter:0xFFFFFFFFl ~nonce in
+  let blk_b = Sim_crypto.Chacha20_ref.block ~key:k ~counter:0xFFFFFFFFl ~nonce in
+  checkb "block at counter 2^32-1" true (Bytes.equal blk_a blk_b)
+
 (* --- SipHash ---------------------------------------------------------- *)
 
 let test_siphash_selftest () =
@@ -73,6 +113,50 @@ let test_siphash_lengths () =
     let h = Sim_crypto.Siphash.hash k (Bytes.make len 'z') in
     checkb "no collision across lengths" false (Hashtbl.mem seen h);
     Hashtbl.replace seen h ()
+  done
+
+let test_siphash_reference_vectors () =
+  (* SipHash-2-4 vectors from the reference implementation's test
+     program: key = 00..0f, message = 00 01 .. (len-1). *)
+  let k = Sim_crypto.Siphash.key_of_bytes (Bytes.init 16 Char.chr) in
+  let vectors =
+    [
+      (0, 0x726fdb47dd0e0e31L);
+      (1, 0x74f839c593dc67fdL);
+      (2, 0x0d6c8009d9a94f5aL);
+      (3, 0x85676696d7fb7e2dL);
+      (4, 0xcf2794e0277187b7L);
+      (5, 0x18765564cd99a68dL);
+      (6, 0xcbc9466e58fee3ceL);
+      (7, 0xab0200f58b01d137L);
+      (8, 0x93f5f5799a932462L);
+      (* The worked example from the SipHash paper (15-byte message). *)
+      (15, 0xa129ca6149be45e5L);
+    ]
+  in
+  List.iter
+    (fun (len, expected) ->
+      let msg = Bytes.init len Char.chr in
+      Alcotest.(check int64)
+        (Printf.sprintf "vector len %d" len)
+        expected
+        (Sim_crypto.Siphash.hash k msg))
+    vectors
+
+let test_siphash_matches_reference () =
+  (* Differential: unboxed halves vs boxed Int64 reference at every
+     residue mod 8 and on random keys/data. *)
+  let rng = Random.State.make [| 0xcafe |] in
+  for _ = 1 to 50 do
+    let kb = Bytes.init 16 (fun _ -> Char.chr (Random.State.int rng 256)) in
+    let k = Sim_crypto.Siphash.key_of_bytes kb in
+    let k_ref = Sim_crypto.Siphash_ref.key_of_bytes kb in
+    let len = Random.State.int rng 64 in
+    let msg = Bytes.init len (fun _ -> Char.chr (Random.State.int rng 256)) in
+    Alcotest.(check int64)
+      (Printf.sprintf "hash len %d" len)
+      (Sim_crypto.Siphash_ref.hash k_ref msg)
+      (Sim_crypto.Siphash.hash k msg)
   done
 
 (* --- Sealer ----------------------------------------------------------- *)
@@ -121,6 +205,68 @@ let test_sealer_key_separation () =
   match Sim_crypto.Sealer.unseal other ~vaddr:0x6000L ~expected_version:1L sealed with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "cross-key unseal succeeded"
+
+let test_sealer_matches_reference () =
+  (* Interop: same master key, same inputs — the reference sealer and
+     the optimized sealer must produce identical blobs, and each must
+     unseal what the other sealed. *)
+  let ref_sealer = Sim_crypto.Sealer_ref.create ~master_key:"unit-test" in
+  let page = Bytes.init 256 (fun i -> Char.chr ((i * 31) land 0xFF)) in
+  let a = Sim_crypto.Sealer.seal sealer ~vaddr:0x8000L ~version:5L page in
+  let b = Sim_crypto.Sealer_ref.seal ref_sealer ~vaddr:0x8000L ~version:5L page in
+  checkb "identical ciphertext" true (Bytes.equal a.ciphertext b.ciphertext);
+  Alcotest.(check int64) "identical MAC" b.mac a.mac;
+  (match Sim_crypto.Sealer.unseal sealer ~vaddr:0x8000L ~expected_version:5L b with
+  | Ok pt -> checkb "new unseals ref blob" true (Bytes.equal pt page)
+  | Error _ -> Alcotest.fail "new sealer rejected reference blob");
+  match
+    Sim_crypto.Sealer_ref.unseal ref_sealer ~vaddr:0x8000L ~expected_version:5L a
+  with
+  | Ok pt -> checkb "ref unseals new blob" true (Bytes.equal pt page)
+  | Error _ -> Alcotest.fail "reference sealer rejected new blob"
+
+let test_sealer_batch_matches_single () =
+  (* Batch seal/unseal round-trips and matches page-at-a-time sealing
+     bit for bit. *)
+  let items =
+    List.init 8 (fun i ->
+        ( Int64.of_int (0x9000 + (i * 0x1000)),
+          Int64.of_int (100 + i),
+          Bytes.init (64 + (8 * i)) (fun j -> Char.chr ((i + j) land 0xFF)) ))
+  in
+  let batch = Sim_crypto.Sealer.seal_batch sealer items in
+  List.iter2
+    (fun (vaddr, version, pt) (s : Sim_crypto.Sealer.sealed) ->
+      let single = Sim_crypto.Sealer.seal sealer ~vaddr ~version pt in
+      checkb "batch ciphertext = single" true
+        (Bytes.equal s.ciphertext single.ciphertext);
+      Alcotest.(check int64) "batch MAC = single" single.mac s.mac)
+    items batch;
+  let to_unseal =
+    List.map2 (fun (vaddr, version, _) s -> (vaddr, version, s)) items batch
+  in
+  (match Sim_crypto.Sealer.unseal_batch sealer to_unseal with
+  | Ok pts ->
+    List.iter2
+      (fun (_, _, pt) recovered -> checkb "batch roundtrip" true (Bytes.equal pt recovered))
+      items pts
+  | Error _ -> Alcotest.fail "unseal_batch failed on honest blobs");
+  (* A tampered blob in the middle is pinpointed by vaddr. *)
+  let tampered =
+    List.mapi
+      (fun i ((vaddr, version, s) : int64 * int64 * Sim_crypto.Sealer.sealed) ->
+        if i = 3 then
+          let ct = Bytes.copy s.ciphertext in
+          Bytes.set ct 0 (Char.chr (Char.code (Bytes.get ct 0) lxor 1));
+          (vaddr, version, { s with ciphertext = ct })
+        else (vaddr, version, s))
+      to_unseal
+  in
+  match Sim_crypto.Sealer.unseal_batch sealer tampered with
+  | Ok _ -> Alcotest.fail "tampered batch accepted"
+  | Error (vaddr, Sim_crypto.Sealer.Mac_mismatch) ->
+    Alcotest.(check int64) "failing vaddr" 0xC000L vaddr
+  | Error (_, Sim_crypto.Sealer.Replayed) -> Alcotest.fail "wrong error"
 
 (* --- Oblivious primitives --------------------------------------------- *)
 
@@ -188,7 +334,11 @@ let suite =
     ("chacha nonce sensitivity", `Quick, test_chacha_nonce_sensitivity);
     ("chacha counter continuation", `Quick, test_chacha_counter_continuation);
     ("chacha key validation", `Quick, test_chacha_key_validation);
+    ("chacha RFC 8439 encryption vector", `Quick, test_chacha_rfc8439_encryption);
+    ("chacha matches reference", `Quick, test_chacha_matches_reference);
     ("siphash selftest", `Quick, test_siphash_selftest);
+    ("siphash reference vectors", `Quick, test_siphash_reference_vectors);
+    ("siphash matches reference", `Quick, test_siphash_matches_reference);
     ("siphash keyed", `Quick, test_siphash_keyed);
     ("siphash message sensitivity", `Quick, test_siphash_message_sensitivity);
     ("siphash all lengths", `Quick, test_siphash_lengths);
@@ -197,6 +347,8 @@ let suite =
     ("sealer detects replay", `Quick, test_sealer_detects_replay);
     ("sealer detects relocation", `Quick, test_sealer_detects_relocation);
     ("sealer key separation", `Quick, test_sealer_key_separation);
+    ("sealer matches reference", `Quick, test_sealer_matches_reference);
+    ("sealer batch matches single", `Quick, test_sealer_batch_matches_single);
     ("oblivious select", `Quick, test_oblivious_select);
     ("oblivious scan read", `Quick, test_oblivious_scan_read);
     ("oblivious scan write", `Quick, test_oblivious_scan_write);

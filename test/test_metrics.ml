@@ -217,6 +217,46 @@ let test_counters_snapshot_reset () =
   Metrics.Counters.reset c;
   checki "all reset" 0 (List.length (Metrics.Counters.snapshot c))
 
+let test_counters_cell_identity () =
+  let c = Metrics.Counters.create () in
+  let a1 = Metrics.Counters.cell c "a" in
+  let a2 = Metrics.Counters.cell c "a" in
+  checkb "same name, same cell" true (a1 == a2);
+  check Alcotest.string "cell name" "a" (Metrics.Counters.name a1);
+  Metrics.Counters.cell_incr a1;
+  Metrics.Counters.incr c "a";
+  Metrics.Counters.cell_add a2 3;
+  checki "cell and string APIs alias" 5 (Metrics.Counters.get c "a");
+  checki "cell_get sees string incr" 5 (Metrics.Counters.cell_get a1)
+
+let test_counters_cells_survive_reset () =
+  let c = Metrics.Counters.create () in
+  let x = Metrics.Counters.cell c "x" in
+  let y = Metrics.Counters.cell c "y" in
+  Metrics.Counters.cell_add x 7;
+  Metrics.Counters.cell_add y 2;
+  Metrics.Counters.reset_one c "x";
+  checki "reset_one zeroes the cell" 0 (Metrics.Counters.cell_get x);
+  checki "other cell untouched" 2 (Metrics.Counters.cell_get y);
+  Metrics.Counters.reset c;
+  checki "reset zeroes all cells" 0 (Metrics.Counters.cell_get y);
+  (* The handle keeps counting into the same (interned) counter. *)
+  Metrics.Counters.cell_incr x;
+  checki "handle valid after reset" 1 (Metrics.Counters.get c "x");
+  checkb "still the same cell" true (x == Metrics.Counters.cell c "x")
+
+let test_counters_snapshot_sees_cells () =
+  let c = Metrics.Counters.create () in
+  let m = Metrics.Counters.cell c "m" in
+  let _zero = Metrics.Counters.cell c "never-bumped" in
+  Metrics.Counters.cell_add m 4;
+  Metrics.Counters.incr c "n";
+  check
+    Alcotest.(list (pair string int))
+    "snapshot interleaves cell and string counters"
+    [ ("m", 4); ("n", 1) ]
+    (Metrics.Counters.snapshot c)
+
 let test_clock_charge () =
   let clock = Metrics.Clock.create Metrics.Cost_model.default in
   Metrics.Clock.charge clock 100;
@@ -301,6 +341,9 @@ let suite =
     ("stats histogram", `Quick, test_stats_histogram);
     ("counters basic", `Quick, test_counters_basic);
     ("counters snapshot/reset", `Quick, test_counters_snapshot_reset);
+    ("counters cell identity", `Quick, test_counters_cell_identity);
+    ("counters cells survive reset", `Quick, test_counters_cells_survive_reset);
+    ("counters snapshot sees cells", `Quick, test_counters_snapshot_sees_cells);
     ("clock charge/span/reset", `Quick, test_clock_charge);
     ("clock seconds", `Quick, test_clock_seconds);
     ("cost model derived", `Quick, test_cost_model_derived);
