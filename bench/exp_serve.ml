@@ -1,0 +1,10 @@
+(* Multi-tenant serving benchmark: the default three-tenant
+   mixed-policy scenario served in virtual time, with the EPC arbiter
+   rebalancing vEPC between tenant VMs.  Writes BENCH_serve.json
+   (schema autarky-serve/1) in the current directory — the committed
+   baseline lives at the repository root and is bit-reproducible from
+   the fixed seed. *)
+
+let run () =
+  print_endline "== serve: multi-tenant serving benchmark ==";
+  ignore (Serve.Driver.run ~quick:false ~seed:42 ~out:"BENCH_serve.json" ())

@@ -22,6 +22,8 @@ let experiments =
      Exp_ablation.run);
     ("perf", "perf-regression harness: crypto micro + workload matrix \
               (BENCH_perf.json)", Exp_perf.run);
+    ("serve", "multi-tenant serving: virtual-time scheduler + EPC arbiter \
+               (BENCH_serve.json)", Exp_serve.run);
   ]
 
 let usage () =

@@ -532,6 +532,46 @@ let perf_cmd =
   in
   Cmd.v (Cmd.info "perf" ~doc) Term.(const run $ quick_arg $ out_arg $ seed_arg)
 
+(* --- serve ----------------------------------------------------------------- *)
+
+let serve_cmd =
+  let doc =
+    "Run the multi-tenant serving benchmark: three enclave tenants \
+     (kvstore/clusters, spellcheck/ORAM, uthash/rate-limit) served in \
+     virtual time on one machine, with bounded admission queues, an EPC \
+     arbiter rebalancing vEPC between tenant VMs, and a deterministic \
+     autarky-serve/1 SLO report."
+  in
+  let quick_arg =
+    let doc =
+      "CI smoke mode: quarter-length request streams; no JSON file unless \
+       $(b,--out) is given."
+    in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let no_arbiter_arg =
+    let doc = "Disable the EPC arbiter (static partitions only)." in
+    Arg.(value & flag & info [ "no-arbiter" ] ~doc)
+  in
+  let out_arg =
+    let doc =
+      "Write the autarky-serve/1 JSON report to $(docv).  Defaults to \
+       BENCH_serve.json in full mode, no file in quick mode."
+    in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc ~docv:"FILE")
+  in
+  let run quick no_arbiter out seed =
+    let out =
+      match (out, quick) with
+      | Some f, _ -> Some f
+      | None, false -> Some "BENCH_serve.json"
+      | None, true -> None
+    in
+    ignore (Serve.Driver.run ~quick ~seed ~no_arbiter ?out ())
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ quick_arg $ no_arbiter_arg $ out_arg $ seed_arg)
+
 (* --- kernels --------------------------------------------------------------- *)
 
 let kernels_cmd =
@@ -563,4 +603,5 @@ let () =
             inject_cmd;
             kernels_cmd;
             perf_cmd;
+            serve_cmd;
           ]))

@@ -23,34 +23,16 @@ let os_iface os proc : Autarky.Os_iface.t =
     epc_headroom = (fun () -> Sim_os.Kernel.epc_headroom os proc);
   }
 
-let create ?model ?(mode = Sgx.Machine.Full_exits) ?(mech = `Sgx1) ?budget
-    ?(trace = false) ?trace_capacity ?wrap_os ~epc_frames ~epc_limit
-    ~enclave_pages ~self_paging () =
-  assert (epc_frames > 0 && epc_limit > 0 && enclave_pages > 0);
-  let machine =
-    match model with
-    | Some m -> Sgx.Machine.create ~model:m ~mode ~epc_frames ()
-    | None -> Sgx.Machine.create ~mode ~epc_frames ()
-  in
-  (* Install the recorder before the OS and enclave exist so enclave
-     construction and initial paging are part of the trace. *)
-  let tracer =
-    if trace then begin
-      let tr =
-        Trace.Recorder.create ?capacity:trace_capacity
-          ~clock:Sgx.Machine.(machine.clock) ()
-      in
-      Sgx.Machine.set_tracer machine (Some tr);
-      Some tr
-    end
-    else None
-  in
-  let os = Sim_os.Kernel.create machine in
-  let proc =
-    Sim_os.Kernel.create_proc os ~size_pages:enclave_pages ~self_paging
-      ~epc_limit
-  in
+(* Bring an ECREATEd (but still empty) process up into a runnable
+   platform slice: populate the initial image, install the Autarky
+   runtime when the enclave is self-paging, EINIT, and wire a CPU.
+   Shared by [create] (which builds the machine and OS itself) and by
+   multi-tenant drivers that carve many enclaves out of one machine
+   (hypervisor guests — see [Serve.Tenant]). *)
+let attach ?(mech = `Sgx1) ?budget ?wrap_os ~machine ~os ~proc () =
   let enclave = Sim_os.Kernel.enclave proc in
+  let enclave_pages = enclave.Sgx.Enclave.size_pages in
+  let epc_limit = Sim_os.Kernel.epc_limit proc in
   (* Populate the whole initial image (zero pages); pages beyond the EPC
      allowance land pre-sealed in the backing store. *)
   for i = 0 to enclave_pages - 1 do
@@ -58,7 +40,7 @@ let create ?model ?(mode = Sgx.Machine.Full_exits) ?(mech = `Sgx1) ?budget
       ~data:(Sgx.Page_data.create ()) ~perms:Sgx.Types.perms_rwx
   done;
   let runtime =
-    if self_paging then begin
+    if enclave.Sgx.Enclave.self_paging then begin
       let budget = Option.value budget ~default:(max 1 (epc_limit - 64)) in
       (* [wrap_os] interposes on the kernel/runtime boundary — the
          fault-injection layer's hook. *)
@@ -87,10 +69,35 @@ let create ?model ?(mode = Sgx.Machine.Full_exits) ?(mech = `Sgx1) ?budget
     sys_proc = proc;
     sys_cpu = cpu;
     sys_runtime = runtime;
-    sys_tracer = tracer;
+    sys_tracer = Sgx.Machine.tracer machine;
     next_region = enclave.base_vpage;
     region_end = enclave.base_vpage + enclave_pages;
   }
+
+let create ?model ?(mode = Sgx.Machine.Full_exits) ?(mech = `Sgx1) ?budget
+    ?(trace = false) ?trace_capacity ?wrap_os ~epc_frames ~epc_limit
+    ~enclave_pages ~self_paging () =
+  assert (epc_frames > 0 && epc_limit > 0 && enclave_pages > 0);
+  let machine =
+    match model with
+    | Some m -> Sgx.Machine.create ~model:m ~mode ~epc_frames ()
+    | None -> Sgx.Machine.create ~mode ~epc_frames ()
+  in
+  (* Install the recorder before the OS and enclave exist so enclave
+     construction and initial paging are part of the trace. *)
+  if trace then begin
+    let tr =
+      Trace.Recorder.create ?capacity:trace_capacity
+        ~clock:Sgx.Machine.(machine.clock) ()
+    in
+    Sgx.Machine.set_tracer machine (Some tr)
+  end;
+  let os = Sim_os.Kernel.create machine in
+  let proc =
+    Sim_os.Kernel.create_proc os ~size_pages:enclave_pages ~self_paging
+      ~epc_limit
+  in
+  attach ~mech ?budget ?wrap_os ~machine ~os ~proc ()
 
 let machine t = t.sys_machine
 let os t = t.sys_os

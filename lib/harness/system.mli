@@ -45,6 +45,22 @@ val create :
     kernel/runtime boundary.  Only meaningful for self-paging
     enclaves. *)
 
+val attach :
+  ?mech:Autarky.Pager.mech ->
+  ?budget:int ->
+  ?wrap_os:(Autarky.Os_iface.t -> Autarky.Os_iface.t) ->
+  machine:Sgx.Machine.t -> os:Sim_os.Kernel.t -> proc:Sim_os.Kernel.proc ->
+  unit -> t
+(** Bring an already-ECREATEd (empty, un-EINITed) process up into a
+    full platform slice on an existing machine and kernel: populate the
+    initial image, install the Autarky runtime when the enclave carries
+    the self-paging attribute, EINIT, and wire a CPU.  [create] is
+    [attach] over a freshly built machine and kernel; multi-tenant
+    drivers use [attach] directly to host several enclaves — e.g.
+    hypervisor guest processes from {!Hypervisor.Vmm.create_guest_proc}
+    — on one shared machine.  Any recorder already installed on
+    [machine] is picked up as this system's tracer. *)
+
 val machine : t -> Sgx.Machine.t
 val os : t -> Sim_os.Kernel.t
 val proc : t -> Sim_os.Kernel.proc

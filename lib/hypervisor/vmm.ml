@@ -53,6 +53,20 @@ let create_guest_proc _t vm ~size_pages ~self_paging ~epc_limit =
 (* Shrink one process's allowance by up to [take] frames: evict its
    OS-managed pages first, then ask the enclave to deflate; the new
    limit reflects only what was actually reclaimed. *)
+let destroy_guest_proc _t vm proc =
+  let id = (Sim_os.Kernel.enclave proc).Sgx.Enclave.id in
+  if
+    not
+      (List.exists
+         (fun p -> (Sim_os.Kernel.enclave p).Sgx.Enclave.id = id)
+         vm.procs)
+  then invalid_arg "Vmm.destroy_guest_proc: process not in this VM";
+  Sim_os.Kernel.release_proc vm.guest proc;
+  vm.procs <-
+    List.filter
+      (fun p -> (Sim_os.Kernel.enclave p).Sgx.Enclave.id <> id)
+      vm.procs
+
 let shrink_proc guest proc take =
   let limit = Sim_os.Kernel.epc_limit proc in
   let take = min take (max 0 (limit - 1)) in
@@ -79,9 +93,23 @@ let shrink_vm vm frames =
       else reclaimed + shrink_proc vm.guest proc (frames - reclaimed))
     0 vm.procs
 
+let grow_vm t vm ~frames =
+  assert (frames >= 0);
+  let granted = min frames (free_frames t) in
+  t.assigned <- t.assigned + granted;
+  vm.partition <- vm.partition + granted;
+  granted
+
 let rebalance _t ~from_vm ~to_vm ~frames =
   assert (frames >= 0);
-  let moved = shrink_vm from_vm frames in
+  (* Partition headroom no process is entitled to moves for free; only
+     the remainder needs evictions and balloon upcalls in the donor. *)
+  let uncommitted = max 0 (from_vm.partition - committed_frames from_vm) in
+  let free_part = min frames uncommitted in
+  let squeezed =
+    if frames > free_part then shrink_vm from_vm (frames - free_part) else 0
+  in
+  let moved = free_part + squeezed in
   from_vm.partition <- from_vm.partition - moved;
   to_vm.partition <- to_vm.partition + moved;
   moved

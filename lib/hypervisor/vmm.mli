@@ -46,12 +46,25 @@ val create_guest_proc :
 val committed_frames : vm -> int
 (** Sum of the VM's process limits. *)
 
+val destroy_guest_proc : t -> vm -> Sim_os.Kernel.proc -> unit
+(** Tear a guest process down (typically after its enclave terminated):
+    free its EPC frames via {!Sim_os.Kernel.release_proc} and return its
+    commitment to the VM's partition, so a replacement enclave — an
+    attested restart — can be created in its place.  Raises
+    [Invalid_argument] if the process does not belong to this VM. *)
+
+val grow_vm : t -> vm -> frames:int -> int
+(** Grow a VM's partition from the hypervisor's unassigned EPC pool;
+    returns the frames actually granted (bounded by {!free_frames}).
+    Costs nobody anything — the arbiter's first resort. *)
+
 val rebalance : t -> from_vm:vm -> to_vm:vm -> frames:int -> int
-(** Ballooning across VMs: shrink [from_vm]'s partition by reclaiming
-    frames from its guest (OS-managed evictions first, then cooperative
-    enclave balloons) and grow [to_vm].  Returns the frames actually
-    moved — possibly fewer if the guest's enclaves refuse to deflate
-    (which is their right; §5.2.1). *)
+(** Ballooning across VMs: shrink [from_vm]'s partition and grow
+    [to_vm] by the frames actually moved.  Uncommitted partition
+    headroom moves for free; beyond that the donor guest is squeezed
+    (OS-managed evictions first, then cooperative enclave balloons).
+    Returns possibly fewer than [frames] if the guest's enclaves refuse
+    to deflate (which is their right; §5.2.1). *)
 
 val hypervisor_evict : t -> vm -> Sim_os.Kernel.proc -> Sgx.Types.vpage -> unit
 (** Transparent demand paging attempt: the hypervisor evicts an enclave

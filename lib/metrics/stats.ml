@@ -41,6 +41,32 @@ let percentile t p =
   let idx = max 0 (min (t.n - 1) (rank - 1)) in
   arr.(idx)
 
+type summary = {
+  s_count : int;
+  s_mean : float;
+  s_p50 : float;
+  s_p95 : float;
+  s_p99 : float;
+  s_max : float;
+}
+
+let summary t =
+  if t.n = 0 then
+    { s_count = 0; s_mean = 0.0; s_p50 = 0.0; s_p95 = 0.0; s_p99 = 0.0;
+      s_max = 0.0 }
+  else begin
+    (* One sort serves all three percentiles (nearest-rank, like
+       {!percentile}). *)
+    let arr = Array.of_list t.samples in
+    Array.sort compare arr;
+    let pct p =
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) in
+      arr.(max 0 (min (t.n - 1) (rank - 1)))
+    in
+    { s_count = t.n; s_mean = mean t; s_p50 = pct 50.0; s_p95 = pct 95.0;
+      s_p99 = pct 99.0; s_max = t.max_v }
+  end
+
 let geomean values =
   match values with
   | [] -> invalid_arg "Stats.geomean: empty"

@@ -20,6 +20,21 @@ val percentile : t -> float -> float
 (** [percentile t p] for [p] in [\[0,100\]], by nearest-rank on the sorted
     samples. Raises [Invalid_argument] when empty. *)
 
+type summary = {
+  s_count : int;
+  s_mean : float;
+  s_p50 : float;
+  s_p95 : float;
+  s_p99 : float;
+  s_max : float;
+}
+(** The fixed percentile set SLO reports are built from. *)
+
+val summary : t -> summary
+(** [summary t] computes count/mean/p50/p95/p99/max in one pass (one
+    sort).  All fields are 0 when the accumulator is empty; with a
+    single sample every percentile equals that sample. *)
+
 val geomean : float list -> float
 (** Geometric mean of positive values; raises [Invalid_argument] on an
     empty list or non-positive values. *)

@@ -500,6 +500,23 @@ let request_balloon t proc ~pages =
         Trace.Event.Balloon { requested = pages; released });
     released
 
+let release_proc t proc =
+  let id = proc.enclave.Enclave.id in
+  (* EREMOVE-equivalent teardown of every frame the enclave still holds
+     (including frames a dead enclave can no longer release itself). *)
+  let frames = Epc.frames_of_enclave t.machine.epc ~enclave_id:id in
+  List.iter
+    (fun frame ->
+      charge t (cmodel t).eremove;
+      Epc.release t.machine.epc frame)
+    frames;
+  (match proc.enclave.Enclave.state with
+  | Enclave.Dead _ -> ()
+  | _ -> proc.enclave.Enclave.state <- Enclave.Dead "released by OS");
+  proc.resident_count <- 0;
+  proc.balloon_handler <- None;
+  Hashtbl.remove t.procs id
+
 let reclaim_for_shrink t proc ~target =
   let progress = ref true in
   while proc.resident_count > target && !progress do

@@ -136,6 +136,14 @@ val request_balloon : t -> proc -> pages:int -> int
     or refusal) and the call returns the number actually released.
     Charges an enclave entry/exit round trip. *)
 
+val release_proc : t -> proc -> unit
+(** Tear a process down (typically after its enclave terminated): free
+    every EPC frame the enclave still holds — a dead enclave cannot
+    release them itself — mark the enclave [Dead] if it was not
+    already, and unregister the process from the kernel.  The freed
+    frames return to the machine-wide pool, so a replacement enclave
+    (an attested restart) can be created in its place. *)
+
 val reclaim_for_shrink : t -> proc -> target:int -> unit
 (** Evict the process's OS-managed pages until its residency is at most
     [target] or no evictable page remains (used when a hypervisor shrinks

@@ -1,0 +1,255 @@
+(* Scenario front end: the default 3-tenant mixed-policy serving
+   scenario, the SLO report, and the BENCH_serve.json writer.
+
+   Every number in the report is virtual (cycles, counts, rates derived
+   from the modeled clock), so the JSON is bit-identical across runs of
+   the same (scenario, seed) — the property the @serve determinism
+   alias locks in.  This module would be called [Serve.Harness] if that
+   name did not shadow the [Harness] library inside this one. *)
+
+type tenant_report = {
+  tr_name : string;
+  tr_workload : string;
+  tr_policy : string;
+  tr_generator : string;
+  tr_arrivals : int;
+  tr_served : int;
+  tr_shed : int;
+  tr_missed : int;
+  tr_terminations : int;
+  tr_restarts : int;
+  tr_refused : bool;
+  tr_faults : int;
+  tr_balloon_released_pages : int;
+  tr_balloon_in_frames : int;
+  tr_partition_end : int;
+  tr_epc_limit_end : int;
+  tr_svc_mean_cycles : float;
+  tr_latency : Metrics.Stats.summary;  (* virtual cycles *)
+  tr_throughput_rps : float;  (* requests per virtual second *)
+  tr_shed_rate : float;
+}
+
+type report = {
+  rp_seed : int;
+  rp_quick : bool;
+  rp_tenants : tenant_report list;
+  rp_end_cycle : int;
+  rp_virtual_seconds : float;
+  rp_arbiter_moves : int;
+  rp_digest : string option;
+}
+
+let tenant_report ~virtual_seconds tn =
+  let cfg = Tenant.config tn in
+  {
+    tr_name = cfg.Tenant.name;
+    tr_workload = Tenant.workload_name cfg.Tenant.workload;
+    tr_policy = Tenant.policy_name cfg.Tenant.policy;
+    tr_generator = Tenant.generator_name cfg.Tenant.generator;
+    tr_arrivals = Tenant.arrivals tn;
+    tr_served = Tenant.served tn;
+    tr_shed = Tenant.shed tn;
+    tr_missed = Tenant.missed tn;
+    tr_terminations = Tenant.terminations tn;
+    tr_restarts = Tenant.restarts tn;
+    tr_refused = Tenant.state tn = Tenant.Refused;
+    tr_faults = Tenant.faults tn;
+    tr_balloon_released_pages = Tenant.balloon_released_pages tn;
+    tr_balloon_in_frames = Tenant.balloon_in_frames tn;
+    tr_partition_end = Hypervisor.Vmm.partition_frames (Tenant.vm tn);
+    tr_epc_limit_end =
+      (try Sim_os.Kernel.epc_limit (Tenant.proc tn) with Invalid_argument _ -> 0);
+    tr_svc_mean_cycles = Tenant.svc_mean tn;
+    tr_latency = Metrics.Stats.summary (Tenant.latencies tn);
+    tr_throughput_rps =
+      (if virtual_seconds > 0.0 then float_of_int (Tenant.served tn) /. virtual_seconds
+       else 0.0);
+    tr_shed_rate =
+      (let a = Tenant.arrivals tn in
+       if a > 0 then float_of_int (Tenant.shed tn + Tenant.missed tn) /. float_of_int a
+       else 0.0);
+  }
+
+let report_of_result ~seed ~quick (res : Engine.result) =
+  let model = Sgx.Machine.model res.Engine.r_machine in
+  let virtual_seconds =
+    float_of_int res.Engine.r_end_cycle /. model.Metrics.Cost_model.freq_hz
+  in
+  {
+    rp_seed = seed;
+    rp_quick = quick;
+    rp_tenants =
+      Array.to_list (Array.map (tenant_report ~virtual_seconds) res.Engine.r_tenants);
+    rp_end_cycle = res.Engine.r_end_cycle;
+    rp_virtual_seconds = virtual_seconds;
+    rp_arbiter_moves = res.Engine.r_arbiter_moves;
+    rp_digest = res.Engine.r_digest;
+  }
+
+(* --- default scenario -------------------------------------------------- *)
+
+(* Three tenants sharing one machine, one per protection policy:
+
+   - [kv]: memcached-style store under page clusters, moderate open-loop
+     load — the well-behaved tenant whose p99 the SLO test watches.
+   - [spell]: multi-dictionary spell-check server under ORAM, a small
+     closed-loop client population.
+   - [hash]: uthash table under rate-limiting, open-loop at 2.5x its
+     service rate — deliberately overloaded, so its bounded queue sheds
+     and its deadline drops requests while the other tenants ride out
+     the pressure inside their own partitions. *)
+let default_scenario ~quick =
+  let r n = if quick then n else 4 * n in
+  [
+    {
+      Tenant.name = "kv";
+      workload = Tenant.Kvstore;
+      policy = Tenant.Clusters;
+      partition_frames = 320;
+      epc_limit = 256;
+      enclave_pages = 1_024;
+      heap_pages = 512;
+      generator = Tenant.Open_loop { load = 0.6 };
+      queue_capacity = 32;
+      deadline = None;
+      requests = r 240;
+    };
+    {
+      Tenant.name = "spell";
+      workload = Tenant.Spellcheck;
+      policy = Tenant.Oram;
+      partition_frames = 320;
+      epc_limit = 256;
+      enclave_pages = 1_024;
+      heap_pages = 256;
+      generator = Tenant.Closed_loop { clients = 4; think = 2.0 };
+      queue_capacity = 16;
+      deadline = None;
+      requests = r 160;
+    };
+    {
+      Tenant.name = "hash";
+      workload = Tenant.Uthash;
+      policy = Tenant.Rate_limit;
+      partition_frames = 256;
+      epc_limit = 160;
+      enclave_pages = 1_024;
+      heap_pages = 512;
+      generator = Tenant.Open_loop { load = 2.5 };
+      queue_capacity = 16;
+      deadline = Some 10.0;
+      requests = r 480;
+    };
+  ]
+
+(* --- JSON -------------------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json r =
+  let b = Buffer.create 4_096 in
+  let f = Printf.sprintf "%.2f" in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"autarky-serve/1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" r.rp_quick);
+  Buffer.add_string b (Printf.sprintf "  \"seed\": %d,\n" r.rp_seed);
+  Buffer.add_string b (Printf.sprintf "  \"end_cycle\": %d,\n" r.rp_end_cycle);
+  Buffer.add_string b
+    (Printf.sprintf "  \"virtual_seconds\": %s,\n" (f r.rp_virtual_seconds));
+  Buffer.add_string b
+    (Printf.sprintf "  \"arbiter_moves\": %d,\n" r.rp_arbiter_moves);
+  (match r.rp_digest with
+  | Some d ->
+    Buffer.add_string b (Printf.sprintf "  \"trace_digest\": \"%s\",\n" (json_escape d))
+  | None -> ());
+  Buffer.add_string b "  \"tenants\": [\n";
+  List.iteri
+    (fun i t ->
+      let s = t.tr_latency in
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"workload\": \"%s\", \"policy\": \"%s\", \
+            \"generator\": \"%s\", \"arrivals\": %d, \"served\": %d, \
+            \"shed\": %d, \"deadline_missed\": %d, \"terminations\": %d, \
+            \"restarts\": %d, \"refused\": %b, \"faults\": %d, \
+            \"balloon_released_pages\": %d, \"balloon_in_frames\": %d, \
+            \"partition_end\": %d, \"epc_limit_end\": %d, \
+            \"svc_mean_cycles\": %s, \"throughput_rps\": %s, \
+            \"shed_rate\": %s, \"latency_cycles\": {\"count\": %d, \
+            \"mean\": %s, \"p50\": %s, \"p95\": %s, \"p99\": %s, \
+            \"max\": %s}}%s\n"
+           (json_escape t.tr_name) (json_escape t.tr_workload)
+           (json_escape t.tr_policy) (json_escape t.tr_generator) t.tr_arrivals
+           t.tr_served t.tr_shed t.tr_missed t.tr_terminations t.tr_restarts
+           t.tr_refused t.tr_faults t.tr_balloon_released_pages
+           t.tr_balloon_in_frames t.tr_partition_end t.tr_epc_limit_end
+           (f t.tr_svc_mean_cycles) (f t.tr_throughput_rps) (f t.tr_shed_rate)
+           s.Metrics.Stats.s_count (f s.Metrics.Stats.s_mean)
+           (f s.Metrics.Stats.s_p50) (f s.Metrics.Stats.s_p95)
+           (f s.Metrics.Stats.s_p99) (f s.Metrics.Stats.s_max)
+           (if i = List.length r.rp_tenants - 1 then "" else ",")))
+    r.rp_tenants;
+  Buffer.add_string b "  ]\n";
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+(* --- driver ------------------------------------------------------------ *)
+
+let print_summary r =
+  Printf.printf "serve: %d tenants, %d virtual cycles (%.4f s), seed %d%s\n"
+    (List.length r.rp_tenants) r.rp_end_cycle r.rp_virtual_seconds r.rp_seed
+    (if r.rp_quick then " (quick)" else "");
+  (match r.rp_digest with
+  | Some d -> Printf.printf "serve: trace digest %s\n" d
+  | None -> ());
+  if r.rp_arbiter_moves > 0 then
+    Printf.printf "serve: arbiter rebalanced %d time(s)\n" r.rp_arbiter_moves;
+  Printf.printf "  %-6s %-10s %-11s %8s %7s %6s %7s %10s %10s %10s %7s\n" "tenant"
+    "workload" "policy" "arrivals" "served" "shed" "missed" "p50 cyc" "p99 cyc"
+    "rps" "shed%";
+  List.iter
+    (fun t ->
+      let s = t.tr_latency in
+      Printf.printf "  %-6s %-10s %-11s %8d %7d %6d %7d %10.0f %10.0f %10.1f %6.1f%%%s\n"
+        t.tr_name t.tr_workload t.tr_policy t.tr_arrivals t.tr_served t.tr_shed
+        t.tr_missed s.Metrics.Stats.s_p50 s.Metrics.Stats.s_p99 t.tr_throughput_rps
+        (100.0 *. t.tr_shed_rate)
+        (if t.tr_refused then " [refused]"
+         else if t.tr_restarts > 0 then Printf.sprintf " [%d restarts]" t.tr_restarts
+         else ""))
+    r.rp_tenants
+
+let run ?(quick = false) ?(seed = 42) ?(no_arbiter = false) ?out ?(print = true)
+    () =
+  let params =
+    let p = Engine.default_params ~seed in
+    if no_arbiter then { p with Engine.p_arbiter = None } else p
+  in
+  let res = Engine.run ~params (default_scenario ~quick) in
+  let r = report_of_result ~seed ~quick res in
+  if print then print_summary r;
+  (match out with
+  | None -> ()
+  | Some file ->
+    let oc = open_out file in
+    output_string oc (to_json r);
+    close_out oc;
+    if print then Printf.printf "serve: wrote %s\n" file);
+  r
+
+let run_scenario ?(quick = false) ~params cfgs =
+  let res = Engine.run ~params cfgs in
+  report_of_result ~seed:params.Engine.p_seed ~quick res

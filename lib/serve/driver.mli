@@ -1,0 +1,62 @@
+(** Serving scenarios and the SLO report (BENCH_serve.json).
+
+    The report contains only virtual quantities — modeled cycles,
+    request counts, rates over the modeled clock — so the JSON emitted
+    for a given (scenario, seed) is byte-identical run to run.  The
+    trace digest of the whole run is part of the report, extending the
+    golden-trace regression net over the serving layer. *)
+
+type tenant_report = {
+  tr_name : string;
+  tr_workload : string;
+  tr_policy : string;
+  tr_generator : string;
+  tr_arrivals : int;
+  tr_served : int;
+  tr_shed : int;
+  tr_missed : int;
+  tr_terminations : int;
+  tr_restarts : int;
+  tr_refused : bool;
+  tr_faults : int;
+  tr_balloon_released_pages : int;
+  tr_balloon_in_frames : int;
+  tr_partition_end : int;
+  tr_epc_limit_end : int;
+  tr_svc_mean_cycles : float;
+  tr_latency : Metrics.Stats.summary;  (** request latency, virtual cycles *)
+  tr_throughput_rps : float;  (** served requests per virtual second *)
+  tr_shed_rate : float;  (** (shed + missed) / arrivals *)
+}
+
+type report = {
+  rp_seed : int;
+  rp_quick : bool;
+  rp_tenants : tenant_report list;
+  rp_end_cycle : int;
+  rp_virtual_seconds : float;
+  rp_arbiter_moves : int;
+  rp_digest : string option;
+}
+
+val default_scenario : quick:bool -> Tenant.config list
+(** The committed benchmark scenario: three tenants on one machine —
+    [kv] (kvstore / clusters / moderate open loop), [spell]
+    (spellcheck / ORAM / closed loop) and [hash] (uthash / rate-limit /
+    overloaded open loop, bounded queue + deadline). *)
+
+val report_of_result : seed:int -> quick:bool -> Engine.result -> report
+
+val to_json : report -> string
+(** Stable schema ["autarky-serve/1"]; deterministic for a fixed
+    (scenario, seed). *)
+
+val print_summary : report -> unit
+
+val run :
+  ?quick:bool -> ?seed:int -> ?no_arbiter:bool -> ?out:string ->
+  ?print:bool -> unit -> report
+(** Run {!default_scenario} and optionally write the JSON report. *)
+
+val run_scenario : ?quick:bool -> params:Engine.params -> Tenant.config list -> report
+(** Run an arbitrary scenario (used by the tests). *)

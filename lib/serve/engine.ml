@@ -1,0 +1,455 @@
+(* The virtual-time discrete-event serving loop.
+
+   Time is a pure event timeline measured in cycles: arrivals, client
+   think times and arbiter ticks live on the {!Event_queue}; service
+   durations are measured by running each request to completion on the
+   shared machine clock ({!Metrics.Clock.start_span}) and re-projected
+   onto the timeline as [completion = max arrival busy_until + cycles].
+   Nothing reads wall-clock time, so a (scenario, seed) pair determines
+   every number in the result bit-for-bit.
+
+   Admission control per tenant: requests are shed when the bounded
+   queue is full (or the tenant was refused restart by the attestation
+   monitor), dropped when their queueing delay would exceed the
+   deadline, and otherwise executed synchronously.  An
+   [Enclave_terminated] escaping a request goes through the restart
+   monitor: [Allow] reboots the tenant (the reboot's cycles land in the
+   same measurement span, so restart cost shows up as server busy
+   time); [Refuse] pins the tenant to [Refused] and every later request
+   sheds — the termination channel is closed by admission control.
+
+   The EPC arbiter is the hypervisor-level half of §5.2.1/§5.4: each
+   tick it compares per-tenant fault pressure (faults handled since the
+   previous tick) and, when the gap is large enough, moves a batch of
+   frames from the calmest VM to the most pressured one via
+   [Vmm.rebalance] — which internally evicts the donor's OS-managed
+   pages and issues cooperative balloon upcalls — then raises the
+   beneficiary's OS allowance and pager budget. *)
+
+module Vmm = Hypervisor.Vmm
+module System = Harness.System
+
+type attack = { atk_victim : string; atk_every : int }
+
+type arbiter = {
+  arb_period : float;  (* ticks every [period] x (max tenant mean service) *)
+  arb_step : int;  (* frames moved per rebalance *)
+  arb_min_partition : int;  (* never shrink a VM below this *)
+  arb_threshold : int;  (* min fault-pressure gap before acting *)
+}
+
+let default_arbiter =
+  { arb_period = 40.0; arb_step = 32; arb_min_partition = 96; arb_threshold = 16 }
+
+type params = {
+  p_seed : int;
+  p_spare_frames : int;
+  p_calibration : int;
+  p_max_restarts : int;
+  p_arbiter : arbiter option;
+  p_attack : attack option;
+  p_trace : bool;
+}
+
+let default_params ~seed =
+  {
+    p_seed = seed;
+    p_spare_frames = 128;
+    p_calibration = 16;
+    p_max_restarts = 3;
+    p_arbiter = Some default_arbiter;
+    p_attack = None;
+    p_trace = true;
+  }
+
+type verdict = Served of int | Shed | Deadline_missed
+
+type ev = Arrival of int | Client of int * int | Arbiter_tick
+
+type result = {
+  r_tenants : Tenant.t array;
+  r_machine : Sgx.Machine.t;
+  r_monitor : Autarky.Restart_monitor.t;
+  r_end_cycle : int;  (* virtual end of serving (last completion/event) *)
+  r_arbiter_moves : int;
+  r_digest : string option;
+}
+
+type state = {
+  st_params : params;
+  st_machine : Sgx.Machine.t;
+  st_hv : Vmm.t;
+  st_monitor : Autarky.Restart_monitor.t;
+  st_tenants : Tenant.t array;
+  st_q : ev Event_queue.t;
+  st_scheduled : int array;  (* arrivals generated so far, per tenant *)
+  st_interarrival : float array;  (* open-loop mean interarrival, cycles *)
+  st_think : float array;  (* closed-loop mean think time, cycles *)
+  st_deadline : int option array;  (* resolved deadline, cycles *)
+  mutable st_end : int;
+  mutable st_moves : int;
+}
+
+let emit st ~tenant ~action ~detail =
+  match Sgx.Machine.tracer st.st_machine with
+  | None -> ()
+  | Some r ->
+    Trace.Recorder.emit r ~actor:Trace.Event.Harness
+      (Trace.Event.Serve { tenant; action; detail })
+
+(* Exponential inter-event gap, floored at one cycle so the event
+   timeline always advances. *)
+let exp_sample rng mean =
+  let u = Metrics.Rng.float rng in
+  max 1 (int_of_float (ceil (-.log (1.0 -. u) *. mean)))
+
+let calibrate st =
+  let clock = st.st_machine.Sgx.Machine.clock in
+  Array.iter
+    (fun tn ->
+      let n = max 1 st.st_params.p_calibration in
+      let span = Metrics.Clock.start_span clock in
+      for _ = 1 to n do
+        Tenant.request tn ~key:(Tenant.calib_key tn)
+      done;
+      let total = Metrics.Clock.span_cycles clock span in
+      let mean = max 1.0 (float_of_int total /. float_of_int n) in
+      Tenant.set_svc_mean tn mean;
+      (* Start the arbiter's pressure bookmark after calibration so the
+         warmup faults don't count as serving pressure. *)
+      Tenant.set_faults_last_seen tn (Tenant.faults tn);
+      emit st ~tenant:(Tenant.name tn) ~action:"calibrate"
+        ~detail:(int_of_float mean))
+    st.st_tenants
+
+let schedule_initial st =
+  Array.iteri
+    (fun i tn ->
+      let cfg = Tenant.config tn in
+      if cfg.Tenant.requests > 0 then
+        match cfg.Tenant.generator with
+        | Tenant.Open_loop { load } ->
+          let mean = Tenant.svc_mean tn /. load in
+          st.st_interarrival.(i) <- mean;
+          st.st_scheduled.(i) <- 1;
+          Event_queue.push st.st_q
+            ~at:(exp_sample (Tenant.gen_rng tn) mean)
+            (Arrival i)
+        | Tenant.Closed_loop { clients; think } ->
+          let mean = think *. Tenant.svc_mean tn in
+          st.st_think.(i) <- mean;
+          let n = min clients cfg.Tenant.requests in
+          for c = 0 to n - 1 do
+            st.st_scheduled.(i) <- st.st_scheduled.(i) + 1;
+            Event_queue.push st.st_q
+              ~at:(exp_sample (Tenant.gen_rng tn) mean)
+              (Client (i, c))
+          done)
+    st.st_tenants;
+  (match st.st_params.p_arbiter with
+  | None -> ()
+  | Some arb ->
+    let base =
+      Array.fold_left (fun m tn -> max m (Tenant.svc_mean tn)) 1.0 st.st_tenants
+    in
+    let period = max 1 (int_of_float (arb.arb_period *. base)) in
+    Event_queue.push st.st_q ~at:period Arbiter_tick);
+  Array.iteri
+    (fun i tn ->
+      let cfg = Tenant.config tn in
+      st.st_deadline.(i) <-
+        Option.map
+          (fun d -> max 1 (int_of_float (d *. Tenant.svc_mean tn)))
+          cfg.Tenant.deadline)
+    st.st_tenants
+
+(* The hypervisor-attack injection (churn scenarios): before the
+   victim's request runs, evict a resident ground-truth page of the key
+   it is about to touch.  Residency is read through the guest kernel —
+   the demand-paging side channel the OS/hypervisor always has. *)
+let maybe_attack st tn ~key =
+  match st.st_params.p_attack with
+  | Some { atk_victim; atk_every }
+    when String.equal atk_victim (Tenant.name tn)
+         && Tenant.arrivals tn mod atk_every = 0 -> (
+    let guest = Vmm.guest_os (Tenant.vm tn) in
+    let proc = Tenant.proc tn in
+    match
+      List.find_opt
+        (fun p -> Sim_os.Kernel.resident guest proc p)
+        (Tenant.probe_pages tn ~key)
+    with
+    | Some page ->
+      Vmm.hypervisor_evict st.st_hv (Tenant.vm tn) proc page;
+      emit st ~tenant:(Tenant.name tn) ~action:"hv-evict" ~detail:page
+    | None -> ())
+  | _ -> ()
+
+let execute st tn ~at ~start =
+  let key = Tenant.next_key tn in
+  maybe_attack st tn ~key;
+  let clock = st.st_machine.Sgx.Machine.clock in
+  let span = Metrics.Clock.start_span clock in
+  try
+    Tenant.request tn ~key;
+    let s = max 1 (Metrics.Clock.span_cycles clock span) in
+    let fin = start + s in
+    Tenant.set_free_at tn fin;
+    Queue.push fin (Tenant.queue tn);
+    Metrics.Stats.add (Tenant.latencies tn) (float_of_int (fin - at));
+    Tenant.incr_served tn;
+    st.st_end <- max st.st_end fin;
+    Served fin
+  with Sgx.Types.Enclave_terminated { reason; _ } ->
+    Tenant.incr_terminations tn;
+    let identity = Tenant.name tn in
+    Autarky.Restart_monitor.record_termination st.st_monitor ~identity ~reason;
+    emit st ~tenant:identity ~action:"terminated" ~detail:(Tenant.terminations tn);
+    (match Autarky.Restart_monitor.record_start st.st_monitor ~identity with
+    | Autarky.Restart_monitor.Allow ->
+      Tenant.reboot tn;
+      (* The reboot ran inside this span: restart cost is busy time. *)
+      let s = max 1 (Metrics.Clock.span_cycles clock span) in
+      Tenant.set_free_at tn (start + s);
+      Queue.clear (Tenant.queue tn);
+      emit st ~tenant:identity ~action:"restart" ~detail:(Tenant.restarts tn)
+    | Autarky.Restart_monitor.Refuse ->
+      Tenant.set_refused tn;
+      emit st ~tenant:identity ~action:"refused" ~detail:(Tenant.terminations tn));
+    Tenant.incr_shed tn;
+    Shed
+
+let admit st i ~at =
+  let tn = st.st_tenants.(i) in
+  Tenant.incr_arrivals tn;
+  let q = Tenant.queue tn in
+  (* Retire requests that completed before this arrival. *)
+  while (not (Queue.is_empty q)) && Queue.peek q <= at do
+    ignore (Queue.pop q)
+  done;
+  let cfg = Tenant.config tn in
+  if Tenant.state tn = Tenant.Refused then begin
+    Tenant.incr_shed tn;
+    emit st ~tenant:(Tenant.name tn) ~action:"shed-refused" ~detail:(Tenant.shed tn);
+    Shed
+  end
+  else if Queue.length q >= cfg.Tenant.queue_capacity then begin
+    Tenant.incr_shed tn;
+    emit st ~tenant:(Tenant.name tn) ~action:"shed" ~detail:(Tenant.shed tn);
+    Shed
+  end
+  else begin
+    let start = max at (Tenant.free_at tn) in
+    match st.st_deadline.(i) with
+    | Some d when start - at > d ->
+      Tenant.incr_missed tn;
+      emit st ~tenant:(Tenant.name tn) ~action:"deadline-missed"
+        ~detail:(Tenant.missed tn);
+      Deadline_missed
+    | _ -> execute st tn ~at ~start
+  end
+
+(* A tenant VM never donates below its floor: refused tenants (whose
+   frames are pure waste) can be drained to the global minimum, while
+   active tenants keep at least their configured allowance — pressure
+   elsewhere must not starve a well-behaved neighbour. *)
+let donor_floor arb tn =
+  match Tenant.state tn with
+  | Tenant.Refused -> arb.arb_min_partition
+  | Tenant.Active ->
+    max arb.arb_min_partition (Tenant.config tn).Tenant.epc_limit
+
+let arbiter_tick st ~at arb =
+  let n = Array.length st.st_tenants in
+  let pressure = Array.make n 0 in
+  Array.iteri
+    (fun i tn ->
+      let f = Tenant.faults tn in
+      pressure.(i) <- f - Tenant.faults_last_seen tn;
+      Tenant.set_faults_last_seen tn f)
+    st.st_tenants;
+  let needy = ref (-1) in
+  for i = 0 to n - 1 do
+    if Tenant.state st.st_tenants.(i) = Tenant.Active then
+      if !needy < 0 || pressure.(i) > pressure.(!needy) then needy := i
+  done;
+  if !needy >= 0 && pressure.(!needy) >= arb.arb_threshold then begin
+    let ntn = st.st_tenants.(!needy) in
+    let moved =
+      (* Unassigned EPC first — growing from the free pool costs nobody
+         anything.  Only then squeeze the calmest eligible donor VM. *)
+      let free = Vmm.free_frames st.st_hv in
+      if free > 0 then
+        Vmm.grow_vm st.st_hv (Tenant.vm ntn) ~frames:(min arb.arb_step free)
+      else begin
+        let donor = ref (-1) in
+        for i = 0 to n - 1 do
+          if i <> !needy && pressure.(i) * 4 <= pressure.(!needy) then begin
+            let tn = st.st_tenants.(i) in
+            let headroom =
+              Vmm.partition_frames (Tenant.vm tn) - donor_floor arb tn
+            in
+            if headroom > 0 && (!donor < 0 || pressure.(i) < pressure.(!donor))
+            then donor := i
+          end
+        done;
+        if !donor < 0 then 0
+        else begin
+          let dtn = st.st_tenants.(!donor) in
+          let headroom =
+            Vmm.partition_frames (Tenant.vm dtn) - donor_floor arb dtn
+          in
+          Vmm.rebalance st.st_hv ~from_vm:(Tenant.vm dtn) ~to_vm:(Tenant.vm ntn)
+            ~frames:(min arb.arb_step headroom)
+        end
+      end
+    in
+    if moved > 0 then begin
+      Tenant.add_balloon_in ntn moved;
+      st.st_moves <- st.st_moves + 1;
+      (* Grow the beneficiary's OS allowance and its pager budget by the
+         frames that actually arrived. *)
+      let proc = Tenant.proc ntn in
+      Sim_os.Kernel.set_epc_limit proc (Sim_os.Kernel.epc_limit proc + moved);
+      (match System.runtime (Tenant.sys ntn) with
+      | Some rt ->
+        let pager = Autarky.Runtime.pager rt in
+        Autarky.Pager.set_budget pager (Autarky.Pager.budget pager + moved)
+      | None -> ());
+      emit st ~tenant:(Tenant.name ntn) ~action:"arbiter-move" ~detail:moved
+    end
+  end;
+  st.st_end <- max st.st_end at
+
+let reschedule_generator st i ~at ~verdict ~client =
+  let tn = st.st_tenants.(i) in
+  let cfg = Tenant.config tn in
+  if st.st_scheduled.(i) < cfg.Tenant.requests then
+    match (cfg.Tenant.generator, client) with
+    | Tenant.Open_loop _, _ ->
+      st.st_scheduled.(i) <- st.st_scheduled.(i) + 1;
+      Event_queue.push st.st_q
+        ~at:(at + exp_sample (Tenant.gen_rng tn) st.st_interarrival.(i))
+        (Arrival i)
+    | Tenant.Closed_loop _, Some c ->
+      let origin = match verdict with Served fin -> fin | _ -> at in
+      st.st_scheduled.(i) <- st.st_scheduled.(i) + 1;
+      Event_queue.push st.st_q
+        ~at:(origin + exp_sample (Tenant.gen_rng tn) st.st_think.(i))
+        (Client (i, c))
+    | Tenant.Closed_loop _, None -> ()
+
+let run ?params (cfgs : Tenant.config list) =
+  if cfgs = [] then invalid_arg "Serve.Engine.run: no tenants";
+  let params =
+    match params with Some p -> p | None -> default_params ~seed:42
+  in
+  let total_partition =
+    List.fold_left (fun a c -> a + c.Tenant.partition_frames) 0 cfgs
+  in
+  let machine =
+    Sgx.Machine.create ~epc_frames:(total_partition + params.p_spare_frames) ()
+  in
+  let digest_of =
+    if params.p_trace then begin
+      let recorder =
+        Trace.Recorder.create ~clock:machine.Sgx.Machine.clock ()
+      in
+      let sink, digest_of = Trace.Sink.digest () in
+      Trace.Recorder.add_sink recorder sink;
+      Sgx.Machine.set_tracer machine (Some recorder);
+      Some (recorder, digest_of)
+    end
+    else None
+  in
+  let hv = Vmm.create machine in
+  let monitor =
+    Autarky.Restart_monitor.create ~clock:machine.Sgx.Machine.clock
+      ~max_restarts:params.p_max_restarts ()
+  in
+  let tenants =
+    Array.of_list
+      (List.mapi
+         (fun i cfg ->
+           let vm =
+             Vmm.create_vm hv ~name:cfg.Tenant.name
+               ~epc_frames:cfg.Tenant.partition_frames
+           in
+           let tn =
+             Tenant.create ~machine ~hv ~vm
+               ~seed_base:((params.p_seed * 1_000) + (i * 17))
+               cfg
+           in
+           ignore
+             (Autarky.Restart_monitor.record_start monitor
+                ~identity:cfg.Tenant.name);
+           tn)
+         cfgs)
+  in
+  let n = Array.length tenants in
+  let st =
+    {
+      st_params = params;
+      st_machine = machine;
+      st_hv = hv;
+      st_monitor = monitor;
+      st_tenants = tenants;
+      st_q = Event_queue.create ();
+      st_scheduled = Array.make n 0;
+      st_interarrival = Array.make n 1.0;
+      st_think = Array.make n 1.0;
+      st_deadline = Array.make n None;
+      st_end = 0;
+      st_moves = 0;
+    }
+  in
+  calibrate st;
+  schedule_initial st;
+  let rec loop () =
+    match Event_queue.pop st.st_q with
+    | None -> ()
+    | Some (at, ev) ->
+      st.st_end <- max st.st_end at;
+      (match ev with
+      | Arrival i ->
+        let verdict = admit st i ~at in
+        reschedule_generator st i ~at ~verdict ~client:None
+      | Client (i, c) ->
+        let verdict = admit st i ~at in
+        reschedule_generator st i ~at ~verdict ~client:(Some c)
+      | Arbiter_tick -> (
+        match st.st_params.p_arbiter with
+        | Some arb ->
+          arbiter_tick st ~at arb;
+          if not (Event_queue.is_empty st.st_q) then begin
+            let base =
+              Array.fold_left
+                (fun m tn -> max m (Tenant.svc_mean tn))
+                1.0 st.st_tenants
+            in
+            let period = max 1 (int_of_float (arb.arb_period *. base)) in
+            Event_queue.push st.st_q ~at:(at + period) Arbiter_tick
+          end
+        | None -> ()));
+      loop ()
+  in
+  loop ();
+  Array.iter
+    (fun tn ->
+      emit st ~tenant:(Tenant.name tn) ~action:"done" ~detail:(Tenant.served tn))
+    tenants;
+  let digest =
+    match digest_of with
+    | None -> None
+    | Some (recorder, digest_of) ->
+      Trace.Recorder.close recorder;
+      Some (digest_of ())
+  in
+  {
+    r_tenants = tenants;
+    r_machine = machine;
+    r_monitor = monitor;
+    r_end_cycle = st.st_end;
+    r_arbiter_moves = st.st_moves;
+    r_digest = digest;
+  }

@@ -1,0 +1,68 @@
+(** The deterministic virtual-time serving loop.
+
+    Multi-tenant request serving as a discrete-event simulation: load
+    generators (open-loop Poisson or closed-loop clients) put arrivals
+    on a pending-event heap; each admitted request executes to
+    completion inside its tenant's enclave, its service time measured on
+    the shared machine clock and folded back into the event timeline.
+    A global EPC arbiter periodically rebalances vEPC frames between
+    tenant VMs based on fault pressure ({!Hypervisor.Vmm.rebalance} —
+    cooperative ballooning), and an {!Autarky.Restart_monitor} gates
+    enclave restarts after terminations.
+
+    Everything is keyed off the scenario seed; no wall-clock input
+    reaches the loop, so the same [(configs, params)] always produces
+    the same result — including the trace digest. *)
+
+(** Hypervisor-attack injection for churn scenarios: before every
+    [atk_every]-th arrival of tenant [atk_victim], evict one resident
+    ground-truth page of the key about to be served
+    ({!Hypervisor.Vmm.hypervisor_evict}).  A self-paging enclave detects
+    the next touch and terminates — driving the restart/refusal path. *)
+type attack = { atk_victim : string; atk_every : int }
+
+type arbiter = {
+  arb_period : float;
+      (** tick every [arb_period] x (largest tenant mean service time) *)
+  arb_step : int;  (** frames to move per rebalance *)
+  arb_min_partition : int;  (** floor below which a VM never donates *)
+  arb_threshold : int;
+      (** minimum fault-pressure gap (faults per period) before moving *)
+}
+
+val default_arbiter : arbiter
+
+type params = {
+  p_seed : int;
+  p_spare_frames : int;  (** machine EPC beyond the summed partitions *)
+  p_calibration : int;
+      (** warmup requests per tenant used to calibrate the mean service
+          time (excluded from all statistics) *)
+  p_max_restarts : int;  (** restart-monitor cutoff *)
+  p_arbiter : arbiter option;  (** [None] disables rebalancing *)
+  p_attack : attack option;
+  p_trace : bool;  (** record a trace and compute its digest *)
+}
+
+val default_params : seed:int -> params
+
+type verdict = Served of int | Shed | Deadline_missed
+(** Outcome of one arrival: completed at the given virtual cycle, shed
+    by admission control (queue full, refused tenant, or lost to a
+    termination), or dropped because its queueing delay exceeded the
+    tenant's deadline. *)
+
+type result = {
+  r_tenants : Tenant.t array;
+  r_machine : Sgx.Machine.t;
+  r_monitor : Autarky.Restart_monitor.t;
+  r_end_cycle : int;  (** virtual cycle of the last completion/event *)
+  r_arbiter_moves : int;
+  r_digest : string option;  (** trace digest, when [p_trace] *)
+}
+
+val run : ?params:params -> Tenant.config list -> result
+(** Boot every tenant on one shared machine (one VM per tenant),
+    calibrate, generate and serve the configured request streams, and
+    return the tenants with their accumulated statistics.  Raises
+    [Invalid_argument] on an empty tenant list. *)

@@ -1,0 +1,80 @@
+(* Binary min-heap of timed events, ordered by (cycle, sequence).
+
+   The sequence number breaks ties deterministically: two events due at
+   the same virtual cycle pop in the order they were pushed, so the
+   discrete-event loop is a pure function of its inputs — the property
+   the fixed-seed serving benchmark depends on. *)
+
+type 'a entry = { at : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; len = 0; next_seq = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let before a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
+
+let grow t =
+  let cap = max 16 (2 * Array.length t.heap) in
+  let dummy = t.heap.(0) in
+  let heap = Array.make cap dummy in
+  Array.blit t.heap 0 heap 0 t.len;
+  t.heap <- heap
+
+let push t ~at payload =
+  if at < 0 then invalid_arg "Event_queue.push: negative time";
+  let e = { at; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  if t.len = Array.length t.heap then
+    if t.len = 0 then t.heap <- Array.make 16 e else grow t;
+  t.heap.(t.len) <- e;
+  t.len <- t.len + 1;
+  (* sift up *)
+  let i = ref (t.len - 1) in
+  while
+    !i > 0
+    &&
+    let p = (!i - 1) / 2 in
+    before t.heap.(!i) t.heap.(p)
+  do
+    let p = (!i - 1) / 2 in
+    let tmp = t.heap.(p) in
+    t.heap.(p) <- t.heap.(!i);
+    t.heap.(!i) <- tmp;
+    i := p
+  done
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.heap.(0) <- t.heap.(t.len);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.len && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+        if r < t.len && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = t.heap.(!smallest) in
+          t.heap.(!smallest) <- t.heap.(!i);
+          t.heap.(!i) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.at, top.payload)
+  end
+
+let peek_time t = if t.len = 0 then None else Some t.heap.(0).at

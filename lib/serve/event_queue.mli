@@ -1,0 +1,22 @@
+(** Pending-event heap for the virtual-time serving loop.
+
+    A binary min-heap keyed by [(cycle, sequence)]: events pop in
+    non-decreasing virtual time, and simultaneous events pop in push
+    order.  Deterministic by construction — no physical time, no
+    hashing. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> at:int -> 'a -> unit
+(** Schedule [payload] at virtual cycle [at] (raises [Invalid_argument]
+    on a negative time). *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the earliest event as [(at, payload)]. *)
+
+val peek_time : 'a t -> int option
+(** Virtual cycle of the earliest pending event, if any. *)

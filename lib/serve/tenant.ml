@@ -1,0 +1,315 @@
+(* One tenant = one VM (static vEPC partition) hosting one self-paging
+   enclave that serves keyed requests from a fixed-seed distribution.
+
+   A tenant owns everything below the request: the guest process, the
+   Autarky runtime with the tenant's protection policy, the workload
+   structure built inside the enclave, and the virtual-time server state
+   (busy-until cycle, bounded admission queue, latency statistics).  The
+   engine only ever sees [request], [reboot] and the counters.
+
+   Rebuilding after a termination ([reboot]) replays the same build seed,
+   so an attested restart produces a byte-identical enclave image — the
+   restarted instance is the same program, which is what the restart
+   monitor attests. *)
+
+module System = Harness.System
+module Vmm = Hypervisor.Vmm
+
+type workload_kind = Kvstore | Spellcheck | Uthash
+type policy_kind = Rate_limit | Clusters | Oram
+
+let workload_name = function
+  | Kvstore -> "kvstore"
+  | Spellcheck -> "spellcheck"
+  | Uthash -> "uthash"
+
+let policy_name = function
+  | Rate_limit -> "rate-limit"
+  | Clusters -> "clusters"
+  | Oram -> "oram"
+
+type generator =
+  | Open_loop of { load : float }
+  | Closed_loop of { clients : int; think : float }
+
+let generator_name = function
+  | Open_loop { load } -> Printf.sprintf "open(load=%.2f)" load
+  | Closed_loop { clients; think } ->
+    Printf.sprintf "closed(n=%d,think=%.1f)" clients think
+
+type config = {
+  name : string;
+  workload : workload_kind;
+  policy : policy_kind;
+  partition_frames : int;
+  epc_limit : int;
+  enclave_pages : int;
+  heap_pages : int;
+  generator : generator;
+  queue_capacity : int;
+  deadline : float option;
+  requests : int;
+}
+
+type slice = {
+  sl_sys : System.t;
+  sl_proc : Sim_os.Kernel.proc;
+  sl_op : int -> unit;
+  sl_probe : int -> int list;
+}
+
+type state = Active | Refused
+
+type t = {
+  cfg : config;
+  machine : Sgx.Machine.t;
+  hv : Vmm.t;
+  vm : Vmm.vm;
+  build_seed : int64;
+  key_rng : Metrics.Rng.t;
+  gen_rng : Metrics.Rng.t;
+  calib_rng : Metrics.Rng.t;
+  dist : Metrics.Dist.t;
+  mutable slice : slice option;
+  mutable state : state;
+  mutable free_at : int;
+  queue : int Queue.t;  (* completion cycles of admitted, unfinished requests *)
+  lat : Metrics.Stats.t;
+  mutable svc_mean : float;
+  mutable arrivals : int;
+  mutable served : int;
+  mutable shed : int;
+  mutable missed : int;
+  mutable terminations : int;
+  mutable restarts : int;
+  mutable faults_acc : int;  (* faults handled by previous incarnations *)
+  mutable faults_last_seen : int;  (* arbiter's bookmark *)
+  mutable balloon_released_pages : int;
+  mutable balloon_in_frames : int;
+}
+
+let n_keys cfg =
+  match cfg.workload with
+  | Kvstore -> cfg.heap_pages * 3
+  | Spellcheck -> cfg.heap_pages * 48
+  | Uthash -> cfg.heap_pages * 12
+
+let slice_exn t =
+  match t.slice with
+  | Some s -> s
+  | None -> invalid_arg "Serve.Tenant: tenant has no live enclave"
+
+(* Build one incarnation: guest process, platform slice, policy, workload. *)
+let build_slice t =
+  let cfg = t.cfg in
+  let avail = Vmm.partition_frames t.vm - Vmm.committed_frames t.vm in
+  let epc_limit = min cfg.epc_limit avail in
+  if epc_limit < 48 then
+    invalid_arg
+      (Printf.sprintf "Serve.Tenant %s: partition too small to (re)boot (%d frames)"
+         cfg.name avail);
+  let proc =
+    Vmm.create_guest_proc t.hv t.vm ~size_pages:cfg.enclave_pages
+      ~self_paging:true ~epc_limit
+  in
+  let os = Vmm.guest_os t.vm in
+  let sys = System.attach ~machine:t.machine ~os ~proc () in
+  let rt = System.runtime_exn sys in
+  (* Re-register the balloon upcall with an accounting wrapper so the
+     report can show how many pages each tenant ballooned away. *)
+  Sim_os.Kernel.set_balloon_handler os proc (fun pages ->
+      let released = Autarky.Runtime.balloon_release rt ~pages in
+      t.balloon_released_pages <- t.balloon_released_pages + released;
+      released);
+  let heap = System.allocator sys ~pages:cfg.heap_pages ~cluster_pages:10 in
+  let alloc ~bytes = Autarky.Allocator.alloc heap ~bytes in
+  let build_rng = Metrics.Rng.create ~seed:t.build_seed in
+  let progress_hook = ref (fun () -> ()) in
+  let instrument = ref None in
+  let finish = ref (fun () -> ()) in
+  (match cfg.policy with
+  | Rate_limit ->
+    let rl =
+      Autarky.Policy_rate_limit.create ~runtime:rt ~max_faults_per_unit:512 ()
+    in
+    progress_hook := (fun () -> Autarky.Policy_rate_limit.progress rl);
+    finish :=
+      fun () ->
+        Autarky.Runtime.set_policy rt (Autarky.Policy_rate_limit.policy rl);
+        System.manage sys (Autarky.Allocator.allocated_pages heap)
+  | Clusters ->
+    finish :=
+      fun () ->
+        let pc =
+          Autarky.Policy_clusters.create ~runtime:rt
+            ~clusters:(Autarky.Allocator.clusters heap)
+        in
+        Autarky.Runtime.set_policy rt (Autarky.Policy_clusters.policy pc);
+        System.manage sys (Autarky.Allocator.allocated_pages heap)
+  | Oram ->
+    let cache_pages = max 32 (epc_limit / 2) in
+    let cache_base = System.reserve sys ~pages:cache_pages in
+    let oram =
+      Oram.Path_oram.create ~clock:(System.clock sys)
+        ~rng:(Metrics.Rng.create ~seed:(Int64.add t.build_seed 9L))
+        ~n_blocks:cfg.heap_pages ()
+    in
+    let cache =
+      Autarky.Oram_cache.create ~machine:t.machine ~enclave:(System.enclave sys)
+        ~touch:(fun a k -> Sgx.Cpu.access (System.cpu sys) a k)
+        ~oram
+        ~data_base_vpage:(Autarky.Allocator.base_vpage heap)
+        ~n_pages:cfg.heap_pages ~cache_base_vpage:cache_base
+        ~capacity_pages:cache_pages ()
+    in
+    System.pin sys (List.init cache_pages (fun i -> cache_base + i));
+    let pol = Autarky.Policy_oram.create ~runtime:rt ~cache in
+    instrument :=
+      Some
+        (Autarky.Policy_oram.accessor pol ~fallback:(fun a k ->
+             Sgx.Cpu.access (System.cpu sys) a k));
+    finish :=
+      fun () -> Autarky.Runtime.set_policy rt (Autarky.Policy_oram.policy pol));
+  let vm =
+    match !instrument with
+    | Some i ->
+      System.vm sys ~instrument:i ~on_progress:(fun () -> !progress_hook ()) ()
+    | None -> System.vm sys ~on_progress:(fun () -> !progress_hook ()) ()
+  in
+  let op, probe =
+    match cfg.workload with
+    | Kvstore ->
+      let kv =
+        Workloads.Kvstore.create ~vm ~alloc ~rng:build_rng ~n_entries:(n_keys cfg)
+          ~value_bytes:1_024 ()
+      in
+      ((fun k -> ignore (Workloads.Kvstore.get kv ~key:k)), fun _ -> [])
+    | Spellcheck ->
+      let d =
+        Workloads.Spellcheck.load_dictionary ~vm ~alloc ~rng:build_rng
+          ~name:cfg.name ~n_words:(n_keys cfg) ()
+      in
+      ( (fun k -> ignore (Workloads.Spellcheck.check d ~word:k)),
+        fun k -> Workloads.Spellcheck.signature d ~word:k )
+    | Uthash ->
+      let u =
+        Workloads.Uthash.create ~vm ~alloc ~rng:build_rng ~n_items:(n_keys cfg)
+          ~item_bytes:256 ~target_chain:10
+      in
+      (* Uthash emits no progress events of its own; the request is the
+         natural progress unit. *)
+      ( (fun k ->
+          ignore (Workloads.Uthash.find u ~key:k);
+          vm.Workloads.Vm.progress ()),
+        fun k -> Workloads.Uthash.probe_pages u ~key:k )
+  in
+  !finish ();
+  { sl_sys = sys; sl_proc = proc; sl_op = op; sl_probe = probe }
+
+let create ~machine ~hv ~vm ~seed_base cfg =
+  let seed k = Int64.of_int ((seed_base * 31) + k) in
+  let t =
+    {
+      cfg;
+      machine;
+      hv;
+      vm;
+      build_seed = seed 0;
+      key_rng = Metrics.Rng.create ~seed:(seed 1);
+      gen_rng = Metrics.Rng.create ~seed:(seed 2);
+      calib_rng = Metrics.Rng.create ~seed:(seed 3);
+      dist =
+        (match cfg.workload with
+        | Kvstore -> Metrics.Dist.scrambled_zipfian ~n:(n_keys cfg) ()
+        | Spellcheck -> Metrics.Dist.zipfian ~n:(n_keys cfg) ()
+        | Uthash -> Metrics.Dist.uniform ~n:(n_keys cfg));
+      slice = None;
+      state = Active;
+      free_at = 0;
+      queue = Queue.create ();
+      lat = Metrics.Stats.create ();
+      svc_mean = 1.0;
+      arrivals = 0;
+      served = 0;
+      shed = 0;
+      missed = 0;
+      terminations = 0;
+      restarts = 0;
+      faults_acc = 0;
+      faults_last_seen = 0;
+      balloon_released_pages = 0;
+      balloon_in_frames = 0;
+    }
+  in
+  t.slice <- Some (build_slice t);
+  t
+
+let config t = t.cfg
+let name t = t.cfg.name
+let sys t = (slice_exn t).sl_sys
+let proc t = (slice_exn t).sl_proc
+let vm t = t.vm
+let dist t = t.dist
+let key_rng t = t.key_rng
+let gen_rng t = t.gen_rng
+let state t = t.state
+let set_refused t = t.state <- Refused
+let free_at t = t.free_at
+let set_free_at t at = t.free_at <- at
+let queue t = t.queue
+let latencies t = t.lat
+let svc_mean t = t.svc_mean
+let set_svc_mean t m = t.svc_mean <- m
+
+let incarnation_faults t =
+  match t.slice with
+  | None -> 0
+  | Some s -> (
+    match System.runtime s.sl_sys with
+    | Some rt -> Autarky.Runtime.faults_handled rt
+    | None -> 0)
+
+let faults t = t.faults_acc + incarnation_faults t
+
+let next_key t = Metrics.Dist.sample t.dist t.key_rng
+
+(* Calibration draws uniformly over the key space rather than from the
+   serving distribution: a skewed distribution would calibrate on a few
+   hot (soon-resident) keys and wildly underestimate the steady-state
+   service time, turning a nominally moderate open-loop load into an
+   accidental overload.  Uniform draws include the cold tail, so the
+   estimate errs conservative. *)
+let calib_key t = Metrics.Rng.int t.calib_rng (Metrics.Dist.size t.dist)
+
+let request t ~key =
+  let s = slice_exn t in
+  System.run_in_enclave s.sl_sys (fun () -> s.sl_op key)
+
+let probe_pages t ~key = (slice_exn t).sl_probe key
+
+let arrivals t = t.arrivals
+let served t = t.served
+let shed t = t.shed
+let missed t = t.missed
+let terminations t = t.terminations
+let restarts t = t.restarts
+let incr_arrivals t = t.arrivals <- t.arrivals + 1
+let incr_served t = t.served <- t.served + 1
+let incr_shed t = t.shed <- t.shed + 1
+let incr_missed t = t.missed <- t.missed + 1
+let incr_terminations t = t.terminations <- t.terminations + 1
+let balloon_released_pages t = t.balloon_released_pages
+let balloon_in_frames t = t.balloon_in_frames
+let add_balloon_in t n = t.balloon_in_frames <- t.balloon_in_frames + n
+let faults_last_seen t = t.faults_last_seen
+let set_faults_last_seen t v = t.faults_last_seen <- v
+
+let reboot t =
+  (match t.slice with
+  | Some s ->
+    t.faults_acc <- t.faults_acc + incarnation_faults t;
+    Vmm.destroy_guest_proc t.hv t.vm s.sl_proc;
+    t.slice <- None
+  | None -> ());
+  t.slice <- Some (build_slice t);
+  t.restarts <- t.restarts + 1

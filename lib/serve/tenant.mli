@@ -1,0 +1,127 @@
+(** One serving tenant: a VM with a static vEPC partition hosting one
+    self-paging enclave, its protection policy, its workload, and its
+    virtual-time server state.
+
+    Tenants are deliberately self-contained: the engine drives them only
+    through {!request}, {!reboot} and the counters, so the discrete-event
+    loop never reaches into policy or workload internals.  The build is
+    replayed from a fixed seed on {!reboot}, modelling an attested
+    restart of the same enclave image. *)
+
+type workload_kind = Kvstore | Spellcheck | Uthash
+type policy_kind = Rate_limit | Clusters | Oram
+
+val workload_name : workload_kind -> string
+val policy_name : policy_kind -> string
+
+(** How requests arrive.  [Open_loop] issues Poisson arrivals at
+    [load] times the tenant's calibrated service rate (load > 1 is an
+    overload); [Closed_loop] models [clients] clients that each wait for
+    their response and think for [think] mean service times before the
+    next request. *)
+type generator =
+  | Open_loop of { load : float }
+  | Closed_loop of { clients : int; think : float }
+
+val generator_name : generator -> string
+
+type config = {
+  name : string;
+  workload : workload_kind;
+  policy : policy_kind;
+  partition_frames : int;  (** the VM's static vEPC slice *)
+  epc_limit : int;  (** the enclave process's initial EPC allowance *)
+  enclave_pages : int;
+  heap_pages : int;
+  generator : generator;
+  queue_capacity : int;  (** admission-queue bound; beyond it requests shed *)
+  deadline : float option;
+      (** queueing deadline in multiples of the calibrated mean service
+          time; requests that would start later are dropped *)
+  requests : int;  (** arrivals to generate for this tenant *)
+}
+
+type state = Active | Refused
+
+type t
+
+val create :
+  machine:Sgx.Machine.t -> hv:Hypervisor.Vmm.t -> vm:Hypervisor.Vmm.vm ->
+  seed_base:int -> config -> t
+(** Boot the tenant's enclave inside [vm] and build its workload.  All
+    randomness (build layout, request keys, arrival processes) derives
+    from [seed_base]. *)
+
+val config : t -> config
+val name : t -> string
+val sys : t -> Harness.System.t
+val proc : t -> Sim_os.Kernel.proc
+val vm : t -> Hypervisor.Vmm.vm
+val dist : t -> Metrics.Dist.t
+val key_rng : t -> Metrics.Rng.t
+val gen_rng : t -> Metrics.Rng.t
+
+val state : t -> state
+val set_refused : t -> unit
+
+val free_at : t -> int
+val set_free_at : t -> int -> unit
+val queue : t -> int Queue.t
+(** Completion cycles of admitted, not-yet-finished requests (the
+    virtual-time admission queue). *)
+
+val latencies : t -> Metrics.Stats.t
+val svc_mean : t -> float
+val set_svc_mean : t -> float -> unit
+
+val faults : t -> int
+(** Page faults handled by the tenant's runtime, cumulative across
+    incarnations. *)
+
+val next_key : t -> int
+(** Draw the next serving key (fixed-seed stream). *)
+
+val calib_key : t -> int
+(** Draw a calibration key (separate stream, so calibration does not
+    perturb the serving key sequence). *)
+
+val request : t -> key:int -> unit
+(** Execute one request inside the enclave (EENTER/EEXIT round trip).
+    Raises {!Sgx.Types.Enclave_terminated} if a policy or the hardware
+    kills the enclave mid-request. *)
+
+val probe_pages : t -> key:int -> int list
+(** Ground-truth pages [request] would touch for [key] (empty when the
+    workload offers no per-key oracle) — used by the hypervisor-attack
+    injection in churn tests. *)
+
+val reboot : t -> unit
+(** Tear the dead incarnation down ({!Hypervisor.Vmm.destroy_guest_proc})
+    and boot a fresh one from the same build seed. *)
+
+(** {1 Engine-maintained accounting} *)
+
+val arrivals : t -> int
+val served : t -> int
+val shed : t -> int
+val missed : t -> int
+val terminations : t -> int
+val restarts : t -> int
+
+val incr_arrivals : t -> unit
+val incr_served : t -> unit
+val incr_shed : t -> unit
+val incr_missed : t -> unit
+val incr_terminations : t -> unit
+
+val balloon_released_pages : t -> int
+(** Enclave pages this tenant released through balloon upcalls. *)
+
+val balloon_in_frames : t -> int
+(** EPC frames the arbiter moved {e to} this tenant. *)
+
+val add_balloon_in : t -> int -> unit
+
+val faults_last_seen : t -> int
+val set_faults_last_seen : t -> int -> unit
+(** The arbiter's bookmark for computing per-period fault pressure. *)

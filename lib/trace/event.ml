@@ -23,6 +23,7 @@ type kind =
   | Probe of { probe : string; vpages : int list }
   | Balloon of { requested : int; released : int }
   | Inject of { scenario : string; detail : string; vpages : int list }
+  | Serve of { tenant : string; action : string; detail : int }
   | Terminate of { reason : string }
   | Mark of { name : string }
 
@@ -52,6 +53,7 @@ let kind_name = function
   | Probe _ -> "probe"
   | Balloon _ -> "balloon"
   | Inject _ -> "inject"
+  | Serve _ -> "serve"
   | Terminate _ -> "terminate"
   | Mark _ -> "mark"
 
@@ -79,6 +81,9 @@ let os_view ev =
   | Aex _ | Eenter | Eexit | Eresume _ -> Some ev
   | Fetch _ | Evict _ | Syscall _ | Balloon _ -> Some ev
   | Probe _ | Inject _ -> Some ev
+  (* Serving-layer scheduling happens in the untrusted host: admission,
+     shedding and arbitration are all OS-visible by construction. *)
+  | Serve _ -> Some ev
   | Terminate _ ->
     (* The OS observes the enclave dying, not why. *)
     Some { ev with kind = Terminate { reason = "" } }
@@ -167,6 +172,10 @@ let to_buffer buf ev =
     add_string_field buf "scenario" i.scenario;
     add_string_field buf "detail" i.detail;
     add_vpages_field buf "vpages" i.vpages
+  | Serve s ->
+    add_string_field buf "tenant" s.tenant;
+    add_string_field buf "action" s.action;
+    add_int_field buf "detail" s.detail
   | Terminate t -> add_string_field buf "reason" t.reason
   | Mark m -> add_string_field buf "name" m.name);
   Buffer.add_char buf '}'

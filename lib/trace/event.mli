@@ -49,6 +49,10 @@ type kind =
   | Inject of { scenario : string; detail : string; vpages : int list }
       (** Byzantine-OS fault injection (the attacker tampering with the
           kernel/runtime boundary); OS-visible — the adversary is the OS *)
+  | Serve of { tenant : string; action : string; detail : int }
+      (** multi-tenant serving-layer event (admission, shedding,
+          dispatch, EPC arbitration); the serving layer runs in the
+          untrusted host, so these are OS-visible *)
   | Terminate of { reason : string }
   | Mark of { name : string }  (** harness phase marker *)
 

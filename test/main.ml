@@ -16,6 +16,7 @@ let () =
       ("harness", Test_harness.suite);
       ("extensions", Test_extensions.suite);
       ("hypervisor", Test_hypervisor.suite);
+      ("serve", Test_serve.suite);
       ("state-machine", Test_statemachine.suite);
       ("instrument", Test_instrument.suite);
       ("trace", Test_trace.suite);

@@ -75,15 +75,68 @@ let test_cross_vm_ballooning () =
   ignore m;
   let vm1 = Hypervisor.Vmm.create_vm hv ~name:"donor" ~epc_frames:128 in
   let vm2 = Hypervisor.Vmm.create_vm hv ~name:"needy" ~epc_frames:64 in
-  let p1 = boot_guest_enclave hv vm1 ~self_paging:false ~epc_limit:100 ~pages:100 in
-  ignore p1;
+  (* Fully committed partition: every reclaimed frame must be squeezed
+     out of the guest process. *)
+  let p1 = boot_guest_enclave hv vm1 ~self_paging:false ~epc_limit:128 ~pages:128 in
   let moved = Hypervisor.Vmm.rebalance hv ~from_vm:vm1 ~to_vm:vm2 ~frames:32 in
   checki "32 frames moved" 32 moved;
   checki "donor shrank" 96 (Hypervisor.Vmm.partition_frames vm1);
   checki "needy grew" 96 (Hypervisor.Vmm.partition_frames vm2);
-  checkb "donor proc squeezed" true (Sim_os.Kernel.epc_limit p1 <= 68);
+  checkb "donor proc squeezed" true (Sim_os.Kernel.epc_limit p1 <= 96);
   checkb "donor residency within new limit" true
     (Sim_os.Kernel.resident_pages p1 <= Sim_os.Kernel.epc_limit p1)
+
+let test_rebalance_uncommitted_headroom_first () =
+  (* Partition headroom no process is entitled to moves without touching
+     the guest: the donor enclave keeps its allowance. *)
+  let _m, hv = setup () in
+  let vm1 = Hypervisor.Vmm.create_vm hv ~name:"donor" ~epc_frames:128 in
+  let vm2 = Hypervisor.Vmm.create_vm hv ~name:"needy" ~epc_frames:64 in
+  let p1 = boot_guest_enclave hv vm1 ~self_paging:false ~epc_limit:60 ~pages:64 in
+  let resident_before = Sim_os.Kernel.resident_pages p1 in
+  let moved = Hypervisor.Vmm.rebalance hv ~from_vm:vm1 ~to_vm:vm2 ~frames:32 in
+  checki "32 frames moved" 32 moved;
+  checki "donor proc allowance untouched" 60 (Sim_os.Kernel.epc_limit p1);
+  checki "donor residency untouched" resident_before
+    (Sim_os.Kernel.resident_pages p1);
+  (* Asking beyond the headroom squeezes the process for the rest. *)
+  let moved2 = Hypervisor.Vmm.rebalance hv ~from_vm:vm1 ~to_vm:vm2 ~frames:48 in
+  checkb "second rebalance squeezes" true (moved2 > 0);
+  checkb "donor proc shrank this time" true (Sim_os.Kernel.epc_limit p1 < 60)
+
+let test_grow_vm_from_free_pool () =
+  let _m, hv = setup () in
+  let vm = Hypervisor.Vmm.create_vm hv ~name:"t" ~epc_frames:128 in
+  checki "128 unassigned" 128 (Hypervisor.Vmm.free_frames hv);
+  checki "full grant" 64 (Hypervisor.Vmm.grow_vm hv vm ~frames:64);
+  checki "partition grew" 192 (Hypervisor.Vmm.partition_frames vm);
+  (* The pool bounds the grant. *)
+  checki "partial grant" 64 (Hypervisor.Vmm.grow_vm hv vm ~frames:96);
+  checki "pool empty" 0 (Hypervisor.Vmm.free_frames hv);
+  checki "no grant from empty pool" 0 (Hypervisor.Vmm.grow_vm hv vm ~frames:16)
+
+let test_destroy_guest_proc_restores_commitment () =
+  let m, hv = setup () in
+  let vm = Hypervisor.Vmm.create_vm hv ~name:"t" ~epc_frames:128 in
+  let p1 = boot_guest_enclave hv vm ~self_paging:false ~epc_limit:100 ~pages:100 in
+  checki "committed" 100 (Hypervisor.Vmm.committed_frames vm);
+  checkb "frames resident" true (Sim_os.Kernel.resident_pages p1 > 0);
+  Hypervisor.Vmm.destroy_guest_proc hv vm p1;
+  checki "commitment restored" 0 (Hypervisor.Vmm.committed_frames vm);
+  checki "frames released" 0 (Sim_os.Kernel.resident_pages p1);
+  checkb "enclave dead" true
+    (match (Sim_os.Kernel.enclave p1).Enclave.state with
+    | Enclave.Dead _ -> true
+    | _ -> false);
+  (* A replacement enclave — the attested restart — fits again. *)
+  let p2 = boot_guest_enclave hv vm ~self_paging:false ~epc_limit:100 ~pages:64 in
+  checki "replacement committed" 100 (Hypervisor.Vmm.committed_frames vm);
+  (* Destroying a process that is not in this VM is rejected. *)
+  let vm2 = Hypervisor.Vmm.create_vm hv ~name:"other" ~epc_frames:64 in
+  checkb "foreign proc rejected" true
+    (try Hypervisor.Vmm.destroy_guest_proc hv vm2 p2; false
+     with Invalid_argument _ -> true);
+  ignore m
 
 let test_ballooning_respects_enclave_refusal () =
   (* A self-paging enclave under the pinned policy refuses to deflate:
@@ -137,6 +190,11 @@ let suite =
     ("static partitioning runs unmodified", `Quick,
      test_static_partitioning_runs_unmodified);
     ("cross-VM ballooning", `Quick, test_cross_vm_ballooning);
+    ("rebalance takes uncommitted headroom first", `Quick,
+     test_rebalance_uncommitted_headroom_first);
+    ("grow_vm from free pool", `Quick, test_grow_vm_from_free_pool);
+    ("destroy_guest_proc restores commitment", `Quick,
+     test_destroy_guest_proc_restores_commitment);
     ("ballooning respects enclave refusal", `Quick,
      test_ballooning_respects_enclave_refusal);
     ("transparent hypervisor paging detected", `Quick,

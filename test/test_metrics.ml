@@ -182,6 +182,39 @@ let test_stats_percentile () =
   checkb "p99" true (Metrics.Stats.percentile s 99.0 = 99.0);
   checkb "p100" true (Metrics.Stats.percentile s 100.0 = 100.0)
 
+let test_stats_summary () =
+  let s = Metrics.Stats.create () in
+  for i = 1 to 100 do
+    Metrics.Stats.add s (float_of_int i)
+  done;
+  let m = Metrics.Stats.summary s in
+  checki "count" 100 m.Metrics.Stats.s_count;
+  checkb "mean" true (abs_float (m.Metrics.Stats.s_mean -. 50.5) < 1e-9);
+  checkb "p50" true (m.Metrics.Stats.s_p50 = 50.0);
+  checkb "p95" true (m.Metrics.Stats.s_p95 = 95.0);
+  checkb "p99" true (m.Metrics.Stats.s_p99 = 99.0);
+  checkb "max" true (m.Metrics.Stats.s_max = 100.0);
+  checkb "agrees with percentile" true
+    (m.Metrics.Stats.s_p95 = Metrics.Stats.percentile s 95.0)
+
+let test_stats_summary_empty () =
+  let m = Metrics.Stats.summary (Metrics.Stats.create ()) in
+  checki "count" 0 m.Metrics.Stats.s_count;
+  checkb "all zero" true
+    (m.Metrics.Stats.s_mean = 0.0 && m.Metrics.Stats.s_p50 = 0.0
+    && m.Metrics.Stats.s_p95 = 0.0 && m.Metrics.Stats.s_p99 = 0.0
+    && m.Metrics.Stats.s_max = 0.0)
+
+let test_stats_summary_single () =
+  let s = Metrics.Stats.create () in
+  Metrics.Stats.add s 7.5;
+  let m = Metrics.Stats.summary s in
+  checki "count" 1 m.Metrics.Stats.s_count;
+  checkb "every percentile is the sample" true
+    (m.Metrics.Stats.s_mean = 7.5 && m.Metrics.Stats.s_p50 = 7.5
+    && m.Metrics.Stats.s_p95 = 7.5 && m.Metrics.Stats.s_p99 = 7.5
+    && m.Metrics.Stats.s_max = 7.5)
+
 let test_stats_geomean () =
   checkb "geomean" true
     (abs_float (Metrics.Stats.geomean [ 1.0; 4.0 ] -. 2.0) < 1e-9);
@@ -337,6 +370,9 @@ let suite =
     ("stats empty", `Quick, test_stats_empty);
     ("stats min/max", `Quick, test_stats_minmax);
     ("stats percentile", `Quick, test_stats_percentile);
+    ("stats summary", `Quick, test_stats_summary);
+    ("stats summary empty", `Quick, test_stats_summary_empty);
+    ("stats summary single sample", `Quick, test_stats_summary_single);
     ("stats geomean", `Quick, test_stats_geomean);
     ("stats histogram", `Quick, test_stats_histogram);
     ("counters basic", `Quick, test_counters_basic);

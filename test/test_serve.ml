@@ -1,0 +1,213 @@
+(* Tests for the virtual-time serving subsystem: event ordering,
+   fixed-seed determinism, admission accounting, SLO isolation of
+   well-behaved tenants from an overloaded neighbour, and the
+   restart-monitor cutoff under hypervisor-attack churn. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* --- event queue ------------------------------------------------------- *)
+
+let test_event_queue_ordering () =
+  let q = Serve.Event_queue.create () in
+  List.iter (fun at -> Serve.Event_queue.push q ~at at)
+    [ 30; 5; 17; 5; 90; 1; 17; 17 ];
+  checki "length" 8 (Serve.Event_queue.length q);
+  checkb "peek is minimum" true (Serve.Event_queue.peek_time q = Some 1);
+  let popped = ref [] in
+  let rec drain () =
+    match Serve.Event_queue.pop q with
+    | None -> ()
+    | Some (at, v) ->
+      checki "payload equals time" at v;
+      popped := at :: !popped;
+      drain ()
+  in
+  drain ();
+  checkb "sorted" true
+    (List.rev !popped = [ 1; 5; 5; 17; 17; 17; 30; 90 ]);
+  checkb "empty after drain" true (Serve.Event_queue.is_empty q)
+
+let test_event_queue_fifo_ties () =
+  (* Simultaneous events pop in push order (the determinism tie-break). *)
+  let q = Serve.Event_queue.create () in
+  List.iteri (fun i tag -> ignore i; Serve.Event_queue.push q ~at:7 tag)
+    [ "a"; "b"; "c"; "d" ];
+  let order = ref [] in
+  let rec drain () =
+    match Serve.Event_queue.pop q with
+    | None -> ()
+    | Some (_, v) -> order := v :: !order; drain ()
+  in
+  drain ();
+  checkb "fifo among ties" true (List.rev !order = [ "a"; "b"; "c"; "d" ])
+
+(* --- scenarios --------------------------------------------------------- *)
+
+(* A small two-tenant scenario that runs in well under a second. *)
+let small_cfgs ?(hash_load = 2.5) ?(hash_requests = 120)
+    ?(hash_deadline = Some 12.0) () =
+  [
+    {
+      Serve.Tenant.name = "kv";
+      workload = Serve.Tenant.Kvstore;
+      policy = Serve.Tenant.Clusters;
+      partition_frames = 192;
+      epc_limit = 160;
+      enclave_pages = 512;
+      heap_pages = 256;
+      generator = Serve.Tenant.Open_loop { load = 0.5 };
+      queue_capacity = 16;
+      deadline = None;
+      requests = 80;
+    };
+    {
+      Serve.Tenant.name = "hash";
+      workload = Serve.Tenant.Uthash;
+      policy = Serve.Tenant.Rate_limit;
+      partition_frames = 160;
+      epc_limit = 96;
+      enclave_pages = 512;
+      heap_pages = 256;
+      generator = Serve.Tenant.Open_loop { load = hash_load };
+      queue_capacity = 8;
+      deadline = hash_deadline;
+      requests = hash_requests;
+    };
+  ]
+
+let params ?(seed = 11) ?arbiter ?attack ?(max_restarts = 3) () =
+  let p = Serve.Engine.default_params ~seed in
+  {
+    p with
+    Serve.Engine.p_spare_frames = 64;
+    p_calibration = 8;
+    p_max_restarts = max_restarts;
+    p_arbiter = arbiter;
+    p_attack = attack;
+  }
+
+let test_fixed_seed_determinism () =
+  let run () =
+    Serve.Driver.run_scenario ~quick:true
+      ~params:(params ~arbiter:Serve.Engine.default_arbiter ())
+      (small_cfgs ())
+  in
+  let r1 = run () and r2 = run () in
+  checks "identical reports" (Serve.Driver.to_json r1) (Serve.Driver.to_json r2);
+  checkb "digest present" true (r1.Serve.Driver.rp_digest <> None);
+  checks "identical trace digests"
+    (Option.get r1.Serve.Driver.rp_digest)
+    (Option.get r2.Serve.Driver.rp_digest)
+
+let test_admission_accounting () =
+  let r =
+    Serve.Driver.run_scenario ~quick:true ~params:(params ()) (small_cfgs ())
+  in
+  List.iter
+    (fun t ->
+      checki
+        (t.Serve.Driver.tr_name ^ ": verdicts partition arrivals")
+        t.Serve.Driver.tr_arrivals
+        (t.Serve.Driver.tr_served + t.Serve.Driver.tr_shed
+       + t.Serve.Driver.tr_missed);
+      checki
+        (t.Serve.Driver.tr_name ^ ": every arrival generated")
+        t.Serve.Driver.tr_arrivals
+        (if t.Serve.Driver.tr_name = "kv" then 80 else 120);
+      checki
+        (t.Serve.Driver.tr_name ^ ": latency samples = served")
+        t.Serve.Driver.tr_served
+        t.Serve.Driver.tr_latency.Metrics.Stats.s_count)
+    r.Serve.Driver.rp_tenants
+
+let test_overload_sheds_neighbour_keeps_slo () =
+  (* The overloaded tenant sheds; the well-behaved tenant's p99 stays
+     within 2x of what it sees with no overloaded neighbour at all. *)
+  let loaded =
+    Serve.Driver.run_scenario ~quick:true
+      ~params:(params ~arbiter:Serve.Engine.default_arbiter ())
+      (small_cfgs ())
+  in
+  let unloaded =
+    Serve.Driver.run_scenario ~quick:true
+      ~params:(params ~arbiter:Serve.Engine.default_arbiter ())
+      (small_cfgs ~hash_load:0.3 ~hash_requests:40 ())
+  in
+  let find name r =
+    List.find (fun t -> t.Serve.Driver.tr_name = name) r.Serve.Driver.rp_tenants
+  in
+  let hash = find "hash" loaded in
+  checkb "overloaded tenant sheds" true
+    (hash.Serve.Driver.tr_shed + hash.Serve.Driver.tr_missed > 0);
+  let kv_loaded = find "kv" loaded and kv_unloaded = find "kv" unloaded in
+  checki "well-behaved tenant serves everything" kv_loaded.Serve.Driver.tr_arrivals
+    kv_loaded.Serve.Driver.tr_served;
+  let p99l = kv_loaded.Serve.Driver.tr_latency.Metrics.Stats.s_p99 in
+  let p99u = kv_unloaded.Serve.Driver.tr_latency.Metrics.Stats.s_p99 in
+  if p99l > 2.0 *. p99u then
+    Alcotest.failf "kv p99 %.0f exceeds 2x unloaded p99 %.0f" p99l p99u
+
+let test_arbiter_moves_frames_toward_pressure () =
+  let r =
+    Serve.Driver.run_scenario ~quick:true
+      ~params:(params ~arbiter:Serve.Engine.default_arbiter ())
+      (small_cfgs ())
+  in
+  checkb "arbiter acted" true (r.Serve.Driver.rp_arbiter_moves > 0);
+  let hash =
+    List.find (fun t -> t.Serve.Driver.tr_name = "hash") r.Serve.Driver.rp_tenants
+  in
+  checkb "pressured tenant gained frames" true
+    (hash.Serve.Driver.tr_balloon_in_frames > 0);
+  checkb "pressured tenant partition grew" true
+    (hash.Serve.Driver.tr_partition_end > 160)
+
+(* Satellite: restart churn under serving.  A hypervisor that keeps
+   transparently evicting the victim's pages forces repeated detected
+   terminations; the restart monitor allows a bounded number of attested
+   restarts and then refuses — from that point every arrival sheds, and
+   the co-tenant is unaffected. *)
+let test_restart_monitor_refuses_churning_tenant () =
+  let r =
+    Serve.Driver.run_scenario ~quick:true
+      ~params:
+        (params ~max_restarts:1
+           ~attack:{ Serve.Engine.atk_victim = "hash"; atk_every = 3 }
+           ())
+      (* No deadline: the victim's post-restart backlog must still execute
+         (and keep getting attacked) rather than time out untouched. *)
+      (small_cfgs ~hash_requests:160 ~hash_deadline:None ())
+  in
+  let find name =
+    List.find (fun t -> t.Serve.Driver.tr_name = name) r.Serve.Driver.rp_tenants
+  in
+  let hash = find "hash" in
+  checkb "victim terminated repeatedly" true
+    (hash.Serve.Driver.tr_terminations > 1);
+  checkb "restarts bounded by monitor" true (hash.Serve.Driver.tr_restarts <= 1);
+  checkb "victim refused re-admission" true hash.Serve.Driver.tr_refused;
+  checkb "post-refusal arrivals shed" true
+    (hash.Serve.Driver.tr_shed > hash.Serve.Driver.tr_terminations);
+  checki "verdicts still partition arrivals" hash.Serve.Driver.tr_arrivals
+    (hash.Serve.Driver.tr_served + hash.Serve.Driver.tr_shed
+   + hash.Serve.Driver.tr_missed);
+  let kv = find "kv" in
+  checkb "co-tenant unaffected" true (not kv.Serve.Driver.tr_refused);
+  checki "co-tenant serves everything" kv.Serve.Driver.tr_arrivals
+    kv.Serve.Driver.tr_served
+
+let suite =
+  [
+    ("event queue orders by time", `Quick, test_event_queue_ordering);
+    ("event queue breaks ties FIFO", `Quick, test_event_queue_fifo_ties);
+    ("fixed-seed determinism", `Quick, test_fixed_seed_determinism);
+    ("admission accounting", `Quick, test_admission_accounting);
+    ("overload sheds, neighbour keeps SLO", `Quick,
+     test_overload_sheds_neighbour_keeps_slo);
+    ("arbiter moves frames toward pressure", `Quick,
+     test_arbiter_moves_frames_toward_pressure);
+    ("restart monitor refuses churning tenant", `Quick,
+     test_restart_monitor_refuses_churning_tenant);
+  ]
