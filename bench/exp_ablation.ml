@@ -41,7 +41,7 @@ let batch_sweep () =
      r.Harness.Measure.page_faults)
   in
   let rows =
-    List.map
+    Par.map
       (fun batch ->
         let b, cyc, faults = run batch in
         [ string_of_int b; Harness.Report.f1 cyc; string_of_int faults ])
@@ -82,7 +82,7 @@ let eviction_policy_sweep () =
     r.Harness.Measure.page_faults
   in
   let rows =
-    List.map
+    Par.map
       (fun skew ->
         [ Printf.sprintf "hotspot p=%.2f" skew;
           string_of_int (run `Fifo skew);
@@ -121,7 +121,7 @@ let oram_cache_sweep () =
     float_of_int r.Harness.Measure.cycles /. float_of_int ops
   in
   let rows =
-    List.map
+    Par.map
       (fun frac ->
         let cache = data_pages * frac / 100 in
         [ Printf.sprintf "%d%% of data" frac; string_of_int cache;
@@ -140,7 +140,7 @@ let ad_check_sweep () =
   (* One run counts fills; the check cost is applied analytically, as in
      the paper. *)
   let measured =
-    List.map
+    Par.map
       (fun app ->
         let pages = app.Workloads.Nbench.nb_ws_pages in
         let sys =
@@ -229,7 +229,7 @@ let writeback_sweep () =
     float_of_int r.Harness.Measure.cycles /. float_of_int ops
   in
   let rows =
-    List.map
+    Par.map
       (fun wf ->
         [ Printf.sprintf "%.0f%% writes" (100.0 *. wf);
           Harness.Report.f0 (run `Dirty_only wf);
@@ -275,7 +275,11 @@ let hostcall_sweep () =
     (* An ocall that actually leaves the enclave: EEXIT + syscall + EENTER. *)
     { m with exitless_call = m.eexit + m.syscall + m.eenter }
   in
-  let exitless = run m and trapped = run trap_model in
+  let exitless, trapped =
+    match Par.map run [ m; trap_model ] with
+    | [ a; b ] -> (a, b)
+    | _ -> assert false
+  in
   Harness.Report.table
     ~header:[ "host-call mechanism"; "cycles/access (paging-heavy)" ]
     ~rows:

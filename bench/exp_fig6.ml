@@ -135,18 +135,32 @@ let run () =
     (float_of_int (n_items * item_bytes) /. 1048576.0)
     (float_of_int (epc_limit * 4096) /. 1048576.0)
     (float_of_int (oram_cache * 4096) /. 1048576.0);
-  let cluster_rows =
-    List.map
-      (fun k ->
-        let before, after = run_cluster_config k in
-        Printf.printf "  clusters(%3d pages): %9.0f req/s   after rehash: %9.0f req/s\n%!"
-          k before after;
-        (k, before, after))
-      cluster_sizes
+  (* Every cluster size and both ORAM variants are independent cells;
+     progress lines print after the merge, in the original order. *)
+  let cells =
+    Par.map
+      (function
+        | `Cluster k ->
+          let before, after = run_cluster_config k in
+          `Cluster_tp (k, before, after)
+        | `Oram_cached -> `Cached_tp (run_oram_cached ())
+        | `Oram_uncached -> `Uncached_tp (run_oram_uncached ()))
+      (List.map (fun k -> `Cluster k) cluster_sizes
+      @ [ `Oram_cached; `Oram_uncached ])
   in
-  let oram_tp = run_oram_cached () in
+  let cluster_rows =
+    List.filter_map (function `Cluster_tp x -> Some x | _ -> None) cells
+  in
+  let find_tp f = List.find_map f cells |> Option.get in
+  let oram_tp = find_tp (function `Cached_tp t -> Some t | _ -> None) in
+  let uncached_tp = find_tp (function `Uncached_tp t -> Some t | _ -> None) in
+  List.iter
+    (fun (k, before, after) ->
+      Printf.printf
+        "  clusters(%3d pages): %9.0f req/s   after rehash: %9.0f req/s\n%!" k
+        before after)
+    cluster_rows;
   Printf.printf "  cached ORAM        : %9.0f req/s\n%!" oram_tp;
-  let uncached_tp = run_oram_uncached () in
   Printf.printf "  uncached ORAM      : %9.0f req/s\n%!" uncached_tp;
   Harness.Report.series ~title:"clusters (before rehash)" ~xlabel:"pages/cluster"
     ~ylabel:"req/s"

@@ -55,13 +55,22 @@ let run () =
   let slowdowns = ref [] in
   let slowdowns_elided = ref [] in
   let slowdowns_analytic = ref [] in
+  (* Each application's three runs (baseline, autarky, elided) are one
+     self-contained cell; the per-app progress lines print after the
+     merge, in suite order, so the output is identical at any --jobs. *)
+  let measured =
+    Par.map
+      (fun spec ->
+        let base = run_app spec ~self_paging:false () in
+        let auta = run_app spec ~self_paging:true () in
+        let elided =
+          run_app ~mode:Sgx.Machine.No_upcall_no_aex spec ~self_paging:true ()
+        in
+        (spec, base, auta, elided))
+      Workloads.Kernels.suite
+  in
   List.iter
-    (fun spec ->
-      let base = run_app spec ~self_paging:false () in
-      let auta = run_app spec ~self_paging:true () in
-      let elided =
-        run_app ~mode:Sgx.Machine.No_upcall_no_aex spec ~self_paging:true ()
-      in
+    (fun ((spec : Workloads.Kernels.spec), base, auta, elided) ->
       let slowdown =
         float_of_int auta.Harness.Measure.cycles
         /. float_of_int base.Harness.Measure.cycles
@@ -102,7 +111,7 @@ let run () =
       Printf.printf
         "  %-10s slowdown %.3f (elided: analytic %.3f, simulated %.3f)  pf-rate %s/s\n%!"
         spec.k_name slowdown slowdown_a slowdown_e (Harness.Report.si pf_rate))
-    Workloads.Kernels.suite;
+    measured;
   Harness.Report.table
     ~header:
       [ "application"; "suite"; "working set"; "slowdown";

@@ -67,24 +67,29 @@ let run () =
     (float_of_int (n_entries * (value_bytes + 64)) /. 1048576.0)
     (float_of_int (epc_limit * 4096) /. 1048576.0)
     (float_of_int (oram_cache * 4096) /. 1048576.0);
-  (* Build each scheme's store once; run all distributions against it. *)
+  (* Build each scheme's store once; run all distributions against it.
+     Schemes are independent cells (own platform, own RNGs), so they
+     shard across the domain pool; progress lines print after the merge
+     so the output is byte-identical at any --jobs. *)
   let results =
-    List.map
+    Par.map
       (fun scheme ->
         let b, kv = build_store scheme in
-        Printf.printf "  built %s store\n%!" (Exp_common.scheme_name scheme);
         let tps =
-          List.map
-            (fun (dname, mk) ->
-              let tp = measure b kv (mk ()) in
-              Printf.printf "    %-14s %-18s %9.0f req/s\n%!" dname
-                (Exp_common.scheme_name scheme) tp;
-              (dname, tp))
-            distributions
+          List.map (fun (dname, mk) -> (dname, measure b kv (mk ()))) distributions
         in
         (scheme, tps))
       schemes
   in
+  List.iter
+    (fun (scheme, tps) ->
+      Printf.printf "  built %s store\n%!" (Exp_common.scheme_name scheme);
+      List.iter
+        (fun (dname, tp) ->
+          Printf.printf "    %-14s %-18s %9.0f req/s\n%!" dname
+            (Exp_common.scheme_name scheme) tp)
+        tps)
+    results;
   let header = "distribution" :: List.map Exp_common.scheme_name schemes in
   let rows =
     List.map

@@ -5,4 +5,6 @@
 
 let run () =
   print_endline "== perf: performance-regression harness ==";
-  ignore (Harness.Perf.run ~quick:false ~seed:42 ~out:"BENCH_perf.json" ())
+  ignore
+    (Harness.Perf.run ~quick:false ~seed:42 ~jobs:(Par.get_jobs ())
+       ~out:"BENCH_perf.json" ())

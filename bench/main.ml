@@ -4,6 +4,7 @@
 
      dune exec bench/main.exe                  # everything
      dune exec bench/main.exe -- fig6 fig8     # a subset
+     dune exec bench/main.exe -- --jobs 4 fig8 # shard cells over 4 domains
 *)
 
 let experiments =
@@ -27,33 +28,66 @@ let experiments =
   ]
 
 let usage () =
-  print_endline "usage: main.exe [experiment ...]";
+  print_endline "usage: main.exe [--jobs N] [experiment ...]";
+  print_endline
+    "  --jobs N   worker domains for sharded experiment cells (0 = one per \
+     core);";
+  print_endline
+    "             results are identical at any N, only wall clock changes";
   print_endline "experiments:";
   List.iter (fun (id, descr, _) -> Printf.printf "  %-14s %s\n" id descr) experiments
+
+let bad_jobs s =
+  Printf.eprintf "--jobs expects an integer, got %s\n"
+    (match s with Some v -> Printf.sprintf "%S" v | None -> "nothing");
+  exit 2
+
+(* Strip --jobs/-j from the argument list (setting Par's worker count),
+   returning the experiment ids. *)
+let rec strip_jobs acc = function
+  | [] -> List.rev acc
+  | ("--jobs" | "-j") :: rest -> (
+    match rest with
+    | n :: rest' -> (
+      match int_of_string_opt n with
+      | Some j -> Par.set_jobs j; strip_jobs acc rest'
+      | None -> bad_jobs (Some n))
+    | [] -> bad_jobs None)
+  | a :: rest when String.starts_with ~prefix:"--jobs=" a -> (
+    let v = String.sub a 7 (String.length a - 7) in
+    match int_of_string_opt v with
+    | Some j -> Par.set_jobs j; strip_jobs acc rest
+    | None -> bad_jobs (Some v))
+  | a :: rest -> strip_jobs (a :: acc) rest
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
   | [ "--help" ] | [ "-h" ] | [ "help" ] -> usage ()
-  | [] ->
-    print_endline "Autarky reproduction bench — all experiments";
-    List.iter (fun (_, _, run) -> run ()) experiments
-  | ids ->
-    (* Validate the whole request before running anything: a typo in the
-       last id must not cost the hours of experiments named before it. *)
-    let unknown =
-      List.filter
-        (fun id -> not (List.exists (fun (i, _, _) -> i = id) experiments))
-        ids
-    in
-    (match unknown with
-    | [] -> ()
-    | _ ->
-      List.iter (fun id -> Printf.eprintf "unknown experiment %S\n" id) unknown;
-      usage ();
-      exit 1);
-    List.iter
-      (fun id ->
-        let _, _, run = List.find (fun (i, _, _) -> i = id) experiments in
-        run ())
-      ids
+  | args -> (
+    match strip_jobs [] args with
+    | [] ->
+      print_endline "Autarky reproduction bench — all experiments";
+      List.iter (fun (_, _, run) -> run ()) experiments
+    | ids ->
+      (* Validate the whole request before running anything: a typo in the
+         last id must not cost the hours of experiments named before it —
+         and report every unknown id at once, not just the first. *)
+      let unknown =
+        List.filter
+          (fun id -> not (List.exists (fun (i, _, _) -> i = id) experiments))
+          ids
+      in
+      (match unknown with
+      | [] -> ()
+      | _ ->
+        Printf.eprintf "unknown experiment%s: %s\n"
+          (if List.length unknown > 1 then "s" else "")
+          (String.concat ", " (List.map (Printf.sprintf "%S") unknown));
+        usage ();
+        exit 1);
+      List.iter
+        (fun id ->
+          let _, _, run = List.find (fun (i, _, _) -> i = id) experiments in
+          run ())
+        ids)

@@ -1,0 +1,14 @@
+(* Shared worker-count state for the bench experiments: main.ml parses
+   --jobs once, experiments shard their independent cells via [map].
+   Serial (jobs = 1) by default, so every experiment keeps its exact
+   sequential behaviour unless asked otherwise.
+
+   Contract for callers: tasks passed to [map] must be self-contained
+   cells (own platform, own RNG), and anything printed must move after
+   the merge — [map] returns results in task order regardless of the
+   worker count, so post-merge output is byte-identical at any --jobs. *)
+
+let jobs = ref 1
+let set_jobs n = jobs := n
+let get_jobs () = !jobs
+let map f xs = Parallel.Pool.map ~jobs:!jobs f xs

@@ -74,6 +74,14 @@ let seed_arg =
   let doc = "Random seed." in
   Arg.(value & opt int 42 & info [ "seed" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the sharded sections (0 = one per core).  \
+     Changes wall-clock only: modeled results and trace digests are \
+     identical at any job count."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~doc ~docv:"N")
+
 (* --- run ---------------------------------------------------------------- *)
 
 type workload_instance = {
@@ -426,18 +434,33 @@ let inject_cmd =
     let doc = "Restart-monitor budget (restarts per window)." in
     Arg.(value & opt int 3 & info [ "max-restarts" ] ~doc)
   in
+  let digests_arg =
+    let doc =
+      "Print the trace digest of every injected run, one line per cell in \
+       campaign order — the CI determinism gate diffs this output across \
+       $(b,--jobs) values."
+    in
+    Arg.(value & flag & info [ "print-digests" ] ~doc)
+  in
+  (* Report every unknown name in one message, not just the first. *)
   let parse_csv ~what ~of_name = function
     | None -> None
     | Some s ->
-      Some
-        (String.split_on_char ',' s
-        |> List.filter (fun x -> x <> "")
-        |> List.map (fun x ->
-               match of_name (String.trim x) with
-               | Some v -> v
-               | None -> failwith (Printf.sprintf "unknown %s %S" what x)))
+      let names =
+        String.split_on_char ',' s
+        |> List.filter_map (fun x ->
+               let x = String.trim x in
+               if x = "" then None else Some x)
+      in
+      let unknown = List.filter (fun x -> of_name x = None) names in
+      if unknown <> [] then
+        failwith
+          (Printf.sprintf "unknown %s%s: %s" what
+             (if List.length unknown > 1 then "s" else "")
+             (String.concat ", " (List.map (Printf.sprintf "%S") unknown)));
+      Some (List.filter_map of_name names)
   in
-  let run seeds ops scenarios policies verify max_restarts =
+  let run seeds ops scenarios policies verify max_restarts jobs print_digests =
     let scenarios =
       parse_csv ~what:"scenario" ~of_name:Inject.Fault.of_name scenarios
     in
@@ -447,8 +470,16 @@ let inject_cmd =
     let s =
       Inject.Campaign.run
         ~seeds:(List.init seeds (fun i -> i + 1))
-        ~ops ?scenarios ?policies ~verify_determinism:verify ~max_restarts ()
+        ~ops ?scenarios ?policies ~verify_determinism:verify ~max_restarts
+        ~jobs ()
     in
+    if print_digests then
+      List.iter
+        (fun (r : Inject.Campaign.run_result) ->
+          Printf.printf "digest     : %-12s %-14s seed %d %s\n"
+            (Inject.Campaign.policy_name r.r_policy)
+            (Inject.Fault.name r.r_scenario) r.r_seed r.r_digest)
+        s.runs;
     (* Verdict table: one row per (policy, scenario), outcomes tallied
        across seeds.  Deterministic: row order follows the campaign's
        policy/scenario order, and all inputs are seeded. *)
@@ -497,7 +528,7 @@ let inject_cmd =
   Cmd.v (Cmd.info "inject" ~doc)
     Term.(
       const run $ seeds_arg $ inj_ops_arg $ scenarios_arg $ policies_arg
-      $ verify_arg $ max_restarts_arg)
+      $ verify_arg $ max_restarts_arg $ jobs_arg $ digests_arg)
 
 (* --- perf ------------------------------------------------------------------ *)
 
@@ -521,16 +552,49 @@ let perf_cmd =
     in
     Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc ~docv:"FILE")
   in
-  let run quick out seed =
-    let out =
-      match (out, quick) with
-      | Some f, _ -> Some f
-      | None, false -> Some "BENCH_perf.json"
-      | None, true -> None
+  let check_arg =
+    let doc =
+      "Regression gate: load the autarky-perf/1 $(docv) and compare matrix \
+       cells against $(b,--against) (or a fresh matrix run at the \
+       baseline's own quick/seed).  Exits non-zero when any cell drifts \
+       beyond $(b,--tolerance)."
     in
-    ignore (Harness.Perf.run ~quick ~seed ?out ())
+    Arg.(value & opt (some string) None & info [ "check" ] ~doc ~docv:"BASELINE")
   in
-  Cmd.v (Cmd.info "perf" ~doc) Term.(const run $ quick_arg $ out_arg $ seed_arg)
+  let against_arg =
+    let doc =
+      "With $(b,--check): compare $(docv) (another autarky-perf/1 report) \
+       instead of re-running the matrix — e.g. the CI determinism step \
+       diffs a --jobs 1 report against a --jobs 4 one at --tolerance 0."
+    in
+    Arg.(value & opt (some string) None & info [ "against" ] ~doc ~docv:"FILE")
+  in
+  let tolerance_arg =
+    let doc =
+      "Allowed relative drift in modeled cycles and fault counts for \
+       $(b,--check); 0 demands exact equality.  Wall-clock fields are \
+       never gated."
+    in
+    Arg.(value & opt float 0.25 & info [ "tolerance" ] ~doc ~docv:"T")
+  in
+  let run quick out seed jobs check against tolerance =
+    match check with
+    | Some baseline ->
+      if not (Harness.Perf.check ~baseline ?against ~tolerance ~jobs ()) then
+        exit 1
+    | None ->
+      let out =
+        match (out, quick) with
+        | Some f, _ -> Some f
+        | None, false -> Some "BENCH_perf.json"
+        | None, true -> None
+      in
+      ignore (Harness.Perf.run ~quick ~seed ~jobs ?out ())
+  in
+  Cmd.v (Cmd.info "perf" ~doc)
+    Term.(
+      const run $ quick_arg $ out_arg $ seed_arg $ jobs_arg $ check_arg
+      $ against_arg $ tolerance_arg)
 
 (* --- serve ----------------------------------------------------------------- *)
 
@@ -560,17 +624,33 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc ~docv:"FILE")
   in
-  let run quick no_arbiter out seed =
-    let out =
-      match (out, quick) with
-      | Some f, _ -> Some f
-      | None, false -> Some "BENCH_serve.json"
-      | None, true -> None
+  let fleet_arg =
+    let doc =
+      "Fleet mode: run $(docv) independent members of the default scenario \
+       (member seeds split deterministically from $(b,--seed)) across \
+       $(b,--jobs) domains and merge their SLO reports.  With $(b,--out), \
+       writes autarky-fleet/1 instead of autarky-serve/1."
     in
-    ignore (Serve.Driver.run ~quick ~seed ~no_arbiter ?out ())
+    Arg.(value & opt (some int) None & info [ "fleet" ] ~doc ~docv:"K")
+  in
+  let run quick no_arbiter out seed fleet jobs =
+    match fleet with
+    | Some members ->
+      ignore
+        (Serve.Driver.fleet ~quick ~seed ~members ~jobs ~no_arbiter ?out ())
+    | None ->
+      let out =
+        match (out, quick) with
+        | Some f, _ -> Some f
+        | None, false -> Some "BENCH_serve.json"
+        | None, true -> None
+      in
+      ignore (Serve.Driver.run ~quick ~seed ~no_arbiter ?out ())
   in
   Cmd.v (Cmd.info "serve" ~doc)
-    Term.(const run $ quick_arg $ no_arbiter_arg $ out_arg $ seed_arg)
+    Term.(
+      const run $ quick_arg $ no_arbiter_arg $ out_arg $ seed_arg $ fleet_arg
+      $ jobs_arg)
 
 (* --- kernels --------------------------------------------------------------- *)
 

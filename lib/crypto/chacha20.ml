@@ -39,18 +39,38 @@ let[@inline] get32 b off =
 let[@inline] set32 b off v =
   if be then Bytes.set_int32_le b off v else unsafe_set_32 b off v
 
-(* Scratch shared by every call — the simulator is single-threaded.
+(* Scratch reused across calls, one copy per domain ([Domain.DLS]): the
+   parallel harness (lib/parallel) runs whole simulations on worker
+   domains, and module-level scratch shared between them would race.
+   One DLS lookup per [block]/[xor_stream] call is amortized over the
+   whole stream; the hot block loop sees the fetched record only.
+
    [input] holds the block input (key/counter/nonce words), [ks] one
-   keystream block. *)
-let input = Array.make 16 0
-let ks = Bytes.create 64
+   keystream block.  [xoff] selects where the keystream block goes:
+   [xoff < 0] stores into [ks] (the [block] entry point and partial
+   tail blocks); [xoff >= 0] XORs the keystream straight into [xdst]
+   against [xsrc] at that byte offset — full blocks in [xor_stream]
+   never materialize the keystream. *)
+type scratch = {
+  input : int array;
+  ks : bytes;
+  mutable xsrc : bytes;
+  mutable xdst : bytes;
+  mutable xoff : int;
+}
+
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      { input = Array.make 16 0; ks = Bytes.create 64; xsrc = Bytes.empty;
+        xdst = Bytes.empty; xoff = -1 })
 
 let[@inline] word b off = Int32.to_int (get32 b off) land mask32
 
-let load_input ~key ~counter ~nonce =
+let load_input sc ~key ~counter ~nonce =
   if Bytes.length key <> 32 then invalid_arg "Chacha20.block: key must be 32 bytes";
   if Bytes.length nonce <> 12 then
     invalid_arg "Chacha20.block: nonce must be 12 bytes";
+  let input = sc.input in
   input.(0) <- 0x61707865;
   input.(1) <- 0x3320646e;
   input.(2) <- 0x79622d32;
@@ -63,24 +83,18 @@ let load_input ~key ~counter ~nonce =
     input.(13 + i) <- word nonce (4 * i)
   done
 
-(* Where the keystream block goes.  [xoff < 0]: store into [ks] (the
-   [block] entry point and partial tail blocks).  [xoff >= 0]: XOR the
-   keystream straight into [xdst] against [xsrc] at byte offset [xoff]
-   — full blocks in [xor_stream] never materialize the keystream. *)
-let xsrc = ref (Bytes.create 0)
-let xdst = ref (Bytes.create 0)
-let xoff = ref (-1)
-
 (* Ten double rounds with the sixteen state words threaded as
    parameters of a recursive function: without flambda that is the only
    way to keep them in registers — any array or record state costs a
    memory round-trip per step, and an out-of-line quarter-round costs
    80 calls per block.  At [n = 0] the feed-forward add against [input]
    and the keystream store (or fused XOR) happen in one pass. *)
-let rec rounds n x0 x1 x2 x3 x4 x5 x6 x7 x8 x9 x10 x11 x12 x13 x14 x15 =
+let rec rounds sc n x0 x1 x2 x3 x4 x5 x6 x7 x8 x9 x10 x11 x12 x13 x14 x15 =
   if n = 0 then begin
-    let off = !xoff in
+    let input = sc.input in
+    let off = sc.xoff in
     if off < 0 then begin
+      let ks = sc.ks in
       let st i x =
         set32 ks (4 * i)
           (Int32.of_int ((x + Array.unsafe_get input i) land mask32))
@@ -93,7 +107,7 @@ let rec rounds n x0 x1 x2 x3 x4 x5 x6 x7 x8 x9 x10 x11 x12 x13 x14 x15 =
     else begin
       (* Written out (not a local [st] helper): a closure over
          [src]/[dst]/[off] would heap-allocate once per block. *)
-      let src = !xsrc and dst = !xdst in
+      let src = sc.xsrc and dst = sc.xdst in
       set32 dst off
         (Int32.logxor (get32 src off) (Int32.of_int ((x0 + Array.unsafe_get input 0) land mask32)));
       set32 dst (off + 4)
@@ -210,40 +224,43 @@ let rec rounds n x0 x1 x2 x3 x4 x5 x6 x7 x8 x9 x10 x11 x12 x13 x14 x15 =
     let x14 = rotl32 (x14 lxor x3) 8 in
     let x9 = (x9 + x14) land mask32 in
     let x4 = rotl32 (x4 lxor x9) 7 in
-    rounds (n - 1) x0 x1 x2 x3 x4 x5 x6 x7 x8 x9 x10 x11 x12 x13 x14 x15
+    rounds sc (n - 1) x0 x1 x2 x3 x4 x5 x6 x7 x8 x9 x10 x11 x12 x13 x14 x15
   end
 
-(* Permute [input] and emit the keystream block per [xoff]. *)
-let block_into () =
-  let g i = Array.unsafe_get input i in
-  rounds 10 (g 0) (g 1) (g 2) (g 3) (g 4) (g 5) (g 6) (g 7) (g 8) (g 9) (g 10)
+(* Permute [sc.input] and emit the keystream block per [sc.xoff]. *)
+let block_into sc =
+  let g i = Array.unsafe_get sc.input i in
+  rounds sc 10 (g 0) (g 1) (g 2) (g 3) (g 4) (g 5) (g 6) (g 7) (g 8) (g 9) (g 10)
     (g 11) (g 12) (g 13) (g 14) (g 15)
 
 let block ~key ~counter ~nonce =
-  load_input ~key ~counter:(Int32.to_int counter land mask32) ~nonce;
-  xoff := -1;
-  block_into ();
-  Bytes.sub ks 0 64
+  let sc = Domain.DLS.get scratch_key in
+  load_input sc ~key ~counter:(Int32.to_int counter land mask32) ~nonce;
+  sc.xoff <- -1;
+  block_into sc;
+  Bytes.sub sc.ks 0 64
 
 let xor_stream ~key ?(counter = 0l) ~nonce data =
+  let sc = Domain.DLS.get scratch_key in
   let n = Bytes.length data in
   let out = Bytes.create n in
   let c0 = Int32.to_int counter land mask32 in
-  load_input ~key ~counter:c0 ~nonce;
-  xsrc := data;
-  xdst := out;
+  load_input sc ~key ~counter:c0 ~nonce;
+  sc.xsrc <- data;
+  sc.xdst <- out;
   let nblocks = (n + 63) / 64 in
   for blk = 0 to nblocks - 1 do
-    input.(12) <- (c0 + blk) land mask32;
+    sc.input.(12) <- (c0 + blk) land mask32;
     let base = blk * 64 in
     if n - base >= 64 then begin
       (* Full block: the feed-forward store XORs straight into [out]. *)
-      xoff := base;
-      block_into ()
+      sc.xoff <- base;
+      block_into sc
     end
     else begin
-      xoff := -1;
-      block_into ();
+      sc.xoff <- -1;
+      block_into sc;
+      let ks = sc.ks in
       for i = 0 to n - base - 1 do
         Bytes.set out (base + i)
           (Char.chr
@@ -253,9 +270,9 @@ let xor_stream ~key ?(counter = 0l) ~nonce data =
   done;
   (* Drop the buffer references so scratch state never retains caller
      data across calls. *)
-  xsrc := Bytes.empty;
-  xdst := Bytes.empty;
-  xoff := -1;
+  sc.xsrc <- Bytes.empty;
+  sc.xdst <- Bytes.empty;
+  sc.xoff <- -1;
   out
 
 let selftest () =

@@ -42,6 +42,8 @@ type matrix_row = {
 type report = {
   r_quick : bool;
   r_seed : int;
+  r_jobs : int;  (* domains the matrix ran on (wall metadata only) *)
+  r_matrix_wall_s : float;  (* wall clock of the whole matrix section *)
   r_micro : micro_row list;
   r_matrix : matrix_row list;
 }
@@ -263,18 +265,27 @@ let run_cell ~workload ~policy ~mech ~seed ~ops =
     mx_faults = r.Measure.page_faults;
   }
 
-let matrix_section ~quick ~seed =
+(* The matrix is embarrassingly parallel: every cell builds a fresh
+   platform (own counters, clock, trace-free) and the simulator keeps
+   no cross-platform state, so cells shard across domains with results
+   merged back in cell order — modeled cycles, faults and allocation
+   are bit-identical at any [jobs]; only the wall fields move. *)
+let matrix_cells ~quick =
   let workloads = if quick then [ "ycsb" ] else [ "ycsb"; "uthash"; "kvstore" ] in
   let policies = [ "rate-limit"; "clusters"; "oram" ] in
   let mechs = [ `Sgx1; `Sgx2 ] in
-  let ops = if quick then 1_000 else 8_000 in
   List.concat_map
     (fun workload ->
       List.concat_map
-        (fun policy ->
-          List.map (fun mech -> run_cell ~workload ~policy ~mech ~seed ~ops) mechs)
+        (fun policy -> List.map (fun mech -> (workload, policy, mech)) mechs)
         policies)
     workloads
+
+let matrix_section ~quick ~seed ~jobs =
+  let ops = if quick then 1_000 else 8_000 in
+  Parallel.Pool.map ~jobs
+    (fun (workload, policy, mech) -> run_cell ~workload ~policy ~mech ~seed ~ops)
+    (matrix_cells ~quick)
 
 (* --- JSON ------------------------------------------------------------- *)
 
@@ -299,6 +310,12 @@ let to_json r =
   Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" r.r_quick);
   Buffer.add_string b (Printf.sprintf "  \"seed\": %d,\n" r.r_seed);
   Buffer.add_string b (Printf.sprintf "  \"page_bytes\": %d,\n" page_bytes);
+  (* Wall metadata lives in one clearly-named object: everything under
+     "wall" (plus the *wall* per-row fields) is machine-dependent and
+     excluded from determinism/regression comparison. *)
+  Buffer.add_string b
+    (Printf.sprintf "  \"wall\": {\"jobs\": %d, \"matrix_s\": %s},\n" r.r_jobs
+       (f r.r_matrix_wall_s));
   Buffer.add_string b "  \"micro\": [\n";
   List.iteri
     (fun i m ->
@@ -352,16 +369,24 @@ let print_summary r =
         m.mx_policy m.mx_mech m.mx_wall_ns m.mx_alloc m.mx_cycles m.mx_faults)
     r.r_matrix
 
-let run ?(quick = false) ?(seed = 42) ?out () =
+let run ?(quick = false) ?(seed = 42) ?(jobs = 1) ?out () =
+  let micro = micro_section ~quick in
+  let t0 = Unix.gettimeofday () in
+  let matrix = matrix_section ~quick ~seed ~jobs in
+  let matrix_wall_s = Unix.gettimeofday () -. t0 in
   let r =
     {
       r_quick = quick;
       r_seed = seed;
-      r_micro = micro_section ~quick;
-      r_matrix = matrix_section ~quick ~seed;
+      r_jobs = (if jobs <= 0 then Parallel.Pool.default_jobs () else jobs);
+      r_matrix_wall_s = matrix_wall_s;
+      r_micro = micro;
+      r_matrix = matrix;
     }
   in
   print_summary r;
+  Printf.printf "perf: matrix wall %.2f s at %d job(s)\n" r.r_matrix_wall_s
+    r.r_jobs;
   (match out with
   | None -> ()
   | Some file ->
@@ -370,3 +395,121 @@ let run ?(quick = false) ?(seed = 42) ?out () =
     close_out oc;
     Printf.printf "perf: wrote %s\n" file);
   r
+
+(* --- regression gate --------------------------------------------------- *)
+
+(* A matrix cell as the gate sees it: identity (workload/policy/mech),
+   the deterministic measurements (ops, modeled cycles, faults) that
+   are compared, and the informational wall figure. *)
+type gate_cell = {
+  g_key : string * string * string;
+  g_ops : int;
+  g_cycles : float;
+  g_faults : int;
+  g_wall_ns : float;
+}
+
+let gate_cells_of_json ~ctx j =
+  let open Microjson in
+  mem_exn ~ctx "matrix" j |> arr ~ctx
+  |> List.map (fun cell ->
+         let field k = mem_exn ~ctx:(ctx ^ ".matrix") k cell in
+         let s k = str ~ctx (field k) in
+         {
+           g_key = (s "workload", s "policy", s "mech");
+           g_ops = int_ ~ctx (field "ops");
+           g_cycles = num ~ctx (field "modeled_cycles_per_access");
+           g_faults = int_ ~ctx (field "page_faults");
+           g_wall_ns = num ~ctx (field "wall_ns_per_access");
+         })
+
+let gate_cells_of_rows rows =
+  List.map
+    (fun m ->
+      {
+        g_key = (m.mx_workload, m.mx_policy, m.mx_mech);
+        g_ops = m.mx_ops;
+        g_cycles = m.mx_cycles;
+        g_faults = m.mx_faults;
+        g_wall_ns = m.mx_wall_ns;
+      })
+    rows
+
+let key_name (w, p, m) = Printf.sprintf "%s/%s/%s" w p m
+
+(* Relative drift, symmetric-safe for zero baselines. *)
+let drift ~base ~cur =
+  if base = 0.0 then (if cur = 0.0 then 0.0 else infinity)
+  else Float.abs (cur -. base) /. Float.abs base
+
+let check ~baseline ?against ?(tolerance = 0.25) ?(jobs = 1) () =
+  let load path =
+    let j = Microjson.of_file path in
+    (match Microjson.(member "schema" j) with
+    | Some (Microjson.Str "autarky-perf/1") -> ()
+    | _ -> failwith (path ^ ": not an autarky-perf/1 report"));
+    j
+  in
+  let bj = load baseline in
+  let base = gate_cells_of_json ~ctx:baseline bj in
+  let cur, cur_label =
+    match against with
+    | Some path -> (gate_cells_of_json ~ctx:path (load path), path)
+    | None ->
+      (* Re-run the matrix at the baseline's own shape and seed so the
+         comparison is cell-for-cell.  The micro section is skipped:
+         the gate is about modeled cycles; wall-clock micro numbers
+         cannot gate anything on a shared CI runner. *)
+      let quick = Microjson.(bool_ ~ctx:baseline (mem_exn ~ctx:baseline "quick" bj)) in
+      let seed = Microjson.(int_ ~ctx:baseline (mem_exn ~ctx:baseline "seed" bj)) in
+      Printf.printf "perf: re-running the %s matrix (seed %d) against %s\n%!"
+        (if quick then "quick" else "full")
+        seed baseline;
+      (gate_cells_of_rows (matrix_section ~quick ~seed ~jobs), "this run")
+  in
+  let assoc cells = List.map (fun c -> (c.g_key, c)) cells in
+  let base_a = assoc base and cur_a = assoc cur in
+  let failures = ref [] in
+  let fail_cell fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem_assoc k cur_a) then
+        fail_cell "cell %s missing from %s" (key_name k) cur_label)
+    base_a;
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem_assoc k base_a) then
+        fail_cell "cell %s not in baseline" (key_name k))
+    cur_a;
+  Printf.printf "  %-22s %14s %14s %8s %9s  %s\n" "cell" "base cyc/acc"
+    "cur cyc/acc" "drift" "faults" "verdict";
+  List.iter
+    (fun (k, b) ->
+      match List.assoc_opt k cur_a with
+      | None -> ()
+      | Some c ->
+        let d = drift ~base:b.g_cycles ~cur:c.g_cycles in
+        let fd =
+          drift ~base:(float_of_int b.g_faults) ~cur:(float_of_int c.g_faults)
+        in
+        let bad = ref [] in
+        if c.g_ops <> b.g_ops then
+          bad := Printf.sprintf "ops %d vs %d" b.g_ops c.g_ops :: !bad;
+        if d > tolerance then bad := Printf.sprintf "cycles drift %.1f%%" (100. *. d) :: !bad;
+        if fd > tolerance then bad := Printf.sprintf "faults drift %.1f%%" (100. *. fd) :: !bad;
+        Printf.printf "  %-22s %14.0f %14.0f %7.1f%% %4d/%-4d  %s\n" (key_name k)
+          b.g_cycles c.g_cycles (100.0 *. d) b.g_faults c.g_faults
+          (if !bad = [] then "ok" else "REGRESSION");
+        if !bad <> [] then
+          fail_cell "cell %s: %s" (key_name k) (String.concat ", " !bad))
+    base_a;
+  let ok = !failures = [] in
+  if ok then
+    Printf.printf
+      "perf: %d cells within %.0f%% of %s (wall/alloc informational only)\n"
+      (List.length base_a) (100.0 *. tolerance) baseline
+  else begin
+    Printf.printf "perf: regression gate FAILED against %s:\n" baseline;
+    List.iter (fun m -> Printf.printf "  - %s\n" m) (List.rev !failures)
+  end;
+  ok

@@ -34,15 +34,41 @@ type matrix_row = {
 type report = {
   r_quick : bool;
   r_seed : int;
+  r_jobs : int;       (** domains the matrix ran on (wall metadata only) *)
+  r_matrix_wall_s : float;  (** wall clock of the whole matrix section *)
   r_micro : micro_row list;
   r_matrix : matrix_row list;
 }
 
 val to_json : report -> string
-(** Render the stable ["autarky-perf/1"] schema. *)
+(** Render the stable ["autarky-perf/1"] schema.  Determinism contract:
+    everything except the ["wall"] metadata object and the per-row
+    wall/alloc fields is a pure function of (quick, seed) — independent
+    of [jobs], the machine, and the run.  (Matrix alloc rates are
+    per-domain measurements and pick up one-time per-domain
+    initialisation, so they shift with the sharding; modeled cycles,
+    fault counts and ops never do.) *)
 
-val run : ?quick:bool -> ?seed:int -> ?out:string -> unit -> report
+val run : ?quick:bool -> ?seed:int -> ?jobs:int -> ?out:string -> unit -> report
 (** Run the microbenchmarks and the workload matrix, print a summary
     table, and — when [out] is given — write the JSON report there.
     [quick] (default false) shrinks iteration counts and the matrix to
-    a CI-friendly smoke run. *)
+    a CI-friendly smoke run.  [jobs] (default 1; [<= 0] means
+    {!Parallel.Pool.default_jobs}) shards the matrix cells across
+    domains; the micro section always runs serially, first, so its
+    wall numbers are never measured under self-inflicted contention. *)
+
+val check :
+  baseline:string -> ?against:string -> ?tolerance:float -> ?jobs:int ->
+  unit -> bool
+(** The CI regression gate ([autarky_sim perf --check]).  Loads the
+    ["autarky-perf/1"] [baseline] file and compares matrix cells
+    against [against] (another report file) — or, when [against] is
+    omitted, against a fresh run of the matrix at the baseline's own
+    (quick, seed), sharded over [jobs] domains.  A cell fails when its
+    identity/ops disagree or when modeled cycles or fault counts drift
+    more than [tolerance] (default 0.25, relative; 0 demands exact
+    equality).  Wall-clock and allocation figures are informational
+    only — never gated.  Prints a verdict table; returns whether every
+    cell passed.
+    @raise Failure / {!Microjson.Parse_error} on unreadable input. *)

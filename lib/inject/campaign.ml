@@ -214,77 +214,97 @@ type summary = {
   ok : bool;
 }
 
+(* Pool runs whose only expected task exception is the golden-run
+   [Failure]; unwrap it so callers keep seeing the documented
+   exception rather than a [Task_error] envelope. *)
+let pool_map ~jobs f xs =
+  try Parallel.Pool.map ~jobs f xs
+  with Parallel.Pool.Task_error (e :: _) -> raise e.Parallel.Pool.exn
+
 let run ?(seeds = [ 1; 2; 3; 4; 5 ]) ?(ops = 120) ?(scenarios = Fault.all)
     ?(policies = all_policies) ?(verify_determinism = false)
-    ?(max_restarts = 3) () =
-  let golden = Hashtbl.create 16 in
-  let golden_for policy seed =
-    match Hashtbl.find_opt golden (policy, seed) with
-    | Some g -> g
-    | None ->
-      let g =
-        exec_run ~policy ~seed ~ops ~scenario:None ~cycle_cap:max_int
-      in
-      (match g.e_raw with
-      | `Completed when not g.e_mismatch -> ()
-      | _ ->
-        failwith
-          (Printf.sprintf "golden run failed (policy %s, seed %d)"
-             (policy_name policy) seed));
-      Hashtbl.replace golden (policy, seed) g;
-      g
+    ?(max_restarts = 3) ?(jobs = 1) () =
+  (* Every cell (golden and injected) builds its own platform, trace
+     recorder and counters, so the (policy, scenario, seed) grid shards
+     across domains; results come back in the campaign's canonical
+     order and all cross-run state — the restart monitor, the
+     non-determinism tally — is folded serially afterwards.  Verdicts,
+     injection counts and digests are therefore identical at any
+     [jobs] (the CI determinism gate diffs exactly this). *)
+  let golden_keys =
+    if scenarios = [] then []
+    else List.concat_map (fun p -> List.map (fun s -> (p, s)) seeds) policies
+  in
+  let goldens =
+    pool_map ~jobs
+      (fun (policy, seed) ->
+        let g = exec_run ~policy ~seed ~ops ~scenario:None ~cycle_cap:max_int in
+        (match g.e_raw with
+        | `Completed when not g.e_mismatch -> ()
+        | _ ->
+          failwith
+            (Printf.sprintf "golden run failed (policy %s, seed %d)"
+               (policy_name policy) seed));
+        ((policy, seed), g))
+      golden_keys
+  in
+  let golden_for policy seed = List.assoc (policy, seed) goldens in
+  let cells =
+    List.concat_map
+      (fun policy ->
+        List.concat_map
+          (fun sc -> List.map (fun seed -> (policy, sc, seed)) seeds)
+          scenarios)
+      policies
+  in
+  let outcomes =
+    pool_map ~jobs
+      (fun (policy, sc, seed) ->
+        let g = golden_for policy seed in
+        let cap = (g.e_cycles * 32) + 50_000_000 in
+        let x = exec_run ~policy ~seed ~ops ~scenario:(Some sc) ~cycle_cap:cap in
+        let outcome = classify ~golden:g x in
+        let diverged =
+          verify_determinism
+          &&
+          let x2 =
+            exec_run ~policy ~seed ~ops ~scenario:(Some sc) ~cycle_cap:cap
+          in
+          let o2 = classify ~golden:g x2 in
+          o2 <> outcome || x2.e_digest <> x.e_digest
+          || x2.e_injected <> x.e_injected
+        in
+        ( {
+            r_policy = policy;
+            r_scenario = sc;
+            r_seed = seed;
+            r_outcome = outcome;
+            r_injected = x.e_injected;
+            r_digest = x.e_digest;
+          },
+          diverged ))
+      cells
   in
   (* The restart monitor sees every Detected verdict as one termination
      + restart of the policy's enclave identity.  Its clock never
      advances, so the whole campaign lands in one sliding window — the
-     worst case for the termination channel. *)
+     worst case for the termination channel.  Fed serially, in campaign
+     order, after the sharded cells have drained. *)
   let mclock = Metrics.Clock.create Metrics.Cost_model.default in
   let monitor = Autarky.Restart_monitor.create ~clock:mclock ~max_restarts () in
   let nondet = ref 0 in
   let runs =
-    List.concat_map
-      (fun policy ->
-        List.concat_map
-          (fun sc ->
-            List.map
-              (fun seed ->
-                let g = golden_for policy seed in
-                let cap = (g.e_cycles * 32) + 50_000_000 in
-                let x =
-                  exec_run ~policy ~seed ~ops ~scenario:(Some sc)
-                    ~cycle_cap:cap
-                in
-                let outcome = classify ~golden:g x in
-                if verify_determinism then begin
-                  let x2 =
-                    exec_run ~policy ~seed ~ops ~scenario:(Some sc)
-                      ~cycle_cap:cap
-                  in
-                  let o2 = classify ~golden:g x2 in
-                  if
-                    o2 <> outcome || x2.e_digest <> x.e_digest
-                    || x2.e_injected <> x.e_injected
-                  then incr nondet
-                end;
-                (match outcome with
-                | Fault.Detected reason ->
-                  let identity = policy_name policy in
-                  Autarky.Restart_monitor.record_termination monitor ~identity
-                    ~reason;
-                  ignore
-                    (Autarky.Restart_monitor.record_start monitor ~identity)
-                | _ -> ());
-                {
-                  r_policy = policy;
-                  r_scenario = sc;
-                  r_seed = seed;
-                  r_outcome = outcome;
-                  r_injected = x.e_injected;
-                  r_digest = x.e_digest;
-                })
-              seeds)
-          scenarios)
-      policies
+    List.map
+      (fun (r, diverged) ->
+        if diverged then incr nondet;
+        (match r.r_outcome with
+        | Fault.Detected reason ->
+          let identity = policy_name r.r_policy in
+          Autarky.Restart_monitor.record_termination monitor ~identity ~reason;
+          ignore (Autarky.Restart_monitor.record_start monitor ~identity)
+        | _ -> ());
+        r)
+      outcomes
   in
   let unsafe =
     List.length (List.filter (fun r -> not (Fault.is_safe r.r_outcome)) runs)

@@ -60,7 +60,15 @@ val run :
   ?policies:policy_kind list ->
   ?verify_determinism:bool ->
   ?max_restarts:int ->
+  ?jobs:int ->
   unit -> summary
 (** Defaults: seeds [1..5], 120 operations per run, every scenario,
-    every policy, no determinism re-execution, restart budget 3.
+    every policy, no determinism re-execution, restart budget 3,
+    [jobs = 1].  [jobs] (with [<= 0] meaning
+    {!Parallel.Pool.default_jobs}) shards the (policy, scenario, seed)
+    cells — and the golden runs they diff against — across domains;
+    each cell owns its platform, injector and trace recorder, and the
+    restart monitor is folded serially in campaign order afterwards,
+    so verdicts, injection counts and digests are identical at any
+    [jobs].
     @raise Failure when an uninjected golden run fails to complete. *)

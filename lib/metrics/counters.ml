@@ -38,6 +38,17 @@ let reset t = Hashtbl.iter (fun _ c -> c.count <- 0) t
 let reset_one t name =
   match Hashtbl.find_opt t name with Some c -> c.count <- 0 | None -> ()
 
+(* Shard merge: fold another table's counts into [into] by name.  Used
+   by the parallel drivers after a sharded run; cheap (cold path), and
+   deliberately name-based so the two tables need not share cells. *)
+let merge_into ~into src =
+  Hashtbl.iter (fun k c -> if c.count <> 0 then cell_add (cell into k) c.count) src
+
+let merged ts =
+  let out = create () in
+  List.iter (fun t -> merge_into ~into:out t) ts;
+  out
+
 let snapshot t =
   Hashtbl.fold (fun k c acc -> if c.count <> 0 then (k, c.count) :: acc else acc) t []
   |> List.sort compare

@@ -2,7 +2,17 @@
 
     Every component of the simulator (MMU, OS pager, runtime, policies)
     records events into a shared counter set, which the experiment harness
-    snapshots to report fault counts, eviction counts, etc. *)
+    snapshots to report fault counts, eviction counts, etc.
+
+    No-shared-state invariant: a counter set belongs to exactly one
+    simulated platform ([Harness.System] creates one per instance) and
+    there is no global or module-level counter table anywhere in the
+    tree.  Two platforms therefore never alias a counter, which is what
+    makes whole simulations safe to shard across domains
+    ({!Parallel.Pool}) with no locking: each shard counts into its own
+    [t], and the driver folds the shards together afterwards with
+    {!merge_into} / {!merged}.  The invariant is regression-tested in
+    [test/test_parallel.ml]. *)
 
 type t
 
@@ -35,6 +45,16 @@ val reset : t -> unit
     same (now zeroed) cells. *)
 
 val reset_one : t -> string -> unit
+
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] adds every non-zero count of [src] into the
+    counter of the same name in [into] (interning it if needed).  [src]
+    is unchanged.  Merging shards in any order yields the same totals
+    (addition commutes); the deterministic drivers merge in shard
+    order anyway. *)
+
+val merged : t list -> t
+(** Fresh table holding the name-wise sum of all inputs. *)
 
 val snapshot : t -> (string * int) list
 (** All non-zero counters, sorted by name. *)

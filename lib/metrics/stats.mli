@@ -35,6 +35,22 @@ val summary : t -> summary
     sort).  All fields are 0 when the accumulator is empty; with a
     single sample every percentile equals that sample. *)
 
+val merge_into : into:t -> t -> unit
+(** Exact shard merge: after [merge_into ~into src], [into] holds the
+    union of both sample sets (every sample is retained, so percentiles
+    of the merge are exact, not approximated).  [src] is unchanged. *)
+
+val merged : t list -> t
+(** Fresh accumulator over the union of all inputs' samples. *)
+
+val merge_summaries : summary list -> summary
+(** Merge per-shard summaries when the raw samples are no longer
+    available: counts are summed, the mean is count-weighted, and each
+    percentile/max is the component-wise worst (maximum) across inputs
+    — a conservative tail bound ("no shard's p99 exceeded the merged
+    p99"), not the percentile of the pooled samples.  Empty list (or
+    all-empty summaries) yields the all-zero summary. *)
+
 val geomean : float list -> float
 (** Geometric mean of positive values; raises [Invalid_argument] on an
     empty list or non-positive values. *)

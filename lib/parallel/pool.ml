@@ -1,0 +1,127 @@
+(* Domain pool: run a fixed batch of independent tasks across OCaml 5
+   domains, merging results in task order.
+
+   The queue is the task array itself plus an atomic cursor — bounded by
+   construction (nothing is ever enqueued after [run] starts), lock-free,
+   and order-preserving on the result side: worker [d] claims index
+   [i = fetch_and_add cursor 1] and writes its result into slot [i], so
+   the merged output is ordered by shard index no matter which domain ran
+   which task or in what interleaving.  That is what makes the
+   determinism contract cheap: a task that is itself deterministic
+   produces the same value in the same output slot for any worker count,
+   so results (and any trace digests inside them) are bit-identical for
+   1 domain vs N.
+
+   Tasks must be self-contained: they must not touch the caller's
+   mutable state, and they must not submit work to a pool themselves.
+   Nested submission is rejected (see [in_pool]) rather than deadlocked
+   on or silently serialized — the same task list must behave the same
+   at [jobs = 1] (where nesting would otherwise happen to work) and at
+   [jobs = N] (where it would compose pools of pools and oversubscribe
+   the machine). *)
+
+type error = { index : int; exn : exn; backtrace : string }
+
+exception Task_error of error list
+
+let () =
+  Printexc.register_printer (function
+    | Task_error errs ->
+      Some
+        (Printf.sprintf "Parallel.Pool.Task_error [%s]"
+           (String.concat "; "
+              (List.map
+                 (fun e ->
+                   Printf.sprintf "task %d: %s" e.index (Printexc.to_string e.exn))
+                 errs)))
+    | _ -> None)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+(* Domain-local marker: true while this domain is executing pool tasks.
+   Fresh domains start at false; the serial path sets it too, so nested
+   submission is rejected identically at every worker count. *)
+let in_pool = Domain.DLS.new_key (fun () -> false)
+
+let run ?(jobs = 1) tasks =
+  if Domain.DLS.get in_pool then
+    invalid_arg "Parallel.Pool.run: nested submission from inside a pool task";
+  let tasks = Array.of_list tasks in
+  let n = Array.length tasks in
+  let jobs = if jobs <= 0 then default_jobs () else jobs in
+  let workers = min jobs n in
+  let exec i =
+    match (Array.unsafe_get tasks i) () with
+    | v -> Ok v
+    | exception exn ->
+      let backtrace = Printexc.get_backtrace () in
+      Error { index = i; exn; backtrace }
+  in
+  if n = 0 then []
+  else if workers <= 1 then begin
+    Domain.DLS.set in_pool true;
+    Fun.protect
+      ~finally:(fun () -> Domain.DLS.set in_pool false)
+      (fun () ->
+        (* Ascending, like the claim order of a lone worker. *)
+        let out = Array.make n None in
+        for i = 0 to n - 1 do
+          out.(i) <- Some (exec i)
+        done;
+        Array.to_list (Array.map Option.get out))
+  end
+  else begin
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let worker () =
+      Domain.DLS.set in_pool true;
+      let rec loop () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          results.(i) <- Some (exec i);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init workers (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join domains;
+    (* [Domain.join] orders every worker's writes before these reads. *)
+    Array.to_list (Array.map Option.get results)
+  end
+
+let run_exn ?jobs tasks =
+  let results = run ?jobs tasks in
+  match List.filter_map (function Error e -> Some e | Ok _ -> None) results with
+  | [] -> List.map (function Ok v -> v | Error _ -> assert false) results
+  | errors -> raise (Task_error errors)
+
+let map ?jobs f xs = run_exn ?jobs (List.map (fun x () -> f x) xs)
+
+(* Seed splitting: the splitmix64 finalizer over
+   [root + (shard+1) * phi64], i.e. one fixed-increment splitmix step
+   per shard taken independently of every other shard.  Derived seeds
+   depend only on (root, shard) — never on the worker count or claim
+   order — and land in distinct splitmix streams, so shard RNGs are
+   decorrelated while the whole sweep stays reproducible from the one
+   root seed. *)
+let shard_seed ~root ~shard =
+  if shard < 0 then invalid_arg "Parallel.Pool.shard_seed: negative shard";
+  let mix z =
+    let z =
+      Int64.mul
+        (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xbf58476d1ce4e5b9L
+    in
+    let z =
+      Int64.mul
+        (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94d049bb133111ebL
+    in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+  in
+  let z =
+    Int64.add (Int64.of_int root)
+      (Int64.mul (Int64.of_int (shard + 1)) 0x9e3779b97f4a7c15L)
+  in
+  Int64.to_int (Int64.logand (mix z) 0x3FFF_FFFF_FFFF_FFFFL)

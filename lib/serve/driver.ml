@@ -253,3 +253,160 @@ let run ?(quick = false) ?(seed = 42) ?(no_arbiter = false) ?out ?(print = true)
 let run_scenario ?(quick = false) ~params cfgs =
   let res = Engine.run ~params cfgs in
   report_of_result ~seed:params.Engine.p_seed ~quick res
+
+(* --- fleet ------------------------------------------------------------- *)
+
+(* A fleet is K independent members of the default scenario, each with
+   its own machine and a seed split from the root via
+   [Parallel.Pool.shard_seed] — so member i's report depends only on
+   (root seed, i), never on how many domains ran the fleet.  Members
+   shard across a domain pool; the merge (summed counts, merged latency
+   summaries, per-member digests in shard order) is serial. *)
+
+type fleet_tenant = {
+  ft_name : string;
+  ft_workload : string;
+  ft_policy : string;
+  ft_arrivals : int;
+  ft_served : int;
+  ft_shed : int;
+  ft_missed : int;
+  ft_latency : Metrics.Stats.summary;  (* merged across members *)
+  ft_throughput_rps : float;  (* mean over members *)
+}
+
+type fleet_report = {
+  fr_quick : bool;
+  fr_root_seed : int;
+  fr_members : report list;  (* ordered by shard index *)
+  fr_tenants : fleet_tenant list;
+}
+
+let fleet_aggregate members =
+  match members with
+  | [] -> []
+  | first :: _ ->
+    let all = List.concat_map (fun m -> m.rp_tenants) members in
+    List.map
+      (fun t0 ->
+        let rows = List.filter (fun t -> t.tr_name = t0.tr_name) all in
+        let sum f = List.fold_left (fun acc t -> acc + f t) 0 rows in
+        let n = float_of_int (List.length rows) in
+        {
+          ft_name = t0.tr_name;
+          ft_workload = t0.tr_workload;
+          ft_policy = t0.tr_policy;
+          ft_arrivals = sum (fun t -> t.tr_arrivals);
+          ft_served = sum (fun t -> t.tr_served);
+          ft_shed = sum (fun t -> t.tr_shed);
+          ft_missed = sum (fun t -> t.tr_missed);
+          ft_latency =
+            Metrics.Stats.merge_summaries (List.map (fun t -> t.tr_latency) rows);
+          ft_throughput_rps =
+            List.fold_left (fun acc t -> acc +. t.tr_throughput_rps) 0.0 rows /. n;
+        })
+      first.rp_tenants
+
+let fleet_to_json fr =
+  let b = Buffer.create 4_096 in
+  let f = Printf.sprintf "%.2f" in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"autarky-fleet/1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" fr.fr_quick);
+  Buffer.add_string b (Printf.sprintf "  \"root_seed\": %d,\n" fr.fr_root_seed);
+  Buffer.add_string b "  \"members\": [\n";
+  let last_m = List.length fr.fr_members - 1 in
+  List.iteri
+    (fun i m ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"shard\": %d, \"seed\": %d, \"end_cycle\": %d, \
+            \"arbiter_moves\": %d%s}%s\n"
+           i m.rp_seed m.rp_end_cycle m.rp_arbiter_moves
+           (match m.rp_digest with
+           | Some d -> Printf.sprintf ", \"trace_digest\": \"%s\"" (json_escape d)
+           | None -> "")
+           (if i = last_m then "" else ",")))
+    fr.fr_members;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"tenants\": [\n";
+  let last_t = List.length fr.fr_tenants - 1 in
+  List.iteri
+    (fun i t ->
+      let s = t.ft_latency in
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"workload\": \"%s\", \"policy\": \"%s\", \
+            \"arrivals\": %d, \"served\": %d, \"shed\": %d, \
+            \"deadline_missed\": %d, \"throughput_rps\": %s, \
+            \"latency_cycles\": {\"count\": %d, \"mean\": %s, \"p50\": %s, \
+            \"p95\": %s, \"p99\": %s, \"max\": %s}}%s\n"
+           (json_escape t.ft_name) (json_escape t.ft_workload)
+           (json_escape t.ft_policy) t.ft_arrivals t.ft_served t.ft_shed
+           t.ft_missed (f t.ft_throughput_rps) s.Metrics.Stats.s_count
+           (f s.Metrics.Stats.s_mean) (f s.Metrics.Stats.s_p50)
+           (f s.Metrics.Stats.s_p95) (f s.Metrics.Stats.s_p99)
+           (f s.Metrics.Stats.s_max)
+           (if i = last_t then "" else ",")))
+    fr.fr_tenants;
+  Buffer.add_string b "  ]\n";
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let print_fleet fr =
+  Printf.printf "serve: fleet of %d member(s), root seed %d%s\n"
+    (List.length fr.fr_members) fr.fr_root_seed
+    (if fr.fr_quick then " (quick)" else "");
+  List.iteri
+    (fun i m ->
+      Printf.printf "  member %d: seed %d, %d virtual cycles%s\n" i m.rp_seed
+        m.rp_end_cycle
+        (match m.rp_digest with
+        | Some d -> Printf.sprintf ", digest %s" d
+        | None -> ""))
+    fr.fr_members;
+  Printf.printf "  %-6s %-10s %-11s %8s %7s %6s %7s %10s %10s %10s\n" "tenant"
+    "workload" "policy" "arrivals" "served" "shed" "missed" "p50 cyc" "p99 cyc"
+    "rps";
+  List.iter
+    (fun t ->
+      let s = t.ft_latency in
+      Printf.printf "  %-6s %-10s %-11s %8d %7d %6d %7d %10.0f %10.0f %10.1f\n"
+        t.ft_name t.ft_workload t.ft_policy t.ft_arrivals t.ft_served t.ft_shed
+        t.ft_missed s.Metrics.Stats.s_p50 s.Metrics.Stats.s_p99
+        t.ft_throughput_rps)
+    fr.fr_tenants
+
+let fleet ?(quick = false) ?(seed = 42) ?(members = 4) ?(jobs = 1)
+    ?(no_arbiter = false) ?out ?(print = true) () =
+  if members <= 0 then
+    invalid_arg "Serve.Driver.fleet: members must be positive";
+  let reports =
+    Parallel.Pool.map ~jobs
+      (fun shard ->
+        let mseed = Parallel.Pool.shard_seed ~root:seed ~shard in
+        let params =
+          let p = Engine.default_params ~seed:mseed in
+          if no_arbiter then { p with Engine.p_arbiter = None } else p
+        in
+        let res = Engine.run ~params (default_scenario ~quick) in
+        report_of_result ~seed:mseed ~quick res)
+      (List.init members (fun i -> i))
+  in
+  let fr =
+    {
+      fr_quick = quick;
+      fr_root_seed = seed;
+      fr_members = reports;
+      fr_tenants = fleet_aggregate reports;
+    }
+  in
+  if print then print_fleet fr;
+  (match out with
+  | None -> ()
+  | Some file ->
+    let oc = open_out file in
+    output_string oc (fleet_to_json fr);
+    close_out oc;
+    if print then Printf.printf "serve: wrote %s\n" file);
+  fr

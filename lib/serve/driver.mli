@@ -60,3 +60,45 @@ val run :
 
 val run_scenario : ?quick:bool -> params:Engine.params -> Tenant.config list -> report
 (** Run an arbitrary scenario (used by the tests). *)
+
+(** {1 Fleet mode}
+
+    [K] independent members of {!default_scenario}, each on its own
+    machine with a seed split from the root via
+    {!Parallel.Pool.shard_seed} — member [i]'s report depends only on
+    (root seed, [i]), never on the worker count, so the fleet summary
+    (and every member digest) is identical at any [jobs]. *)
+
+type fleet_tenant = {
+  ft_name : string;
+  ft_workload : string;
+  ft_policy : string;
+  ft_arrivals : int;
+  ft_served : int;
+  ft_shed : int;
+  ft_missed : int;
+  ft_latency : Metrics.Stats.summary;
+      (** {!Metrics.Stats.merge_summaries} over the members *)
+  ft_throughput_rps : float;  (** mean over members *)
+}
+
+type fleet_report = {
+  fr_quick : bool;
+  fr_root_seed : int;
+  fr_members : report list;  (** ordered by shard index *)
+  fr_tenants : fleet_tenant list;
+}
+
+val fleet_to_json : fleet_report -> string
+(** Stable schema ["autarky-fleet/1"]; deterministic for a fixed
+    (root seed, member count, quick). *)
+
+val print_fleet : fleet_report -> unit
+
+val fleet :
+  ?quick:bool -> ?seed:int -> ?members:int -> ?jobs:int ->
+  ?no_arbiter:bool -> ?out:string -> ?print:bool -> unit -> fleet_report
+(** Run the fleet ([members] defaults to 4) over a domain pool
+    ([jobs] defaults to 1; [<= 0] means {!Parallel.Pool.default_jobs})
+    and merge the reports.
+    @raise Invalid_argument when [members <= 0]. *)

@@ -22,4 +22,5 @@ let () =
       ("trace", Test_trace.suite);
       ("mixed", Test_mixed.suite);
       ("inject", Test_inject.suite);
+      ("parallel", Test_parallel.suite);
     ]
