@@ -1,0 +1,16 @@
+(* Red-team scoreboard: every adversary against every policy x SGX
+   version, scored in bits leaked (§5.2.3).  Writes BENCH_redteam.json
+   (schema autarky-redteam/1) in the current directory — the committed
+   baseline lives at the repository root. *)
+
+let run () =
+  print_endline "== redteam: adversary suite, bits-leaked scoreboard ==";
+  let cells =
+    Redteam.Scoreboard.run ~quick:false ~seed:42 ~jobs:(Par.get_jobs ()) ()
+  in
+  Redteam.Scoreboard.print_table cells;
+  let json = Redteam.Scoreboard.to_json ~quick:false ~seed:42 cells in
+  Out_channel.with_open_bin "BENCH_redteam.json" (fun oc ->
+      Out_channel.output_string oc json);
+  Printf.printf "wrote      : BENCH_redteam.json (%d cells)\n%!"
+    (List.length cells)

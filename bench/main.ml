@@ -25,6 +25,9 @@ let experiments =
               (BENCH_perf.json)", Exp_perf.run);
     ("serve", "multi-tenant serving: virtual-time scheduler + EPC arbiter \
                (BENCH_serve.json)", Exp_serve.run);
+    ("redteam", "red-team adversary suite: bits-leaked scoreboard across \
+                 policies x SGX versions (BENCH_redteam.json)",
+     Exp_redteam.run);
   ]
 
 let usage () =

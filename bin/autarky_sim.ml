@@ -652,6 +652,120 @@ let serve_cmd =
       const run $ quick_arg $ no_arbiter_arg $ out_arg $ seed_arg $ fleet_arg
       $ jobs_arg)
 
+(* --- redteam --------------------------------------------------------------- *)
+
+let redteam_cmd =
+  let doc =
+    "Run the red-team adversary suite: every registered adversary \
+     (CopyCat single-stepping, Branch Shadowing, Pigeonhole fault-pattern \
+     spying, the KingsGuard tamper ladder) against every (policy x SGX \
+     version) victim, scored as bits leaked per the paper's §5.2.3 \
+     accounting, with §5.3 termination-channel bits reported separately."
+  in
+  let list_arg =
+    let doc = "List the adversary registry with descriptions and exit." in
+    Arg.(value & flag & info [ "list" ] ~doc)
+  in
+  let quick_arg =
+    let doc =
+      "CI smoke mode: 16 requests over a 16-symbol alphabet instead of 48 \
+       over 32; no JSON file unless $(b,--out) is given."
+    in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let adversaries_arg =
+    let doc =
+      "Comma-separated adversaries (default all): copycat, branch-shadow, \
+       pigeonhole, kingsguard."
+    in
+    Arg.(value & opt (some string) None & info [ "adversaries" ] ~doc)
+  in
+  let policies_arg =
+    let doc =
+      "Comma-separated victim policies (default all): baseline, rate-limit, \
+       clusters, oram."
+    in
+    Arg.(value & opt (some string) None & info [ "policies" ] ~doc)
+  in
+  let mechs_arg =
+    let doc =
+      "Comma-separated paging mechanisms (default both): sgx1, sgx2.  The \
+       baseline victim only exists on sgx1 and is never dropped by this \
+       filter."
+    in
+    Arg.(value & opt (some string) None & info [ "mechs" ] ~doc)
+  in
+  let out_arg =
+    let doc =
+      "Write the autarky-redteam/1 JSON scoreboard to $(docv).  Defaults to \
+       BENCH_redteam.json in full mode, no file in quick mode.  The file \
+       contains no wall-clock fields: it is byte-identical at any \
+       $(b,--jobs)."
+    in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc ~docv:"FILE")
+  in
+  (* Report every unknown name in one message, not just the first (same
+     fail-fast contract as the inject campaign's filters). *)
+  let parse_csv ~what ~of_name = function
+    | None -> None
+    | Some s ->
+      let names =
+        String.split_on_char ',' s
+        |> List.filter_map (fun x ->
+               let x = String.trim x in
+               if x = "" then None else Some x)
+      in
+      let unknown = List.filter (fun x -> of_name x = None) names in
+      if unknown <> [] then
+        failwith
+          (Printf.sprintf "unknown %s%s: %s" what
+             (if List.length unknown > 1 then "s" else "")
+             (String.concat ", " (List.map (Printf.sprintf "%S") unknown)));
+      Some (List.filter_map of_name names)
+  in
+  let run list quick adversaries policies mechs out seed jobs =
+    if list then
+      List.iter
+        (fun (a : Redteam.Adversary.t) ->
+          Printf.printf "%-14s %s\n" a.id a.description)
+        Redteam.Scoreboard.adversaries
+    else begin
+      let adversaries =
+        parse_csv ~what:"adversary" ~of_name:Redteam.Scoreboard.find_adversary
+          adversaries
+      in
+      let policies =
+        parse_csv ~what:"policy" ~of_name:Redteam.Victim.policy_of_name
+          policies
+      in
+      let mechs =
+        parse_csv ~what:"mech" ~of_name:Redteam.Victim.mech_of_name mechs
+      in
+      let cells =
+        Redteam.Scoreboard.run ~quick ?adversaries ?policies ?mechs ~seed ~jobs
+          ()
+      in
+      Redteam.Scoreboard.print_table cells;
+      let out =
+        match (out, quick) with
+        | Some f, _ -> Some f
+        | None, false -> Some "BENCH_redteam.json"
+        | None, true -> None
+      in
+      match out with
+      | None -> ()
+      | Some file ->
+        let json = Redteam.Scoreboard.to_json ~quick ~seed cells in
+        Out_channel.with_open_bin file (fun oc ->
+            Out_channel.output_string oc json);
+        Printf.printf "wrote      : %s (%d cells)\n" file (List.length cells)
+    end
+  in
+  Cmd.v (Cmd.info "redteam" ~doc)
+    Term.(
+      const run $ list_arg $ quick_arg $ adversaries_arg $ policies_arg
+      $ mechs_arg $ out_arg $ seed_arg $ jobs_arg)
+
 (* --- kernels --------------------------------------------------------------- *)
 
 let kernels_cmd =
@@ -684,4 +798,5 @@ let () =
             kernels_cmd;
             perf_cmd;
             serve_cmd;
+            redteam_cmd;
           ]))

@@ -1,5 +1,6 @@
 let cluster_guess_probability ~item_bytes ~cluster_pages ~page_bytes =
-  assert (item_bytes > 0 && cluster_pages > 0 && page_bytes > 0);
+  if item_bytes <= 0 || cluster_pages <= 0 || page_bytes <= 0 then
+    invalid_arg "Leakage.cluster_guess_probability: sizes must be positive";
   float_of_int item_bytes /. float_of_int (cluster_pages * page_bytes)
 
 type score = { mutable total : float; mutable n : int }
@@ -20,15 +21,34 @@ let observations score = score.n
 let guess_probability score =
   if score.n = 0 then 0.0 else score.total /. float_of_int score.n
 
+(* Entries must be valid probability masses; anything negative or
+   non-finite is a caller bug, rejected loudly instead of poisoning the
+   sum.  The empty distribution and the all-zero distribution carry no
+   information (0 bits), and inputs whose mass does not sum to 1 are
+   normalized — so counts can be passed directly — rather than silently
+   producing a non-entropy. *)
 let entropy_bits probs =
-  List.fold_left
-    (fun acc p -> if p > 0.0 then acc -. (p *. (log p /. log 2.0)) else acc)
-    0.0 probs
+  List.iter
+    (fun p ->
+      if not (Float.is_finite p) || p < 0.0 then
+        invalid_arg
+          "Leakage.entropy_bits: probabilities must be finite and >= 0")
+    probs;
+  let sum = List.fold_left ( +. ) 0.0 probs in
+  if sum <= 0.0 then 0.0
+  else
+    let scale = if Float.abs (sum -. 1.0) > 1e-9 then 1.0 /. sum else 1.0 in
+    List.fold_left
+      (fun acc p ->
+        let p = if scale = 1.0 then p else p *. scale in
+        if p > 0.0 then acc -. (p *. (log p /. log 2.0)) else acc)
+      0.0 probs
 
 let uniform_entropy_bits ~n =
-  assert (n > 0);
+  if n <= 0 then invalid_arg "Leakage.uniform_entropy_bits: n must be positive";
   log (float_of_int n) /. log 2.0
 
 let rate_limit_leak_bound ~faults ~managed_pages =
-  assert (faults >= 0 && managed_pages > 0);
+  if faults < 0 then
+    invalid_arg "Leakage.rate_limit_leak_bound: faults must be >= 0";
   float_of_int faults *. uniform_entropy_bits ~n:managed_pages

@@ -16,7 +16,8 @@
 
 val cluster_guess_probability :
   item_bytes:int -> cluster_pages:int -> page_bytes:int -> float
-(** The paper's closed form. *)
+(** The paper's closed form.
+    @raise Invalid_argument unless every size is positive. *)
 
 (** The empirical attacker's running score. *)
 type score
@@ -34,13 +35,20 @@ val guess_probability : score -> float
 (** Mean probability that the optimal guess is correct. *)
 
 val entropy_bits : float list -> float
-(** Shannon entropy of a distribution (probabilities summing to 1). *)
+(** Shannon entropy of a distribution.  The empty list and all-zero
+    distributions carry no information and yield [0.0]; a distribution
+    whose mass does not sum to 1 is normalized by its sum first (so raw
+    counts are accepted), leaving already-normalized inputs untouched
+    bit-for-bit.  Never returns NaN.
+    @raise Invalid_argument on a negative or non-finite entry. *)
 
 val uniform_entropy_bits : n:int -> float
-(** Entropy of a uniform choice among [n] items. *)
+(** Entropy of a uniform choice among [n] items.
+    @raise Invalid_argument unless [n > 0]. *)
 
 val rate_limit_leak_bound : faults:int -> managed_pages:int -> float
 (** Upper bound (bits) on what the demand-paging side channel conveys
     under the rate-limited policy (§5.2.4): each legitimate fault reveals
     at most which of the managed pages was cold —
-    [faults * log2 managed_pages]. *)
+    [faults * log2 managed_pages].
+    @raise Invalid_argument unless [faults >= 0] and [managed_pages > 0]. *)

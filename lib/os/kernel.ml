@@ -21,6 +21,7 @@ type proc = {
 type hooks = {
   mutable on_fault : proc -> Types.os_fault_report -> fault_decision;
   mutable on_preempt : proc -> unit;
+  mutable on_fetch : proc -> Types.vpage list -> unit;
 }
 
 (* Counter cells interned at kernel construction: the fault/fetch/evict
@@ -72,7 +73,11 @@ let create machine =
     machine;
     procs = Hashtbl.create 8;
     kernel_hooks =
-      { on_fault = (fun _ _ -> Benign); on_preempt = (fun _ -> ()) };
+      {
+        on_fault = (fun _ _ -> Benign);
+        on_preempt = (fun _ -> ());
+        on_fetch = (fun _ _ -> ());
+      };
     cells =
       {
         k_fault = cell "os.fault";
@@ -295,6 +300,9 @@ let do_fetch t proc vp ~pinned : (unit, fetch_error) result =
       if not pinned then incr t t.cells.k_fetch;
       emit t proc ~actor:Trace.Event.Os (fun () ->
           Trace.Event.Fetch { vpages = [ vp ]; enclave_initiated = pinned });
+      (* The page just became resident: the demand-paging side channel
+         (§4) — an observing OS always sees this. *)
+      t.kernel_hooks.on_fetch proc [ vp ];
       Ok ()
     | Error `Mac_mismatch -> Error (`Blob_mac_mismatch vp)
     | Error `Replayed -> Error (`Blob_replayed vp)
@@ -438,6 +446,8 @@ let ay_aug_pages t proc pages =
           proc.resident_count <- proc.resident_count + 1
         | Error `Epc_full -> Types.sgx_errorf "EAUG: EPC full after headroom check")
       needed;
+    (* The EAUG path bypasses [do_fetch]; residency is equally visible. *)
+    if needed <> [] then t.kernel_hooks.on_fetch proc needed;
     Ok ()
 
 let ay_remove_pages t proc pages =
@@ -610,5 +620,15 @@ let attacker_map_wrong t proc ~victim ~other =
 let attacker_evict t proc vp =
   if resident t proc vp then do_evict t proc vp;
   probe t proc "evict" vp
+
+let attacker_sample_branches t proc =
+  let vps =
+    Machine.drain_branches t.machine ~enclave_id:proc.enclave.Enclave.id
+  in
+  Metrics.Counters.incr (Machine.counters t.machine) "attacker.lbr_sample";
+  emit t proc ~actor:Trace.Event.Attacker (fun () ->
+      Trace.Event.Observe
+        { channel = "lbr"; count = List.length vps; vpages = vps });
+  vps
 
 let swap _t proc = proc.proc_swap

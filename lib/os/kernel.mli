@@ -30,6 +30,12 @@ type fault_decision =
 type hooks = {
   mutable on_fault : proc -> Sgx.Types.os_fault_report -> fault_decision;
   mutable on_preempt : proc -> unit;
+  mutable on_fetch : proc -> Sgx.Types.vpage list -> unit;
+      (** Fired whenever pages of the process become EPC-resident (ELDU
+          on the SGXv1 path, EAUG on the SGXv2 path) — the demand-paging
+          side channel of §4, which the OS can always observe.  Default
+          is a no-op; passive attack drivers (Pigeonhole-style
+          fault-pattern adversaries) install themselves here. *)
 }
 
 type t
@@ -176,6 +182,13 @@ val attacker_map_wrong : t -> proc -> victim:Sgx.Types.vpage -> other:Sgx.Types.
 
 val attacker_evict : t -> proc -> Sgx.Types.vpage -> unit
 (** Forcibly EWB a page regardless of the enclave-managed contract. *)
+
+val attacker_sample_branches : t -> proc -> Sgx.Types.vpage list
+(** Read out (and clear) the machine's branch-trace ring, keeping the
+    records of this process's enclave — the Branch Shadowing channel
+    (Lee et al.): code pages the enclave executed since the last sample,
+    oldest first.  Emits an [Observe] event; outside Autarky's paging
+    threat model, so it works against every policy. *)
 
 val swap : t -> proc -> Swap_store.t
 (** Raw access to the (untrusted) backing store, for replay attacks. *)

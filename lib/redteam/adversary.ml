@@ -1,0 +1,20 @@
+type outcome = Completed | Detected of string
+
+type observation = { ob_request : int; ob_candidates : int list }
+
+type result = {
+  res_outcome : outcome;
+  res_observations : observation list;
+  res_probes : int;
+  res_terminations : int;
+}
+
+type t = {
+  id : string;
+  description : string;
+  run : (unit -> Victim.t) -> Victim.t * result;
+}
+
+let of_victim_outcome = function
+  | Victim.Completed -> (Completed, 0)
+  | Victim.Terminated reason -> (Detected reason, 1)

@@ -1,0 +1,43 @@
+(** The pluggable adversary interface of the red-team suite.
+
+    An adversary receives a victim {e factory} — calling it builds a
+    fresh, identically-configured {!Victim.t} — because some attacks
+    (KingsGuard's escalation ladder) burn through several enclaves:
+    each Autarky detection terminates one, and the attacker simply
+    starts over against the restarted service.  The adversary returns
+    the primary victim it observed (for ground truth and the trace
+    digest) plus its per-request observations, which the scoreboard
+    turns into bits via {!Attacks.Leakage}. *)
+
+(** How the attack ended: the victim completed every request, or at
+    least one victim instance was terminated by an Autarky detection. *)
+type outcome = Completed | Detected of string
+
+type observation = {
+  ob_request : int;  (** which request this observation is about *)
+  ob_candidates : int list;
+      (** the symbols the channel narrowed the request down to (sorted,
+          duplicate-free); [[]] means the channel said nothing — a
+          blind guess among the whole alphabet *)
+}
+
+type result = {
+  res_outcome : outcome;
+  res_observations : observation list;
+      (** ascending by [ob_request]; at most one entry per request, and
+          none for requests cut short by a termination *)
+  res_probes : int;  (** active attacker operations performed *)
+  res_terminations : int;
+      (** victim instances terminated by a detection — each one is a
+          §5.3 termination-channel event worth at most one bit *)
+}
+
+type t = {
+  id : string;
+  description : string;
+  run : (unit -> Victim.t) -> Victim.t * result;
+}
+
+val of_victim_outcome : Victim.outcome -> outcome * int
+(** Map a victim run's end state to an adversary outcome and its
+    termination count (0 or 1). *)

@@ -1,0 +1,39 @@
+let run mk =
+  let v = mk () in
+  let os = Victim.os v in
+  let proc = Victim.proc v in
+  let probes = ref 0 in
+  let obs = ref [] in
+  let outcome =
+    Victim.run v
+      ~before:(fun _ ->
+        (* Drain residue from setup or the previous request so the
+           post-request sample isolates this request's branches. *)
+        incr probes;
+        ignore (Sim_os.Kernel.attacker_sample_branches os proc))
+      ~after:(fun r ->
+        incr probes;
+        let vps = Sim_os.Kernel.attacker_sample_branches os proc in
+        let cands =
+          List.sort_uniq compare
+            (List.filter_map (Victim.symbol_of_code_vpage v) vps)
+        in
+        obs := { Adversary.ob_request = r; ob_candidates = cands } :: !obs)
+  in
+  let res_outcome, res_terminations = Adversary.of_victim_outcome outcome in
+  ( v,
+    {
+      Adversary.res_outcome;
+      res_observations = List.rev !obs;
+      res_probes = !probes;
+      res_terminations;
+    } )
+
+let adversary =
+  {
+    Adversary.id = "branch-shadow";
+    description =
+      "per-request branch-trace ring read-out of secret-indexed code pages \
+       (Branch Shadowing, Lee et al.; outside the paging threat model)";
+    run;
+  }

@@ -1,0 +1,9 @@
+(** Branch Shadowing (Lee et al.): read the machine's branch-trace ring
+    (an LBR/BTB model that is not flushed on enclave exit) after every
+    request and recover which secret-indexed code page ran.  The
+    channel is microarchitectural, not paging — outside Autarky's §3
+    threat model — so it leaks against every policy alike.  The suite
+    includes it to show the scoreboard reports honest non-zero rows for
+    channels self-paging cannot close. *)
+
+val adversary : Adversary.t

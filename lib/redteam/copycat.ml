@@ -1,0 +1,70 @@
+let run mk =
+  let v = mk () in
+  let os = Victim.os v in
+  let proc = Victim.proc v in
+  let cpu = Victim.cpu v in
+  let marker = Victim.marker v in
+  let n = Victim.alphabet v in
+  let hooks = Sim_os.Kernel.hooks os in
+  let saved_fault = hooks.Sim_os.Kernel.on_fault in
+  let saved_preempt = hooks.Sim_os.Kernel.on_preempt in
+  let steps = ref 0 in
+  let fault_step = ref None in
+  let probes = ref 0 in
+  let obs = ref [] in
+  hooks.Sim_os.Kernel.on_preempt <- (fun _ -> incr steps);
+  hooks.Sim_os.Kernel.on_fault <-
+    (fun p report ->
+      let vp = Sgx.Types.vpage_of_vaddr report.Sgx.Types.fr_vaddr in
+      (* Against Autarky the report is masked to the enclave base, so
+         this never matches the marker — and the induced fault already
+         terminated the enclave before any silent repair could help. *)
+      if vp = marker && !fault_step = None then begin
+        fault_step := Some !steps;
+        if Sim_os.Kernel.resident os p marker then begin
+          incr probes;
+          Sim_os.Kernel.attacker_restore os p marker;
+          Sim_os.Kernel.Fixed_silently
+        end
+        else Sim_os.Kernel.Benign
+      end
+      else saved_fault p report);
+  Sgx.Cpu.set_preempt_interval cpu (Some 1);
+  let outcome =
+    Victim.run v
+      ~before:(fun _ ->
+        steps := 0;
+        fault_step := None;
+        incr probes;
+        Sim_os.Kernel.attacker_unmap os proc marker)
+      ~after:(fun r ->
+        (* [fault_step] holds the completed-access count at the marker
+           fault; the request prefix performs exactly [s + 1] scratch
+           reads first, so the symbol is the count minus one. *)
+        let cands =
+          match !fault_step with
+          | Some c when c >= 1 && c - 1 < n -> [ c - 1 ]
+          | Some _ | None -> []
+        in
+        obs := { Adversary.ob_request = r; ob_candidates = cands } :: !obs)
+  in
+  Sgx.Cpu.set_preempt_interval cpu None;
+  hooks.Sim_os.Kernel.on_fault <- saved_fault;
+  hooks.Sim_os.Kernel.on_preempt <- saved_preempt;
+  let res_outcome, res_terminations = Adversary.of_victim_outcome outcome in
+  ( v,
+    {
+      Adversary.res_outcome;
+      res_observations = List.rev !obs;
+      res_probes = !probes;
+      res_terminations;
+    } )
+
+let adversary =
+  {
+    Adversary.id = "copycat";
+    description =
+      "single-step interrupt counting against an unmapped marker page \
+       (CopyCat, Moghimi et al.)";
+    run;
+  }

@@ -1,0 +1,8 @@
+(** CopyCat-style single-stepping (Moghimi et al.): interrupt the
+    enclave after every instruction and count completed accesses up to
+    an attacker-induced fault on the marker page — the count is the
+    secret symbol.  Against a legacy enclave the marker mapping is
+    repaired silently; against Autarky the first fault on the resident
+    enclave-managed marker is detected and the enclave terminates. *)
+
+val adversary : Adversary.t

@@ -1,0 +1,109 @@
+(* Candidate symbols for one request: data pages whose accessed bit the
+   walk set back after the attacker cleared it. *)
+let ad_candidates os proc v =
+  let n = Victim.alphabet v in
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    match Sim_os.Kernel.attacker_read_ad os proc (Victim.data_page v i) with
+    | Some (true, _) -> acc := i :: !acc
+    | Some (false, _) | None -> ()
+  done;
+  !acc
+
+let run mk =
+  let probes = ref 0 in
+  (* Stage 1 — A/D-bit monitoring, the observation run.  Against
+     Autarky, clearing the accessed bit of the (pinned, every-request)
+     marker page makes the very next walk fault with the A/D-clear
+     cause: detection on request 0. *)
+  let v = mk () in
+  let os = Victim.os v in
+  let proc = Victim.proc v in
+  let n = Victim.alphabet v in
+  let obs = ref [] in
+  let o1 =
+    Victim.run v
+      ~before:(fun _ ->
+        incr probes;
+        Sim_os.Kernel.attacker_clear_accessed os proc (Victim.marker v);
+        for i = 0 to n - 1 do
+          incr probes;
+          Sim_os.Kernel.attacker_clear_accessed os proc (Victim.data_page v i)
+        done)
+      ~after:(fun r ->
+        probes := !probes + n;
+        obs :=
+          { Adversary.ob_request = r; ob_candidates = ad_candidates os proc v }
+          :: !obs)
+  in
+  (* Stage 2 — page-table tamper on a restarted service: unmap the
+     pinned marker mid-run.  Legacy kernels silently repair resident
+     mappings; Autarky terminates on the induced fault. *)
+  let v2 = mk () in
+  let os2 = Victim.os v2 in
+  let proc2 = Victim.proc v2 in
+  let half = Victim.symbols v2 / 2 in
+  let o2 =
+    Victim.run v2
+      ~before:(fun r ->
+        if r = half then begin
+          incr probes;
+          Sim_os.Kernel.attacker_unmap os2 proc2 (Victim.marker v2)
+        end)
+      ~after:(fun _ -> ())
+  in
+  (* Stage 3 — residence-contract and backing-store tamper: mid-run,
+     secretly EWB the pinned marker page out of the EPC and delete its
+     sealed blob.  A self-paging runtime still believes the page is
+     resident, so the very next touch is a detected attack; a legacy
+     kernel just pages it back in, so the blob survives there (deleting
+     it under legacy would crash the simulated swap device rather than
+     model a detection). *)
+  let o3 =
+    let v3 = mk () in
+    let os3 = Victim.os v3 in
+    let proc3 = Victim.proc v3 in
+    let half3 = Victim.symbols v3 / 2 in
+    let baseline = Victim.policy v3 = Victim.Baseline in
+    Victim.run v3
+      ~before:(fun r ->
+        if r = half3 then begin
+          incr probes;
+          Sim_os.Kernel.attacker_evict os3 proc3 (Victim.marker v3);
+          if not baseline then begin
+            incr probes;
+            Sim_os.Swap_store.delete
+              (Sim_os.Kernel.swap os3 proc3)
+              (Victim.marker v3)
+          end
+        end)
+      ~after:(fun _ -> ())
+  in
+  let oc1, t1 = Adversary.of_victim_outcome o1 in
+  let oc2, t2 = Adversary.of_victim_outcome o2 in
+  let oc3, t3 = Adversary.of_victim_outcome o3 in
+  let res_outcome =
+    match (oc1, oc2, oc3) with
+    | (Adversary.Detected _ as d), _, _
+    | _, (Adversary.Detected _ as d), _
+    | _, _, (Adversary.Detected _ as d) ->
+      d
+    | _ -> Adversary.Completed
+  in
+  ( v,
+    {
+      Adversary.res_outcome;
+      res_observations = List.rev !obs;
+      res_probes = !probes;
+      res_terminations = t1 + t2 + t3;
+    } )
+
+let adversary =
+  {
+    Adversary.id = "kingsguard";
+    description =
+      "escalation ladder over published OS tampering: A/D-bit monitoring, \
+       page-table unmap, sealed-blob deletion (restarts after each \
+       detection)";
+    run;
+  }

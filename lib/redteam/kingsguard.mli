@@ -1,0 +1,19 @@
+(** A real-world attack ladder modeled on the published SGX paging
+    vulnerabilities (§2): the adversary escalates through the three
+    tamper classes an actual malicious OS has used, restarting the
+    service (a fresh victim) after each Autarky detection kills one.
+
+    - A/D-bit monitoring (Wang et al.): clear accessed bits before each
+      request, read them back after — the stealthy variant of the
+      controlled channel, and the primary observation run.
+    - Page-table tamper: unmap a pinned page mid-run (the classic
+      page-fault channel's arming step).
+    - Residence-contract tamper: secretly EWB a pinned page out of the
+      EPC and delete its sealed blob, a Byzantine swap device (blob
+      deletion is skipped against the legacy baseline, where a lost
+      blob is a simulator-level crash rather than a modeled detection).
+
+    Each terminated victim is one §5.3 termination-channel event,
+    reported separately from the paging-channel bits. *)
+
+val adversary : Adversary.t

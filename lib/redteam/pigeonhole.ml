@@ -1,0 +1,36 @@
+let run mk =
+  let v = mk () in
+  let os = Victim.os v in
+  let hooks = Sim_os.Kernel.hooks os in
+  let saved_fetch = hooks.Sim_os.Kernel.on_fetch in
+  let bucket = ref [] in
+  hooks.Sim_os.Kernel.on_fetch <- (fun _ vps -> bucket := vps @ !bucket);
+  let obs = ref [] in
+  let outcome =
+    Victim.run v
+      ~before:(fun _ -> bucket := [])
+      ~after:(fun r ->
+        let cands =
+          List.sort_uniq compare
+            (List.filter_map (Victim.symbol_of_data_vpage v) !bucket)
+        in
+        obs := { Adversary.ob_request = r; ob_candidates = cands } :: !obs)
+  in
+  hooks.Sim_os.Kernel.on_fetch <- saved_fetch;
+  let res_outcome, res_terminations = Adversary.of_victim_outcome outcome in
+  ( v,
+    {
+      Adversary.res_outcome;
+      res_observations = List.rev !obs;
+      res_probes = 0;
+      res_terminations;
+    } )
+
+let adversary =
+  {
+    Adversary.id = "pigeonhole";
+    description =
+      "passive demand-fetch pattern spying on the secret-indexed data \
+       region (Pigeonhole, Shinde et al.)";
+    run;
+  }

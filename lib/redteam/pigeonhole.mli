@@ -1,0 +1,9 @@
+(** Pigeonhole-style fault-pattern spying (Shinde et al.): a purely
+    passive adversary that watches which pages become EPC-resident
+    (the demand-paging side channel of §4 — always visible to the OS)
+    and intersects each request's fetches with the secret-indexed data
+    region.  Cluster-granularity fetching dilutes the candidate set;
+    the ORAM policy never demand-pages the data region at all, so this
+    adversary measures exactly 0.0 bits against it. *)
+
+val adversary : Adversary.t

@@ -68,6 +68,11 @@ let access t vaddr kind =
       go (retries + 1)
   in
   go 0;
+  (* Instruction fetches leave a record in the machine's branch-trace
+     ring (LBR/BTB model) — microarchitectural state only, no cost. *)
+  if kind = Types.Exec then
+    Machine.record_branch t.machine ~enclave_id:t.enclave.id
+      ~vpage:(Types.vpage_of_vaddr vaddr);
   t.access_count <- t.access_count + 1;
   maybe_preempt t
 

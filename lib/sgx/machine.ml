@@ -52,7 +52,14 @@ type t = {
   mutable next_base_vpage : Types.vpage;
   mutable mode : transition_mode;
   mutable tracer : Trace.Recorder.t option;
+  (* Branch-trace store (LBR/BTB model): the last [branch_ring_capacity]
+     enclave-mode control transfers as (enclave_id, vpage) records.  SGX
+     does not flush it on AEX — the Branch Shadowing channel. *)
+  branch_ring : (int * int) array;
+  mutable branch_cursor : int;
 }
+
+let branch_ring_capacity = 32
 
 let hot_counters_of counters =
   let cell = Metrics.Counters.cell counters in
@@ -105,6 +112,8 @@ let create ?(model = Metrics.Cost_model.default) ?(mode = Full_exits) ~epc_frame
     next_base_vpage = 0x10000;
     mode;
     tracer = None;
+    branch_ring = Array.make branch_ring_capacity (-1, -1);
+    branch_cursor = 0;
   }
 
 let model t = Metrics.Clock.model t.clock
@@ -114,6 +123,22 @@ let hot t = t.hot
 
 let tracer t = t.tracer
 let set_tracer t tr = t.tracer <- tr
+
+let record_branch t ~enclave_id ~vpage =
+  t.branch_ring.(t.branch_cursor mod branch_ring_capacity) <- (enclave_id, vpage);
+  t.branch_cursor <- t.branch_cursor + 1
+
+let drain_branches t ~enclave_id =
+  let n = min t.branch_cursor branch_ring_capacity in
+  let start = t.branch_cursor - n in
+  let acc = ref [] in
+  for i = start + n - 1 downto start do
+    let eid, vp = t.branch_ring.(i mod branch_ring_capacity) in
+    if eid = enclave_id then acc := vp :: !acc
+  done;
+  Array.fill t.branch_ring 0 branch_ring_capacity (-1, -1);
+  t.branch_cursor <- 0;
+  !acc
 
 let trace_access : Types.access_kind -> Trace.Event.access = function
   | Types.Read -> Trace.Event.Read

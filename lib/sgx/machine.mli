@@ -66,7 +66,26 @@ type t = {
       (** event recorder shared by every layer of this platform; [None]
           (the default) disables tracing at the cost of one branch per
           potential emit site *)
+  branch_ring : (int * int) array;
+      (** branch-trace store (LBR/BTB model): the most recent
+          enclave-mode control transfers as [(enclave_id, vpage)]
+          records.  SGX leaves it intact across AEX — the substrate of
+          Lee et al.'s Branch Shadowing channel, which Autarky's paging
+          ISA does not (and does not claim to) close. *)
+  mutable branch_cursor : int;  (** total branches ever recorded *)
 }
+
+val branch_ring_capacity : int
+
+val record_branch : t -> enclave_id:int -> vpage:Types.vpage -> unit
+(** Record one enclave-mode control transfer (an exec access) in the
+    branch-trace ring.  Pure microarchitectural state: no cycles are
+    charged, no counters or trace events fire. *)
+
+val drain_branches : t -> enclave_id:int -> Types.vpage list
+(** Read out and clear the branch-trace ring, keeping only records of
+    the given enclave (oldest first).  Models a privileged LBR read-out:
+    destructive, bounded by {!branch_ring_capacity}. *)
 
 val create :
   ?model:Metrics.Cost_model.t -> ?mode:transition_mode -> epc_frames:int ->

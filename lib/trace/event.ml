@@ -21,6 +21,7 @@ type kind =
   | Syscall of { name : string; pages : int }
   | Decision of { policy : string; action : string; vpages : int list }
   | Probe of { probe : string; vpages : int list }
+  | Observe of { channel : string; count : int; vpages : int list }
   | Balloon of { requested : int; released : int }
   | Inject of { scenario : string; detail : string; vpages : int list }
   | Serve of { tenant : string; action : string; detail : int }
@@ -51,6 +52,7 @@ let kind_name = function
   | Syscall _ -> "syscall"
   | Decision _ -> "decision"
   | Probe _ -> "probe"
+  | Observe _ -> "observe"
   | Balloon _ -> "balloon"
   | Inject _ -> "inject"
   | Serve _ -> "serve"
@@ -80,7 +82,9 @@ let os_view ev =
             } }
   | Aex _ | Eenter | Eexit | Eresume _ -> Some ev
   | Fetch _ | Evict _ | Syscall _ | Balloon _ -> Some ev
-  | Probe _ | Inject _ -> Some ev
+  (* Observation samples are microarchitectural state the attacker (the
+     OS) read out itself — visible by construction, like probes. *)
+  | Probe _ | Observe _ | Inject _ -> Some ev
   (* Serving-layer scheduling happens in the untrusted host: admission,
      shedding and arbitration are all OS-visible by construction. *)
   | Serve _ -> Some ev
@@ -165,6 +169,10 @@ let to_buffer buf ev =
   | Probe p ->
     add_string_field buf "probe" p.probe;
     add_vpages_field buf "vpages" p.vpages
+  | Observe o ->
+    add_string_field buf "channel" o.channel;
+    add_int_field buf "count" o.count;
+    add_vpages_field buf "vpages" o.vpages
   | Balloon b ->
     add_int_field buf "requested" b.requested;
     add_int_field buf "released" b.released

@@ -45,6 +45,10 @@ type kind =
       (** enclave-private policy decision *)
   | Probe of { probe : string; vpages : int list }
       (** attacker page-table manipulation or A/D-bit read *)
+  | Observe of { channel : string; count : int; vpages : int list }
+      (** attacker read-out of a microarchitectural side channel (e.g. a
+          branch-history/LBR sample): the channel name, how many raw
+          records the sample held, and the pages it implicates *)
   | Balloon of { requested : int; released : int }
   | Inject of { scenario : string; detail : string; vpages : int list }
       (** Byzantine-OS fault injection (the attacker tampering with the

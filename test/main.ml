@@ -23,4 +23,5 @@ let () =
       ("mixed", Test_mixed.suite);
       ("inject", Test_inject.suite);
       ("parallel", Test_parallel.suite);
+      ("redteam", Test_redteam.suite);
     ]
