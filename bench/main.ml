@@ -28,6 +28,9 @@ let experiments =
     ("redteam", "red-team adversary suite: bits-leaked scoreboard across \
                  policies x SGX versions (BENCH_redteam.json)",
      Exp_redteam.run);
+    ("defense", "SLO-under-attack: live escalation controller vs scripted \
+                 attack waves (BENCH_defense.json)",
+     Exp_defense.run);
   ]
 
 let usage () =

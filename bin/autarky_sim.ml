@@ -455,8 +455,11 @@ let inject_cmd =
       let unknown = List.filter (fun x -> of_name x = None) names in
       if unknown <> [] then
         failwith
-          (Printf.sprintf "unknown %s%s: %s" what
-             (if List.length unknown > 1 then "s" else "")
+          (Printf.sprintf "unknown %s: %s"
+             (if List.length unknown = 1 then what
+              else if String.ends_with ~suffix:"y" what then
+                String.sub what 0 (String.length what - 1) ^ "ies"
+              else what ^ "s")
              (String.concat ", " (List.map (Printf.sprintf "%S") unknown)));
       Some (List.filter_map of_name names)
   in
@@ -718,8 +721,11 @@ let redteam_cmd =
       let unknown = List.filter (fun x -> of_name x = None) names in
       if unknown <> [] then
         failwith
-          (Printf.sprintf "unknown %s%s: %s" what
-             (if List.length unknown > 1 then "s" else "")
+          (Printf.sprintf "unknown %s: %s"
+             (if List.length unknown = 1 then what
+              else if String.ends_with ~suffix:"y" what then
+                String.sub what 0 (String.length what - 1) ^ "ies"
+              else what ^ "s")
              (String.concat ", " (List.map (Printf.sprintf "%S") unknown)));
       Some (List.filter_map of_name names)
   in
@@ -766,6 +772,121 @@ let redteam_cmd =
       const run $ list_arg $ quick_arg $ adversaries_arg $ policies_arg
       $ mechs_arg $ out_arg $ seed_arg $ jobs_arg)
 
+(* --- defend ---------------------------------------------------------------- *)
+
+let defend_cmd =
+  let doc =
+    "Run the SLO-under-attack harness: scripted attack waves (CopyCat \
+     storm, KingsGuard A/D churn, Pigeonhole fetch spy, balloon storm) \
+     against a live two-tenant serving fleet with the per-tenant defense \
+     controller escalating policies in place, reporting p99 / shed / bits \
+     leaked before, during and after each wave."
+  in
+  let list_arg =
+    let doc = "List the attack waves and policy ladders and exit." in
+    Arg.(value & flag & info [ "list" ] ~doc)
+  in
+  let quick_arg =
+    let doc =
+      "CI smoke mode: 120 victim requests instead of 280; no JSON file \
+       unless $(b,--out) is given."
+    in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let adversaries_arg =
+    let doc =
+      "Comma-separated attack waves (default all): copycat, kingsguard, \
+       pigeonhole, balloon-storm."
+    in
+    Arg.(value & opt (some string) None & info [ "adversaries" ] ~doc)
+  in
+  let policies_arg =
+    let doc =
+      "Comma-separated policy ladders (default both): standard (rate-limit \
+       -> clusters -> oram), heisenberg (adds the preload rung)."
+    in
+    Arg.(value & opt (some string) None & info [ "policies" ] ~doc)
+  in
+  let out_arg =
+    let doc =
+      "Write the autarky-defense/1 JSON report to $(docv).  Defaults to \
+       BENCH_defense.json in full mode, no file in quick mode.  Apart from \
+       the informational $(b,wall) block, the file is byte-identical at any \
+       $(b,--jobs)."
+    in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc ~docv:"FILE")
+  in
+  (* Same fail-fast contract as inject/redteam: report every unknown name
+     in one message. *)
+  let parse_csv ~what ~of_name = function
+    | None -> None
+    | Some s ->
+      let names =
+        String.split_on_char ',' s
+        |> List.filter_map (fun x ->
+               let x = String.trim x in
+               if x = "" then None else Some x)
+      in
+      let unknown = List.filter (fun x -> of_name x = None) names in
+      if unknown <> [] then
+        failwith
+          (Printf.sprintf "unknown %s: %s"
+             (if List.length unknown = 1 then what
+              else if String.ends_with ~suffix:"y" what then
+                String.sub what 0 (String.length what - 1) ^ "ies"
+              else what ^ "s")
+             (String.concat ", " (List.map (Printf.sprintf "%S") unknown)));
+      Some (List.filter_map of_name names)
+  in
+  let run list quick adversaries policies out seed jobs =
+    if list then begin
+      List.iter
+        (fun k ->
+          Printf.printf "%-14s %s\n" (Defense.Waves.name k)
+            (Defense.Waves.description k))
+        Defense.Waves.all;
+      List.iter
+        (fun l ->
+          Printf.printf "%-14s %s\n" l
+            (String.concat " -> "
+               (List.map Serve.Tenant.policy_name
+                  (Option.get (Defense.Defend.find_ladder l)))))
+        Defense.Defend.ladder_names
+    end
+    else begin
+      let adversaries =
+        parse_csv ~what:"adversary" ~of_name:Defense.Waves.of_name adversaries
+      in
+      let ladder_filter =
+        parse_csv ~what:"ladder"
+          ~of_name:(fun l ->
+            if Defense.Defend.find_ladder l = None then None else Some l)
+          policies
+      in
+      let cells =
+        Defense.Defend.run ~quick ?adversaries ?ladder_filter ~seed ~jobs ()
+      in
+      Defense.Defend.print_table cells;
+      let out =
+        match (out, quick) with
+        | Some f, _ -> Some f
+        | None, false -> Some "BENCH_defense.json"
+        | None, true -> None
+      in
+      match out with
+      | None -> ()
+      | Some file ->
+        let json = Defense.Defend.to_json ~quick ~seed cells in
+        Out_channel.with_open_bin file (fun oc ->
+            Out_channel.output_string oc json);
+        Printf.printf "wrote      : %s (%d cells)\n" file (List.length cells)
+    end
+  in
+  Cmd.v (Cmd.info "defend" ~doc)
+    Term.(
+      const run $ list_arg $ quick_arg $ adversaries_arg $ policies_arg
+      $ out_arg $ seed_arg $ jobs_arg)
+
 (* --- kernels --------------------------------------------------------------- *)
 
 let kernels_cmd =
@@ -799,4 +920,5 @@ let () =
             perf_cmd;
             serve_cmd;
             redteam_cmd;
+            defend_cmd;
           ]))

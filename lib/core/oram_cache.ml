@@ -146,6 +146,30 @@ let shrink t ~pages =
   if t.hand >= t.live then t.hand <- 0;
   !released
 
+(* Policy-switch handoff: push every live occupant back to the ORAM
+   (dirty ones — or all of them under [`Always] — through the oblivious
+   protocol) and empty the cache, so the oblivious store is the single
+   authoritative copy.  The cache stays usable afterwards; callers that
+   are tearing the ORAM policy down evict the cache pages next. *)
+let flush t =
+  let written = ref 0 in
+  for slot = 0 to t.live - 1 do
+    let block = t.slots.(slot) in
+    if block >= 0 then begin
+      if t.writeback = `Always || t.dirty.(slot) then begin
+        Sgx.Machine.charge t.machine (oblivious_copy_cost t);
+        Oram.Path_oram.access t.oram ~block (fun oram_data ->
+            blit_page ~src:(cache_page_data t slot) ~dst:oram_data);
+        incr written
+      end;
+      Hashtbl.remove t.slot_of block;
+      t.slots.(slot) <- -1;
+      t.dirty.(slot) <- false
+    end
+  done;
+  t.hand <- 0;
+  !written
+
 let access t vaddr kind =
   let slot = slot_for t vaddr kind in
   let offset = vaddr land (Sgx.Types.page_bytes - 1) in

@@ -51,6 +51,13 @@ val live_capacity : t -> int
 (** Cache slots currently in use (equals the creation capacity until
     {!shrink} is called). *)
 
+val flush : t -> int
+(** Policy-switch handoff: write every live occupant back to the ORAM
+    (dirty slots under [`Dirty_only]; all slots under [`Always]) and
+    empty the cache, making the oblivious store the single
+    authoritative copy.  Returns the number of ORAM write-backs.  The
+    cache remains usable (capacity unchanged). *)
+
 val shrink : t -> pages:int -> Sgx.Types.vpage list
 (** Degrade under memory pressure: release up to [pages] cache slots
     (dirty occupants are written back to the ORAM first) and return the

@@ -1,0 +1,43 @@
+(** Heisenberg-style proactive preloading (PAPERS.md): the fourth
+    comparable protection policy.
+
+    The policy keeps its whole protected set EPC-resident, fetched
+    eagerly at install time ({!preload}), so steady-state execution
+    faults on none of it — the page-fault channel never opens.  A miss
+    (after cooperative ballooning, or on a page joining the working
+    set) is answered by re-fetching the {e entire} non-resident part of
+    the set in one batch: the refill's composition depends only on
+    (set, residency), never on which page faulted.
+
+    The guarantee is conditional on EPC capacity — exactly Heisenberg's
+    limitation — so {!create} refuses sets that do not fit the pager
+    budget, and the defense controller treats that as a failed
+    escalation to retry or route around. *)
+
+type t
+
+val create :
+  runtime:Runtime.t -> ?min_capacity:int -> pages:Sgx.Types.vpage list ->
+  unit -> t
+(** Build the policy over the given preload set (duplicates ignored).
+
+    @raise Invalid_argument when the set plus the pages already resident
+    outside it exceeds the runtime's pager budget, or when
+    [min_capacity <= 0].  Nothing is fetched until {!preload} (or the
+    first miss). *)
+
+val preload : t -> unit
+(** Fetch every non-resident set member in one batch (install-time
+    warmup; also the miss response). *)
+
+val policy : t -> Runtime.policy
+
+val set_size : t -> int
+val capacity : t -> int
+(** Maximum set size; shrinks under sustained balloon pressure, never
+    below [min_capacity]. *)
+
+val preloads : t -> int
+(** Batch refills performed (install + misses). *)
+
+val in_set : t -> Sgx.Types.vpage -> bool

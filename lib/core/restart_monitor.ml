@@ -1,9 +1,17 @@
 type verdict = Allow | Refuse
 
+(* Forensics ledger bound: an attacker restarting a victim in a tight
+   loop must not grow the monitor's memory without bound, so only the
+   newest [max_reasons] termination reasons are retained per identity
+   (the starts list is already bounded by the cut-off logic). *)
+let max_reasons = 256
+
 type record = {
   mutable starts : int list;  (* virtual timestamps, newest first *)
   mutable total : int;
+  mutable terminations : int;
   mutable reasons : string list;
+  mutable n_reasons : int;
   mutable cut_off : bool;
 }
 
@@ -14,23 +22,47 @@ type t = {
   table : (string, record) Hashtbl.t;
 }
 
+(* Saturating increment: lifetime totals must never wrap negative on a
+   long-horizon run, they stick at [max_int] instead. *)
+let sat_incr n = if n = max_int then max_int else n + 1
+
 let create ~clock ?window_cycles ?(max_restarts = 3) () =
   let window =
     match window_cycles with
     | Some w -> w
     | None -> int_of_float (Metrics.Clock.model clock).freq_hz
   in
-  assert (window > 0 && max_restarts > 0);
+  if window <= 0 then
+    invalid_arg
+      (Printf.sprintf "Restart_monitor.create: window must be positive (got %d)"
+         window);
+  if max_restarts <= 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Restart_monitor.create: max_restarts must be positive (got %d)"
+         max_restarts);
   { clock; window; max_restarts; table = Hashtbl.create 16 }
 
 let record_of t identity =
   match Hashtbl.find_opt t.table identity with
   | Some r -> r
   | None ->
-    let r = { starts = []; total = 0; reasons = []; cut_off = false } in
+    let r =
+      {
+        starts = [];
+        total = 0;
+        terminations = 0;
+        reasons = [];
+        n_reasons = 0;
+        cut_off = false;
+      }
+    in
     Hashtbl.add t.table identity r;
     r
 
+(* Window boundary: a start exactly [window] cycles old is still inside
+   the window ([now - ts <= window]); it ages out one cycle later.  The
+   boundary test in the suite pins this down. *)
 let prune t r =
   let now = Metrics.Clock.now t.clock in
   r.starts <- List.filter (fun ts -> now - ts <= t.window) r.starts
@@ -47,7 +79,7 @@ let record_start t ~identity =
   else begin
     prune t r;
     r.starts <- Metrics.Clock.now t.clock :: r.starts;
-    r.total <- r.total + 1;
+    r.total <- sat_incr r.total;
     if List.length r.starts - 1 > t.max_restarts then begin
       r.cut_off <- true;
       Refuse
@@ -57,9 +89,22 @@ let record_start t ~identity =
 
 let record_termination t ~identity ~reason =
   let r = record_of t identity in
-  r.reasons <- reason :: r.reasons
+  r.terminations <- sat_incr r.terminations;
+  if r.n_reasons >= max_reasons then begin
+    (* Drop the oldest retained reason (last in the newest-first list). *)
+    let rec drop_last = function
+      | [] | [ _ ] -> []
+      | x :: rest -> x :: drop_last rest
+    in
+    r.reasons <- reason :: drop_last r.reasons
+  end
+  else begin
+    r.reasons <- reason :: r.reasons;
+    r.n_reasons <- r.n_reasons + 1
+  end
 
 let total_restarts t ~identity = max 0 ((record_of t identity).total - 1)
+let total_terminations t ~identity = (record_of t identity).terminations
 let refused t ~identity = (record_of t identity).cut_off
 let last_reasons t ~identity = (record_of t identity).reasons
 let leaked_bits_bound t ~identity = float_of_int (total_restarts t ~identity)

@@ -21,7 +21,14 @@ type verdict = Allow | Refuse
 
 val create :
   clock:Metrics.Clock.t -> ?window_cycles:int -> ?max_restarts:int -> unit -> t
-(** Defaults: a 1-second window at the model frequency, 3 restarts. *)
+(** Defaults: a 1-second window at the model frequency, 3 restarts.
+
+    Window boundary semantics: a start exactly [window_cycles] old still
+    counts ([now - ts <= window]); it ages out one cycle later.
+
+    @raise Invalid_argument when [window_cycles <= 0] (a zero-width
+    window would make every restart storm invisible) or
+    [max_restarts <= 0]. *)
 
 val record_start : t -> identity:string -> verdict
 (** An enclave with the given (attested) measurement asks to start. *)
@@ -29,12 +36,26 @@ val record_start : t -> identity:string -> verdict
 val record_termination : t -> identity:string -> reason:string -> unit
 
 val restarts_in_window : t -> identity:string -> int
+
 val total_restarts : t -> identity:string -> int
+(** Lifetime restarts; saturates at [max_int] instead of wrapping. *)
+
+val total_terminations : t -> identity:string -> int
+(** Lifetime terminations recorded for this identity (saturating).
+    Unlike {!last_reasons} this count keeps growing after the forensics
+    ledger is full, so per-window deltas stay meaningful. *)
+
 val refused : t -> identity:string -> bool
 (** Whether this identity has been cut off. *)
 
+val max_reasons : int
+(** Retention bound of the forensics ledger: only the newest
+    [max_reasons] termination reasons are kept per identity. *)
+
 val last_reasons : t -> identity:string -> string list
-(** Most recent termination reasons, newest first (forensics). *)
+(** Most recent termination reasons, newest first (forensics; at most
+    {!max_reasons} entries — older reasons are dropped, the
+    {!total_terminations} counter is not). *)
 
 val leaked_bits_bound : t -> identity:string -> float
 (** Upper bound on what the termination channel can have conveyed:

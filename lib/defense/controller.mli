@@ -1,0 +1,71 @@
+(** The per-tenant defense escalation controller.
+
+    Consumes the attack-signal windows of {!Signals} on every engine
+    [Defense_tick] and walks each tenant up a policy ladder under
+    pressure (rate-limit → clusters → [→ preload] → ORAM) and back down
+    after [dc_hysteresis] consecutive calm ticks.  Escalations that the
+    target policy refuses (Heisenberg's capacity condition) are retried
+    with bounded exponential backoff, then the rung is skipped.  Every
+    verdict — [Escalated], [De_escalated], [Held] — is emitted as a
+    typed {!Trace.Event.Defense} event, making the decision stream part
+    of the deterministic trace digest. *)
+
+type config = {
+  dc_ladder : Serve.Tenant.policy_kind list;  (** bottom rung first *)
+  dc_period : float;
+      (** defense-tick period, in multiples of the largest calibrated
+          mean service time (feed to {!Serve.Engine.hooks.h_period}) *)
+  dc_hysteresis : int;  (** calm ticks required before de-escalating *)
+  dc_max_retries : int;  (** refused-escalation retries before skipping *)
+  dc_backoff_base : int;  (** ticks; doubles per retry, capped at 8 *)
+  dc_hot_faults : int;
+  dc_hot_preempts : int;
+  dc_hot_balloons : int;
+  dc_hot_terminations : int;
+  dc_calm_faults : int;
+  dc_calm_preempts : int;
+}
+
+val standard_ladder : Serve.Tenant.policy_kind list
+(** rate-limit → clusters → oram *)
+
+val heisenberg_ladder : Serve.Tenant.policy_kind list
+(** rate-limit → clusters → preload → oram *)
+
+val default_config : config
+
+type verdict_kind = Escalated | De_escalated | Held
+
+val verdict_name : verdict_kind -> string
+
+type event = {
+  ev_at : int;  (** virtual cycle of the tick *)
+  ev_tenant : string;
+  ev_verdict : verdict_kind;
+  ev_from : Serve.Tenant.policy_kind;
+  ev_to : Serve.Tenant.policy_kind;
+  ev_rung : int;  (** rung in force {e after} the verdict *)
+  ev_note : string;  (** why: ["hot:ad-churn"], ["hysteresis"], ... *)
+}
+
+type t
+
+val create : config -> t
+(** @raise Invalid_argument on an empty ladder. *)
+
+val on_start : t -> Serve.Engine.hook_ctx -> unit
+(** Install the signal taps; each tenant starts at the ladder rung of
+    its active policy (rung 0 if the policy is off-ladder). *)
+
+val on_tick : t -> Serve.Engine.hook_ctx -> at:int -> unit
+
+val events : t -> event list
+(** Escalations, de-escalations and notable holds (backoff, cooling,
+    failures), oldest first.  Steady holds are traced but not kept. *)
+
+val ticks : t -> int
+val escalations : t -> int
+val de_escalations : t -> int
+val failed_switches : t -> int
+
+val rung : t -> tenant:string -> int option

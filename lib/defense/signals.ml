@@ -1,0 +1,143 @@
+(* Per-tenant attack-signal taps.
+
+   The defense controller needs to see what the *attacker* can do — so
+   it listens at exactly the same vantage points the attack drivers use:
+   the guest kernel's preempt and fetch hooks (interrupt storms,
+   demand-fetch patterns), the balloon upcall counter (memory-pressure
+   storms) and the restart monitor's termination ledger (what the
+   runtime already killed, and why).  Each tenant has its own VM and
+   therefore its own guest kernel, so a tap chained onto that kernel's
+   hooks observes one tenant only; the saved previous hook is always
+   called through, so taps compose with scripted adversaries installed
+   on the same kernel.
+
+   All counters are cumulative; [delta] turns them into a per-tick
+   window and reclassifies the window's fresh termination reasons into
+   A/D-churn, rate-limit and generic controlled-channel detections by
+   matching the runtime's reason strings. *)
+
+module Tenant = Serve.Tenant
+module Vmm = Hypervisor.Vmm
+
+type tap = {
+  tp_tenant : Tenant.t;
+  mutable tp_preempts : int;
+  mutable tp_fetch_batches : int;
+  mutable tp_fetch_singletons : int;
+  mutable tp_fetch_pages : int;
+  (* bookmarks: value at the previous [delta] call *)
+  mutable bk_faults : int;
+  mutable bk_preempts : int;
+  mutable bk_fetch_batches : int;
+  mutable bk_fetch_singletons : int;
+  mutable bk_balloons : int;
+  mutable bk_terminations : int;
+  mutable bk_restarts : int;
+}
+
+type window = {
+  w_faults : int;
+  w_preempts : int;
+  w_fetch_batches : int;
+  w_fetch_singletons : int;
+  w_balloons : int;
+  w_terminations : int;
+  w_restarts : int;
+  w_ad_terms : int;
+  w_rate_terms : int;
+  w_chan_terms : int;
+}
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let install tn =
+  let os = Vmm.guest_os (Tenant.vm tn) in
+  let hooks = Sim_os.Kernel.hooks os in
+  let tap =
+    {
+      tp_tenant = tn;
+      tp_preempts = 0;
+      tp_fetch_batches = 0;
+      tp_fetch_singletons = 0;
+      tp_fetch_pages = 0;
+      bk_faults = Tenant.faults tn;
+      bk_preempts = 0;
+      bk_fetch_batches = 0;
+      bk_fetch_singletons = 0;
+      bk_balloons = Tenant.balloon_upcalls tn;
+      bk_terminations = 0;
+      bk_restarts = Tenant.restarts tn;
+    }
+  in
+  let saved_preempt = hooks.Sim_os.Kernel.on_preempt in
+  hooks.Sim_os.Kernel.on_preempt <-
+    (fun p ->
+      tap.tp_preempts <- tap.tp_preempts + 1;
+      saved_preempt p);
+  let saved_fetch = hooks.Sim_os.Kernel.on_fetch in
+  hooks.Sim_os.Kernel.on_fetch <-
+    (fun p pages ->
+      tap.tp_fetch_batches <- tap.tp_fetch_batches + 1;
+      tap.tp_fetch_pages <- tap.tp_fetch_pages + List.length pages;
+      (match pages with
+      | [ _ ] -> tap.tp_fetch_singletons <- tap.tp_fetch_singletons + 1
+      | _ -> ());
+      saved_fetch p pages);
+  tap
+
+let rec take n = function
+  | x :: tl when n > 0 -> x :: take (n - 1) tl
+  | _ -> []
+
+let delta monitor tap =
+  let tn = tap.tp_tenant in
+  let identity = Tenant.name tn in
+  let faults = Tenant.faults tn in
+  let balloons = Tenant.balloon_upcalls tn in
+  let restarts = Tenant.restarts tn in
+  let terminations =
+    Autarky.Restart_monitor.total_terminations monitor ~identity
+  in
+  let fresh_terms = max 0 (terminations - tap.bk_terminations) in
+  (* [last_reasons] is newest-first and capped; the window's reasons are
+     its first [fresh_terms] entries (storms past the ledger cap still
+     count through [terminations], just unclassified). *)
+  let reasons =
+    take fresh_terms (Autarky.Restart_monitor.last_reasons monitor ~identity)
+  in
+  let ad = ref 0 and rate = ref 0 and chan = ref 0 in
+  List.iter
+    (fun r ->
+      if contains r "ad-clear" then incr ad
+      else if contains r "rate limit" then incr rate
+      else if contains r "controlled-channel" then incr chan)
+    reasons;
+  let w =
+    {
+      w_faults = max 0 (faults - tap.bk_faults);
+      w_preempts = tap.tp_preempts - tap.bk_preempts;
+      w_fetch_batches = tap.tp_fetch_batches - tap.bk_fetch_batches;
+      w_fetch_singletons = tap.tp_fetch_singletons - tap.bk_fetch_singletons;
+      w_balloons = balloons - tap.bk_balloons;
+      w_terminations = fresh_terms;
+      w_restarts = restarts - tap.bk_restarts;
+      w_ad_terms = !ad;
+      w_rate_terms = !rate;
+      w_chan_terms = !chan;
+    }
+  in
+  tap.bk_faults <- faults;
+  tap.bk_preempts <- tap.tp_preempts;
+  tap.bk_fetch_batches <- tap.tp_fetch_batches;
+  tap.bk_fetch_singletons <- tap.tp_fetch_singletons;
+  tap.bk_balloons <- balloons;
+  tap.bk_terminations <- terminations;
+  tap.bk_restarts <- restarts;
+  w
+
+let preempts tap = tap.tp_preempts
+let fetch_batches tap = tap.tp_fetch_batches
+let fetch_singletons tap = tap.tp_fetch_singletons

@@ -1,0 +1,38 @@
+(** Per-tenant attack-signal taps for the defense controller.
+
+    A tap chains itself onto the tenant VM's guest-kernel hooks — the
+    attacker's own observation points — and counts interrupt preempts
+    and demand-fetch traffic (batches, singleton fetches, pages), while
+    {!delta} folds in the tenant's fault, balloon-upcall and restart
+    counters plus the restart monitor's fresh termination reasons,
+    classified by attack signature. *)
+
+type tap
+
+type window = {
+  w_faults : int;  (** runtime faults handled this window *)
+  w_preempts : int;  (** interrupt preemptions (storm signal) *)
+  w_fetch_batches : int;
+  w_fetch_singletons : int;
+      (** single-page demand fetches — the precise-probe signature *)
+  w_balloons : int;  (** balloon upcalls (memory-pressure storms) *)
+  w_terminations : int;
+  w_restarts : int;
+  w_ad_terms : int;  (** terminations blaming A/D-bit churn *)
+  w_rate_terms : int;  (** rate-limit (fault-storm) terminations *)
+  w_chan_terms : int;  (** other controlled-channel detections *)
+}
+
+val install : Serve.Tenant.t -> tap
+(** Chain counting hooks onto the tenant's guest kernel (the previous
+    hooks are always called through).  Bookmarks start at the tenant's
+    current counters, so the first {!delta} window covers only what
+    happened after installation. *)
+
+val delta : Autarky.Restart_monitor.t -> tap -> window
+(** The window since the previous [delta] (or since {!install});
+    advances the bookmarks. *)
+
+val preempts : tap -> int
+val fetch_batches : tap -> int
+val fetch_singletons : tap -> int

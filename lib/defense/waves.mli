@@ -1,0 +1,63 @@
+(** Scripted attack waves against the live serving fleet.
+
+    A wave adapts one of the repo's adversaries (red-team CopyCat /
+    KingsGuard / Pigeonhole, or the inject suite's balloon-storm
+    campaign) to the multi-tenant engine: it rides the engine's request
+    hooks and attacks one tenant through the guest-kernel [attacker_*]
+    surface, armed only while the victim's request index lies in
+    [[from_, until)).  That window gives every run a before / during /
+    after phase structure. *)
+
+type kind = Copycat_storm | Kingsguard_churn | Pigeonhole_spy | Balloon_storm
+
+val all : kind list
+val name : kind -> string
+val of_name : string -> kind option
+val description : kind -> string
+
+type t
+
+val create : kind:kind -> victim:string -> from_:int -> until:int -> t
+(** Attack the victim's requests executed while its {e arrival} counter
+    lies in [[from_, until)).  The window is keyed to arrivals rather
+    than executed requests so a victim the attack slows to a crawl
+    cannot freeze the wave's clock — the generator keeps arriving and
+    the wave always ends.
+    @raise Invalid_argument when the window is malformed. *)
+
+val kind : t -> kind
+val victim : t -> string
+val window : t -> int * int
+val seen : t -> int
+(** Victim requests executed so far. *)
+
+val probes : t -> int
+(** Active attacker operations performed. *)
+
+val bits : t -> float
+(** Observation bits recovered by the wave's channel (candidate-set
+    scoring; termination bits are accounted separately at one per
+    restart). *)
+
+type phase = Before | During | After
+
+val phase_name : phase -> string
+
+val phase : t -> phase
+(** Phase at the wave's own clock (the victim's arrival counter as of
+    its last executed request). *)
+
+val phase_at : t -> clock:int -> phase
+(** Phase for an explicit arrival count — lets a harness advance its
+    phase accounting from the live counter (or on a defense tick, when
+    shed arrivals produce no executed request to update the wave). *)
+
+(** Engine hook adapters — compose these into {!Serve.Engine.hooks}
+    alongside the controller's. *)
+
+val on_start : t -> Serve.Engine.hook_ctx -> unit
+val before_request : t -> Serve.Engine.hook_ctx -> tenant:int -> key:int -> unit
+
+val after_request :
+  t -> Serve.Engine.hook_ctx -> tenant:int -> verdict:Serve.Engine.verdict ->
+  unit

@@ -41,6 +41,28 @@ type arbiter = {
 let default_arbiter =
   { arb_period = 40.0; arb_step = 32; arb_min_partition = 96; arb_threshold = 16 }
 
+type verdict = Served of int | Shed | Deadline_missed
+
+(* The defense-orchestration seam: an optional observer/controller that
+   the engine calls at well-defined points of the event loop.  [None]
+   leaves the loop bit-for-bit identical to the hook-free engine — the
+   defense tick is never scheduled and no closure runs. *)
+type hook_ctx = {
+  cx_tenants : Tenant.t array;
+  cx_machine : Sgx.Machine.t;
+  cx_hv : Vmm.t;
+  cx_monitor : Autarky.Restart_monitor.t;
+  cx_emit : tenant:string -> action:string -> detail:int -> unit;
+}
+
+type hooks = {
+  h_period : float;  (* defense tick every [h_period] x (max mean service) *)
+  h_on_start : hook_ctx -> unit;
+  h_on_tick : hook_ctx -> at:int -> unit;
+  h_before_request : hook_ctx -> at:int -> tenant:int -> key:int -> unit;
+  h_after_request : hook_ctx -> at:int -> tenant:int -> verdict:verdict -> unit;
+}
+
 type params = {
   p_seed : int;
   p_spare_frames : int;
@@ -49,6 +71,7 @@ type params = {
   p_arbiter : arbiter option;
   p_attack : attack option;
   p_trace : bool;
+  p_hooks : hooks option;
 }
 
 let default_params ~seed =
@@ -60,11 +83,10 @@ let default_params ~seed =
     p_arbiter = Some default_arbiter;
     p_attack = None;
     p_trace = true;
+    p_hooks = None;
   }
 
-type verdict = Served of int | Shed | Deadline_missed
-
-type ev = Arrival of int | Client of int * int | Arbiter_tick
+type ev = Arrival of int | Client of int * int | Arbiter_tick | Defense_tick
 
 type result = {
   r_tenants : Tenant.t array;
@@ -81,7 +103,13 @@ type state = {
   st_hv : Vmm.t;
   st_monitor : Autarky.Restart_monitor.t;
   st_tenants : Tenant.t array;
+  st_ctx : hook_ctx;
   st_q : ev Event_queue.t;
+  (* Pending Arrival/Client events.  The periodic ticks (arbiter,
+     defense) reschedule themselves only while work remains; testing
+     queue emptiness instead would let two periodic events keep each
+     other alive forever. *)
+  mutable st_work : int;
   st_scheduled : int array;  (* arrivals generated so far, per tenant *)
   st_interarrival : float array;  (* open-loop mean interarrival, cycles *)
   st_think : float array;  (* closed-loop mean think time, cycles *)
@@ -90,12 +118,14 @@ type state = {
   mutable st_moves : int;
 }
 
-let emit st ~tenant ~action ~detail =
-  match Sgx.Machine.tracer st.st_machine with
+let emit_on machine ~tenant ~action ~detail =
+  match Sgx.Machine.tracer machine with
   | None -> ()
   | Some r ->
     Trace.Recorder.emit r ~actor:Trace.Event.Harness
       (Trace.Event.Serve { tenant; action; detail })
+
+let emit st ~tenant ~action ~detail = emit_on st.st_machine ~tenant ~action ~detail
 
 (* Exponential inter-event gap, floored at one cycle so the event
    timeline always advances. *)
@@ -132,6 +162,7 @@ let schedule_initial st =
           let mean = Tenant.svc_mean tn /. load in
           st.st_interarrival.(i) <- mean;
           st.st_scheduled.(i) <- 1;
+          st.st_work <- st.st_work + 1;
           Event_queue.push st.st_q
             ~at:(exp_sample (Tenant.gen_rng tn) mean)
             (Arrival i)
@@ -141,6 +172,7 @@ let schedule_initial st =
           let n = min clients cfg.Tenant.requests in
           for c = 0 to n - 1 do
             st.st_scheduled.(i) <- st.st_scheduled.(i) + 1;
+            st.st_work <- st.st_work + 1;
             Event_queue.push st.st_q
               ~at:(exp_sample (Tenant.gen_rng tn) mean)
               (Client (i, c))
@@ -154,6 +186,14 @@ let schedule_initial st =
     in
     let period = max 1 (int_of_float (arb.arb_period *. base)) in
     Event_queue.push st.st_q ~at:period Arbiter_tick);
+  (match st.st_params.p_hooks with
+  | None -> ()
+  | Some h ->
+    let base =
+      Array.fold_left (fun m tn -> max m (Tenant.svc_mean tn)) 1.0 st.st_tenants
+    in
+    let period = max 1 (int_of_float (h.h_period *. base)) in
+    Event_queue.push st.st_q ~at:period Defense_tick);
   Array.iteri
     (fun i tn ->
       let cfg = Tenant.config tn in
@@ -185,10 +225,19 @@ let maybe_attack st tn ~key =
     | None -> ())
   | _ -> ()
 
-let execute st tn ~at ~start =
+let execute st i tn ~at ~start =
   let key = Tenant.next_key tn in
+  (match st.st_params.p_hooks with
+  | Some h -> h.h_before_request st.st_ctx ~at ~tenant:i ~key
+  | None -> ());
   maybe_attack st tn ~key;
   let clock = st.st_machine.Sgx.Machine.clock in
+  let finish verdict =
+    (match st.st_params.p_hooks with
+    | Some h -> h.h_after_request st.st_ctx ~at ~tenant:i ~verdict
+    | None -> ());
+    verdict
+  in
   let span = Metrics.Clock.start_span clock in
   try
     Tenant.request tn ~key;
@@ -199,7 +248,7 @@ let execute st tn ~at ~start =
     Metrics.Stats.add (Tenant.latencies tn) (float_of_int (fin - at));
     Tenant.incr_served tn;
     st.st_end <- max st.st_end fin;
-    Served fin
+    finish (Served fin)
   with Sgx.Types.Enclave_terminated { reason; _ } ->
     Tenant.incr_terminations tn;
     let identity = Tenant.name tn in
@@ -217,7 +266,7 @@ let execute st tn ~at ~start =
       Tenant.set_refused tn;
       emit st ~tenant:identity ~action:"refused" ~detail:(Tenant.terminations tn));
     Tenant.incr_shed tn;
-    Shed
+    finish Shed
 
 let admit st i ~at =
   let tn = st.st_tenants.(i) in
@@ -246,7 +295,7 @@ let admit st i ~at =
       emit st ~tenant:(Tenant.name tn) ~action:"deadline-missed"
         ~detail:(Tenant.missed tn);
       Deadline_missed
-    | _ -> execute st tn ~at ~start
+    | _ -> execute st i tn ~at ~start
   end
 
 (* A tenant VM never donates below its floor: refused tenants (whose
@@ -328,12 +377,14 @@ let reschedule_generator st i ~at ~verdict ~client =
     match (cfg.Tenant.generator, client) with
     | Tenant.Open_loop _, _ ->
       st.st_scheduled.(i) <- st.st_scheduled.(i) + 1;
+      st.st_work <- st.st_work + 1;
       Event_queue.push st.st_q
         ~at:(at + exp_sample (Tenant.gen_rng tn) st.st_interarrival.(i))
         (Arrival i)
     | Tenant.Closed_loop _, Some c ->
       let origin = match verdict with Served fin -> fin | _ -> at in
       st.st_scheduled.(i) <- st.st_scheduled.(i) + 1;
+      st.st_work <- st.st_work + 1;
       Event_queue.push st.st_q
         ~at:(origin + exp_sample (Tenant.gen_rng tn) st.st_think.(i))
         (Client (i, c))
@@ -387,6 +438,16 @@ let run ?params (cfgs : Tenant.config list) =
          cfgs)
   in
   let n = Array.length tenants in
+  let ctx =
+    {
+      cx_tenants = tenants;
+      cx_machine = machine;
+      cx_hv = hv;
+      cx_monitor = monitor;
+      cx_emit =
+        (fun ~tenant ~action ~detail -> emit_on machine ~tenant ~action ~detail);
+    }
+  in
   let st =
     {
       st_params = params;
@@ -394,7 +455,9 @@ let run ?params (cfgs : Tenant.config list) =
       st_hv = hv;
       st_monitor = monitor;
       st_tenants = tenants;
+      st_ctx = ctx;
       st_q = Event_queue.create ();
+      st_work = 0;
       st_scheduled = Array.make n 0;
       st_interarrival = Array.make n 1.0;
       st_think = Array.make n 1.0;
@@ -404,6 +467,9 @@ let run ?params (cfgs : Tenant.config list) =
     }
   in
   calibrate st;
+  (match params.p_hooks with
+  | Some h -> h.h_on_start ctx
+  | None -> ());
   schedule_initial st;
   let rec loop () =
     match Event_queue.pop st.st_q with
@@ -412,16 +478,18 @@ let run ?params (cfgs : Tenant.config list) =
       st.st_end <- max st.st_end at;
       (match ev with
       | Arrival i ->
+        st.st_work <- st.st_work - 1;
         let verdict = admit st i ~at in
         reschedule_generator st i ~at ~verdict ~client:None
       | Client (i, c) ->
+        st.st_work <- st.st_work - 1;
         let verdict = admit st i ~at in
         reschedule_generator st i ~at ~verdict ~client:(Some c)
       | Arbiter_tick -> (
         match st.st_params.p_arbiter with
         | Some arb ->
           arbiter_tick st ~at arb;
-          if not (Event_queue.is_empty st.st_q) then begin
+          if st.st_work > 0 then begin
             let base =
               Array.fold_left
                 (fun m tn -> max m (Tenant.svc_mean tn))
@@ -429,6 +497,21 @@ let run ?params (cfgs : Tenant.config list) =
             in
             let period = max 1 (int_of_float (arb.arb_period *. base)) in
             Event_queue.push st.st_q ~at:(at + period) Arbiter_tick
+          end
+        | None -> ())
+      | Defense_tick -> (
+        match st.st_params.p_hooks with
+        | Some h ->
+          h.h_on_tick ctx ~at;
+          st.st_end <- max st.st_end at;
+          if st.st_work > 0 then begin
+            let base =
+              Array.fold_left
+                (fun m tn -> max m (Tenant.svc_mean tn))
+                1.0 st.st_tenants
+            in
+            let period = max 1 (int_of_float (h.h_period *. base)) in
+            Event_queue.push st.st_q ~at:(at + period) Defense_tick
           end
         | None -> ()));
       loop ()

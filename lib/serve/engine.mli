@@ -32,6 +32,39 @@ type arbiter = {
 
 val default_arbiter : arbiter
 
+type verdict = Served of int | Shed | Deadline_missed
+(** Outcome of one arrival: completed at the given virtual cycle, shed
+    by admission control (queue full, refused tenant, or lost to a
+    termination), or dropped because its queueing delay exceeded the
+    tenant's deadline. *)
+
+(** What a defense controller (or a scripted adversary) sees of the
+    running fleet.  [cx_emit] writes a {!Trace.Event.Serve} event with
+    actor [Harness] into the shared trace. *)
+type hook_ctx = {
+  cx_tenants : Tenant.t array;
+  cx_machine : Sgx.Machine.t;
+  cx_hv : Hypervisor.Vmm.t;
+  cx_monitor : Autarky.Restart_monitor.t;
+  cx_emit : tenant:string -> action:string -> detail:int -> unit;
+}
+
+(** The defense-orchestration seam.  All callbacks run synchronously
+    inside the event loop, outside any enclave entry — i.e. at request
+    boundaries, where {!Tenant.set_policy} is legal.  [h_on_tick] fires
+    on a dedicated [Defense_tick] event scheduled every [h_period]
+    multiples of the largest calibrated mean service time;
+    [h_before_request]/[h_after_request] bracket every executed request
+    ([tenant] is the index into [cx_tenants]).  [h_on_start] runs once,
+    after calibration and before any arrival. *)
+type hooks = {
+  h_period : float;
+  h_on_start : hook_ctx -> unit;
+  h_on_tick : hook_ctx -> at:int -> unit;
+  h_before_request : hook_ctx -> at:int -> tenant:int -> key:int -> unit;
+  h_after_request : hook_ctx -> at:int -> tenant:int -> verdict:verdict -> unit;
+}
+
 type params = {
   p_seed : int;
   p_spare_frames : int;  (** machine EPC beyond the summed partitions *)
@@ -42,15 +75,12 @@ type params = {
   p_arbiter : arbiter option;  (** [None] disables rebalancing *)
   p_attack : attack option;
   p_trace : bool;  (** record a trace and compute its digest *)
+  p_hooks : hooks option;
+      (** [None] (the default) leaves the event loop — and its trace
+          digest — bit-for-bit identical to the hook-free engine *)
 }
 
 val default_params : seed:int -> params
-
-type verdict = Served of int | Shed | Deadline_missed
-(** Outcome of one arrival: completed at the given virtual cycle, shed
-    by admission control (queue full, refused tenant, or lost to a
-    termination), or dropped because its queueing delay exceeded the
-    tenant's deadline. *)
 
 type result = {
   r_tenants : Tenant.t array;

@@ -9,10 +9,14 @@
     restart of the same enclave image. *)
 
 type workload_kind = Kvstore | Spellcheck | Uthash
-type policy_kind = Rate_limit | Clusters | Oram
+type policy_kind = Rate_limit | Clusters | Oram | Preload
 
 val workload_name : workload_kind -> string
 val policy_name : policy_kind -> string
+
+val policy_of_name : string -> policy_kind option
+(** Inverse of {!policy_name} ("rate-limit", "clusters", "oram",
+    "preload"). *)
 
 (** How requests arrive.  [Open_loop] issues Poisson arrivals at
     [load] times the tenant's calibrated service rate (load > 1 is an
@@ -74,6 +78,40 @@ val latencies : t -> Metrics.Stats.t
 val svc_mean : t -> float
 val set_svc_mean : t -> float -> unit
 
+(** {1 Live policy control (defense escalation)} *)
+
+val active_policy : t -> policy_kind
+(** The policy currently protecting the tenant.  Starts as
+    [config.policy]; {!set_policy} moves it, and a {!reboot} comes back
+    up under the escalated policy, not the configured one. *)
+
+val set_policy : t -> policy_kind -> unit
+(** Switch the live enclave to a new protection policy.  Must be called
+    at a request boundary; state is handed off sealed — a switch onto
+    ORAM evicts the resident working set through the pager's
+    seal-and-evict path and charges it into the oblivious store, a
+    switch off ORAM flushes the cache back to the tree first.  A reboot
+    preserves the switched policy.  No-op when [kind] is already
+    active.
+
+    @raise Invalid_argument when called mid-request (the no-switch-
+    mid-request invariant), or when an escalation to [Preload] does not
+    fit the pager budget — in the latter case the previous policy is
+    reinstalled before raising, so the tenant keeps serving.  May raise
+    {!Sgx.Types.Enclave_terminated} if the handoff itself trips a
+    policy or hardware kill. *)
+
+val policy_switches : t -> int
+(** Completed {!set_policy} transitions (lifetime, across reboots). *)
+
+val heap_region : t -> Sgx.Types.vpage * int
+(** [(base_vpage, heap_pages)] of the protected data region — the
+    attack surface adversary waves aim at. *)
+
+val resident_heap_pages : t -> Sgx.Types.vpage list
+(** Heap pages currently EPC-resident according to the runtime's pager
+    (empty under ORAM, where the heap lives in the oblivious store). *)
+
 val faults : t -> int
 (** Page faults handled by the tenant's runtime, cumulative across
     incarnations. *)
@@ -116,6 +154,10 @@ val incr_terminations : t -> unit
 
 val balloon_released_pages : t -> int
 (** Enclave pages this tenant released through balloon upcalls. *)
+
+val balloon_upcalls : t -> int
+(** Balloon upcalls delivered to this tenant (lifetime) — memory-
+    pressure signal for the defense controller. *)
 
 val balloon_in_frames : t -> int
 (** EPC frames the arbiter moved {e to} this tenant. *)

@@ -25,6 +25,12 @@ type kind =
   | Balloon of { requested : int; released : int }
   | Inject of { scenario : string; detail : string; vpages : int list }
   | Serve of { tenant : string; action : string; detail : int }
+  | Defense of {
+      tenant : string;
+      verdict : string;
+      policy : string;
+      detail : int;
+    }
   | Terminate of { reason : string }
   | Mark of { name : string }
 
@@ -56,6 +62,7 @@ let kind_name = function
   | Balloon _ -> "balloon"
   | Inject _ -> "inject"
   | Serve _ -> "serve"
+  | Defense _ -> "defense"
   | Terminate _ -> "terminate"
   | Mark _ -> "mark"
 
@@ -86,8 +93,10 @@ let os_view ev =
      OS) read out itself — visible by construction, like probes. *)
   | Probe _ | Observe _ | Inject _ -> Some ev
   (* Serving-layer scheduling happens in the untrusted host: admission,
-     shedding and arbitration are all OS-visible by construction. *)
-  | Serve _ -> Some ev
+     shedding and arbitration are all OS-visible by construction.  The
+     defense controller's verdicts likewise live in the management
+     plane, outside the enclave. *)
+  | Serve _ | Defense _ -> Some ev
   | Terminate _ ->
     (* The OS observes the enclave dying, not why. *)
     Some { ev with kind = Terminate { reason = "" } }
@@ -184,6 +193,11 @@ let to_buffer buf ev =
     add_string_field buf "tenant" s.tenant;
     add_string_field buf "action" s.action;
     add_int_field buf "detail" s.detail
+  | Defense d ->
+    add_string_field buf "tenant" d.tenant;
+    add_string_field buf "verdict" d.verdict;
+    add_string_field buf "policy" d.policy;
+    add_int_field buf "detail" d.detail
   | Terminate t -> add_string_field buf "reason" t.reason
   | Mark m -> add_string_field buf "name" m.name);
   Buffer.add_char buf '}'

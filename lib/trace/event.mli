@@ -57,6 +57,14 @@ type kind =
       (** multi-tenant serving-layer event (admission, shedding,
           dispatch, EPC arbitration); the serving layer runs in the
           untrusted host, so these are OS-visible *)
+  | Defense of {
+      tenant : string;
+      verdict : string;  (** "escalated" | "de-escalated" | "held" *)
+      policy : string;  (** the policy in force after the verdict *)
+      detail : int;  (** verdict-specific (ladder rung, retry count) *)
+    }
+      (** per-tenant defense-controller verdict (management plane, so
+          OS-visible like {!Serve}) *)
   | Terminate of { reason : string }
   | Mark of { name : string }  (** harness phase marker *)
 

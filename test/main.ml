@@ -24,4 +24,5 @@ let () =
       ("inject", Test_inject.suite);
       ("parallel", Test_parallel.suite);
       ("redteam", Test_redteam.suite);
+      ("defense", Test_defense.suite);
     ]

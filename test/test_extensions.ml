@@ -238,6 +238,60 @@ let test_restart_monitor_identities_independent () =
     (Autarky.Restart_monitor.record_start mon ~identity:"good"
     = Autarky.Restart_monitor.Allow)
 
+let test_restart_monitor_window_edge () =
+  (* A start exactly [window_cycles] old is still inside the window;
+     it ages out one cycle later. *)
+  let clock, mon = monitor () in
+  let id = "edge" in
+  for _ = 1 to 4 do
+    ignore (Autarky.Restart_monitor.record_start mon ~identity:id)
+  done;
+  Metrics.Clock.charge clock 1_000;
+  checkb "start at window edge still counted" true
+    (Autarky.Restart_monitor.record_start mon ~identity:id
+    = Autarky.Restart_monitor.Refuse);
+  let clock2, mon2 = monitor () in
+  for _ = 1 to 4 do
+    ignore (Autarky.Restart_monitor.record_start mon2 ~identity:id)
+  done;
+  Metrics.Clock.charge clock2 1_001;
+  checkb "start one cycle past the window aged out" true
+    (Autarky.Restart_monitor.record_start mon2 ~identity:id
+    = Autarky.Restart_monitor.Allow)
+
+let test_restart_monitor_rejects_degenerate_windows () =
+  let clock = Metrics.Clock.create Metrics.Cost_model.default in
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  checkb "zero-width window rejected" true (raises (fun () ->
+      Autarky.Restart_monitor.create ~clock ~window_cycles:0 ()));
+  checkb "negative window rejected" true (raises (fun () ->
+      Autarky.Restart_monitor.create ~clock ~window_cycles:(-5) ()));
+  checkb "zero max_restarts rejected" true (raises (fun () ->
+      Autarky.Restart_monitor.create ~clock ~window_cycles:1_000
+        ~max_restarts:0 ()))
+
+let test_restart_monitor_reasons_capped () =
+  let _clock, mon = monitor () in
+  let id = "chatty" in
+  for i = 1 to Autarky.Restart_monitor.max_reasons + 44 do
+    Autarky.Restart_monitor.record_termination mon ~identity:id
+      ~reason:(Printf.sprintf "reason-%d" i)
+  done;
+  let reasons = Autarky.Restart_monitor.last_reasons mon ~identity:id in
+  checki "ledger capped" Autarky.Restart_monitor.max_reasons
+    (List.length reasons);
+  (* Newest first; the counter keeps the true total past the cap. *)
+  checkb "newest reason retained" true
+    (List.hd reasons
+    = Printf.sprintf "reason-%d" (Autarky.Restart_monitor.max_reasons + 44));
+  checki "termination counter uncapped"
+    (Autarky.Restart_monitor.max_reasons + 44)
+    (Autarky.Restart_monitor.total_terminations mon ~identity:id)
+
 let suite =
   [
     ("frequency eviction keeps hot pages", `Quick,
@@ -256,4 +310,10 @@ let suite =
     ("restart monitor: window slides", `Quick, test_restart_monitor_window_slides);
     ("restart monitor: identities independent", `Quick,
      test_restart_monitor_identities_independent);
+    ("restart monitor: window edge inclusive", `Quick,
+     test_restart_monitor_window_edge);
+    ("restart monitor: degenerate windows rejected", `Quick,
+     test_restart_monitor_rejects_degenerate_windows);
+    ("restart monitor: reason ledger capped", `Quick,
+     test_restart_monitor_reasons_capped);
   ]
