@@ -550,14 +550,14 @@ let perf_cmd =
   in
   let out_arg =
     let doc =
-      "Write the autarky-perf/1 JSON report to $(docv).  Defaults to \
+      "Write the autarky-perf/2 JSON report to $(docv).  Defaults to \
        BENCH_perf.json in full mode, no file in quick mode."
     in
     Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc ~docv:"FILE")
   in
   let check_arg =
     let doc =
-      "Regression gate: load the autarky-perf/1 $(docv) and compare matrix \
+      "Regression gate: load the autarky-perf/2 $(docv) and compare matrix \
        cells against $(b,--against) (or a fresh matrix run at the \
        baseline's own quick/seed).  Exits non-zero when any cell drifts \
        beyond $(b,--tolerance)."
@@ -566,7 +566,7 @@ let perf_cmd =
   in
   let against_arg =
     let doc =
-      "With $(b,--check): compare $(docv) (another autarky-perf/1 report) \
+      "With $(b,--check): compare $(docv) (another autarky-perf/2 report) \
        instead of re-running the matrix — e.g. the CI determinism step \
        diffs a --jobs 1 report against a --jobs 4 one at --tolerance 0."
     in
@@ -576,14 +576,41 @@ let perf_cmd =
     let doc =
       "Allowed relative drift in modeled cycles and fault counts for \
        $(b,--check); 0 demands exact equality.  Wall-clock fields are \
-       never gated."
+       not gated unless $(b,--wall-ceiling-ns) is given."
     in
     Arg.(value & opt float 0.25 & info [ "tolerance" ] ~doc ~docv:"T")
   in
-  let run quick out seed jobs check against tolerance =
+  let wall_ceiling_arg =
+    let doc =
+      "With $(b,--check): fail any rate-limit matrix cell whose wall \
+       ns/access exceeds $(docv) — an absolute bound locking in the \
+       flat-core speedup (keep it generous: wall time is \
+       machine-dependent)."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "wall-ceiling-ns" ] ~doc ~docv:"NS")
+  in
+  let alloc_ceiling_arg =
+    let doc =
+      "With $(b,--check): fail when the current matrix's median allocated \
+       bytes/access exceeds $(docv) (deterministic, so the bound can be \
+       tight)."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "alloc-ceiling" ] ~doc ~docv:"BYTES")
+  in
+  let run quick out seed jobs check against tolerance wall_ceiling alloc_ceiling =
     match check with
     | Some baseline ->
-      if not (Harness.Perf.check ~baseline ?against ~tolerance ~jobs ()) then
+      if
+        not
+          (Harness.Perf.check ~baseline ?against ~tolerance
+             ?wall_ceiling_ns:wall_ceiling ?alloc_ceiling ~jobs ())
+      then
         exit 1
     | None ->
       let out =
@@ -597,7 +624,7 @@ let perf_cmd =
   Cmd.v (Cmd.info "perf" ~doc)
     Term.(
       const run $ quick_arg $ out_arg $ seed_arg $ jobs_arg $ check_arg
-      $ against_arg $ tolerance_arg)
+      $ against_arg $ tolerance_arg $ wall_ceiling_arg $ alloc_ceiling_arg)
 
 (* --- serve ----------------------------------------------------------------- *)
 

@@ -7,10 +7,26 @@ type t = {
   clusters : (cluster_id, cluster) Hashtbl.t;
   page_index : (vpage, cluster_id list ref) Hashtbl.t;
   mutable next_id : cluster_id;
+  (* Fault-time decision tables: fetch/evict sets memoized per page and
+     invalidated wholesale by bumping [gen] on any membership change.
+     The BFS behind [fetch_set] is linear in the reachable subgraph and
+     dominated repeat faults on stable cluster layouts. *)
+  mutable gen : int;
+  fetch_cache : (vpage, int * vpage list) Hashtbl.t;
+  evict_cache : (vpage, int * vpage list) Hashtbl.t;
 }
 
 let create () =
-  { clusters = Hashtbl.create 256; page_index = Hashtbl.create 4096; next_id = 0 }
+  {
+    clusters = Hashtbl.create 256;
+    page_index = Hashtbl.create 4096;
+    next_id = 0;
+    gen = 0;
+    fetch_cache = Hashtbl.create 4096;
+    evict_cache = Hashtbl.create 4096;
+  }
+
+let invalidate t = t.gen <- t.gen + 1
 
 let new_cluster t ?(size = 0) () =
   let id = t.next_id in
@@ -25,6 +41,9 @@ let ay_init_clusters t ~n ~size =
 let ay_release_clusters t =
   Hashtbl.reset t.clusters;
   Hashtbl.reset t.page_index;
+  Hashtbl.reset t.fetch_cache;
+  Hashtbl.reset t.evict_cache;
+  invalidate t;
   t.next_id <- 0
 
 let find_cluster t id =
@@ -36,6 +55,7 @@ let ay_add_page t ~cluster vpage =
   let c = find_cluster t cluster in
   if not (List.mem vpage c.members) then begin
     c.members <- vpage :: c.members;
+    invalidate t;
     match Hashtbl.find_opt t.page_index vpage with
     | Some ids -> if not (List.mem cluster !ids) then ids := cluster :: !ids
     | None -> Hashtbl.replace t.page_index vpage (ref [ cluster ])
@@ -44,6 +64,7 @@ let ay_add_page t ~cluster vpage =
 let ay_remove_page t ~cluster vpage =
   let c = find_cluster t cluster in
   c.members <- List.filter (fun p -> p <> vpage) c.members;
+  invalidate t;
   match Hashtbl.find_opt t.page_index vpage with
   | Some ids ->
     ids := List.filter (fun id -> id <> cluster) !ids;
@@ -67,7 +88,7 @@ let cluster_count t = Hashtbl.length t.clusters
 let registered t vpage = Hashtbl.mem t.page_index vpage
 
 let registered_pages t =
-  Hashtbl.fold (fun vp _ acc -> vp :: acc) t.page_index [] |> List.sort compare
+  Hashtbl.fold (fun vp _ acc -> vp :: acc) t.page_index [] |> List.sort Int.compare
 
 let merge t ~into ~from =
   if into <> from then begin
@@ -108,15 +129,29 @@ let reachable_clusters t vpage =
   (seen_clusters, seen_pages)
 
 let fetch_set t vpage =
-  if not (registered t vpage) then [ vpage ]
-  else
-    let _, pages = reachable_clusters t vpage in
-    Hashtbl.fold (fun p () acc -> p :: acc) pages [] |> List.sort compare
+  match Hashtbl.find_opt t.fetch_cache vpage with
+  | Some (g, set) when g = t.gen -> set
+  | _ ->
+    let set =
+      if not (registered t vpage) then [ vpage ]
+      else
+        let _, pages = reachable_clusters t vpage in
+        Hashtbl.fold (fun p () acc -> p :: acc) pages [] |> List.sort Int.compare
+    in
+    Hashtbl.replace t.fetch_cache vpage (t.gen, set);
+    set
 
 let evict_set t vpage =
-  match ay_get_cluster_ids t vpage with
-  | [] -> [ vpage ]
-  | id :: _ -> List.sort compare (pages_of t id)
+  match Hashtbl.find_opt t.evict_cache vpage with
+  | Some (g, set) when g = t.gen -> set
+  | _ ->
+    let set =
+      match ay_get_cluster_ids t vpage with
+      | [] -> [ vpage ]
+      | id :: _ -> List.sort Int.compare (pages_of t id)
+    in
+    Hashtbl.replace t.evict_cache vpage (t.gen, set);
+    set
 
 let invariant_holds t ~resident =
   List.for_all

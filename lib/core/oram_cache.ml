@@ -15,7 +15,7 @@ type t = {
      again.  [live] only decreases. *)
   mutable live : int;
   slots : int array;
-  slot_of : (int, int) Hashtbl.t;
+  slot_of : int array;  (* block -> occupying slot, -1 when uncached *)
   dirty : bool array;
   mutable hand : int;
   mutable hit_count : int;
@@ -39,7 +39,9 @@ let create ?(writeback = `Dirty_only) ~machine ~enclave ~touch ~oram
     capacity = capacity_pages;
     live = capacity_pages;
     slots = Array.make capacity_pages (-1);
-    slot_of = Hashtbl.create (2 * capacity_pages);
+    (* Blocks are dense in [0, n_pages): a flat block -> slot table
+       makes the hit path a single array read. *)
+    slot_of = Array.make n_pages (-1);
     dirty = Array.make capacity_pages false;
     hand = 0;
     hit_count = 0;
@@ -88,14 +90,14 @@ let fill_slot t slot block =
       Oram.Path_oram.access t.oram ~block:old_block (fun oram_data ->
           blit_page ~src:cache_data ~dst:oram_data)
     end;
-    Hashtbl.remove t.slot_of old_block
+    t.slot_of.(old_block) <- -1
   end;
   Sgx.Machine.charge t.machine (oblivious_copy_cost t);
   Oram.Path_oram.access t.oram ~block (fun oram_data ->
       blit_page ~src:oram_data ~dst:cache_data);
   t.slots.(slot) <- block;
   t.dirty.(slot) <- false;
-  Hashtbl.replace t.slot_of block slot
+  t.slot_of.(block) <- slot
 
 let slot_for t vaddr kind =
   let m = Sgx.Machine.model t.machine in
@@ -104,11 +106,11 @@ let slot_for t vaddr kind =
   if not (in_data_region t vaddr) then
     invalid_arg "Oram_cache.access: address outside the protected region";
   let block = Sgx.Types.vpage_of_vaddr vaddr - t.data_base in
-  match Hashtbl.find_opt t.slot_of block with
-  | Some slot ->
+  match t.slot_of.(block) with
+  | slot when slot >= 0 ->
     t.hit_count <- t.hit_count + 1;
     slot
-  | None ->
+  | _ ->
     t.miss_count <- t.miss_count + 1;
     Metrics.Counters.cell_incr t.c_miss;
     let slot = t.hand in
@@ -136,7 +138,7 @@ let shrink t ~pages =
         Oram.Path_oram.access t.oram ~block (fun oram_data ->
             blit_page ~src:(cache_page_data t slot) ~dst:oram_data)
       end;
-      Hashtbl.remove t.slot_of block;
+      t.slot_of.(block) <- -1;
       t.slots.(slot) <- -1;
       t.dirty.(slot) <- false
     end;
@@ -162,7 +164,7 @@ let flush t =
             blit_page ~src:(cache_page_data t slot) ~dst:oram_data);
         incr written
       end;
-      Hashtbl.remove t.slot_of block;
+      t.slot_of.(block) <- -1;
       t.slots.(slot) <- -1;
       t.dirty.(slot) <- false
     end

@@ -17,8 +17,14 @@ type t = {
   set_enclave_managed : vpage list -> (vpage * bool) list;
   set_os_managed : vpage list -> unit;
   fetch_pages : vpage list -> (unit, fetch_error) result;
+  (* Single-page twin of [fetch_pages]: the per-fault fast path.  Must
+     behave exactly as [fetch_pages [vp]] (counters, charges, trace
+     events, refusal handling) — interposing layers wrap both. *)
+  fetch_page : vpage -> (unit, fetch_error) result;
   evict_pages : vpage list -> unit;
   aug_pages : vpage list -> (unit, [ `Epc_exhausted ]) result;
+  (* Single-page twin of [aug_pages] (SGXv2 per-fault fast path). *)
+  aug_page : vpage -> (unit, [ `Epc_exhausted ]) result;
   remove_pages : vpage list -> unit;
   blob_store : vpage -> Sim_crypto.Sealer.sealed -> unit;
   blob_load : vpage -> Sim_crypto.Sealer.sealed option;

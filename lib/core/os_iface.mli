@@ -35,10 +35,16 @@ type t = {
   set_os_managed : vpage list -> unit;
   fetch_pages : vpage list -> (unit, fetch_error) result;
       (** SGXv1: ELDU + map (batched) *)
+  fetch_page : vpage -> (unit, fetch_error) result;
+      (** single-page twin of [fetch_pages]: the per-fault fast path;
+          must behave exactly as [fetch_pages [vp]] — interposing
+          layers wrap both *)
   evict_pages : vpage list -> unit;
       (** SGXv1: EWB + unmap (batched) *)
   aug_pages : vpage list -> (unit, [ `Epc_exhausted ]) result;
       (** SGXv2: EAUG + map (batched) *)
+  aug_page : vpage -> (unit, [ `Epc_exhausted ]) result;
+      (** single-page twin of [aug_pages] (SGXv2 per-fault fast path) *)
   remove_pages : vpage list -> unit;
       (** SGXv2: EREMOVE + unmap trimmed pages (batched) *)
   blob_store : vpage -> Sim_crypto.Sealer.sealed -> unit;

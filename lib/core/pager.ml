@@ -7,16 +7,25 @@ type t = {
   os : Os_iface.t;
   pager_mech : mech;
   mutable budget : int;
-  resident_set : (vpage, unit) Hashtbl.t;
-  (* FIFO of (page, seq): only the entry carrying a page's latest seq is
-     live, so a page refetched after eviction takes a fresh position at
-     the back instead of inheriting its ancient slot. *)
-  fifo : (vpage * int) Queue.t;
-  seq_of : (vpage, int) Hashtbl.t;
+  resident_set : Sgx.Flat.t;  (* vpage -> 1 when resident *)
+  (* FIFO of (page, seq) as a power-of-two int ring: only the entry
+     carrying a page's latest seq is live, so a page refetched after
+     eviction takes a fresh position at the back instead of inheriting
+     its ancient slot. *)
+  mutable fq_vp : int array;
+  mutable fq_seq : int array;
+  mutable fq_head : int;  (* absolute pop index *)
+  mutable fq_tail : int;  (* absolute push index *)
+  seq_of : Sgx.Flat.t;  (* vpage -> latest seq (>= 1) *)
   mutable seq_counter : int;
   sealer : Sim_crypto.Sealer.t;  (* runtime paging keys (SGXv2 path) *)
-  versions : (vpage, int64) Hashtbl.t;
-  mutable version_counter : int64;
+  versions : Sgx.Flat.t;  (* vpage -> version; monotonic from 1, fits an int *)
+  mutable version_counter : int;
+  (* Scratch for the SGXv2 eviction batch: vpages and plaintext
+     snapshots between the prepare and seal phases, reused across
+     batches so eviction builds no intermediate lists. *)
+  mutable ev_pages : int array;
+  mutable ev_plain : bytes array;
   (* Counter cells interned at construction: fetch/evict run on every
      policy decision and must not hash counter names. *)
   c_pages_fetched : Metrics.Counters.cell;
@@ -36,13 +45,18 @@ let create ~machine ~enclave ~os ~mech ~budget =
     os;
     pager_mech = mech;
     budget;
-    resident_set = Hashtbl.create 4096;
-    fifo = Queue.create ();
-    seq_of = Hashtbl.create 4096;
+    resident_set = Sgx.Flat.create ~size:4096 ();
+    fq_vp = Array.make 1024 0;
+    fq_seq = Array.make 1024 0;
+    fq_head = 0;
+    fq_tail = 0;
+    seq_of = Sgx.Flat.create ~size:4096 ();
     seq_counter = 0;
     sealer = Sim_crypto.Sealer.create ~master_key:"autarky-runtime-paging-key";
-    versions = Hashtbl.create 4096;
-    version_counter = 0L;
+    versions = Sgx.Flat.create ~size:4096 ();
+    version_counter = 0;
+    ev_pages = Array.make 64 0;
+    ev_plain = Array.make 64 Bytes.empty;
     c_pages_fetched = cell "rt.pages_fetched";
     c_pages_evicted = cell "rt.pages_evicted";
     c_fetch_batches = cell "rt.fetch_batches";
@@ -54,92 +68,115 @@ let create ~machine ~enclave ~os ~mech ~budget =
 let mech t = t.pager_mech
 let budget t = t.budget
 let set_budget t n = t.budget <- n
-let resident t vp = Hashtbl.mem t.resident_set vp
-let resident_count t = Hashtbl.length t.resident_set
+let resident t vp = Sgx.Flat.mem t.resident_set vp
+let resident_count t = Sgx.Flat.length t.resident_set
 let incr _t cell = Metrics.Counters.cell_incr cell
 let charge t n = Sgx.Machine.charge t.machine n
 
+(* --- FIFO ring -------------------------------------------------------- *)
+
+let fq_grow t =
+  let old_cap = Array.length t.fq_vp in
+  let mask = old_cap - 1 in
+  let n = t.fq_tail - t.fq_head in
+  let vp = Array.make (old_cap * 2) 0 in
+  let sq = Array.make (old_cap * 2) 0 in
+  for i = 0 to n - 1 do
+    vp.(i) <- t.fq_vp.((t.fq_head + i) land mask);
+    sq.(i) <- t.fq_seq.((t.fq_head + i) land mask)
+  done;
+  t.fq_vp <- vp;
+  t.fq_seq <- sq;
+  t.fq_head <- 0;
+  t.fq_tail <- n
+
+let fq_push t vp seq =
+  if t.fq_tail - t.fq_head = Array.length t.fq_vp then fq_grow t;
+  let mask = Array.length t.fq_vp - 1 in
+  t.fq_vp.(t.fq_tail land mask) <- vp;
+  t.fq_seq.(t.fq_tail land mask) <- seq;
+  t.fq_tail <- t.fq_tail + 1
+
 let mark_resident t vp =
-  if not (Hashtbl.mem t.resident_set vp) then begin
-    Hashtbl.replace t.resident_set vp ();
+  if not (Sgx.Flat.mem t.resident_set vp) then begin
+    Sgx.Flat.set t.resident_set vp 1;
     t.seq_counter <- t.seq_counter + 1;
-    Hashtbl.replace t.seq_of vp t.seq_counter;
-    Queue.push (vp, t.seq_counter) t.fifo
+    Sgx.Flat.set t.seq_of vp t.seq_counter;
+    fq_push t vp t.seq_counter
   end
 
-let live_entry t (vp, seq) =
-  Hashtbl.mem t.resident_set vp && Hashtbl.find_opt t.seq_of vp = Some seq
+(* Seqs start at 1 and [Flat.find] returns -1 when absent, so the seq
+   comparison alone never matches a page the tracker forgot. *)
+let live_entry t vp seq =
+  Sgx.Flat.mem t.resident_set vp && Sgx.Flat.find t.seq_of vp = seq
 
-let mark_evicted t vp = Hashtbl.remove t.resident_set vp
+let mark_evicted t vp = Sgx.Flat.remove t.resident_set vp
 
 let note_initial_residence t statuses =
   List.iter (fun (vp, is_resident) -> if is_resident then mark_resident t vp) statuses
 
+(* Drop dead ring entries (evicted pages, superseded positions) from the
+   front; they concentrate there under FIFO eviction, and dropping them
+   as they are met keeps repeated scans linear in the live set. *)
+let drop_dead t =
+  let mask = Array.length t.fq_vp - 1 in
+  let continue = ref true in
+  while !continue && t.fq_head <> t.fq_tail do
+    let s = t.fq_head land mask in
+    if live_entry t t.fq_vp.(s) t.fq_seq.(s) then continue := false
+    else t.fq_head <- t.fq_head + 1
+  done
+
 let oldest_resident t =
-  (* Drop dead queue entries (evicted pages, superseded positions). *)
-  let rec loop () =
-    match Queue.peek_opt t.fifo with
-    | None -> None
-    | Some ((vp, _) as entry) ->
-      if live_entry t entry then Some vp
-      else begin
-        ignore (Queue.pop t.fifo);
-        loop ()
-      end
-  in
-  loop ()
+  drop_dead t;
+  if t.fq_head = t.fq_tail then None
+  else Some t.fq_vp.(t.fq_head land (Array.length t.fq_vp - 1))
 
 let oldest_residents t n =
-  (* Dead entries (evicted pages, superseded positions) concentrate at
-     the queue front under FIFO eviction; drop them as they are met or
-     repeated scans become quadratic in the eviction history. *)
-  let rec drop_dead () =
-    match Queue.peek_opt t.fifo with
-    | Some entry when not (live_entry t entry) ->
-      ignore (Queue.pop t.fifo);
-      drop_dead ()
-    | _ -> ()
-  in
-  drop_dead ();
+  drop_dead t;
+  let mask = Array.length t.fq_vp - 1 in
   let acc = ref [] in
   let count = ref 0 in
-  (try
-     Queue.iter
-       (fun ((vp, _) as entry) ->
-         if !count >= n then raise Exit;
-         if live_entry t entry then begin
-           acc := vp :: !acc;
-           Stdlib.incr count
-         end)
-       t.fifo
-   with Exit -> ());
+  let i = ref t.fq_head in
+  while !count < n && !i <> t.fq_tail do
+    let s = !i land mask in
+    if live_entry t t.fq_vp.(s) t.fq_seq.(s) then begin
+      acc := t.fq_vp.(s) :: !acc;
+      Stdlib.incr count
+    end;
+    Stdlib.incr i
+  done;
   List.rev !acc
 
 let fresh_version t =
-  t.version_counter <- Int64.add t.version_counter 1L;
+  t.version_counter <- t.version_counter + 1;
   t.version_counter
 
 (* --- SGXv2 in-enclave paging ---------------------------------------- *)
 
 (* SGXv2 eviction is split in two around a batched seal: first make
-   every page read-only and snapshot it, then seal the whole run
-   through the sealer (which reuses its scratch buffers across pages),
-   then publish the blobs and trim.  Bit-identical to sealing one page
-   at a time — only the instruction interleave across pages changes. *)
-let sgx2_evict_prepare t vp =
+   every page read-only and snapshot it, then stream the whole run
+   through [Sealer.seal_batch_into] (which reuses the sealer's scratch
+   buffers across pages), publishing and trimming each page as its blob
+   is produced.  Bit-identical to sealing one page at a time — only the
+   instruction interleave across pages changes, and the seal itself
+   charges no cycles and emits no events, so the clock at every
+   instruction boundary is unchanged too. *)
+let sgx2_evict_prepare t i vp =
   let cm = Sgx.Machine.model t.machine in
   (* Make the page read-only so sealing is race-free. *)
   Sgx.Instructions.emodpr t.machine t.enclave ~vpage:vp ~perms:Sgx.Types.perms_ro;
   Sgx.Instructions.eaccept t.machine t.enclave ~vpage:vp;
-  let data =
-    match Sgx.Instructions.page_data t.machine t.enclave ~vpage:vp with
-    | Some d -> Sgx.Page_data.copy d
-    | None -> Sgx.Enclave.terminate t.enclave ~reason:"evicting a non-resident page"
-  in
+  (match Sgx.Instructions.page_data t.machine t.enclave ~vpage:vp with
+  | Some d ->
+    (* No defensive copy: the page is read-only until its EREMOVE, and
+       every seal completes before the batched remove host call. *)
+    t.ev_plain.(i) <- Sgx.Page_data.to_bytes d
+  | None -> Sgx.Enclave.terminate t.enclave ~reason:"evicting a non-resident page");
   charge t (Metrics.Cost_model.sw_page_crypto cm);
   let version = fresh_version t in
-  Hashtbl.replace t.versions vp version;
-  (Int64.of_int (Sgx.Types.vaddr_of_vpage vp), version, Sgx.Page_data.to_bytes data)
+  Sgx.Flat.set t.versions vp version;
+  t.ev_pages.(i) <- vp
 
 let sgx2_evict_finish t vp sealed =
   t.os.blob_store vp sealed;
@@ -147,26 +184,42 @@ let sgx2_evict_finish t vp sealed =
   Sgx.Instructions.eaccept t.machine t.enclave ~vpage:vp
 
 let sgx2_evict t pages =
-  let items = List.map (sgx2_evict_prepare t) pages in
-  let sealed = Sim_crypto.Sealer.seal_batch t.sealer items in
-  List.iter2 (sgx2_evict_finish t) pages sealed
+  let n = List.length pages in
+  if Array.length t.ev_pages < n then begin
+    let cap = max n (2 * Array.length t.ev_pages) in
+    t.ev_pages <- Array.make cap 0;
+    t.ev_plain <- Array.make cap Bytes.empty
+  end;
+  let i = ref 0 in
+  List.iter
+    (fun vp ->
+      sgx2_evict_prepare t !i vp;
+      Stdlib.incr i)
+    pages;
+  Sim_crypto.Sealer.seal_batch_into t.sealer ~n
+    ~vaddr:(fun i -> Int64.of_int (Sgx.Types.vaddr_of_vpage t.ev_pages.(i)))
+    ~version:(fun i -> Int64.of_int (Sgx.Flat.find t.versions t.ev_pages.(i)))
+    ~plaintext:(fun i -> t.ev_plain.(i))
+    ~sink:(fun i sealed -> sgx2_evict_finish t t.ev_pages.(i) sealed);
+  (* Drop the plaintext refs so the scratch array does not pin pages. *)
+  Array.fill t.ev_plain 0 n Bytes.empty
 
 let sgx2_fetch_one t vp =
   let cm = Sgx.Machine.model t.machine in
   match t.os.blob_load vp with
   | Some sealed -> (
-    match Hashtbl.find_opt t.versions vp with
-    | None ->
+    match Sgx.Flat.find t.versions vp with
+    | -1 ->
       Sgx.Enclave.terminate t.enclave
         ~reason:"OS supplied a page blob the runtime never sealed"
-    | Some expected -> (
+    | expected -> (
       (* Decryption overlaps the EAUG (temporary buffer, §6); we charge
          the software crypto once. *)
       charge t (Metrics.Cost_model.sw_page_crypto cm);
       match
         Sim_crypto.Sealer.unseal t.sealer
           ~vaddr:(Int64.of_int (Sgx.Types.vaddr_of_vpage vp))
-          ~expected_version:expected sealed
+          ~expected_version:(Int64.of_int expected) sealed
       with
       | Error err ->
         Sgx.Enclave.terminate t.enclave
@@ -177,7 +230,7 @@ let sgx2_fetch_one t vp =
         Sgx.Instructions.eacceptcopy t.machine t.enclave ~vpage:vp
           ~data:(Sgx.Page_data.of_bytes plaintext)))
   | None ->
-    if Hashtbl.mem t.versions vp then begin
+    if Sgx.Flat.mem t.versions vp then begin
       (* The runtime sealed this page out; the OS "losing" its blob is
          not a first touch but a detected attack on the backing store. *)
       incr t t.c_attack_detected;
@@ -276,6 +329,43 @@ let fetch t pages =
       | Error e -> terminate_on_fetch_error t e));
     List.iter (mark_resident t) pages;
     Metrics.Counters.cell_add t.c_pages_fetched (List.length pages);
+    incr t t.c_fetch_batches
+  end
+
+(* Single-page fetch: what the fault handler runs on every miss.
+   Equivalent to [fetch t [vp]] — same counters, charges, trace events
+   and failure behaviour — minus the list filtering and the retry
+   closures.  The retry loops live at top level so each attempt is a
+   static call, not a closure built per fault. *)
+let rec fetch_one_sgx1 t vp attempt =
+  match t.os.fetch_page vp with
+  | Ok () -> ()
+  | Error `Epc_exhausted when attempt < max_fetch_attempts ->
+    incr t t.c_fetch_retries;
+    charge t ((Sgx.Machine.model t.machine).exitless_call * (1 lsl attempt));
+    fetch_one_sgx1 t vp (attempt + 1)
+  | Error e -> terminate_on_fetch_error t e
+
+let rec aug_one_sgx2 t vp attempt =
+  match t.os.aug_page vp with
+  | Ok () -> sgx2_fetch_one t vp
+  | Error `Epc_exhausted when attempt < max_fetch_attempts ->
+    incr t t.c_fetch_retries;
+    charge t ((Sgx.Machine.model t.machine).exitless_call * (1 lsl attempt));
+    aug_one_sgx2 t vp (attempt + 1)
+  | Error `Epc_exhausted -> terminate_on_fetch_error t `Epc_exhausted
+
+let fetch_one t vp =
+  if not (resident t vp) then begin
+    if resident_count t + 1 > t.budget then
+      Sgx.Types.sgx_errorf
+        "runtime pager: fetch of %d pages exceeds budget (%d resident, budget %d)"
+        1 (resident_count t) t.budget;
+    (match t.pager_mech with
+    | `Sgx1 -> fetch_one_sgx1 t vp 0
+    | `Sgx2 -> aug_one_sgx2 t vp 0);
+    mark_resident t vp;
+    Metrics.Counters.cell_add t.c_pages_fetched 1;
     incr t t.c_fetch_batches
   end
 

@@ -49,6 +49,11 @@ val fetch : t -> vpage list -> unit
     or is starving us — §5.2.1), and a missing, tampered or replayed
     backing-store blob terminates immediately as a detected attack. *)
 
+val fetch_one : t -> vpage -> unit
+(** [fetch t [vp]] without the batch plumbing: the allocation-free fast
+    path the fault handler runs on every miss.  Identical counters,
+    charges, trace events and failure behaviour. *)
+
 val evict : t -> vpage list -> unit
 (** Write the given resident pages out (non-resident ones are skipped). *)
 

@@ -4,6 +4,7 @@ type t = {
   mutable min_budget : int;
   mutable fetches : int;
   mutable balloon_calls : int;
+  in_fetch : Sgx.Flat.t;  (* scratch: pages of the current fetch set *)
   c_degraded : Metrics.Counters.cell;
 }
 
@@ -14,6 +15,7 @@ let create ~runtime ~clusters =
     min_budget = 32;
     fetches = 0;
     balloon_calls = 0;
+    in_fetch = Sgx.Flat.create ~size:256 ();
     c_degraded =
       Metrics.Counters.cell
         (Sgx.Machine.counters (Runtime.machine runtime))
@@ -39,14 +41,14 @@ let emit t k =
    residence invariant for partially-evicted clusters. *)
 let choose_victims t ~fetching () =
   let pager = Runtime.pager t.runtime in
-  let in_fetch = Hashtbl.create 64 in
-  List.iter (fun vp -> Hashtbl.replace in_fetch vp ()) fetching;
+  Sgx.Flat.clear t.in_fetch;
+  List.iter (fun vp -> Sgx.Flat.set t.in_fetch vp 1) fetching;
   let candidates = Pager.oldest_residents pager 64 in
   let rec pick = function
     | [] -> []
     | vp :: rest ->
       let set = Clusters.evict_set t.cl vp in
-      if List.exists (Hashtbl.mem in_fetch) set then pick rest
+      if List.exists (Sgx.Flat.mem t.in_fetch) set then pick rest
       else List.filter (Pager.resident pager) set
   in
   pick candidates
@@ -59,9 +61,16 @@ let on_miss t vp _sf =
     Sgx.Types.sgx_errorf
       "cluster fetch set of %d pages exceeds the runtime budget of %d"
       (List.length need) (Pager.budget pager);
-  emit t (fun () ->
-      Trace.Event.Decision
-        { policy = "page-clusters"; action = "cluster-fetch"; vpages = need });
+  (* Inlined emit: the thunk form would capture [need] and allocate a
+     closure per miss even with tracing off. *)
+  (match Sgx.Machine.tracer (Runtime.machine t.runtime) with
+  | None -> ()
+  | Some tr ->
+    Trace.Recorder.emit tr
+      ~enclave:(Runtime.enclave t.runtime).Sgx.Enclave.id
+      ~actor:(Trace.Event.Policy "page-clusters")
+      (Trace.Event.Decision
+         { policy = "page-clusters"; action = "cluster-fetch"; vpages = need }));
   Pager.make_room pager ~incoming:(List.length need)
     ~victims:(choose_victims t ~fetching:need);
   Pager.fetch pager need;

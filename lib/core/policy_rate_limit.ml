@@ -6,31 +6,16 @@ type t = {
   evict_batch : int;
   eviction : eviction;
   min_budget : int;
-  fault_counts : (Sgx.Types.vpage, int) Hashtbl.t;
+  fault_counts : Sgx.Flat.t;  (* vpage -> faults observed on it *)
   mutable window : int;
   mutable total : int;
   mutable balloon_calls : int;
+  (* Built once at construction so the miss path passes a preallocated
+     victim generator to [Pager.make_room] instead of closing over the
+     pager on every fault. *)
+  mutable victims_fn : unit -> Sgx.Types.vpage list;
   c_degraded : Metrics.Counters.cell;
 }
-
-let create ~runtime ?(max_faults_per_unit = max_int) ?(evict_batch = 16)
-    ?(eviction = `Fifo) ?(min_budget = 16) () =
-  assert (max_faults_per_unit > 0 && evict_batch > 0 && min_budget > 0);
-  {
-    runtime;
-    max_faults_per_unit;
-    evict_batch;
-    eviction;
-    min_budget;
-    fault_counts = Hashtbl.create 4096;
-    window = 0;
-    total = 0;
-    balloon_calls = 0;
-    c_degraded =
-      Metrics.Counters.cell
-        (Sgx.Machine.counters (Runtime.machine runtime))
-        "rt.policy_degraded";
-  }
 
 let emit t k =
   match Sgx.Machine.tracer (Runtime.machine t.runtime) with
@@ -44,8 +29,7 @@ let progress t = t.window <- 0
 let faults_in_window t = t.window
 let total_faults t = t.total
 
-let fault_count t vp =
-  Option.value ~default:0 (Hashtbl.find_opt t.fault_counts vp)
+let fault_count t vp = Sgx.Flat.find_default t.fault_counts vp 0
 
 let victims t pager () =
   match t.eviction with
@@ -56,15 +40,39 @@ let victims t pager () =
     let candidates = Pager.oldest_residents pager (4 * t.evict_batch) in
     let ranked =
       List.stable_sort
-        (fun a b -> compare (fault_count t a) (fault_count t b))
+        (fun a b -> Int.compare (fault_count t a) (fault_count t b))
         candidates
     in
     List.filteri (fun i _ -> i < t.evict_batch) ranked
 
+let create ~runtime ?(max_faults_per_unit = max_int) ?(evict_batch = 16)
+    ?(eviction = `Fifo) ?(min_budget = 16) () =
+  assert (max_faults_per_unit > 0 && evict_batch > 0 && min_budget > 0);
+  let t =
+    {
+      runtime;
+      max_faults_per_unit;
+      evict_batch;
+      eviction;
+      min_budget;
+      fault_counts = Sgx.Flat.create ~size:4096 ();
+      window = 0;
+      total = 0;
+      balloon_calls = 0;
+      victims_fn = (fun () -> []);
+      c_degraded =
+        Metrics.Counters.cell
+          (Sgx.Machine.counters (Runtime.machine runtime))
+          "rt.policy_degraded";
+    }
+  in
+  t.victims_fn <- victims t (Runtime.pager runtime);
+  t
+
 let on_miss t vp _sf =
   t.window <- t.window + 1;
   t.total <- t.total + 1;
-  Hashtbl.replace t.fault_counts vp (fault_count t vp + 1);
+  Sgx.Flat.set t.fault_counts vp (fault_count t vp + 1);
   if t.window > t.max_faults_per_unit then begin
     let reason =
       Printf.sprintf
@@ -75,12 +83,19 @@ let on_miss t vp _sf =
     emit t (fun () -> Trace.Event.Terminate { reason });
     Sgx.Enclave.terminate (Runtime.enclave t.runtime) ~reason
   end;
-  emit t (fun () ->
-      Trace.Event.Decision
-        { policy = "rate-limit"; action = "demand-fetch"; vpages = [ vp ] });
+  (* Inlined emit: the thunk form would capture [vp] and allocate a
+     closure per miss even with tracing off. *)
+  (match Sgx.Machine.tracer (Runtime.machine t.runtime) with
+  | None -> ()
+  | Some tr ->
+    Trace.Recorder.emit tr
+      ~enclave:(Runtime.enclave t.runtime).Sgx.Enclave.id
+      ~actor:(Trace.Event.Policy "rate-limit")
+      (Trace.Event.Decision
+         { policy = "rate-limit"; action = "demand-fetch"; vpages = [ vp ] }));
   let pager = Runtime.pager t.runtime in
-  Pager.make_room pager ~incoming:1 ~victims:(victims t pager);
-  Pager.fetch pager [ vp ]
+  Pager.make_room pager ~incoming:1 ~victims:t.victims_fn;
+  Pager.fetch_one pager vp
 
 (* Ballooning: FIFO/frequency batch eviction leaks no more than the
    policy's normal eviction traffic.  Under sustained pressure (a
@@ -94,7 +109,7 @@ let balloon t n =
   let released = ref 0 in
   let stuck = ref false in
   while !released < n && not !stuck do
-    match victims t pager () with
+    match t.victims_fn () with
     | [] -> stuck := true
     | vs ->
       let take = List.filteri (fun i _ -> i < n - !released) vs in

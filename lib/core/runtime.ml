@@ -11,7 +11,7 @@ type t = {
   rt_enclave : Sgx.Enclave.t;
   rt_os : Os_iface.t;
   rt_pager : Pager.t;
-  enclave_managed : (vpage, unit) Hashtbl.t;
+  enclave_managed : Sgx.Flat.t;  (* vpage -> 1 when enclave-managed *)
   mutable rt_policy : policy;
   mutable faults : int;
   (* Interned at construction: the fault handler runs on every miss. *)
@@ -31,7 +31,7 @@ let os t = t.rt_os
 let pager t = t.rt_pager
 let policy t = t.rt_policy
 let set_policy t p = t.rt_policy <- p
-let is_enclave_managed t vp = Hashtbl.mem t.enclave_managed vp
+let is_enclave_managed t vp = Sgx.Flat.mem t.enclave_managed vp
 let faults_handled t = t.faults
 
 let incr _t cell = Metrics.Counters.cell_incr cell
@@ -115,9 +115,15 @@ let handle_exception t (enclave : Sgx.Enclave.t) =
          paging on insensitive pages).  Transient EPC exhaustion is
          retried with backoff; blob faults are detected attacks. *)
       incr t t.c_forwarded_to_os;
-      emit t ~actor:Trace.Event.Runtime (fun () ->
-          Trace.Event.Decision
-            { policy = "runtime"; action = "forward-to-os"; vpages = [ vp ] });
+      (* Inlined emit: the thunk form would capture [vp] and allocate a
+         closure per forwarded fault even with tracing off. *)
+      (match Sgx.Machine.tracer t.rt_machine with
+      | None -> ()
+      | Some tr ->
+        Trace.Recorder.emit tr ~enclave:t.rt_enclave.Sgx.Enclave.id
+          ~actor:Trace.Event.Runtime
+          (Trace.Event.Decision
+             { policy = "runtime"; action = "forward-to-os"; vpages = [ vp ] }));
       let max_attempts = 6 in
       let rec forward attempt =
         match t.rt_os.page_in_os_managed vp with
@@ -145,7 +151,7 @@ let create ~machine ~enclave ~os ~mech ~budget =
       rt_enclave = enclave;
       rt_os = os;
       rt_pager = Pager.create ~machine ~enclave ~os ~mech ~budget;
-      enclave_managed = Hashtbl.create 4096;
+      enclave_managed = Sgx.Flat.create ~size:4096 ();
       rt_policy =
         { pol_name = "uninitialized"; pol_on_miss = (fun _ _ -> ());
           pol_balloon = (fun _ -> 0) };
@@ -176,10 +182,10 @@ let balloon_release t ~pages =
   released
 
 let mark_enclave_managed t pages =
-  List.iter (fun vp -> Hashtbl.replace t.enclave_managed vp ()) pages;
+  List.iter (fun vp -> Sgx.Flat.set t.enclave_managed vp 1) pages;
   let statuses = t.rt_os.set_enclave_managed pages in
   Pager.note_initial_residence t.rt_pager statuses
 
 let mark_os_managed t pages =
-  List.iter (fun vp -> Hashtbl.remove t.enclave_managed vp) pages;
+  List.iter (fun vp -> Sgx.Flat.remove t.enclave_managed vp) pages;
   t.rt_os.set_os_managed pages

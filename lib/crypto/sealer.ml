@@ -69,6 +69,11 @@ let unseal t ~vaddr ~expected_version sealed =
 let seal_batch t items =
   List.map (fun (vaddr, version, plaintext) -> seal t ~vaddr ~version plaintext) items
 
+let seal_batch_into t ~n ~vaddr ~version ~plaintext ~sink =
+  for i = 0 to n - 1 do
+    sink i (seal t ~vaddr:(vaddr i) ~version:(version i) (plaintext i))
+  done
+
 let unseal_batch t items =
   let rec go acc = function
     | [] -> Ok (List.rev acc)

@@ -46,6 +46,15 @@ val unseal :
 val seal_batch : t -> (int64 * int64 * bytes) list -> sealed list
 (** Each item is [(vaddr, version, plaintext)]. *)
 
+val seal_batch_into :
+  t -> n:int -> vaddr:(int -> int64) -> version:(int -> int64) ->
+  plaintext:(int -> bytes) -> sink:(int -> sealed -> unit) -> unit
+(** Index-driven form of {!seal_batch}: seals items [0..n-1], reading
+    each through the accessor callbacks and handing each result to
+    [sink] as soon as it is produced — no intermediate lists.  Seal [i]
+    is bit-identical to [seal t ~vaddr:(vaddr i) ~version:(version i)
+    (plaintext i)]. *)
+
 val unseal_batch :
   t -> (int64 * int64 * sealed) list -> (bytes list, int64 * error) result
 (** Each item is [(vaddr, expected_version, sealed)].  Stops at the

@@ -33,6 +33,7 @@ type matrix_row = {
   mx_policy : string;
   mx_mech : string;
   mx_ops : int;
+  mx_accesses : int;  (* VM accesses the ops performed (deterministic) *)
   mx_wall_ns : float;  (* wall ns per access *)
   mx_alloc : float;  (* allocated bytes per access *)
   mx_cycles : float;  (* modeled cycles per access *)
@@ -243,6 +244,7 @@ let run_cell ~workload ~policy ~mech ~seed ~ops =
       invalid_arg (Printf.sprintf "Perf.run_cell: unknown workload %S" other)
   in
   !finish ();
+  let acc0 = Sgx.Cpu.accesses (System.cpu sys) in
   let a0 = Gc.allocated_bytes () in
   let t0 = Unix.gettimeofday () in
   let r =
@@ -253,12 +255,18 @@ let run_cell ~workload ~policy ~mech ~seed ~ops =
   in
   let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
   let alloc_bytes = Gc.allocated_bytes () -. a0 in
-  let n = float_of_int ops in
+  (* Per-access figures divide by the VM accesses the ops actually
+     performed (one kvstore get is ~17 accesses), not by ops — the
+     original report divided by ops under a *_per_access name, inflating
+     every figure by the accesses-per-op factor. *)
+  let accesses = Sgx.Cpu.accesses (System.cpu sys) - acc0 in
+  let n = float_of_int (max 1 accesses) in
   {
     mx_workload = workload;
     mx_policy = policy;
     mx_mech = (match mech with `Sgx1 -> "sgx1" | `Sgx2 -> "sgx2");
     mx_ops = ops;
+    mx_accesses = accesses;
     mx_wall_ns = wall_ns /. n;
     mx_alloc = alloc_bytes /. n;
     mx_cycles = float_of_int r.Measure.cycles /. n;
@@ -306,7 +314,10 @@ let to_json r =
   let b = Buffer.create 4_096 in
   let f = Printf.sprintf "%.2f" in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"autarky-perf/1\",\n";
+  (* /2: per-access figures divide by true VM accesses (an "accesses"
+     field records the divisor); /1 divided by ops under the same
+     field names. *)
+  Buffer.add_string b "  \"schema\": \"autarky-perf/2\",\n";
   Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" r.r_quick);
   Buffer.add_string b (Printf.sprintf "  \"seed\": %d,\n" r.r_seed);
   Buffer.add_string b (Printf.sprintf "  \"page_bytes\": %d,\n" page_bytes);
@@ -336,12 +347,12 @@ let to_json r =
       Buffer.add_string b
         (Printf.sprintf
            "    {\"workload\": \"%s\", \"policy\": \"%s\", \"mech\": \"%s\", \
-            \"ops\": %d, \"wall_ns_per_access\": %s, \
+            \"ops\": %d, \"accesses\": %d, \"wall_ns_per_access\": %s, \
             \"alloc_bytes_per_access\": %s, \"modeled_cycles_per_access\": %s, \
             \"page_faults\": %d}%s\n"
            (json_escape m.mx_workload) (json_escape m.mx_policy)
-           (json_escape m.mx_mech) m.mx_ops (f m.mx_wall_ns) (f m.mx_alloc)
-           (f m.mx_cycles) m.mx_faults
+           (json_escape m.mx_mech) m.mx_ops m.mx_accesses (f m.mx_wall_ns)
+           (f m.mx_alloc) (f m.mx_cycles) m.mx_faults
            (if i = List.length r.r_matrix - 1 then "" else ",")))
     r.r_matrix;
   Buffer.add_string b "  ]\n";
@@ -404,9 +415,11 @@ let run ?(quick = false) ?(seed = 42) ?(jobs = 1) ?out () =
 type gate_cell = {
   g_key : string * string * string;
   g_ops : int;
+  g_accesses : int;
   g_cycles : float;
   g_faults : int;
   g_wall_ns : float;
+  g_alloc : float;
 }
 
 let gate_cells_of_json ~ctx j =
@@ -418,9 +431,11 @@ let gate_cells_of_json ~ctx j =
          {
            g_key = (s "workload", s "policy", s "mech");
            g_ops = int_ ~ctx (field "ops");
+           g_accesses = int_ ~ctx (field "accesses");
            g_cycles = num ~ctx (field "modeled_cycles_per_access");
            g_faults = int_ ~ctx (field "page_faults");
            g_wall_ns = num ~ctx (field "wall_ns_per_access");
+           g_alloc = num ~ctx (field "alloc_bytes_per_access");
          })
 
 let gate_cells_of_rows rows =
@@ -429,9 +444,11 @@ let gate_cells_of_rows rows =
       {
         g_key = (m.mx_workload, m.mx_policy, m.mx_mech);
         g_ops = m.mx_ops;
+        g_accesses = m.mx_accesses;
         g_cycles = m.mx_cycles;
         g_faults = m.mx_faults;
         g_wall_ns = m.mx_wall_ns;
+        g_alloc = m.mx_alloc;
       })
     rows
 
@@ -442,12 +459,13 @@ let drift ~base ~cur =
   if base = 0.0 then (if cur = 0.0 then 0.0 else infinity)
   else Float.abs (cur -. base) /. Float.abs base
 
-let check ~baseline ?against ?(tolerance = 0.25) ?(jobs = 1) () =
+let check ~baseline ?against ?(tolerance = 0.25) ?wall_ceiling_ns ?alloc_ceiling
+    ?(jobs = 1) () =
   let load path =
     let j = Microjson.of_file path in
     (match Microjson.(member "schema" j) with
-    | Some (Microjson.Str "autarky-perf/1") -> ()
-    | _ -> failwith (path ^ ": not an autarky-perf/1 report"));
+    | Some (Microjson.Str "autarky-perf/2") -> ()
+    | _ -> failwith (path ^ ": not an autarky-perf/2 report"));
     j
   in
   let bj = load baseline in
@@ -495,6 +513,9 @@ let check ~baseline ?against ?(tolerance = 0.25) ?(jobs = 1) () =
         let bad = ref [] in
         if c.g_ops <> b.g_ops then
           bad := Printf.sprintf "ops %d vs %d" b.g_ops c.g_ops :: !bad;
+        if c.g_accesses <> b.g_accesses then
+          bad :=
+            Printf.sprintf "accesses %d vs %d" b.g_accesses c.g_accesses :: !bad;
         if d > tolerance then bad := Printf.sprintf "cycles drift %.1f%%" (100. *. d) :: !bad;
         if fd > tolerance then bad := Printf.sprintf "faults drift %.1f%%" (100. *. fd) :: !bad;
         Printf.printf "  %-22s %14.0f %14.0f %7.1f%% %4d/%-4d  %s\n" (key_name k)
@@ -503,11 +524,44 @@ let check ~baseline ?against ?(tolerance = 0.25) ?(jobs = 1) () =
         if !bad <> [] then
           fail_cell "cell %s: %s" (key_name k) (String.concat ", " !bad))
     base_a;
+  (* Absolute ceilings locking in the flat-core speedup.  The wall
+     ceiling applies to the current run's rate-limit cells (the cells
+     the rewrite targets; wall time is machine-dependent, so the bound
+     is generous).  The alloc ceiling bounds the matrix-median
+     allocation per access, which is deterministic. *)
+  (match wall_ceiling_ns with
+  | None -> ()
+  | Some ceiling ->
+    List.iter
+      (fun c ->
+        let _, policy, _ = c.g_key in
+        if policy = "rate-limit" && c.g_wall_ns > ceiling then
+          fail_cell "cell %s: wall %.0f ns/access exceeds ceiling %.0f"
+            (key_name c.g_key) c.g_wall_ns ceiling)
+      cur);
+  (match alloc_ceiling with
+  | None -> ()
+  | Some ceiling ->
+    let sorted = List.sort Float.compare (List.map (fun c -> c.g_alloc) cur) in
+    let n = List.length sorted in
+    if n > 0 then begin
+      let median =
+        if n mod 2 = 1 then List.nth sorted (n / 2)
+        else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.0
+      in
+      Printf.printf "perf: matrix median alloc %.1f B/access (ceiling %.0f)\n"
+        median ceiling;
+      if median > ceiling then
+        fail_cell "matrix median alloc %.1f B/access exceeds ceiling %.0f" median
+          ceiling
+    end);
   let ok = !failures = [] in
   if ok then
-    Printf.printf
-      "perf: %d cells within %.0f%% of %s (wall/alloc informational only)\n"
+    Printf.printf "perf: %d cells within %.0f%% of %s (%s)\n"
       (List.length base_a) (100.0 *. tolerance) baseline
+      (if wall_ceiling_ns <> None || alloc_ceiling <> None then
+         "wall/alloc ceilings enforced"
+       else "wall/alloc informational only")
   else begin
     Printf.printf "perf: regression gate FAILED against %s:\n" baseline;
     List.iter (fun m -> Printf.printf "  - %s\n" m) (List.rev !failures)

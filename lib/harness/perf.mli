@@ -6,7 +6,10 @@
     for (a) the crypto hot paths against their preserved boxed
     reference implementations, and (b) a fixed-seed workload matrix
     across policies and paging mechanisms.  Writes the stable
-    ["autarky-perf/1"] JSON schema (see DESIGN.md §11). *)
+    ["autarky-perf/2"] JSON schema (see DESIGN.md §11): per-access
+    figures divide by the true VM access count (recorded per cell in
+    ["accesses"]); the retired /1 schema divided by ops under the same
+    field names. *)
 
 type micro_row = {
   mi_name : string;
@@ -25,6 +28,7 @@ type matrix_row = {
   mx_policy : string;
   mx_mech : string;      (** "sgx1" or "sgx2" *)
   mx_ops : int;
+  mx_accesses : int;     (** VM accesses performed (deterministic) *)
   mx_wall_ns : float;    (** wall ns per access *)
   mx_alloc : float;      (** allocated bytes per access *)
   mx_cycles : float;     (** modeled cycles per access *)
@@ -41,7 +45,7 @@ type report = {
 }
 
 val to_json : report -> string
-(** Render the stable ["autarky-perf/1"] schema.  Determinism contract:
+(** Render the stable ["autarky-perf/2"] schema.  Determinism contract:
     everything except the ["wall"] metadata object and the per-row
     wall/alloc fields is a pure function of (quick, seed) — independent
     of [jobs], the machine, and the run.  (Matrix alloc rates are
@@ -59,16 +63,21 @@ val run : ?quick:bool -> ?seed:int -> ?jobs:int -> ?out:string -> unit -> report
     wall numbers are never measured under self-inflicted contention. *)
 
 val check :
-  baseline:string -> ?against:string -> ?tolerance:float -> ?jobs:int ->
+  baseline:string -> ?against:string -> ?tolerance:float ->
+  ?wall_ceiling_ns:float -> ?alloc_ceiling:float -> ?jobs:int ->
   unit -> bool
 (** The CI regression gate ([autarky_sim perf --check]).  Loads the
-    ["autarky-perf/1"] [baseline] file and compares matrix cells
+    ["autarky-perf/2"] [baseline] file and compares matrix cells
     against [against] (another report file) — or, when [against] is
     omitted, against a fresh run of the matrix at the baseline's own
     (quick, seed), sharded over [jobs] domains.  A cell fails when its
-    identity/ops disagree or when modeled cycles or fault counts drift
-    more than [tolerance] (default 0.25, relative; 0 demands exact
-    equality).  Wall-clock and allocation figures are informational
-    only — never gated.  Prints a verdict table; returns whether every
-    cell passed.
+    identity (ops, accesses) disagrees or when modeled cycles or fault
+    counts drift more than [tolerance] (default 0.25, relative; 0
+    demands exact equality).  Wall-clock and allocation figures are
+    informational by default; [wall_ceiling_ns] additionally fails any
+    current rate-limit cell whose wall ns/access exceeds it (a generous
+    absolute bound locking in the flat-core speedup), and
+    [alloc_ceiling] fails the run when the current matrix's *median*
+    allocated bytes/access exceeds it.  Prints a verdict table; returns
+    whether every cell passed.
     @raise Failure / {!Microjson.Parse_error} on unreadable input. *)

@@ -14,8 +14,10 @@ let os_iface os proc : Autarky.Os_iface.t =
     set_enclave_managed = Sim_os.Kernel.ay_set_enclave_managed os proc;
     set_os_managed = Sim_os.Kernel.ay_set_os_managed os proc;
     fetch_pages = Sim_os.Kernel.ay_fetch_pages os proc;
+    fetch_page = Sim_os.Kernel.ay_fetch_page os proc;
     evict_pages = Sim_os.Kernel.ay_evict_pages os proc;
     aug_pages = Sim_os.Kernel.ay_aug_pages os proc;
+    aug_page = Sim_os.Kernel.ay_aug_page os proc;
     remove_pages = Sim_os.Kernel.ay_remove_pages os proc;
     blob_store = Sim_os.Kernel.blob_store os proc;
     blob_load = Sim_os.Kernel.blob_load os proc;

@@ -85,6 +85,24 @@ let wrap_os t (os : Autarky.Os_iface.t) : Autarky.Os_iface.t =
           Error `Epc_exhausted
         end
         else os.aug_pages pages);
+    (* The single-page fast paths refuse under the same bursts, emitting
+       the syscall-family detail string — injected trace digests must
+       not depend on whether the runtime took the batch or the
+       single-page entry. *)
+    fetch_page =
+      (fun vp ->
+        if t.pending_burst > 0 then begin
+          refuse t "fetch_pages";
+          Error `Epc_exhausted
+        end
+        else os.fetch_page vp);
+    aug_page =
+      (fun vp ->
+        if t.pending_burst > 0 then begin
+          refuse t "aug_pages";
+          Error `Epc_exhausted
+        end
+        else os.aug_page vp);
     page_in_os_managed =
       (fun vp ->
         if t.pending_burst > 0 then begin

@@ -61,8 +61,7 @@ let sample t rng =
     sample_zipf ~n:t.n ~theta ~alpha ~zetan ~eta rng
   | Scrambled_zipf { theta; alpha; zetan; eta } ->
     let rank = sample_zipf ~n:t.n ~theta ~alpha ~zetan ~eta rng in
-    let h = Rng.fnv_hash64 (Int64.of_int rank) in
-    Int64.to_int (Int64.logand h 0x3FFFFFFFFFFFFFFFL) mod t.n
+    Rng.fnv_hash_masked rank mod t.n
   | Hotspot { hot_items; hot_probability } ->
     if Rng.float rng < hot_probability then Rng.int rng hot_items
     else if hot_items >= t.n then Rng.int rng t.n

@@ -1,9 +1,25 @@
-type t = { mutable state : int64 }
+(* The state lives in an 8-byte buffer rather than a [mutable int64]
+   field: without flambda every store to an int64 field boxes the new
+   state, which puts an allocation on every sample of every workload.
+   [Bytes.get_int64_le]/[set_int64_le] compile to unboxed 64-bit
+   load/store primitives, and the let-bound mix chain below stays
+   unboxed inside a single function, so the samplers that matter
+   ([int], [float], [bool]) allocate nothing beyond their result.
+
+   The mix chain is written out in each sampler instead of calling
+   [next_int64]: a function boundary would box the state and the
+   result.  Any edit must be mirrored in all copies — the stream is
+   pinned by golden traces and committed BENCH files. *)
+type t = { state : bytes }
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-let create ~seed = { state = seed }
-let copy t = { state = t.state }
+let create ~seed =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 seed;
+  { state = b }
+
+let copy t = { state = Bytes.copy t.state }
 
 (* splitmix64 output function: xor-shift multiply avalanche of the
    advanced state. *)
@@ -13,17 +29,25 @@ let mix z =
   Int64.logxor z (Int64.shift_right_logical z 31)
 
 let next_int64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  mix t.state
+  let s = Int64.add (Bytes.get_int64_le t.state 0) golden_gamma in
+  Bytes.set_int64_le t.state 0 s;
+  mix s
 
-let split t = { state = next_int64 t }
+let split t =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (next_int64 t);
+  { state = b }
 
 let int t bound =
   assert (bound > 0);
+  let s = Int64.add (Bytes.get_int64_le t.state 0) golden_gamma in
+  Bytes.set_int64_le t.state 0 s;
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
   (* Mask to 62 bits so the conversion to int is non-negative, then
      reduce. The modulo bias is negligible for simulation bounds. *)
-  let raw = Int64.to_int (Int64.logand (next_int64 t) 0x3FFFFFFFFFFFFFFFL) in
-  raw mod bound
+  Int64.to_int (Int64.logand z 0x3FFFFFFFFFFFFFFFL) mod bound
 
 let int_in t ~lo ~hi =
   assert (hi >= lo);
@@ -31,10 +55,20 @@ let int_in t ~lo ~hi =
 
 let float t =
   (* 53 uniform bits mapped to [0,1). *)
-  let bits = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
-  float_of_int bits /. 9007199254740992.0
+  let s = Int64.add (Bytes.get_int64_le t.state 0) golden_gamma in
+  Bytes.set_int64_le t.state 0 s;
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  float_of_int (Int64.to_int (Int64.shift_right_logical z 11)) /. 9007199254740992.0
 
-let bool t = Int64.logand (next_int64 t) 1L = 1L
+let bool t =
+  let s = Int64.add (Bytes.get_int64_le t.state 0) golden_gamma in
+  Bytes.set_int64_le t.state 0 s;
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int (Int64.logand z 1L) = 1
 
 let bytes t n =
   let b = Bytes.create n in
@@ -54,10 +88,28 @@ let shuffle t a =
 let fnv_offset_basis = 0xCBF29CE484222325L
 let fnv_prime = 0x100000001B3L
 
+(* Unrolled: an int64 ref in a loop boxes the accumulator on every
+   iteration; shadowed lets stay unboxed. *)
 let fnv_hash64 v =
-  let h = ref fnv_offset_basis in
-  for i = 0 to 7 do
-    let octet = Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL in
-    h := Int64.mul (Int64.logxor !h octet) fnv_prime
-  done;
-  !h
+  let h = fnv_offset_basis in
+  let h = Int64.mul (Int64.logxor h (Int64.logand v 0xFFL)) fnv_prime in
+  let h = Int64.mul (Int64.logxor h (Int64.logand (Int64.shift_right_logical v 8) 0xFFL)) fnv_prime in
+  let h = Int64.mul (Int64.logxor h (Int64.logand (Int64.shift_right_logical v 16) 0xFFL)) fnv_prime in
+  let h = Int64.mul (Int64.logxor h (Int64.logand (Int64.shift_right_logical v 24) 0xFFL)) fnv_prime in
+  let h = Int64.mul (Int64.logxor h (Int64.logand (Int64.shift_right_logical v 32) 0xFFL)) fnv_prime in
+  let h = Int64.mul (Int64.logxor h (Int64.logand (Int64.shift_right_logical v 40) 0xFFL)) fnv_prime in
+  let h = Int64.mul (Int64.logxor h (Int64.logand (Int64.shift_right_logical v 48) 0xFFL)) fnv_prime in
+  Int64.mul (Int64.logxor h (Int64.shift_right_logical v 56)) fnv_prime
+
+let fnv_hash_masked v =
+  let v = Int64.of_int v in
+  let h = fnv_offset_basis in
+  let h = Int64.mul (Int64.logxor h (Int64.logand v 0xFFL)) fnv_prime in
+  let h = Int64.mul (Int64.logxor h (Int64.logand (Int64.shift_right_logical v 8) 0xFFL)) fnv_prime in
+  let h = Int64.mul (Int64.logxor h (Int64.logand (Int64.shift_right_logical v 16) 0xFFL)) fnv_prime in
+  let h = Int64.mul (Int64.logxor h (Int64.logand (Int64.shift_right_logical v 24) 0xFFL)) fnv_prime in
+  let h = Int64.mul (Int64.logxor h (Int64.logand (Int64.shift_right_logical v 32) 0xFFL)) fnv_prime in
+  let h = Int64.mul (Int64.logxor h (Int64.logand (Int64.shift_right_logical v 40) 0xFFL)) fnv_prime in
+  let h = Int64.mul (Int64.logxor h (Int64.logand (Int64.shift_right_logical v 48) 0xFFL)) fnv_prime in
+  let h = Int64.mul (Int64.logxor h (Int64.shift_right_logical v 56)) fnv_prime in
+  Int64.to_int (Int64.logand h 0x3FFFFFFFFFFFFFFFL)

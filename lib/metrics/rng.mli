@@ -44,3 +44,8 @@ val shuffle : t -> 'a array -> unit
 val fnv_hash64 : int64 -> int64
 (** FNV-1a style 64-bit mixing hash used by the scrambled-Zipfian
     generator (exposed for tests). *)
+
+val fnv_hash_masked : int -> int
+(** [fnv_hash_masked v] is [fnv_hash64 (Int64.of_int v)] masked to 62
+    bits and converted to int, computed without boxing.  The samplers'
+    hot path; [v] must be non-negative. *)

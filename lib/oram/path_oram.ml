@@ -1,6 +1,12 @@
 type metadata = [ `Direct | `Oblivious_scan ]
 
-type slot = { mutable blk : int; mutable data : Sgx.Page_data.t option }
+(* Bucket slots and the stash hold payloads directly (a shared [dummy]
+   page stands in for "empty"): the option wrapper and the stash
+   hashtable of the original implementation allocated on every slot
+   move, which put the ORAM cells' allocation rate in the kilobytes per
+   access.  The stash is a dense pair of arrays plus a block -> index
+   map, so adds and removes are array stores. *)
+type slot = { mutable blk : int; mutable data : Sgx.Page_data.t }
 
 type t = {
   clock : Metrics.Clock.t;
@@ -12,7 +18,13 @@ type t = {
   levels : int;
   buckets : slot array array;
   posmap : int array;
-  stash : (int, Sgx.Page_data.t) Hashtbl.t;
+  dummy : Sgx.Page_data.t;
+  (* Stash: entries [0, st_n) of [st_blk]/[st_data] are live;
+     [in_stash.(blk)] is the entry index or -1. *)
+  mutable st_blk : int array;
+  mutable st_data : Sgx.Page_data.t array;
+  mutable st_n : int;
+  in_stash : int array;
   stash_capacity : int;
   mutable tracing : bool;
   mutable trace : int list;
@@ -29,9 +41,10 @@ let create ~clock ~rng ?(z = 4) ?(metadata = `Direct) ~n_blocks () =
     log2 leaves + 1
   in
   let bucket_count = (2 * leaves) - 1 in
+  let dummy = Sgx.Page_data.create () in
   let buckets =
     Array.init bucket_count (fun _ ->
-        Array.init z (fun _ -> { blk = -1; data = None }))
+        Array.init z (fun _ -> { blk = -1; data = dummy }))
   in
   let posmap = Array.init n_blocks (fun _ -> Metrics.Rng.int rng leaves) in
   {
@@ -44,7 +57,11 @@ let create ~clock ~rng ?(z = 4) ?(metadata = `Direct) ~n_blocks () =
     levels;
     buckets;
     posmap;
-    stash = Hashtbl.create 256;
+    dummy;
+    st_blk = Array.make 256 (-1);
+    st_data = Array.make 256 dummy;
+    st_n = 0;
+    in_stash = Array.make n_blocks (-1);
     stash_capacity = 128;
     tracing = false;
     trace = [];
@@ -54,18 +71,54 @@ let create ~clock ~rng ?(z = 4) ?(metadata = `Direct) ~n_blocks () =
 let n_blocks t = t.n_blocks
 let levels t = t.levels
 let leaves t = t.leaves
-let stash_size t = Hashtbl.length t.stash
+let stash_size t = t.st_n
 let set_tracing t b = t.tracing <- b
 let trace t = t.trace
 
+(* --- Stash ----------------------------------------------------------- *)
+
+let stash_grow t =
+  let cap = 2 * Array.length t.st_blk in
+  let blk = Array.make cap (-1) and data = Array.make cap t.dummy in
+  Array.blit t.st_blk 0 blk 0 t.st_n;
+  Array.blit t.st_data 0 data 0 t.st_n;
+  t.st_blk <- blk;
+  t.st_data <- data
+
+let stash_add t blk d =
+  match t.in_stash.(blk) with
+  | i when i >= 0 -> t.st_data.(i) <- d
+  | _ ->
+    if t.st_n = Array.length t.st_blk then stash_grow t;
+    t.st_blk.(t.st_n) <- blk;
+    t.st_data.(t.st_n) <- d;
+    t.in_stash.(blk) <- t.st_n;
+    t.st_n <- t.st_n + 1
+
+(* Swap-with-last removal: the caller scanning forward must re-examine
+   index [i] afterwards. *)
+let stash_remove_at t i =
+  let last = t.st_n - 1 in
+  t.in_stash.(t.st_blk.(i)) <- -1;
+  if i < last then begin
+    t.st_blk.(i) <- t.st_blk.(last);
+    t.st_data.(i) <- t.st_data.(last);
+    t.in_stash.(t.st_blk.(i)) <- i
+  end;
+  t.st_blk.(last) <- -1;
+  t.st_data.(last) <- t.dummy;
+  t.st_n <- last
+
+(* --- Tree geometry --------------------------------------------------- *)
+
 (* Bucket index (heap layout) of the level-[v] node on the path to
-   [leaf]; level 0 is the root, level [levels-1] the leaf bucket. *)
-let bucket_at t ~leaf ~level =
-  let node = ref (t.leaves - 1 + leaf) in
-  for _ = 1 to t.levels - 1 - level do
-    node := (!node - 1) / 2
-  done;
-  !node
+   [leaf]; level 0 is the root, level [levels-1] the leaf bucket.
+   Top-level recursion rather than a local ref: the walk runs once per
+   level per access and must not allocate. *)
+let rec bucket_up node steps =
+  if steps = 0 then node else bucket_up ((node - 1) / 2) (steps - 1)
+
+let bucket_at t ~leaf ~level = bucket_up (t.leaves - 1 + leaf) (t.levels - 1 - level)
 
 let model t = Metrics.Clock.model t.clock
 
@@ -104,17 +157,33 @@ let read_path t leaf =
   Metrics.Clock.charge t.clock cost;
   for level = 0 to t.levels - 1 do
     let bucket = t.buckets.(bucket_at t ~leaf ~level) in
-    Array.iter
-      (fun slot ->
-        if slot.blk >= 0 then begin
-          (match slot.data with
-          | Some d -> Hashtbl.replace t.stash slot.blk d
-          | None -> Hashtbl.replace t.stash slot.blk (Sgx.Page_data.create ()));
-          slot.blk <- -1;
-          slot.data <- None
-        end)
-      bucket
+    for s = 0 to Array.length bucket - 1 do
+      let slot = bucket.(s) in
+      if slot.blk >= 0 then begin
+        stash_add t slot.blk slot.data;
+        slot.blk <- -1;
+        slot.data <- t.dummy
+      end
+    done
   done
+
+(* Greedily place stash blocks whose assigned leaf shares this bucket,
+   filling slots [0, z).  [i] re-examines its index after a removal
+   (swap-with-last).  Stash scan order replaces the old hashtable
+   iteration order; placement choice is unobservable (costs, traces and
+   retrievability do not depend on it). *)
+let rec place_level t bucket bucket_idx level placed i =
+  if placed < t.z && i < t.st_n then begin
+    let blk = t.st_blk.(i) in
+    if bucket_at t ~leaf:t.posmap.(blk) ~level = bucket_idx then begin
+      let s = bucket.(placed) in
+      s.blk <- blk;
+      s.data <- t.st_data.(i);
+      stash_remove_at t i;
+      place_level t bucket bucket_idx level (placed + 1) i
+    end
+    else place_level t bucket bucket_idx level placed (i + 1)
+  end
 
 let write_path t leaf =
   let cost = t.levels * t.z * slot_move_cost t in
@@ -132,26 +201,7 @@ let write_path t leaf =
           ~entry_bytes:m.page_bytes));
   for level = t.levels - 1 downto 0 do
     let bucket_idx = bucket_at t ~leaf ~level in
-    let bucket = t.buckets.(bucket_idx) in
-    (* Greedily place stash blocks whose assigned leaf shares this
-       bucket, deepest level first. *)
-    let placed = ref [] in
-    (try
-       Hashtbl.iter
-         (fun blk _ ->
-           if List.length !placed >= t.z then raise Exit;
-           let blk_leaf = t.posmap.(blk) in
-           if bucket_at t ~leaf:blk_leaf ~level = bucket_idx then
-             placed := blk :: !placed)
-         t.stash
-     with Exit -> ());
-    List.iteri
-      (fun i blk ->
-        let data = Hashtbl.find t.stash blk in
-        Hashtbl.remove t.stash blk;
-        bucket.(i).blk <- blk;
-        bucket.(i).data <- Some data)
-      !placed
+    place_level t t.buckets.(bucket_idx) bucket_idx level 0 0
   done
 
 let access t ~block f =
@@ -163,12 +213,12 @@ let access t ~block f =
   t.posmap.(block) <- Metrics.Rng.int t.rng t.leaves;
   read_path t leaf;
   let data =
-    match Hashtbl.find_opt t.stash block with
-    | Some d -> d
-    | None ->
+    match t.in_stash.(block) with
+    | i when i >= 0 -> t.st_data.(i)
+    | _ ->
       (* First access to this block: materialize a zero page. *)
       let d = Sgx.Page_data.create () in
-      Hashtbl.replace t.stash block d;
+      stash_add t block d;
       d
   in
   f data;

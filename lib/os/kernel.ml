@@ -6,12 +6,16 @@ type proc = {
   enclave : Enclave.t;
   pt : Page_table.t;
   proc_swap : Swap_store.t;
-  enclave_managed : (Types.vpage, unit) Hashtbl.t;
-  intended_perms : (Types.vpage, Types.perms) Hashtbl.t;
-  (* Victim queue of (page, seq): only a page's latest seq is live, so a
-     page that cycles out and back in queues at the back again. *)
-  os_resident : (Types.vpage * int) Queue.t;
-  queue_seq : (Types.vpage, int) Hashtbl.t;
+  enclave_managed : Flat.t;
+  intended_perms : Flat.t; (* vpage -> Types.perms_bits *)
+  (* Victim queue of (page, seq) as a pair of int rings: only a page's
+     latest seq is live, so a page that cycles out and back in queues
+     at the back again. *)
+  mutable orq_vp : int array;
+  mutable orq_seq : int array;
+  mutable orq_head : int;
+  mutable orq_tail : int;
+  queue_seq : Flat.t;
   mutable seq_counter : int;
   mutable resident_count : int;
   mutable epc_limit : int;
@@ -121,10 +125,13 @@ let create_proc t ~size_pages ~self_paging ~epc_limit =
       enclave;
       pt = Page_table.create ();
       proc_swap = Swap_store.create ();
-      enclave_managed = Hashtbl.create 1024;
-      intended_perms = Hashtbl.create 1024;
-      os_resident = Queue.create ();
-      queue_seq = Hashtbl.create 1024;
+      enclave_managed = Flat.create ~size:1024 ();
+      intended_perms = Flat.create ~size:1024 ();
+      orq_vp = Array.make 1024 0;
+      orq_seq = Array.make 1024 0;
+      orq_head = 0;
+      orq_tail = 0;
+      queue_seq = Flat.create ~size:1024 ();
       seq_counter = 0;
       resident_count = 0;
       epc_limit;
@@ -140,27 +147,60 @@ let resident_pages proc = proc.resident_count
 let epc_limit proc = proc.epc_limit
 let set_epc_limit proc n = proc.epc_limit <- n
 
-let is_enclave_managed proc vp = Hashtbl.mem proc.enclave_managed vp
+let is_enclave_managed proc vp = Flat.mem proc.enclave_managed vp
+
+(* Victim-queue ring: a power-of-two circular buffer of (vp, seq)
+   pairs, grown by doubling.  Semantically identical to the old
+   [Queue.t] of tuples, without a cons per push. *)
+let orq_grow proc =
+  let len = Array.length proc.orq_vp in
+  let vp = Array.make (2 * len) 0 and seq = Array.make (2 * len) 0 in
+  let n = proc.orq_tail - proc.orq_head in
+  for j = 0 to n - 1 do
+    let s = (proc.orq_head + j) land (len - 1) in
+    vp.(j) <- proc.orq_vp.(s);
+    seq.(j) <- proc.orq_seq.(s)
+  done;
+  proc.orq_vp <- vp;
+  proc.orq_seq <- seq;
+  proc.orq_head <- 0;
+  proc.orq_tail <- n
+
+let orq_length proc = proc.orq_tail - proc.orq_head
+let orq_is_empty proc = proc.orq_head = proc.orq_tail
+
+let orq_push proc vp seq =
+  if orq_length proc = Array.length proc.orq_vp then orq_grow proc;
+  let s = proc.orq_tail land (Array.length proc.orq_vp - 1) in
+  proc.orq_vp.(s) <- vp;
+  proc.orq_seq.(s) <- seq;
+  proc.orq_tail <- proc.orq_tail + 1
+
+(* Pop the head (vp, seq) pair; the caller checks emptiness. *)
+let orq_pop proc =
+  let s = proc.orq_head land (Array.length proc.orq_vp - 1) in
+  proc.orq_head <- proc.orq_head + 1;
+  (proc.orq_vp.(s), proc.orq_seq.(s))
 
 let enqueue_os_resident proc vp =
   proc.seq_counter <- proc.seq_counter + 1;
-  Hashtbl.replace proc.queue_seq vp proc.seq_counter;
-  Queue.push (vp, proc.seq_counter) proc.os_resident
+  Flat.set proc.queue_seq vp proc.seq_counter;
+  orq_push proc vp proc.seq_counter
 
-let queue_entry_live proc (vp, seq) =
-  Hashtbl.find_opt proc.queue_seq vp = Some seq
+let queue_entry_live proc vp seq = Flat.find proc.queue_seq vp = seq
 
 let resident t proc vp =
-  Epc.frame_of t.machine.epc ~enclave_id:proc.enclave.id ~vpage:vp <> None
+  Epc.frame_of_packed t.machine.epc ~enclave_id:proc.enclave.id ~vpage:vp >= 0
 
 let intended_perms_of proc vp =
-  Option.value ~default:Types.perms_rw (Hashtbl.find_opt proc.intended_perms vp)
+  let bits = Flat.find proc.intended_perms vp in
+  if bits >= 0 then Types.perms_of_bits bits else Types.perms_rw
 
 (* Install a PTE honouring the Autarky contract: for self-paging
    enclaves the OS must pre-set accessed and dirty, since the hardware
    will treat clear bits as an invalid PTE. *)
 let map_page proc ~vpage ~frame ~perms =
-  Hashtbl.replace proc.intended_perms vpage perms;
+  Flat.set proc.intended_perms vpage (Types.perms_bits perms);
   let preset = proc.enclave.self_paging in
   Page_table.map proc.pt ~vpage ~frame ~perms ~accessed:preset ~dirty:preset ()
 
@@ -169,7 +209,7 @@ let add_initial_page t proc ~vpage ~data ~perms =
   | Enclave.Created -> ()
   | _ -> Types.sgx_errorf "add_initial_page: enclave %d already initialized"
            proc.enclave.id);
-  Hashtbl.replace proc.intended_perms vpage perms;
+  Flat.set proc.intended_perms vpage (Types.perms_bits perms);
   let headroom =
     Epc.free_frames t.machine.epc > 0 && proc.resident_count < proc.epc_limit
   in
@@ -229,8 +269,13 @@ let do_evict_batch ?(os_initiated = true) t proc vps =
         proc.resident_count <- proc.resident_count - 1;
         if os_initiated then incr t t.cells.k_evict)
       vps;
-    emit t proc ~actor:Trace.Event.Os (fun () ->
-        Trace.Event.Evict { vpages = vps; enclave_initiated = not os_initiated })
+    (* Inline tracer match: a thunk here would capture [vps] and
+       allocate per eviction batch even with tracing off. *)
+    match Machine.tracer t.machine with
+    | None -> ()
+    | Some tr ->
+      Trace.Recorder.emit tr ~enclave:proc.enclave.id ~actor:Trace.Event.Os
+        (Trace.Event.Evict { vpages = vps; enclave_initiated = not os_initiated })
 
 let do_evict ?(os_initiated = true) t proc vp =
   do_evict_batch ~os_initiated t proc [ vp ]
@@ -239,53 +284,59 @@ let do_evict ?(os_initiated = true) t proc vp =
    chance via accessed bits) for legacy enclaves, FIFO for self-paging
    enclaves whose accessed bits the OS can no longer read usefully. *)
 let choose_victim t proc =
-  let q = proc.os_resident in
-  let budget = ref ((2 * Queue.length q) + 1) in
-  let result = ref None in
-  while !result = None && (not (Queue.is_empty q)) && !budget > 0 do
+  let budget = ref ((2 * orq_length proc) + 1) in
+  let result = ref (-1) in
+  while !result < 0 && (not (orq_is_empty proc)) && !budget > 0 do
     decr budget;
-    let ((vp, _) as entry) = Queue.pop q in
+    let vp, seq = orq_pop proc in
     if
-      queue_entry_live proc entry
+      queue_entry_live proc vp seq
       && resident t proc vp
       && not (is_enclave_managed proc vp)
     then
       if not proc.enclave.self_paging then begin
-        match Page_table.find proc.pt vp with
-        | Some pte when pte.accessed && !budget > 0 ->
-          pte.accessed <- false;
+        let p = Page_table.find_packed proc.pt vp in
+        if p >= 0 && Page_table.p_accessed p && !budget > 0 then begin
+          Page_table.clear_accessed proc.pt vp;
           enqueue_os_resident proc vp
-        | _ -> result := Some vp
+        end
+        else result := vp
       end
-      else result := Some vp
+      else result := vp
   done;
-  !result
+  if !result >= 0 then Some !result else None
 
-let ensure_headroom t proc ~extra =
-  let ok () =
-    Epc.free_frames t.machine.epc >= extra
-    && proc.resident_count + extra <= proc.epc_limit
-  in
-  (* Collect the whole deficit first so eviction pays for one ETRACK. *)
-  let deficit () =
-    max
-      (extra - Epc.free_frames t.machine.epc)
-      (proc.resident_count + extra - proc.epc_limit)
-  in
-  let progress = ref true in
-  while (not (ok ())) && !progress do
-    let victims = ref [] in
-    (try
-       for _ = 1 to deficit () do
-         match choose_victim t proc with
-         | Some vp -> victims := vp :: !victims
-         | None -> raise Exit
-       done
-     with Exit -> ());
-    if !victims = [] then progress := false
-    else do_evict_batch t proc !victims
-  done;
-  if ok () then Ok () else Error `Epc_exhausted
+(* Headroom check and deficit as plain functions: the old let-bound
+   [ok]/[deficit] thunks and the [progress]/[victims] refs allocated on
+   every fetch even when headroom already existed — and every
+   demand-fetch passes through here. *)
+let headroom_ok t proc ~extra =
+  Epc.free_frames t.machine.epc >= extra
+  && proc.resident_count + extra <= proc.epc_limit
+
+let headroom_deficit t proc ~extra =
+  max
+    (extra - Epc.free_frames t.machine.epc)
+    (proc.resident_count + extra - proc.epc_limit)
+
+(* Gather up to [n] victims; the latest choice ends at the head, the
+   order the old ref-accumulating loop produced. *)
+let rec collect_victims t proc n acc =
+  if n <= 0 then acc
+  else
+    match choose_victim t proc with
+    | Some vp -> collect_victims t proc (n - 1) (vp :: acc)
+    | None -> acc
+
+(* Collect the whole deficit per round so eviction pays for one ETRACK. *)
+let rec ensure_headroom t proc ~extra =
+  if headroom_ok t proc ~extra then Ok ()
+  else
+    match collect_victims t proc (headroom_deficit t proc ~extra) [] with
+    | [] -> Error `Epc_exhausted
+    | victims ->
+      do_evict_batch t proc victims;
+      ensure_headroom t proc ~extra
 
 (* --- Fetch ----------------------------------------------------------- *)
 
@@ -298,8 +349,11 @@ let do_fetch t proc vp ~pinned : (unit, fetch_error) result =
       proc.resident_count <- proc.resident_count + 1;
       if not pinned then enqueue_os_resident proc vp;
       if not pinned then incr t t.cells.k_fetch;
-      emit t proc ~actor:Trace.Event.Os (fun () ->
-          Trace.Event.Fetch { vpages = [ vp ]; enclave_initiated = pinned });
+      (match Machine.tracer t.machine with
+      | None -> ()
+      | Some tr ->
+        Trace.Recorder.emit tr ~enclave:proc.enclave.id ~actor:Trace.Event.Os
+          (Trace.Event.Fetch { vpages = [ vp ]; enclave_initiated = pinned }));
       (* The page just became resident: the demand-paging side channel
          (§4) — an observing OS always sees this. *)
       t.kernel_hooks.on_fetch proc [ vp ];
@@ -391,14 +445,17 @@ let os_callbacks t =
 let charge_hostcall t proc cell ~pages =
   charge t (cmodel t).exitless_call;
   incr t cell;
-  emit t proc ~actor:Trace.Event.Os (fun () ->
-      Trace.Event.Syscall { name = Metrics.Counters.name cell; pages })
+  match Machine.tracer t.machine with
+  | None -> ()
+  | Some tr ->
+    Trace.Recorder.emit tr ~enclave:proc.enclave.id ~actor:Trace.Event.Os
+      (Trace.Event.Syscall { name = Metrics.Counters.name cell; pages })
 
 let ay_set_enclave_managed t proc pages =
   charge_hostcall t proc t.cells.k_sys_set_enclave_managed ~pages:(List.length pages);
   List.map
     (fun vp ->
-      Hashtbl.replace proc.enclave_managed vp ();
+      Flat.set proc.enclave_managed vp 1;
       (vp, resident t proc vp))
     pages
 
@@ -406,26 +463,37 @@ let ay_set_os_managed t proc pages =
   charge_hostcall t proc t.cells.k_sys_set_os_managed ~pages:(List.length pages);
   List.iter
     (fun vp ->
-      Hashtbl.remove proc.enclave_managed vp;
+      Flat.remove proc.enclave_managed vp;
       if resident t proc vp then enqueue_os_resident proc vp)
     pages
+
+(* Stop at the first blob fault: the error names the offending page so
+   the runtime can report exactly what the OS broke.  Top-level so the
+   batch call builds no closure. *)
+let rec fetch_all t proc = function
+  | [] -> Ok ()
+  | vp :: rest -> (
+    match do_fetch t proc vp ~pinned:true with
+    | Ok () -> fetch_all t proc rest
+    | Error _ as e -> e)
 
 let ay_fetch_pages t proc pages =
   charge_hostcall t proc t.cells.k_sys_fetch_pages ~pages:(List.length pages);
   let needed = List.filter (fun vp -> not (resident t proc vp)) pages in
   match ensure_headroom t proc ~extra:(List.length needed) with
   | Error `Epc_exhausted -> Error `Epc_exhausted
-  | Ok () ->
-    (* Stop at the first blob fault: the error names the offending page
-       so the runtime can report exactly what the OS broke. *)
-    let rec fetch_all = function
-      | [] -> Ok ()
-      | vp :: rest -> (
-        match do_fetch t proc vp ~pinned:true with
-        | Ok () -> fetch_all rest
-        | Error _ as e -> e)
-    in
-    fetch_all needed
+  | Ok () -> fetch_all t proc needed
+
+(* Single-page variant of [ay_fetch_pages]: the demand-fetch path runs
+   once per fault, so it skips the list filtering and length plumbing.
+   Counters, charges, trace events and failure behaviour are those of
+   [ay_fetch_pages t proc [vp]] exactly. *)
+let ay_fetch_page t proc vp =
+  charge_hostcall t proc t.cells.k_sys_fetch_pages ~pages:1;
+  let extra = if resident t proc vp then 0 else 1 in
+  match ensure_headroom t proc ~extra with
+  | Error `Epc_exhausted -> Error `Epc_exhausted
+  | Ok () -> if extra = 0 then Ok () else do_fetch t proc vp ~pinned:true
 
 let ay_evict_pages t proc pages =
   charge_hostcall t proc t.cells.k_sys_evict_pages ~pages:(List.length pages);
@@ -448,6 +516,25 @@ let ay_aug_pages t proc pages =
       needed;
     (* The EAUG path bypasses [do_fetch]; residency is equally visible. *)
     if needed <> [] then t.kernel_hooks.on_fetch proc needed;
+    Ok ()
+
+(* Single-page variant of [ay_aug_pages], mirroring
+   [ay_aug_pages t proc [vp]] event-for-event (the SGXv2 fault path
+   augments one page per miss). *)
+let ay_aug_page t proc vp =
+  charge_hostcall t proc t.cells.k_sys_aug_pages ~pages:1;
+  let extra = if resident t proc vp then 0 else 1 in
+  match ensure_headroom t proc ~extra with
+  | Error `Epc_exhausted -> Error `Epc_exhausted
+  | Ok () ->
+    if extra = 1 then begin
+      (match Instructions.eaug t.machine proc.enclave ~vpage:vp with
+      | Ok frame ->
+        map_page proc ~vpage:vp ~frame ~perms:Types.perms_rw;
+        proc.resident_count <- proc.resident_count + 1
+      | Error `Epc_full -> Types.sgx_errorf "EAUG: EPC full after headroom check");
+      t.kernel_hooks.on_fetch proc [ vp ]
+    end;
     Ok ()
 
 let ay_remove_pages t proc pages =
@@ -567,20 +654,21 @@ let probe t proc name vp =
   (* Attacker probes are cold-path and open-vocabulary; keep the string
      API here. *)
   Metrics.Counters.incr (Machine.counters t.machine) ("attacker." ^ name);
-  emit t proc ~actor:Trace.Event.Attacker (fun () ->
-      Trace.Event.Probe { probe = name; vpages = [ vp ] })
+  match Machine.tracer t.machine with
+  | None -> ()
+  | Some tr ->
+    Trace.Recorder.emit tr ~enclave:proc.enclave.id ~actor:Trace.Event.Attacker
+      (Trace.Event.Probe { probe = name; vpages = [ vp ] })
 
 let attacker_unmap t proc vp =
-  (match Page_table.find proc.pt vp with
-  | Some pte -> pte.present <- false
-  | None -> ());
+  Page_table.set_present proc.pt vp false;
   Tlb.flush_page t.machine.tlb vp;
   probe t proc "unmap" vp
 
 let attacker_restore t proc vp =
-  (match Epc.frame_of t.machine.epc ~enclave_id:proc.enclave.id ~vpage:vp with
-  | Some frame -> map_page proc ~vpage:vp ~frame ~perms:(intended_perms_of proc vp)
-  | None -> ());
+  let frame = Epc.frame_of_packed t.machine.epc ~enclave_id:proc.enclave.id ~vpage:vp in
+  if frame >= 0 then
+    map_page proc ~vpage:vp ~frame ~perms:(intended_perms_of proc vp);
   probe t proc "restore" vp
 
 let attacker_set_perms t proc vp perms =
@@ -601,19 +689,17 @@ let attacker_clear_dirty t proc vp =
 let attacker_read_ad t proc vp =
   emit t proc ~actor:Trace.Event.Attacker (fun () ->
       Trace.Event.Probe { probe = "read_ad"; vpages = [ vp ] });
-  match Page_table.find proc.pt vp with
-  | Some pte -> Some (pte.accessed, pte.dirty)
-  | None -> None
+  let p = Page_table.find_packed proc.pt vp in
+  if p >= 0 then Some (Page_table.p_accessed p, Page_table.p_dirty p) else None
 
 let attacker_map_wrong t proc ~victim ~other =
-  (match Epc.frame_of t.machine.epc ~enclave_id:proc.enclave.id ~vpage:other with
-  | Some frame -> (
-    match Page_table.find proc.pt victim with
-    | Some pte -> pte.frame <- frame
-    | None ->
-      Page_table.map proc.pt ~vpage:victim ~frame ~perms:Types.perms_rw
-        ~accessed:true ~dirty:true ())
-  | None -> Types.sgx_errorf "attacker_map_wrong: page 0x%x not resident" other);
+  let frame = Epc.frame_of_packed t.machine.epc ~enclave_id:proc.enclave.id ~vpage:other in
+  if frame < 0 then
+    Types.sgx_errorf "attacker_map_wrong: page 0x%x not resident" other;
+  if Page_table.mapped proc.pt victim then Page_table.set_frame proc.pt victim frame
+  else
+    Page_table.map proc.pt ~vpage:victim ~frame ~perms:Types.perms_rw
+      ~accessed:true ~dirty:true ();
   Tlb.flush_page t.machine.tlb victim;
   probe t proc "map_wrong" victim
 

@@ -103,6 +103,12 @@ val ay_fetch_pages :
     at the offending page if its blob is missing, tampered or stale
     (pages before it in the batch stay fetched). *)
 
+val ay_fetch_page :
+  t -> proc -> Sgx.Types.vpage -> (unit, fetch_error) result
+(** Single-page [ay_fetch_pages] — identical counters, charges and
+    trace events to a one-element batch, without the list plumbing.
+    The demand-fetch fast path the fault handler runs on every miss. *)
+
 val ay_evict_pages : t -> proc -> Sgx.Types.vpage list -> unit
 (** SGXv1 path: EWB each resident page to the backing store and unmap. *)
 
@@ -111,6 +117,10 @@ val ay_evict_pages : t -> proc -> Sgx.Types.vpage list -> unit
 val ay_aug_pages :
   t -> proc -> Sgx.Types.vpage list -> (unit, [ `Epc_exhausted ]) result
 (** EAUG + map each page (pending until the enclave EACCEPTCOPYs). *)
+
+val ay_aug_page :
+  t -> proc -> Sgx.Types.vpage -> (unit, [ `Epc_exhausted ]) result
+(** Single-page [ay_aug_pages] — the SGXv2 demand-fetch fast path. *)
 
 val ay_remove_pages : t -> proc -> Sgx.Types.vpage list -> unit
 (** EREMOVE + unmap each page (after the enclave trimmed and accepted). *)

@@ -56,18 +56,20 @@ let maybe_preempt t =
         Types.sgx_errorf "ERESUME failed after interrupt on enclave %d" t.enclave.id
     end
 
+(* Top-level so the retry loop is a static call: a local [let rec go]
+   would capture [t]/[vaddr]/[kind] and allocate a closure per access. *)
+let rec access_retry t vaddr kind retries =
+  if retries > t.max_fault_retries then
+    Types.sgx_errorf "page fault livelock at 0x%x (%d retries)" vaddr retries;
+  match Mmu.translate_code t.machine t.page_table t.enclave vaddr kind with
+  | 0 -> ()
+  | code ->
+    handle_fault t vaddr kind (Mmu.cause_of_code code);
+    access_retry t vaddr kind (retries + 1)
+
 let access t vaddr kind =
   Enclave.assert_runnable t.enclave;
-  let rec go retries =
-    if retries > t.max_fault_retries then
-      Types.sgx_errorf "page fault livelock at 0x%x (%d retries)" vaddr retries;
-    match Mmu.translate t.machine t.page_table t.enclave vaddr kind with
-    | Ok () -> ()
-    | Error cause ->
-      handle_fault t vaddr kind cause;
-      go (retries + 1)
-  in
-  go 0;
+  access_retry t vaddr kind 0;
   (* Instruction fetches leave a record in the machine's branch-trace
      ring (LBR/BTB model) — microarchitectural state only, no cost. *)
   if kind = Types.Exec then

@@ -9,13 +9,21 @@ type epcm_entry = {
   mutable blocked : bool;
 }
 
+(* The reverse index (enclave page -> frame) keys a {!Flat} int map
+   with enclave id and vpage packed into one int; the free pool is an
+   int-array stack.  Both preserve the old structures' observable
+   order: the stack pops frames 0, 1, 2, ... initially and is LIFO on
+   release, exactly like the old cons-list free list. *)
+
 type t = {
   entries : epcm_entry array;
   contents : Page_data.t array;
-  mutable free_list : Types.frame list;
+  free : int array;           (* free frames; top of stack at free_count-1 *)
   mutable free_count : int;
-  reverse : (int * Types.vpage, Types.frame) Hashtbl.t;
+  reverse : Flat.t;
 }
+
+let reverse_key ~enclave_id ~vpage = (enclave_id lsl 40) lor vpage
 
 let empty_entry () =
   {
@@ -34,21 +42,22 @@ let create ~frames =
   {
     entries = Array.init frames (fun _ -> empty_entry ());
     contents = Array.init frames (fun _ -> Page_data.create ());
-    free_list = List.init frames (fun i -> i);
+    (* Arranged so the first pops yield frames 0, 1, 2, ... *)
+    free = Array.init frames (fun i -> frames - 1 - i);
     free_count = frames;
-    reverse = Hashtbl.create (2 * frames);
+    reverse = Flat.create ~size:(2 * frames) ();
   }
 
 let total_frames t = Array.length t.entries
 let free_frames t = t.free_count
 
 let alloc t =
-  match t.free_list with
-  | [] -> None
-  | f :: rest ->
-    t.free_list <- rest;
+  if t.free_count = 0 then None
+  else begin
+    let f = t.free.(t.free_count - 1) in
     t.free_count <- t.free_count - 1;
     Some f
+  end
 
 let entry t frame = t.entries.(frame)
 let data t frame = t.contents.(frame)
@@ -56,7 +65,10 @@ let set_data t frame d = t.contents.(frame) <- d
 
 let release t frame =
   let e = t.entries.(frame) in
-  if e.valid then Hashtbl.remove t.reverse (e.enclave_id, e.vpage);
+  (* VA pages are bound with [track_reverse:false] and a negative
+     enclave id; they have no reverse entry to drop. *)
+  if e.valid && e.enclave_id >= 0 then
+    Flat.remove t.reverse (reverse_key ~enclave_id:e.enclave_id ~vpage:e.vpage);
   e.valid <- false;
   e.pending <- false;
   e.modified <- false;
@@ -64,10 +76,16 @@ let release t frame =
   e.enclave_id <- -1;
   e.vpage <- -1;
   t.contents.(frame) <- Page_data.create ();
-  t.free_list <- frame :: t.free_list;
+  t.free.(t.free_count) <- frame;
   t.free_count <- t.free_count + 1
 
-let frame_of t ~enclave_id ~vpage = Hashtbl.find_opt t.reverse (enclave_id, vpage)
+let frame_of_packed t ~enclave_id ~vpage =
+  if enclave_id < 0 || vpage < 0 then -1
+  else Flat.find t.reverse (reverse_key ~enclave_id ~vpage)
+
+let frame_of t ~enclave_id ~vpage =
+  let f = frame_of_packed t ~enclave_id ~vpage in
+  if f >= 0 then Some f else None
 
 let frames_of_enclave t ~enclave_id =
   let acc = ref [] in
@@ -87,4 +105,4 @@ let bind ?(track_reverse = true) t ~frame ~enclave_id ~vpage ~perms ~ptype ~pend
   e.pending <- pending;
   e.modified <- false;
   e.blocked <- false;
-  if track_reverse then Hashtbl.replace t.reverse (enclave_id, vpage) frame
+  if track_reverse then Flat.set t.reverse (reverse_key ~enclave_id ~vpage) frame

@@ -38,6 +38,10 @@ val set_data : t -> Types.frame -> Page_data.t -> unit
 val frame_of : t -> enclave_id:int -> vpage:Types.vpage -> Types.frame option
 (** Reverse lookup: the frame currently holding a given enclave page. *)
 
+val frame_of_packed : t -> enclave_id:int -> vpage:Types.vpage -> int
+(** {!frame_of} without the [option]: [-1] when the page is not
+    resident.  The hot-path form (never allocates). *)
+
 val frames_of_enclave : t -> enclave_id:int -> Types.frame list
 
 val bind :

@@ -1,0 +1,145 @@
+(* Open-addressing int -> int hash map for the simulator's hot paths.
+
+   Keys and values must be non-negative; [find] returns [-1] for an
+   absent key so lookups never allocate an [option].  Deletion uses
+   tombstones; the table rehashes when live + dead slots would push the
+   load factor past 3/4, which also reclaims tombstones.  Linear
+   probing over a power-of-two table with a multiplicative hash. *)
+
+type t = {
+  mutable keys : int array; (* key, or empty / tombstone below *)
+  mutable vals : int array;
+  mutable mask : int;       (* Array.length keys - 1 *)
+  mutable live : int;
+  mutable tombs : int;
+}
+
+let empty_slot = -1
+let tomb_slot = -2
+
+let absent = -1
+
+(* Fibonacci-style multiplicative mix; OCaml's native ints wrap, which
+   is exactly what we want. *)
+let[@inline] mix k mask = ((k * 0x2545F4914F6CDD1D) lxor (k lsr 13)) land mask
+
+let rec pow2 n i = if i >= n then i else pow2 n (i * 2)
+
+let create ?(size = 16) () =
+  let cap = pow2 (max 8 size) 8 in
+  {
+    keys = Array.make cap empty_slot;
+    vals = Array.make cap 0;
+    mask = cap - 1;
+    live = 0;
+    tombs = 0;
+  }
+
+let length t = t.live
+
+(* Slot holding [k], or -1 when absent. *)
+let lookup t k =
+  let keys = t.keys and mask = t.mask in
+  let i = ref (mix k mask) in
+  let res = ref (-2) in
+  while !res = -2 do
+    let s = !i in
+    let key = Array.unsafe_get keys s in
+    if key = k then res := s
+    else if key = empty_slot then res := -1
+    else i := (s + 1) land mask
+  done;
+  !res
+
+let mem t k = lookup t k >= 0
+
+let find t k =
+  let s = lookup t k in
+  if s >= 0 then Array.unsafe_get t.vals s else absent
+
+let find_default t k d =
+  let s = lookup t k in
+  if s >= 0 then Array.unsafe_get t.vals s else d
+
+(* Insert a key known to be absent; the caller maintains load factor. *)
+let insert_fresh keys vals mask k v =
+  let i = ref (mix k mask) in
+  let continue = ref true in
+  while !continue do
+    let s = !i in
+    let key = Array.unsafe_get keys s in
+    if key = empty_slot || key = tomb_slot then begin
+      Array.unsafe_set keys s k;
+      Array.unsafe_set vals s v;
+      continue := false
+    end
+    else i := (s + 1) land mask
+  done
+
+let resize t cap =
+  let keys = Array.make cap empty_slot in
+  let vals = Array.make cap 0 in
+  let mask = cap - 1 in
+  let old_keys = t.keys and old_vals = t.vals in
+  for s = 0 to Array.length old_keys - 1 do
+    let k = Array.unsafe_get old_keys s in
+    if k >= 0 then insert_fresh keys vals mask k (Array.unsafe_get old_vals s)
+  done;
+  t.keys <- keys;
+  t.vals <- vals;
+  t.mask <- mask;
+  t.tombs <- 0
+
+let maybe_grow t =
+  let cap = t.mask + 1 in
+  if 4 * (t.live + t.tombs + 1) > 3 * cap then
+    resize t (if 4 * (t.live + 1) > 2 * cap then 2 * cap else cap)
+
+let set t k v =
+  if k < 0 then invalid_arg "Flat.set: negative key";
+  let s = lookup t k in
+  if s >= 0 then t.vals.(s) <- v
+  else begin
+    maybe_grow t;
+    (* Reuse the first tombstone on the probe path if there is one. *)
+    let keys = t.keys and mask = t.mask in
+    let i = ref (mix k mask) in
+    let continue = ref true in
+    while !continue do
+      let sl = !i in
+      let key = Array.unsafe_get keys sl in
+      if key = empty_slot || key = tomb_slot then begin
+        if key = tomb_slot then t.tombs <- t.tombs - 1;
+        Array.unsafe_set keys sl k;
+        Array.unsafe_set t.vals sl v;
+        t.live <- t.live + 1;
+        continue := false
+      end
+      else i := (sl + 1) land mask
+    done
+  end
+
+let remove t k =
+  let s = lookup t k in
+  if s >= 0 then begin
+    t.keys.(s) <- tomb_slot;
+    t.live <- t.live - 1;
+    t.tombs <- t.tombs + 1
+  end
+
+let clear t =
+  Array.fill t.keys 0 (Array.length t.keys) empty_slot;
+  t.live <- 0;
+  t.tombs <- 0
+
+let iter f t =
+  let keys = t.keys and vals = t.vals in
+  for s = 0 to Array.length keys - 1 do
+    let k = Array.unsafe_get keys s in
+    if k >= 0 then f k (Array.unsafe_get vals s)
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun k v -> acc := f k v !acc) t;
+  !acc

@@ -1,0 +1,37 @@
+(** Open-addressing int -> int map with allocation-free lookups.
+
+    Keys must be non-negative; values should be too, because {!find}
+    returns {!absent} ([-1]) for a missing key instead of an [option].
+    Used on the simulator hot paths (EPCM reverse index, residence
+    sets, fault counters) where [Hashtbl.find_opt]'s [Some] box per
+    probe is measurable. *)
+
+type t
+
+val absent : int
+(** [-1]; the sentinel {!find} returns for a missing key. *)
+
+val create : ?size:int -> unit -> t
+(** [size] is an initial capacity hint (rounded up to a power of 2). *)
+
+val length : t -> int
+val mem : t -> int -> bool
+
+val find : t -> int -> int
+(** The value bound to the key, or {!absent}.  Never allocates. *)
+
+val find_default : t -> int -> int -> int
+(** [find_default t k d] is the value bound to [k], or [d]. *)
+
+val set : t -> int -> int -> unit
+(** Bind (or rebind) a key.  Raises [Invalid_argument] on a negative
+    key. *)
+
+val remove : t -> int -> unit
+(** Unbind a key; absent keys are ignored. *)
+
+val clear : t -> unit
+(** Remove every binding, keeping the current capacity. *)
+
+val iter : (int -> int -> unit) -> t -> unit
+val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a

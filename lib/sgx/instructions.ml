@@ -29,13 +29,14 @@ let ecreate m ~size_pages ~self_paging =
   incr (Machine.hot m).Machine.c_ecreate;
   Machine.register_enclave m ~size_pages ~self_paging
 
-let find_frame m (enclave : Enclave.t) ~vpage =
-  Epc.frame_of Machine.(m.epc) ~enclave_id:enclave.id ~vpage
+(* Unboxed residency probe: -1 when not resident. *)
+let find_frame_packed m (enclave : Enclave.t) ~vpage =
+  Epc.frame_of_packed Machine.(m.epc) ~enclave_id:enclave.id ~vpage
 
 let require_frame m enclave ~vpage ~who =
-  match find_frame m enclave ~vpage with
-  | Some frame -> frame
-  | None -> Types.sgx_errorf "%s: enclave %d page 0x%x not resident" who enclave.id vpage
+  let frame = find_frame_packed m enclave ~vpage in
+  if frame >= 0 then frame
+  else Types.sgx_errorf "%s: enclave %d page 0x%x not resident" who enclave.id vpage
 
 let eadd m (enclave : Enclave.t) ~vpage ~data ~perms ~ptype =
   (match enclave.state with
@@ -74,8 +75,13 @@ let aex m (enclave : Enclave.t) ~reason =
   Tlb.flush m.tlb;
   Machine.charge m cm.aex;
   incr (Machine.hot m).Machine.c_aex;
-  emit m ~enclave_id:enclave.id (fun () ->
-      Trace.Event.Aex { interrupt = reason = `Interrupt })
+  (* Inline tracer match: the thunk form would capture [reason] and
+     allocate a closure on every AEX even with tracing off. *)
+  match Machine.tracer m with
+  | None -> ()
+  | Some tr ->
+    Trace.Recorder.emit tr ~enclave:enclave.id ~actor:Trace.Event.Hw
+      (Trace.Event.Aex { interrupt = reason = `Interrupt })
 
 let eresume m (enclave : Enclave.t) =
   let cm = Machine.model m in
@@ -293,9 +299,8 @@ let eaug m (enclave : Enclave.t) ~vpage =
   let cm = Machine.model m in
   if not (Enclave.contains_vpage enclave vpage) then
     Types.sgx_errorf "EAUG: page 0x%x outside enclave %d" vpage enclave.id;
-  (match find_frame m enclave ~vpage with
-  | Some _ -> Types.sgx_errorf "EAUG: page 0x%x already resident" vpage
-  | None -> ());
+  if find_frame_packed m enclave ~vpage >= 0 then
+    Types.sgx_errorf "EAUG: page 0x%x already resident" vpage;
   match Epc.alloc m.epc with
   | None -> Error `Epc_full
   | Some frame ->
@@ -365,6 +370,5 @@ let eremove m (enclave : Enclave.t) ~vpage =
   incr (Machine.hot m).Machine.c_eremove
 
 let page_data m (enclave : Enclave.t) ~vpage =
-  match find_frame m enclave ~vpage with
-  | Some frame -> Some (Epc.data m.epc frame)
-  | None -> None
+  let frame = find_frame_packed m enclave ~vpage in
+  if frame >= 0 then Some (Epc.data m.epc frame) else None

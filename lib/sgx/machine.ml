@@ -42,7 +42,7 @@ type t = {
   epc : Epc.t;
   tlb : Tlb.t;
   sealer : Sim_crypto.Sealer.t;
-  va_slots : (int, int64) Hashtbl.t;
+  va_slots : Flat.t;
   va_free : int Queue.t;
   mutable va_next_slot : int;
   mutable va_frames : Types.frame list;
@@ -101,7 +101,7 @@ let create ?(model = Metrics.Cost_model.default) ?(mode = Full_exits) ~epc_frame
     epc = Epc.create ~frames:epc_frames;
     tlb = Tlb.create ();
     sealer = Sim_crypto.Sealer.create ~master_key:"sgx-epc-paging-key";
-    va_slots = Hashtbl.create 4096;
+    va_slots = Flat.create ~size:4096 ();
     va_free = Queue.create ();
     va_next_slot = 0;
     va_frames = [];
@@ -176,13 +176,17 @@ let take_va_slot t ~version =
   match Queue.take_opt t.va_free with
   | None -> None
   | Some slot ->
-    Hashtbl.replace t.va_slots slot version;
+    (* Versions are a monotonically increasing counter from 1: they fit
+       a native int, so the slot store can be a flat int map. *)
+    Flat.set t.va_slots slot (Int64.to_int version);
     Some slot
 
-let read_va_slot t slot = Hashtbl.find_opt t.va_slots slot
+let read_va_slot t slot =
+  let v = Flat.find t.va_slots slot in
+  if v >= 0 then Some (Int64.of_int v) else None
 
 let clear_va_slot t slot =
-  if Hashtbl.mem t.va_slots slot then begin
-    Hashtbl.remove t.va_slots slot;
+  if Flat.mem t.va_slots slot then begin
+    Flat.remove t.va_slots slot;
     Queue.push slot t.va_free
   end

@@ -53,7 +53,7 @@ type t = {
   (* Version arrays: EPC pages of 512 anti-replay slots, provisioned by
      the OS with EPA.  A slot holds the version of one swapped-out page
      and is consumed by the ELDU that reloads it. *)
-  va_slots : (int, int64) Hashtbl.t;  (** occupied slot -> version *)
+  va_slots : Flat.t;  (** occupied slot -> version (as a native int) *)
   va_free : int Queue.t;
   mutable va_next_slot : int;
   mutable va_frames : Types.frame list;

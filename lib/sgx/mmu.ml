@@ -1,38 +1,51 @@
-let walk_checks (m : Machine.t) (pt : Page_table.t) (enclave : Enclave.t) vp kind =
-  let cm = Machine.model m in
-  match Page_table.find pt vp with
-  | None -> Error Types.Not_present
-  | Some pte ->
-    if not pte.present then Error Types.Not_present
-    else if not (Types.perms_allow pte.perms kind) then Error (Types.Permission kind)
-    else begin
-      let epcm = Machine.(m.epc) in
-      if pte.frame < 0 || pte.frame >= Epc.total_frames epcm then
-        Error Types.Non_epc_mapping
-      else
-        let entry = Epc.entry epcm pte.frame in
-        if not entry.valid then Error Types.Epcm_mismatch
-        else if entry.enclave_id <> enclave.id || entry.vpage <> vp then
-          Error Types.Epcm_mismatch
-        else if entry.pending || entry.modified then Error Types.Epcm_pending
-        else if entry.blocked then Error Types.Not_present
-        else if not (Types.perms_allow entry.perms kind) then
-          Error (Types.Permission kind)
-        else if enclave.self_paging then begin
-          (* Autarky: the fetched PTE's A/D bits must already be set;
-             otherwise it is treated as invalid. No writeback occurs. *)
-          Machine.charge m cm.ad_check;
-          if not (pte.accessed && pte.dirty) then Error Types.Ad_clear
-          else Ok pte
-        end
-        else begin
-          (* Legacy paging: the walk sets accessed (and dirty on write),
-             observable by the OS — the stealthy channel. *)
-          pte.accessed <- true;
-          if kind = Types.Write then pte.dirty <- true;
-          Ok pte
-        end
-    end
+(* Fault codes for the unboxed translate path: 0 is success, a fault is
+   [-(1 + Types.fault_cause_index cause)].  Packed PTEs are >= 0, so
+   [walk_code] can return either a packed PTE or a fault code in one
+   int. *)
+
+let code_not_present = -1       (* Not_present *)
+let code_perm_base = -2         (* Permission kind: -2 - access_kind_index *)
+let code_epcm_mismatch = -5
+let code_epcm_pending = -6
+let code_ad_clear = -7
+let code_non_epc = -8
+
+let cause_of_code code = Types.all_fault_causes.(-code - 1)
+
+(* The SGX + Autarky walk over packed PTEs.  Returns the packed PTE
+   (pre-writeback) on success, a fault code on failure.  Allocates
+   nothing on any path. *)
+let walk_code (m : Machine.t) (pt : Page_table.t) (enclave : Enclave.t) vp kind =
+  let p = Page_table.find_packed pt vp in
+  if p < 0 || not (Page_table.p_present p) then code_not_present
+  else if not (Page_table.p_allows p kind) then
+    code_perm_base - Types.access_kind_index kind
+  else begin
+    let frame = Page_table.p_frame p in
+    let epcm = Machine.(m.epc) in
+    if frame < 0 || frame >= Epc.total_frames epcm then code_non_epc
+    else
+      let entry = Epc.entry epcm frame in
+      if not entry.valid || entry.enclave_id <> enclave.id || entry.vpage <> vp
+      then code_epcm_mismatch
+      else if entry.pending || entry.modified then code_epcm_pending
+      else if entry.blocked then code_not_present
+      else if not (Types.perms_allow entry.perms kind) then
+        code_perm_base - Types.access_kind_index kind
+      else if enclave.self_paging then begin
+        (* Autarky: the fetched PTE's A/D bits must already be set;
+           otherwise it is treated as invalid. No writeback occurs. *)
+        Machine.charge m (Machine.model m).ad_check;
+        if Page_table.p_accessed p && Page_table.p_dirty p then p
+        else code_ad_clear
+      end
+      else begin
+        (* Legacy paging: the walk sets accessed (and dirty on write),
+           observable by the OS — the stealthy channel. *)
+        Page_table.set_ad pt vp ~write:(kind = Types.Write);
+        p
+      end
+  end
 
 let os_report (enclave : Enclave.t) vaddr kind =
   if enclave.self_paging then
@@ -51,30 +64,37 @@ let os_report (enclave : Enclave.t) vaddr kind =
       fr_access = kind;
     }
 
-let translate m pt enclave vaddr kind =
+(* One enclave-mode access; 0 on success, a fault code otherwise.  The
+   TLB-hit and walk-hit paths allocate zero words. *)
+let translate_code m pt (enclave : Enclave.t) vaddr kind =
   if not (Enclave.contains_vaddr enclave vaddr) then
     Types.sgx_errorf "MMU: vaddr 0x%x outside enclave %d" vaddr enclave.id;
   let cm = Machine.model m in
   let vp = Types.vpage_of_vaddr vaddr in
   if Tlb.hit m.tlb vp kind then begin
     Machine.charge m cm.mem_access;
-    Ok ()
+    0
   end
   else begin
     Machine.charge m cm.tlb_walk;
     Metrics.Counters.cell_incr (Machine.hot m).Machine.c_tlb_miss;
-    match walk_checks m pt enclave vp kind with
-    | Ok pte ->
+    let r = walk_code m pt enclave vp kind in
+    if r >= 0 then begin
       (* The TLB entry caches the PTE's dirty state: a later write only
          needs a re-walk (x86's dirty-bit assist) while the cached D is
-         clear.  Self-paging PTEs always carry set bits. *)
-      let dirty = enclave.self_paging || kind = Types.Write || pte.dirty in
-      Tlb.fill ~dirty m.tlb vp pte.perms;
+         clear.  Self-paging PTEs always carry set bits.  [r] is the
+         pre-writeback PTE, whose dirty bit the legacy walk would have
+         set on a write — the [kind = Write] disjunct covers it. *)
+      let dirty =
+        enclave.self_paging || kind = Types.Write || Page_table.p_dirty r
+      in
+      Tlb.fill_bits ~dirty m.tlb vp (Page_table.p_rwx r);
       Machine.charge m cm.mem_access;
-      Ok ()
-    | Error cause ->
-      Metrics.Counters.cell_incr
-        (Machine.hot m).Machine.c_fault.(Types.fault_cause_index cause);
+      0
+    end
+    else begin
+      let idx = -r - 1 in
+      Metrics.Counters.cell_incr (Machine.hot m).Machine.c_fault.(idx);
       (match Machine.tracer m with
       | None -> ()
       | Some tr ->
@@ -84,10 +104,16 @@ let translate m pt enclave vaddr kind =
              {
                vpage = vp;
                access = Machine.trace_access kind;
-               cause = Format.asprintf "%a" Types.pp_fault_cause cause;
+               cause = Types.fault_cause_strings.(idx);
                reported_vpage = Types.vpage_of_vaddr report.fr_vaddr;
                reported_access = Machine.trace_access report.fr_access;
                masked = enclave.self_paging;
              }));
-      Error cause
+      r
+    end
   end
+
+let translate m pt enclave vaddr kind =
+  match translate_code m pt enclave vaddr kind with
+  | 0 -> Ok ()
+  | code -> Error (cause_of_code code)

@@ -12,13 +12,24 @@
     controlled-channel variants.  Self-paging enclaves never write the
     bits; they must already be set or the PTE is treated as invalid. *)
 
+val translate_code :
+  Machine.t -> Page_table.t -> Enclave.t -> Types.vaddr ->
+  Types.access_kind -> int
+(** Perform one enclave-mode access to an address inside the enclave
+    region.  Returns [0] on success, and [-(1 + fault_cause_index c)]
+    for a fault with cause [c] (recover it with {!cause_of_code}).
+    Charges cycle costs as a side effect; on success the TLB is filled.
+    The TLB-hit and walk-hit paths allocate zero words.  Raises
+    {!Types.Sgx_error} if [vaddr] lies outside the enclave. *)
+
+val cause_of_code : int -> Types.fault_cause
+(** The fault cause behind a negative {!translate_code} result. *)
+
 val translate :
   Machine.t -> Page_table.t -> Enclave.t -> Types.vaddr ->
   Types.access_kind -> (unit, Types.fault_cause) result
-(** Perform one enclave-mode access to an address inside the enclave
-    region. Charges cycle costs as a side effect; on success the TLB is
-    filled. Raises {!Types.Sgx_error} if [vaddr] lies outside the
-    enclave. *)
+(** {!translate_code} as a [result] — the boxed convenience form for
+    tests and benchmarks off the hot path. *)
 
 val os_report :
   Enclave.t -> Types.vaddr -> Types.access_kind -> Types.os_fault_report

@@ -8,7 +8,13 @@
 
     Capacity is finite (default 1536 entries, an Ice Lake-class L2 TLB);
     fills beyond capacity evict FIFO.  Fill frequency drives the cost of
-    Autarky's per-fill accessed/dirty check (the nbench experiment). *)
+    Autarky's per-fill accessed/dirty check (the nbench experiment).
+
+    The representation is flat: a fixed-size open-addressing int table
+    with generation-counter flushes (O(1), no memset on the 4+ flushes
+    per fault) and an int ring buffer for FIFO order.  {!hit}, {!fill}
+    and {!flush} allocate nothing.  {!Tlb_ref} is the boxed reference
+    implementation kept as a differential oracle. *)
 
 type t
 
@@ -16,13 +22,17 @@ val create : ?capacity:int -> unit -> t
 
 val hit : t -> Types.vpage -> Types.access_kind -> bool
 (** [hit t vp kind] is true when the translation is cached with
-    sufficient rights for [kind]. *)
+    sufficient rights for [kind].  Never allocates. *)
 
 val fill : ?dirty:bool -> t -> Types.vpage -> Types.perms -> unit
 (** Install a translation after a successful walk, evicting the oldest
     entry if full.  [dirty] records whether the fill performed dirty
     tracking: a later write through a non-dirty entry re-walks, exactly
     as x86 does to set the PTE dirty bit. *)
+
+val fill_bits : ?dirty:bool -> t -> Types.vpage -> int -> unit
+(** {!fill} taking the permission mask of {!Types.perms_bits} directly,
+    for callers already holding packed permissions (the MMU walk). *)
 
 val flush : t -> unit
 val flush_page : t -> Types.vpage -> unit

@@ -33,6 +33,24 @@ let perms_allow perms = function
   | Write -> perms.w
   | Exec -> perms.x
 
+(* Dense index for access kinds (decision tables, packed encodings). *)
+let access_kind_index = function Read -> 0 | Write -> 1 | Exec -> 2
+
+(** {2 Bit-packed permissions}
+
+    The flat page table and TLB store permissions as a 3-bit mask
+    (r=1, w=2, x=4) inside a packed int; these helpers keep the
+    encoding in one place. *)
+
+let perms_bits p =
+  (if p.r then 1 else 0) lor (if p.w then 2 else 0) lor (if p.x then 4 else 0)
+
+let kind_bit = function Read -> 1 | Write -> 2 | Exec -> 4
+let bits_allow bits kind = bits land kind_bit kind <> 0
+
+let perms_of_bits b =
+  { r = b land 1 <> 0; w = b land 2 <> 0; x = b land 4 <> 0 }
+
 (* [perms_subset a b]: every right in [a] is also in [b]. *)
 let perms_subset a b = ((not a.r) || b.r) && ((not a.w) || b.w) && ((not a.x) || b.x)
 
@@ -75,17 +93,14 @@ let all_fault_causes =
   [| Not_present; Permission Read; Permission Write; Permission Exec;
      Epcm_mismatch; Epcm_pending; Ad_clear; Non_epc_mapping |]
 
+(* Precomputed cause strings, indexed by [fault_cause_index]: the MMU
+   fault-trace path must not run [Format.asprintf] per fault. *)
+let fault_cause_strings =
+  [| "not-present"; "perm-read"; "perm-write"; "perm-exec"; "epcm-mismatch";
+     "epcm-pending"; "ad-clear"; "non-epc-mapping" |]
+
 let pp_fault_cause ppf c =
-  Format.pp_print_string ppf
-    (match c with
-    | Not_present -> "not-present"
-    | Permission Read -> "perm-read"
-    | Permission Write -> "perm-write"
-    | Permission Exec -> "perm-exec"
-    | Epcm_mismatch -> "epcm-mismatch"
-    | Epcm_pending -> "epcm-pending"
-    | Ad_clear -> "ad-clear"
-    | Non_epc_mapping -> "non-epc-mapping")
+  Format.pp_print_string ppf fault_cause_strings.(fault_cause_index c)
 
 (** What the hardware reports to the untrusted OS after an enclave fault.
     For legacy enclaves the address is page-aligned (offset masked); for

@@ -47,10 +47,13 @@ let workload_f ~dist ~rng =
   create ~read_fraction:0.5 ~rmw_fraction:0.5 ~dist ~rng ()
 
 let next t =
+  (* Branches sample inline (no [key] closure: it would capture [t] and
+     allocate on every op).  Draw order per branch is unchanged — the
+     stream is pinned by committed BENCH files. *)
   let u = Metrics.Rng.float t.rng in
-  let key () = Metrics.Dist.sample t.dist t.rng in
-  if u < t.read_fraction then Get (key ())
-  else if u < t.read_fraction +. t.update_fraction then Put (key ())
+  if u < t.read_fraction then Get (Metrics.Dist.sample t.dist t.rng)
+  else if u < t.read_fraction +. t.update_fraction then
+    Put (Metrics.Dist.sample t.dist t.rng)
   else if u < t.read_fraction +. t.update_fraction +. t.insert_fraction then begin
     let k = t.next_insert in
     t.next_insert <- k + 1;
@@ -58,8 +61,8 @@ let next t =
   end
   else if
     u < t.read_fraction +. t.update_fraction +. t.insert_fraction +. t.scan_fraction
-  then Scan (key (), 1 + Metrics.Rng.int t.rng 100)
-  else Read_modify_write (key ())
+  then Scan (Metrics.Dist.sample t.dist t.rng, 1 + Metrics.Rng.int t.rng 100)
+  else Read_modify_write (Metrics.Dist.sample t.dist t.rng)
 
 let describe t =
   Printf.sprintf "reads=%.0f%% updates=%.0f%% dist=%s" (100. *. t.read_fraction)

@@ -4,6 +4,7 @@ let () =
       ("metrics", Test_metrics.suite);
       ("crypto", Test_crypto.suite);
       ("sgx", Test_sgx.suite);
+      ("flatcore", Test_flatcore.suite);
       ("kernel", Test_kernel.suite);
       ("oram", Test_oram.suite);
       ("clusters", Test_clusters.suite);

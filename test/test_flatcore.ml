@@ -1,0 +1,305 @@
+(* Differential oracle tests for the flat-array SGX core.
+
+   The hot-path structures (packed-int page table, open-addressing TLB,
+   int->int Flat map) each keep their pre-rewrite boxed implementation
+   around ([Page_table_ref], [Tlb_ref], plain [Hashtbl]) as an oracle.
+   These tests drive identical operation sequences — scripted and
+   QCheck-random — through both representations and demand
+   observation-for-observation agreement: packed PTEs, hit/miss
+   decisions, eviction order, exception behaviour, sizes.  A flat-core
+   bug that changes any observable therefore fails here before it can
+   silently shift fault sequences or trace digests downstream. *)
+
+open Sgx
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let perms_of_bits b =
+  Types.{ r = b land 1 <> 0; w = b land 2 <> 0; x = b land 4 <> 0 }
+
+let kind_of i =
+  match i mod 3 with 0 -> Types.Read | 1 -> Types.Write | _ -> Types.Exec
+
+(* --- Packed-PTE encoding -------------------------------------------- *)
+
+(* Exhaustive over perms x accessed x dirty (and a frame sample): the
+   packed form must round-trip through every accessor, and the two
+   implementations must share one encoding (the MMU walk reads packed
+   PTEs straight out of either). *)
+let test_pack_roundtrip () =
+  List.iter
+    (fun frame ->
+      for bits = 0 to 7 do
+        List.iter
+          (fun (accessed, dirty) ->
+            let perms = perms_of_bits bits in
+            let p = Page_table.pack ~frame ~perms ~accessed ~dirty in
+            checkb "present" true (Page_table.p_present p);
+            checki "frame" frame (Page_table.p_frame p);
+            checki "rwx" bits (Page_table.p_rwx p);
+            checkb "accessed" accessed (Page_table.p_accessed p);
+            checkb "dirty" dirty (Page_table.p_dirty p);
+            checkb "perms" true (Page_table.p_perms p = perms);
+            List.iter
+              (fun k ->
+                checkb "allows" (Types.perms_allow perms k)
+                  (Page_table.p_allows p k))
+              [ Types.Read; Types.Write; Types.Exec ];
+            checki "ref same encoding" p
+              (Page_table_ref.pack ~frame ~perms ~accessed ~dirty))
+          [ (false, false); (false, true); (true, false); (true, true) ]
+      done)
+    [ 0; 1; 63; 4095; 1_000_000 ];
+  checki "shared sentinel" Page_table.no_pte Page_table_ref.no_pte;
+  (* Every packed PTE is non-negative, so the [-1] sentinel can never
+     collide with a real entry. *)
+  checkb "sentinel negative" true (Page_table.no_pte < 0)
+
+(* --- Page table: flat vs boxed reference ---------------------------- *)
+
+(* One operation applied to both tables; raised exceptions are part of
+   the observable behaviour and must agree. *)
+let pt_apply flat boxed (op, vp, arg) =
+  let frame = arg land 0xFFFF in
+  let perms = perms_of_bits arg in
+  let attempt name f g =
+    let r1 = try f (); None with Not_found -> Some () in
+    let r2 = try g (); None with Not_found -> Some () in
+    checkb (name ^ " raises alike") true (r1 = r2)
+  in
+  match op mod 8 with
+  | 0 ->
+    let accessed = arg land 8 <> 0 and dirty = arg land 16 <> 0 in
+    Page_table.map flat ~vpage:vp ~frame ~perms ~accessed ~dirty ();
+    Page_table_ref.map boxed ~vpage:vp ~frame ~perms ~accessed ~dirty ()
+  | 1 ->
+    Page_table.unmap flat vp;
+    Page_table_ref.unmap boxed vp
+  | 2 ->
+    Page_table.set_present flat vp (arg land 1 = 1);
+    Page_table_ref.set_present boxed vp (arg land 1 = 1)
+  | 3 ->
+    Page_table.set_ad flat vp ~write:(arg land 1 = 1);
+    Page_table_ref.set_ad boxed vp ~write:(arg land 1 = 1)
+  | 4 ->
+    Page_table.clear_accessed flat vp;
+    Page_table_ref.clear_accessed boxed vp
+  | 5 ->
+    Page_table.clear_dirty flat vp;
+    Page_table_ref.clear_dirty boxed vp
+  | 6 ->
+    attempt "set_perms"
+      (fun () -> Page_table.set_perms flat vp perms)
+      (fun () -> Page_table_ref.set_perms boxed vp perms)
+  | _ ->
+    attempt "set_frame"
+      (fun () -> Page_table.set_frame flat vp frame)
+      (fun () -> Page_table_ref.set_frame boxed vp frame)
+
+let pt_domain = 64
+
+let pt_agree flat boxed =
+  let ok = ref true in
+  for vp = 0 to pt_domain - 1 do
+    ok :=
+      !ok
+      && Page_table.find_packed flat vp = Page_table_ref.find_packed boxed vp
+      && Page_table.mapped flat vp = Page_table_ref.mapped boxed vp
+      && Page_table.present flat vp = Page_table_ref.present boxed vp
+  done;
+  !ok
+  && Page_table.mapped_pages flat = Page_table_ref.mapped_pages boxed
+  && Page_table.count_present flat = Page_table_ref.count_present boxed
+  && Page_table.count_mapped flat = Page_table_ref.count_mapped boxed
+
+let pt_property ops =
+  let flat = Page_table.create () in
+  let boxed = Page_table_ref.create () in
+  List.for_all
+    (fun (op, vp, arg) ->
+      pt_apply flat boxed (op, vp mod pt_domain, arg);
+      pt_agree flat boxed)
+    ops
+
+(* A scripted walk through every operation, including the Not_found
+   paths and a remap of an existing PTE, checked op by op. *)
+let test_pt_scripted () =
+  let flat = Page_table.create () in
+  let boxed = Page_table_ref.create () in
+  let script =
+    [
+      (0, 3, 0b10111);    (* map vp3 rw accessed *)
+      (0, 7, 0b00101);    (* map vp7 rx *)
+      (3, 3, 1);          (* set_ad write *)
+      (4, 3, 0);          (* clear_accessed *)
+      (2, 7, 0);          (* set_present off *)
+      (6, 9, 3);          (* set_perms on unmapped: Not_found both *)
+      (7, 9, 12);         (* set_frame on unmapped: Not_found both *)
+      (0, 3, 0b00010);    (* remap vp3 w-only, A/D cleared *)
+      (5, 3, 0);          (* clear_dirty *)
+      (1, 7, 0);          (* unmap vp7 *)
+      (1, 7, 0);          (* double unmap is a no-op *)
+      (6, 3, 7);          (* set_perms rwx *)
+      (7, 3, 77);         (* set_frame *)
+    ]
+  in
+  List.iteri
+    (fun i step ->
+      pt_apply flat boxed step;
+      checkb (Printf.sprintf "agree after op %d" i) true (pt_agree flat boxed))
+    script
+
+(* --- TLB: flat vs boxed reference ----------------------------------- *)
+
+(* Tiny capacity so random sequences exercise FIFO eviction and the
+   stale-queue-entry skipping constantly. *)
+let tlb_capacity = 8
+let tlb_domain = 16
+
+let tlb_apply flat boxed (op, vp, bits) =
+  let dirty = bits land 8 <> 0 in
+  let perms = perms_of_bits bits in
+  match op mod 4 with
+  | 0 ->
+    Tlb.fill ~dirty flat vp perms;
+    Tlb_ref.fill ~dirty boxed vp perms
+  | 1 ->
+    Tlb.fill_bits ~dirty flat vp (bits land 7);
+    Tlb_ref.fill_bits ~dirty boxed vp (bits land 7)
+  | 2 ->
+    Tlb.flush_page flat vp;
+    Tlb_ref.flush_page boxed vp
+  | _ ->
+    Tlb.flush flat;
+    Tlb_ref.flush boxed
+
+let tlb_agree flat boxed =
+  let ok = ref (Tlb.size flat = Tlb_ref.size boxed) in
+  for vp = 0 to tlb_domain - 1 do
+    List.iter
+      (fun k -> ok := !ok && Tlb.hit flat vp k = Tlb_ref.hit boxed vp k)
+      [ Types.Read; Types.Write; Types.Exec ]
+  done;
+  !ok
+
+let tlb_property ops =
+  let flat = Tlb.create ~capacity:tlb_capacity () in
+  let boxed = Tlb_ref.create ~capacity:tlb_capacity () in
+  List.for_all
+    (fun (op, vp, bits) ->
+      tlb_apply flat boxed (op, vp mod tlb_domain, bits);
+      tlb_agree flat boxed)
+    ops
+
+(* The rule the security model leans on: a write through an entry
+   filled without dirty tracking must re-walk (miss), on both
+   implementations. *)
+let test_tlb_dirty_fill_rule () =
+  let flat = Tlb.create ~capacity:4 () in
+  let boxed = Tlb_ref.create ~capacity:4 () in
+  Tlb.fill ~dirty:false flat 1 Types.perms_rw;
+  Tlb_ref.fill ~dirty:false boxed 1 Types.perms_rw;
+  checkb "flat read hits" true (Tlb.hit flat 1 Types.Read);
+  checkb "flat write re-walks" false (Tlb.hit flat 1 Types.Write);
+  checkb "agree" true (tlb_agree flat boxed);
+  Tlb.fill ~dirty:true flat 1 Types.perms_rw;
+  Tlb_ref.fill ~dirty:true boxed 1 Types.perms_rw;
+  checkb "flat write hits after dirty fill" true (Tlb.hit flat 1 Types.Write);
+  checkb "agree after dirty fill" true (tlb_agree flat boxed)
+
+(* Overfill past capacity, refresh one entry (leaving a stale queue
+   slot), then flush a page: the eviction order bookkeeping of the two
+   implementations must stay in lockstep. *)
+let test_tlb_eviction_scripted () =
+  let flat = Tlb.create ~capacity:tlb_capacity () in
+  let boxed = Tlb_ref.create ~capacity:tlb_capacity () in
+  for vp = 0 to tlb_capacity - 1 do
+    tlb_apply flat boxed (0, vp, 0b1011)
+  done;
+  tlb_apply flat boxed (0, 2, 0b1111);     (* refresh: stale queue entry *)
+  checkb "full" true (Tlb.size flat = tlb_capacity && tlb_agree flat boxed);
+  for vp = tlb_capacity to tlb_capacity + 3 do
+    tlb_apply flat boxed (0, vp, 0b1011);  (* forces evictions *)
+    checkb "agree during eviction" true (tlb_agree flat boxed)
+  done;
+  tlb_apply flat boxed (2, 5, 0);          (* flush_page *)
+  checkb "agree after flush_page" true (tlb_agree flat boxed);
+  tlb_apply flat boxed (3, 0, 0);          (* full flush *)
+  checkb "empty" true (Tlb.size flat = 0 && tlb_agree flat boxed)
+
+(* --- Flat int map vs Hashtbl ---------------------------------------- *)
+
+let flat_domain = 128
+
+let flat_property ops =
+  let flat = Flat.create ~size:8 () in    (* small: forces regrowth *)
+  let oracle = Hashtbl.create 16 in
+  List.for_all
+    (fun (op, k, v) ->
+      let k = k mod flat_domain and v = v land 0xFFFFF in
+      (match op mod 5 with
+      | 0 | 1 | 2 ->
+        Flat.set flat k v;
+        Hashtbl.replace oracle k v
+      | 3 ->
+        Flat.remove flat k;
+        Hashtbl.remove oracle k
+      | _ ->
+        Flat.clear flat;
+        Hashtbl.reset oracle);
+      Flat.length flat = Hashtbl.length oracle
+      && (let ok = ref true in
+          for k = 0 to flat_domain - 1 do
+            let expect =
+              match Hashtbl.find_opt oracle k with
+              | Some v -> v
+              | None -> Flat.absent
+            in
+            ok :=
+              !ok
+              && Flat.find flat k = expect
+              && Flat.mem flat k = Hashtbl.mem oracle k
+              && Flat.find_default flat k (-7)
+                 = (if expect = Flat.absent then -7 else expect)
+          done;
+          !ok)
+      && Flat.fold (fun _ v acc -> acc + v) flat 0
+         = Hashtbl.fold (fun _ v acc -> acc + v) oracle 0)
+    ops
+
+let test_flat_negative_key_rejected () =
+  let flat = Flat.create () in
+  checkb "set rejects negative" true
+    (try Flat.set flat (-1) 0; false with Invalid_argument _ -> true)
+
+(* --- QCheck registration -------------------------------------------- *)
+
+let op_list ~ops ~arg_hi =
+  QCheck2.Gen.(
+    list_size (int_range 1 120)
+      (triple (int_range 0 (ops - 1)) (int_range 0 255) (int_range 0 arg_hi)))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck2.Test.make
+        ~name:"page table agrees with boxed oracle on random ops" ~count:300
+        (op_list ~ops:8 ~arg_hi:0xFFFF) pt_property;
+      QCheck2.Test.make
+        ~name:"tlb agrees with boxed oracle on random ops" ~count:300
+        (op_list ~ops:4 ~arg_hi:15) tlb_property;
+      QCheck2.Test.make
+        ~name:"flat map agrees with Hashtbl on random ops" ~count:300
+        (op_list ~ops:5 ~arg_hi:0xFFFFF) flat_property;
+    ]
+
+let suite =
+  [
+    ("packed PTE roundtrip, both encodings", `Quick, test_pack_roundtrip);
+    ("page table scripted differential", `Quick, test_pt_scripted);
+    ("tlb dirty-fill re-walk rule", `Quick, test_tlb_dirty_fill_rule);
+    ("tlb eviction order differential", `Quick, test_tlb_eviction_scripted);
+    ("flat map negative keys", `Quick, test_flat_negative_key_rejected);
+  ]
+  @ qcheck_cases

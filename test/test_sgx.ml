@@ -63,11 +63,10 @@ let test_page_table_map_unmap () =
   let pt = Page_table.create () in
   Page_table.map pt ~vpage:5 ~frame:1 ~perms:Types.perms_rw ();
   checkb "present" true (Page_table.present pt 5);
-  (match Page_table.find pt 5 with
-  | Some pte ->
-    checkb "accessed defaults false" false pte.accessed;
-    checkb "dirty defaults false" false pte.dirty
-  | None -> Alcotest.fail "pte missing");
+  let p = Page_table.find_packed pt 5 in
+  checkb "pte mapped" true (p >= 0);
+  checkb "accessed defaults false" false (Page_table.p_accessed p);
+  checkb "dirty defaults false" false (Page_table.p_dirty p);
   Page_table.unmap pt 5;
   checkb "unmapped" false (Page_table.present pt 5)
 
@@ -76,19 +75,19 @@ let test_page_table_ad_bits () =
   Page_table.map pt ~vpage:5 ~frame:1 ~perms:Types.perms_rw ~accessed:true
     ~dirty:true ();
   Page_table.clear_accessed pt 5;
-  (match Page_table.find pt 5 with
-  | Some pte ->
-    checkb "accessed cleared" false pte.accessed;
-    checkb "dirty kept" true pte.dirty
-  | None -> Alcotest.fail "pte missing");
+  let p = Page_table.find_packed pt 5 in
+  checkb "pte mapped" true (p >= 0);
+  checkb "accessed cleared" false (Page_table.p_accessed p);
+  checkb "dirty kept" true (Page_table.p_dirty p);
   Page_table.clear_dirty pt 5;
-  checkb "dirty cleared" false (Option.get (Page_table.find pt 5)).dirty
+  checkb "dirty cleared" false (Page_table.p_dirty (Page_table.find_packed pt 5))
 
 let test_page_table_perms () =
   let pt = Page_table.create () in
   Page_table.map pt ~vpage:9 ~frame:2 ~perms:Types.perms_rwx ();
   Page_table.set_perms pt 9 Types.perms_ro;
-  checkb "perm update" true ((Option.get (Page_table.find pt 9)).perms = Types.perms_ro);
+  checkb "perm update" true
+    (Page_table.p_perms (Page_table.find_packed pt 9) = Types.perms_ro);
   Alcotest.check_raises "missing page" Not_found (fun () ->
       Page_table.set_perms pt 10 Types.perms_ro)
 
@@ -166,12 +165,13 @@ let test_mmu_legacy_sets_ad_bits () =
   let e, pt = Helpers.enclave_with_pages m in
   let vp = e.base_vpage in
   ignore (Mmu.translate m pt e (Helpers.vaddr_of e 0) Types.Read);
-  let pte = Option.get (Page_table.find pt vp) in
-  checkb "accessed set" true pte.accessed;
-  checkb "dirty not set on read" false pte.dirty;
+  let p = Page_table.find_packed pt vp in
+  checkb "accessed set" true (Page_table.p_accessed p);
+  checkb "dirty not set on read" false (Page_table.p_dirty p);
   ignore (Mmu.translate m pt e (Helpers.vaddr_of e 0) Types.Write);
   (* write with RO TLB entry forces re-walk and sets dirty *)
-  checkb "dirty set on write" true pte.dirty
+  checkb "dirty set on write" true
+    (Page_table.p_dirty (Page_table.find_packed pt vp))
 
 let test_mmu_not_present_fault () =
   let m = Helpers.machine () in
@@ -194,7 +194,7 @@ let test_mmu_epcm_mismatch_wrong_frame () =
   let e, pt = Helpers.enclave_with_pages m in
   (* Point page 0's PTE at page 1's frame: EPCM catches it. *)
   let f1 = Option.get (Epc.frame_of m.epc ~enclave_id:e.id ~vpage:(e.base_vpage + 1)) in
-  (Option.get (Page_table.find pt e.base_vpage)).frame <- f1;
+  Page_table.set_frame pt e.base_vpage f1;
   checkb "EPCM mismatch" true
     (Mmu.translate m pt e (Helpers.vaddr_of e 0) Types.Read
     = Error Types.Epcm_mismatch)
@@ -202,7 +202,7 @@ let test_mmu_epcm_mismatch_wrong_frame () =
 let test_mmu_non_epc_mapping () =
   let m = Helpers.machine () in
   let e, pt = Helpers.enclave_with_pages m in
-  (Option.get (Page_table.find pt e.base_vpage)).frame <- 9999;
+  Page_table.set_frame pt e.base_vpage 9999;
   checkb "non-EPC mapping faults" true
     (Mmu.translate m pt e (Helpers.vaddr_of e 0) Types.Read
     = Error Types.Non_epc_mapping)
@@ -240,11 +240,11 @@ let test_mmu_autarky_never_writes_ad () =
   let m = Helpers.machine () in
   let e, pt = Helpers.enclave_with_pages ~self_paging:true m in
   ignore (Mmu.translate m pt e (Helpers.vaddr_of e 0) Types.Write);
-  let pte = Option.get (Page_table.find pt e.base_vpage) in
+  let p = Page_table.find_packed pt e.base_vpage in
   (* Bits were preset by the OS; the walk must not have needed to write
      them (they stay as installed). *)
-  checkb "A stays set" true pte.accessed;
-  checkb "D stays set" true pte.dirty
+  checkb "A stays set" true (Page_table.p_accessed p);
+  checkb "D stays set" true (Page_table.p_dirty p)
 
 let test_mmu_fault_masking () =
   let m = Helpers.machine () in
