@@ -463,18 +463,36 @@ let inject_cmd =
              (String.concat ", " (List.map (Printf.sprintf "%S") unknown)));
       Some (List.filter_map of_name names)
   in
-  let run seeds ops scenarios policies verify max_restarts jobs print_digests =
+  let snapshot_dir_arg =
+    let doc =
+      "Auto-snapshot: keep a rolling in-memory capture of every injected \
+       cell (taken before each operation) and, when a run resolves into a \
+       Detected verdict, seal the capture — the system state just before \
+       the fatal operation — into $(docv) for $(b,snapshot replay)."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot-dir" ] ~doc ~docv:"DIR")
+  in
+  let run seeds ops scenarios policies verify max_restarts jobs print_digests
+      snapshot_dir =
     let scenarios =
       parse_csv ~what:"scenario" ~of_name:Inject.Fault.of_name scenarios
     in
     let policies =
       parse_csv ~what:"policy" ~of_name:Inject.Campaign.policy_of_name policies
     in
+    let checkpoint, on_detected =
+      match snapshot_dir with
+      | None -> (None, None)
+      | Some dir -> Snapshot_cmd.detected_hooks ~dir
+    in
     let s =
       Inject.Campaign.run
         ~seeds:(List.init seeds (fun i -> i + 1))
         ~ops ?scenarios ?policies ~verify_determinism:verify ~max_restarts
-        ~jobs ()
+        ~jobs ?checkpoint ?on_detected ()
     in
     if print_digests then
       List.iter
@@ -531,7 +549,8 @@ let inject_cmd =
   Cmd.v (Cmd.info "inject" ~doc)
     Term.(
       const run $ seeds_arg $ inj_ops_arg $ scenarios_arg $ policies_arg
-      $ verify_arg $ max_restarts_arg $ jobs_arg $ digests_arg)
+      $ verify_arg $ max_restarts_arg $ jobs_arg $ digests_arg
+      $ snapshot_dir_arg)
 
 (* --- perf ------------------------------------------------------------------ *)
 
@@ -948,4 +967,5 @@ let () =
             serve_cmd;
             redteam_cmd;
             defend_cmd;
+            Snapshot_cmd.cmd;
           ]))

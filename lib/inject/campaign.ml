@@ -41,11 +41,30 @@ type exec = {
   e_digest : string;  (* trace digest, injections included *)
 }
 
-(* One run: build a fresh platform (optionally with an injector wired
-   into the OS interface), drive a seeded mixed read/write workload over
-   the data and side regions, tick the injector between operations, and
-   record how the run resolved. *)
-let exec_run ~policy ~seed ~ops ~scenario ~cycle_cap =
+(* A cell mid-run: one platform with its injector, workload cursor and
+   trace digest.  [cl_op] performs exactly one workload operation
+   (watchdog check, one enclave entry, one injector tick); between two
+   calls the cell is quiescent — no enclave entered, no span open — so
+   the whole record (closures included) is capturable by [Snapshot]. *)
+type cell = {
+  cl_policy : policy_kind;
+  cl_seed : int;
+  cl_ops : int;
+  cl_scenario : Fault.scenario option;
+  cl_sys : Harness.System.t;
+  cl_tr : Trace.Recorder.t;
+  cl_digest : unit -> string;
+  cl_inj : Injector.t option;
+  cl_op : unit -> unit;
+  cl_output : Trace.Fnv.t ref;
+  cl_mismatch : bool ref;
+  mutable cl_done : int;
+}
+
+(* Build one campaign platform (optionally with an injector wired into
+   the OS interface) and the closure driving its seeded mixed
+   read/write workload over the data and side regions. *)
+let cell_build ~policy ~seed ~ops ~scenario ~cycle_cap =
   let inj =
     Option.map
       (fun sc ->
@@ -136,49 +155,108 @@ let exec_run ~policy ~seed ~ops ~scenario ~cycle_cap =
   let output = ref Trace.Fnv.empty in
   let mismatch = ref false in
   let clock = Harness.System.clock sys in
+  let op () =
+    if Metrics.Clock.now clock > cycle_cap then raise Hang_detected;
+    Harness.System.run_in_enclave sys (fun () ->
+        if Metrics.Rng.float rng < 0.25 then
+          Sgx.Cpu.read cpu ((side_base + Metrics.Rng.int rng side_pages) * page)
+        else begin
+          let i = Metrics.Rng.int rng data_pages in
+          let a = (data_base + i) * page in
+          if Metrics.Rng.float rng < 0.3 then begin
+            let v = 1 + Metrics.Rng.int rng 1_000_000 in
+            shadow.(i) <- v;
+            write_v a v
+          end
+          else begin
+            let v = read_v a in
+            if v <> shadow.(i) then mismatch := true;
+            output := Trace.Fnv.feed_string !output (Printf.sprintf "%d:%d;" i v)
+          end
+        end);
+    Option.iter Injector.tick inj
+  in
+  {
+    cl_policy = policy;
+    cl_seed = seed;
+    cl_ops = ops;
+    cl_scenario = scenario;
+    cl_sys = sys;
+    cl_tr = tr;
+    cl_digest = dres;
+    cl_inj = inj;
+    cl_op = op;
+    cl_output = output;
+    cl_mismatch = mismatch;
+    cl_done = 0;
+  }
+
+let cell_step c =
+  if c.cl_done >= c.cl_ops then false
+  else begin
+    c.cl_op ();
+    c.cl_done <- c.cl_done + 1;
+    true
+  end
+
+let cell_finish c raw =
+  Trace.Recorder.close c.cl_tr;
+  {
+    e_raw = raw;
+    e_output = !(c.cl_output);
+    e_mismatch = !(c.cl_mismatch);
+    e_cycles = Metrics.Clock.now (Harness.System.clock c.cl_sys);
+    e_degraded =
+      Metrics.Counters.get (Harness.System.counters c.cl_sys)
+        "rt.policy_degraded"
+      > 0;
+    e_injected = (match c.cl_inj with None -> 0 | Some i -> Injector.injected i);
+    e_digest = c.cl_digest ();
+  }
+
+exception Paused
+
+(* Drive a cell from wherever its cursor stands to resolution.
+   [checkpoint] runs before every operation (the rolling pre-op capture
+   of the snapshot hook); [on_detected] runs when an operation resolves
+   into a modeled termination — at that point the last [checkpoint]
+   state is "just before the Detected verdict", which is exactly the
+   image worth persisting for replay-with-tracing.  A checkpoint that
+   raises [Paused] aborts the drive with the cell untouched (it fires
+   at a quiescent point, before the next operation) — the trace
+   recorder stays open, so a restored copy can keep feeding it. *)
+let cell_drive ?checkpoint ?on_detected c =
   let raw =
     try
-      for _op = 1 to ops do
-        if Metrics.Clock.now clock > cycle_cap then raise Hang_detected;
-        Harness.System.run_in_enclave sys (fun () ->
-            if Metrics.Rng.float rng < 0.25 then
-              Sgx.Cpu.read cpu
-                ((side_base + Metrics.Rng.int rng side_pages) * page)
-            else begin
-              let i = Metrics.Rng.int rng data_pages in
-              let a = (data_base + i) * page in
-              if Metrics.Rng.float rng < 0.3 then begin
-                let v = 1 + Metrics.Rng.int rng 1_000_000 in
-                shadow.(i) <- v;
-                write_v a v
-              end
-              else begin
-                let v = read_v a in
-                if v <> shadow.(i) then mismatch := true;
-                output :=
-                  Trace.Fnv.feed_string !output (Printf.sprintf "%d:%d;" i v)
-              end
-            end);
-        Option.iter Injector.tick inj
+      let continue = ref true in
+      while !continue do
+        (match checkpoint with Some f when c.cl_done < c.cl_ops -> f c | _ -> ());
+        continue := cell_step c
       done;
       `Completed
     with
-    | Sgx.Types.Enclave_terminated { reason; _ } -> `Terminated reason
+    | Paused as p -> raise p
+    | Sgx.Types.Enclave_terminated { reason; _ } ->
+      (match on_detected with Some f -> f c ~reason | None -> ());
+      `Terminated reason
     | Hang_detected -> `Hang
     | e -> `Crash (Printexc.to_string e)
   in
-  Trace.Recorder.close tr;
-  {
-    e_raw = raw;
-    e_output = !output;
-    e_mismatch = !mismatch;
-    e_cycles = Metrics.Clock.now clock;
-    e_degraded =
-      Metrics.Counters.get (Harness.System.counters sys) "rt.policy_degraded"
-      > 0;
-    e_injected = (match inj with None -> 0 | Some i -> Injector.injected i);
-    e_digest = dres ();
-  }
+  cell_finish c raw
+
+(* One run: build, drive, resolve. *)
+let exec_run ~policy ~seed ~ops ~scenario ~cycle_cap =
+  cell_drive (cell_build ~policy ~seed ~ops ~scenario ~cycle_cap)
+
+let cell_policy c = c.cl_policy
+let cell_seed c = c.cl_seed
+let cell_scenario c = c.cl_scenario
+let cell_ops c = c.cl_ops
+let cell_done c = c.cl_done
+let cell_machine c = Harness.System.machine c.cl_sys
+
+let cell_add_sink c sink =
+  Trace.Recorder.add_sink c.cl_tr sink
 
 let classify ~golden x =
   match x.e_raw with
@@ -223,7 +301,7 @@ let pool_map ~jobs f xs =
 
 let run ?(seeds = [ 1; 2; 3; 4; 5 ]) ?(ops = 120) ?(scenarios = Fault.all)
     ?(policies = all_policies) ?(verify_determinism = false)
-    ?(max_restarts = 3) ?(jobs = 1) () =
+    ?(max_restarts = 3) ?(jobs = 1) ?checkpoint ?on_detected () =
   (* Every cell (golden and injected) builds its own platform, trace
      recorder and counters, so the (policy, scenario, seed) grid shards
      across domains; results come back in the campaign's canonical
@@ -262,7 +340,10 @@ let run ?(seeds = [ 1; 2; 3; 4; 5 ]) ?(ops = 120) ?(scenarios = Fault.all)
       (fun (policy, sc, seed) ->
         let g = golden_for policy seed in
         let cap = (g.e_cycles * 32) + 50_000_000 in
-        let x = exec_run ~policy ~seed ~ops ~scenario:(Some sc) ~cycle_cap:cap in
+        let x =
+          cell_drive ?checkpoint ?on_detected
+            (cell_build ~policy ~seed ~ops ~scenario:(Some sc) ~cycle_cap:cap)
+        in
         let outcome = classify ~golden:g x in
         let diverged =
           verify_determinism

@@ -29,6 +29,82 @@ val all_policies : policy_kind list
 val policy_name : policy_kind -> string
 val policy_of_name : string -> policy_kind option
 
+(** {1 Stepped cells}
+
+    One campaign platform exposed operation-at-a-time.  Between two
+    {!cell_step} calls the cell is quiescent (no enclave entered, no
+    injector mid-tick), which is where {!Snapshot} captures it: the
+    whole record — system, injector, workload RNG, shadow model, digest
+    closure — marshals as one graph and resumes in a fresh process of
+    the same binary. *)
+
+type cell
+
+(** How one drive of a cell resolved (the raw, pre-classification
+    view; {!run} folds this against the golden run into an outcome). *)
+type exec = {
+  e_raw : [ `Completed | `Terminated of string | `Hang | `Crash of string ];
+  e_output : int64;  (** FNV over the values the workload read *)
+  e_mismatch : bool;  (** a read disagreed with the shadow model *)
+  e_cycles : int;
+  e_degraded : bool;
+  e_injected : int;
+  e_digest : string;  (** trace digest, injections included *)
+}
+
+val cell_build :
+  policy:policy_kind -> seed:int -> ops:int ->
+  scenario:Fault.scenario option -> cycle_cap:int -> cell
+(** Fresh platform + injector + workload cursor at operation 0.
+    [scenario = None] builds the uninjected golden configuration;
+    [cycle_cap] is the hang watchdog (use [max_int] to disable). *)
+
+val cell_step : cell -> bool
+(** Perform one workload operation (and one injector tick); [false]
+    once the configured operation count is exhausted.  Lets the
+    workload's exceptions ([Enclave_terminated], the watchdog) escape —
+    callers that want the classified view use {!cell_drive}. *)
+
+exception Paused
+(** Never raised by this module itself: a [checkpoint] hook raises it
+    to abort {!cell_drive} at the quiescent point it fires at (e.g.
+    after sealing a pause image).  It escapes {!cell_drive} without
+    being classified as a crash, leaving the cell resumable. *)
+
+val cell_drive :
+  ?checkpoint:(cell -> unit) ->
+  ?on_detected:(cell -> reason:string -> unit) -> cell -> exec
+(** Drive a (possibly restored mid-run) cell to resolution.
+    [checkpoint] runs before every operation; [on_detected] fires when
+    an operation resolves into a modeled termination, at which point
+    the last [checkpoint] state is the system just before the Detected
+    verdict — the image worth persisting for replay-with-tracing. *)
+
+val exec_run :
+  policy:policy_kind -> seed:int -> ops:int ->
+  scenario:Fault.scenario option -> cycle_cap:int -> exec
+(** [cell_drive (cell_build ...)]: one closed run. *)
+
+val classify : golden:exec -> exec -> Fault.outcome
+(** Fold a raw execution against its uninjected golden run — the
+    campaign's verdict rule, exposed so snapshot replays reclassify
+    with the same semantics. *)
+
+val cell_policy : cell -> policy_kind
+val cell_seed : cell -> int
+val cell_scenario : cell -> Fault.scenario option
+val cell_ops : cell -> int
+val cell_done : cell -> int
+(** Operations completed so far (the resume cursor). *)
+
+val cell_machine : cell -> Sgx.Machine.t
+(** The cell's simulated machine (for snapshot probe digests). *)
+
+val cell_add_sink : cell -> Trace.Sink.t -> unit
+(** Attach an extra trace sink (e.g. a JSONL dump for replay) to the
+    cell's recorder.  Sinks hold channels, so this is done {e after} a
+    restore, never before a capture. *)
+
 type run_result = {
   r_policy : policy_kind;
   r_scenario : Fault.scenario;
@@ -61,6 +137,8 @@ val run :
   ?verify_determinism:bool ->
   ?max_restarts:int ->
   ?jobs:int ->
+  ?checkpoint:(cell -> unit) ->
+  ?on_detected:(cell -> reason:string -> unit) ->
   unit -> summary
 (** Defaults: seeds [1..5], 120 operations per run, every scenario,
     every policy, no determinism re-execution, restart budget 3,

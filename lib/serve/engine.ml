@@ -104,6 +104,7 @@ type state = {
   st_monitor : Autarky.Restart_monitor.t;
   st_tenants : Tenant.t array;
   st_ctx : hook_ctx;
+  st_digest : (Trace.Recorder.t * (unit -> string)) option;
   st_q : ev Event_queue.t;
   (* Pending Arrival/Client events.  The periodic ticks (arbiter,
      defense) reschedule themselves only while work remains; testing
@@ -390,7 +391,7 @@ let reschedule_generator st i ~at ~verdict ~client =
         (Client (i, c))
     | Tenant.Closed_loop _, None -> ()
 
-let run ?params (cfgs : Tenant.config list) =
+let start ?params (cfgs : Tenant.config list) =
   if cfgs = [] then invalid_arg "Serve.Engine.run: no tenants";
   let params =
     match params with Some p -> p | None -> default_params ~seed:42
@@ -456,6 +457,7 @@ let run ?params (cfgs : Tenant.config list) =
       st_monitor = monitor;
       st_tenants = tenants;
       st_ctx = ctx;
+      st_digest = digest_of;
       st_q = Event_queue.create ();
       st_work = 0;
       st_scheduled = Array.make n 0;
@@ -471,68 +473,84 @@ let run ?params (cfgs : Tenant.config list) =
   | Some h -> h.h_on_start ctx
   | None -> ());
   schedule_initial st;
-  let rec loop () =
-    match Event_queue.pop st.st_q with
-    | None -> ()
-    | Some (at, ev) ->
-      st.st_end <- max st.st_end at;
-      (match ev with
-      | Arrival i ->
-        st.st_work <- st.st_work - 1;
-        let verdict = admit st i ~at in
-        reschedule_generator st i ~at ~verdict ~client:None
-      | Client (i, c) ->
-        st.st_work <- st.st_work - 1;
-        let verdict = admit st i ~at in
-        reschedule_generator st i ~at ~verdict ~client:(Some c)
-      | Arbiter_tick -> (
-        match st.st_params.p_arbiter with
-        | Some arb ->
-          arbiter_tick st ~at arb;
-          if st.st_work > 0 then begin
-            let base =
-              Array.fold_left
-                (fun m tn -> max m (Tenant.svc_mean tn))
-                1.0 st.st_tenants
-            in
-            let period = max 1 (int_of_float (arb.arb_period *. base)) in
-            Event_queue.push st.st_q ~at:(at + period) Arbiter_tick
-          end
-        | None -> ())
-      | Defense_tick -> (
-        match st.st_params.p_hooks with
-        | Some h ->
-          h.h_on_tick ctx ~at;
-          st.st_end <- max st.st_end at;
-          if st.st_work > 0 then begin
-            let base =
-              Array.fold_left
-                (fun m tn -> max m (Tenant.svc_mean tn))
-                1.0 st.st_tenants
-            in
-            let period = max 1 (int_of_float (h.h_period *. base)) in
-            Event_queue.push st.st_q ~at:(at + period) Defense_tick
-          end
-        | None -> ()));
-      loop ()
-  in
-  loop ();
+  st
+
+(* Process exactly one pending event; [false] when the timeline is
+   exhausted.  This is the snapshot quiescent point: between two [step]
+   calls no enclave is entered and no span is open, so the whole state
+   graph is capturable. *)
+let step st =
+  match Event_queue.pop st.st_q with
+  | None -> false
+  | Some (at, ev) ->
+    st.st_end <- max st.st_end at;
+    (match ev with
+    | Arrival i ->
+      st.st_work <- st.st_work - 1;
+      let verdict = admit st i ~at in
+      reschedule_generator st i ~at ~verdict ~client:None
+    | Client (i, c) ->
+      st.st_work <- st.st_work - 1;
+      let verdict = admit st i ~at in
+      reschedule_generator st i ~at ~verdict ~client:(Some c)
+    | Arbiter_tick -> (
+      match st.st_params.p_arbiter with
+      | Some arb ->
+        arbiter_tick st ~at arb;
+        if st.st_work > 0 then begin
+          let base =
+            Array.fold_left
+              (fun m tn -> max m (Tenant.svc_mean tn))
+              1.0 st.st_tenants
+          in
+          let period = max 1 (int_of_float (arb.arb_period *. base)) in
+          Event_queue.push st.st_q ~at:(at + period) Arbiter_tick
+        end
+      | None -> ())
+    | Defense_tick -> (
+      match st.st_params.p_hooks with
+      | Some h ->
+        h.h_on_tick st.st_ctx ~at;
+        st.st_end <- max st.st_end at;
+        if st.st_work > 0 then begin
+          let base =
+            Array.fold_left
+              (fun m tn -> max m (Tenant.svc_mean tn))
+              1.0 st.st_tenants
+          in
+          let period = max 1 (int_of_float (h.h_period *. base)) in
+          Event_queue.push st.st_q ~at:(at + period) Defense_tick
+        end
+      | None -> ()));
+    true
+
+let finish st =
   Array.iter
     (fun tn ->
       emit st ~tenant:(Tenant.name tn) ~action:"done" ~detail:(Tenant.served tn))
-    tenants;
+    st.st_tenants;
   let digest =
-    match digest_of with
+    match st.st_digest with
     | None -> None
     | Some (recorder, digest_of) ->
       Trace.Recorder.close recorder;
       Some (digest_of ())
   in
   {
-    r_tenants = tenants;
-    r_machine = machine;
-    r_monitor = monitor;
+    r_tenants = st.st_tenants;
+    r_machine = st.st_machine;
+    r_monitor = st.st_monitor;
     r_end_cycle = st.st_end;
     r_arbiter_moves = st.st_moves;
     r_digest = digest;
   }
+
+let machine_of st = st.st_machine
+let end_cycle st = st.st_end
+
+let run ?params cfgs =
+  let st = start ?params cfgs in
+  while step st do
+    ()
+  done;
+  finish st

@@ -95,4 +95,30 @@ val run : ?params:params -> Tenant.config list -> result
 (** Boot every tenant on one shared machine (one VM per tenant),
     calibrate, generate and serve the configured request streams, and
     return the tenants with their accumulated statistics.  Raises
-    [Invalid_argument] on an empty tenant list. *)
+    [Invalid_argument] on an empty tenant list.  Exactly
+    [start] + [step]-until-false + [finish]. *)
+
+(** {1 Stepped execution}
+
+    The same loop, exposed one event at a time so a driver can pause it
+    at a quiescent point — between two events no enclave is entered and
+    no measurement span is open, which is where {!Snapshot} captures a
+    fleet.  [run] is the closed composition; interleaving anything
+    stateful between [step] calls voids the bit-for-bit guarantee only
+    if it touches the machine. *)
+
+type state
+(** A booted fleet mid-run: tenants calibrated, initial arrivals
+    scheduled, trace recorder (when [p_trace]) attached. *)
+
+val start : ?params:params -> Tenant.config list -> state
+val step : state -> bool
+(** Process exactly one pending event; [false] when none remain. *)
+
+val finish : state -> result
+(** Emit the per-tenant "done" trace events and close out the result.
+    Call once, after the final [step]. *)
+
+val machine_of : state -> Sgx.Machine.t
+val end_cycle : state -> int
+(** Virtual cycle of the latest event processed so far. *)

@@ -132,6 +132,40 @@ let clear t =
   t.live <- 0;
   t.tombs <- 0
 
+(* Raw snapshot of the physical table.  The layout — slot positions,
+   tombstones, capacity — is part of the state: re-inserting live
+   bindings into a fresh table would change future probe sequences and
+   rehash points, which is invisible to [find]/[set] but visible to
+   anything hashing the arrays (snapshot probe digests). *)
+type raw = {
+  raw_keys : int array;
+  raw_vals : int array;
+  raw_live : int;
+  raw_tombs : int;
+}
+
+let export_state t =
+  {
+    raw_keys = Array.copy t.keys;
+    raw_vals = Array.copy t.vals;
+    raw_live = t.live;
+    raw_tombs = t.tombs;
+  }
+
+let import_state r =
+  let cap = Array.length r.raw_keys in
+  if cap < 8 || cap land (cap - 1) <> 0 then
+    invalid_arg "Flat.import_state: capacity not a power of two";
+  if Array.length r.raw_vals <> cap then
+    invalid_arg "Flat.import_state: keys/vals length mismatch";
+  {
+    keys = Array.copy r.raw_keys;
+    vals = Array.copy r.raw_vals;
+    mask = cap - 1;
+    live = r.raw_live;
+    tombs = r.raw_tombs;
+  }
+
 let iter f t =
   let keys = t.keys and vals = t.vals in
   for s = 0 to Array.length keys - 1 do

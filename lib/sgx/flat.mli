@@ -35,3 +35,25 @@ val clear : t -> unit
 
 val iter : (int -> int -> unit) -> t -> unit
 val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** {1 Raw state (snapshot/restore)}
+
+    The physical table verbatim — slot positions, tombstones and
+    capacity included.  Re-inserting the live bindings into a fresh
+    table would be observationally equivalent to [find]/[set] but would
+    change probe sequences and the next rehash point, so checkpointing
+    goes through these instead. *)
+
+type raw = {
+  raw_keys : int array;  (** slot array: key, [-1] empty, [-2] tombstone *)
+  raw_vals : int array;
+  raw_live : int;
+  raw_tombs : int;
+}
+
+val export_state : t -> raw
+(** A deep copy of the physical table. *)
+
+val import_state : raw -> t
+(** Rebuild a map bit-identical to the exported one.  Raises
+    [Invalid_argument] when the arrays are not a power-of-two pair. *)

@@ -136,3 +136,18 @@ let count_present t =
   !n
 
 let count_mapped t = t.entries
+
+(* Raw snapshot: window base + packed PTE array verbatim.  The window
+   geometry (base, slack, length) affects nothing observable except
+   when the next [grow] fires, but the probe digest hashes the packed
+   array, so it is preserved as-is. *)
+type raw = { raw_base : int; raw_tbl : int array; raw_entries : int }
+
+let export_state t =
+  { raw_base = t.base; raw_tbl = Array.copy t.tbl; raw_entries = t.entries }
+
+let import_state r =
+  if r.raw_base < 0 then invalid_arg "Page_table.import_state: negative base";
+  if r.raw_entries < 0 || r.raw_entries > Array.length r.raw_tbl then
+    invalid_arg "Page_table.import_state: entry count out of range";
+  { base = r.raw_base; tbl = Array.copy r.raw_tbl; entries = r.raw_entries }

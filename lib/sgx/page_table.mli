@@ -77,3 +77,15 @@ val mapped_pages : t -> Types.vpage list
 
 val count_present : t -> int
 val count_mapped : t -> int
+
+(** {1 Raw state (snapshot/restore)}
+
+    The dense window verbatim: base vpage, packed PTE array (including
+    unmapped [no_pte] slack slots) and entry count. *)
+
+type raw = { raw_base : int; raw_tbl : int array; raw_entries : int }
+
+val export_state : t -> raw
+val import_state : raw -> t
+(** Raises [Invalid_argument] on negative base or an entry count that
+    exceeds the window. *)

@@ -206,3 +206,62 @@ let flush_page t vp =
 
 let size t = t.live
 let capacity t = t.cap
+
+(* Raw snapshot.  Everything observable must survive verbatim: the
+   generation counter (dead slots from earlier generations stay dead),
+   tombstones, and above all the FIFO ring *including stale entries* —
+   a refilled page is evicted at its original, older ring position, and
+   golden trace digests pin that order.  Normalising any of it on
+   export would silently change post-restore eviction behaviour. *)
+type raw = {
+  raw_cap : int;
+  raw_keys : int array;
+  raw_vals : int array;
+  raw_gens : int array;
+  raw_gen : int;
+  raw_live : int;
+  raw_tombs : int;
+  raw_ring : int array;
+  raw_head : int;
+  raw_tail : int;
+}
+
+let export_state t =
+  {
+    raw_cap = t.cap;
+    raw_keys = Array.copy t.keys;
+    raw_vals = Array.copy t.vals;
+    raw_gens = Array.copy t.gens;
+    raw_gen = t.gen;
+    raw_live = t.live;
+    raw_tombs = t.tombs;
+    raw_ring = Array.copy t.ring;
+    raw_head = t.head;
+    raw_tail = t.tail;
+  }
+
+let import_state r =
+  let size = Array.length r.raw_keys in
+  if size < 16 || size land (size - 1) <> 0 then
+    invalid_arg "Tlb.import_state: table size not a power of two";
+  if Array.length r.raw_vals <> size || Array.length r.raw_gens <> size then
+    invalid_arg "Tlb.import_state: keys/vals/gens length mismatch";
+  let rlen = Array.length r.raw_ring in
+  if rlen < 16 || rlen land (rlen - 1) <> 0 then
+    invalid_arg "Tlb.import_state: ring size not a power of two";
+  if r.raw_cap <= 0 then invalid_arg "Tlb.import_state: non-positive capacity";
+  {
+    cap = r.raw_cap;
+    mask = size - 1;
+    keys = Array.copy r.raw_keys;
+    vals = Array.copy r.raw_vals;
+    gens = Array.copy r.raw_gens;
+    gen = r.raw_gen;
+    live = r.raw_live;
+    tombs = r.raw_tombs;
+    scratch_k = Array.make r.raw_cap 0;
+    scratch_v = Array.make r.raw_cap 0;
+    ring = Array.copy r.raw_ring;
+    head = r.raw_head;
+    tail = r.raw_tail;
+  }

@@ -38,3 +38,28 @@ val flush : t -> unit
 val flush_page : t -> Types.vpage -> unit
 val size : t -> int
 val capacity : t -> int
+
+(** {1 Raw state (snapshot/restore)}
+
+    Verbatim copies of the physical arrays — generation counter,
+    tombstones, and the FIFO ring including stale entries.  Eviction
+    order after a restore must match the un-snapshotted run exactly
+    (golden digests pin it), so nothing is normalised on export. *)
+
+type raw = {
+  raw_cap : int;
+  raw_keys : int array;
+  raw_vals : int array;
+  raw_gens : int array;
+  raw_gen : int;
+  raw_live : int;
+  raw_tombs : int;
+  raw_ring : int array;
+  raw_head : int;
+  raw_tail : int;
+}
+
+val export_state : t -> raw
+val import_state : raw -> t
+(** Raises [Invalid_argument] on structurally invalid raw state (sizes
+    not powers of two, mismatched array lengths). *)

@@ -1,0 +1,83 @@
+(** The sealed, versioned, length-prefixed snapshot container.
+
+    An image is the full serialized system state wrapped in the same
+    authenticated sealing the EPC paging path uses
+    ({!Sim_crypto.Sealer}: ChaCha20 + SipHash encrypt-then-MAC, version
+    bound into the MAC), chunked and sealed with [vaddr = chunk index]
+    and [version = the image's monotonic counter].  A per-label counter
+    {!Store} provides the paper's freshness argument at whole-system
+    granularity: bit flips and edited metadata fail the MAC
+    ([Tampered]/[Header_forged]); a verbatim replay of an older image
+    carries valid MACs but an older counter and is rejected as
+    [Stale]. *)
+
+type error =
+  | Truncated  (** file shorter than its structure claims *)
+  | Bad_magic
+  | Bad_format of int
+  | Tampered of { chunk : int }  (** MAC mismatch — bit flip or edit *)
+  | Header_forged
+      (** plaintext header differs from the MAC-protected sealed copy *)
+  | Stale of { label : string; counter : int64; latest : int64 }
+      (** rollback: an older image replayed against the counter store *)
+  | Wrong_kind of { expected : string; got : string }
+  | Incompatible_binary of { expected : string; got : string }
+      (** closures only restore into the binary that captured them *)
+  | Probe_mismatch of { expected : int64; got : int64 }
+      (** restored hot state disagrees with the capture-time digest *)
+  | Unmarshal_failed of string
+  | Io_error of string
+
+exception Snapshot_error of error
+(** Never raised by this module's [result]-returning API; provided for
+    callers that prefer to escalate a typed error. *)
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+type header = {
+  h_kind : string;  (** world type: ["longrun"] / ["inject"] / ["serve"] *)
+  h_label : string;  (** lineage identity keying the freshness counter *)
+  h_counter : int64;  (** monotonic snapshot counter (per label) *)
+  h_cycle : int64;  (** virtual-clock cycle at capture *)
+  h_probe : int64;  (** machine probe digest; [0L] when not recorded *)
+  h_binary : string;  (** MD5 of the producing executable *)
+  h_payload : int;  (** payload bytes inside the seal *)
+}
+
+(** The trusted monotonic counter store (one counter per lineage
+    label).  {!next} is called by {!save}; {!load} rejects any image
+    whose counter is below the recorded latest. *)
+module Store : sig
+  type t
+
+  val in_memory : unit -> t
+  val file : string -> t
+  (** Backed by one ["label\tcounter"] line per label; loaded eagerly,
+      rewritten atomically on every {!next}.  Thread-safe. *)
+
+  val latest : t -> string -> int64
+  (** [0L] for an unseen label. *)
+
+  val next : t -> string -> int64
+  (** Bump and persist the label's counter; returns the new value. *)
+end
+
+val save :
+  store:Store.t -> kind:string -> label:string -> cycle:int64 ->
+  ?probe:int64 -> bytes -> path:string -> int64
+(** Seal [payload] into [path] (written atomically via a temp file) and
+    return the monotonic counter the image was bound to. *)
+
+val read_header : path:string -> (header, error) result
+(** Parse the plaintext header only — no unsealing, no freshness check.
+    For dispatch/listing; everything it returns is attacker-writable
+    until {!load} verifies it against the sealed copy. *)
+
+val load :
+  ?store:Store.t -> ?expect_kind:string -> path:string -> unit ->
+  (header * bytes, error) result
+(** Read, verify every MAC, check the sealed header against the
+    plaintext one, the binary digest against the running executable,
+    and (when [store] is given) the counter against the label's latest.
+    Returns the verified header and payload. *)

@@ -1,0 +1,249 @@
+(* Resumable long-horizon workload runner: the perf-matrix cell shape
+   (workload x policy x mechanism, fixed geometry), rebuilt as a
+   stepped world so a horizon can be cut into time slices — run to
+   operation N, seal, resume (same or different process), continue —
+   with the determinism contract checked by trace digest + counter
+   fingerprint equality against the straight-through run.
+
+   Differences from [Harness.Perf.run_cell], all deliberate:
+   - tracing is on, with a digest sink attached at build time, so
+     every run yields a comparable digest;
+   - each operation is its own enclave entry (the quiescent point);
+   - no wall-clock, no [Gc] sampling, no clock reset: the virtual
+     clock runs monotonically from build so "cycle at capture" means
+     something across slices. *)
+
+module System = Harness.System
+
+type spec = {
+  sp_workload : string;  (* ycsb | uthash | kvstore *)
+  sp_policy : string;  (* rate-limit | clusters | oram *)
+  sp_mech : string;  (* sgx1 | sgx2 *)
+  sp_seed : int;
+  sp_ops : int;
+}
+
+let spec_label s =
+  Printf.sprintf "longrun/%s/%s/%s/seed%d/ops%d" s.sp_workload s.sp_policy
+    s.sp_mech s.sp_seed s.sp_ops
+
+let cell_of_string str =
+  match String.split_on_char ':' str with
+  | [ w; p; m ] -> Ok (w, p, m)
+  | _ -> Error (Printf.sprintf "bad cell %S (want workload:policy:mech)" str)
+
+type world = {
+  w_spec : spec;
+  w_sys : System.t;
+  w_op : int -> unit;
+  w_digest : unit -> string;
+  mutable w_done : int;
+}
+
+let kind = "longrun"
+
+(* The perf-cell geometry: 4 MiB EPC against a 16 MiB heap. *)
+let epc_limit = 1_024
+
+let build spec =
+  let mech =
+    match spec.sp_mech with
+    | "sgx1" -> `Sgx1
+    | "sgx2" -> `Sgx2
+    | other -> invalid_arg (Printf.sprintf "Longrun.build: unknown mech %S" other)
+  in
+  let enclave_pages = 8 * epc_limit in
+  let rng = Metrics.Rng.create ~seed:(Int64.of_int spec.sp_seed) in
+  let sys =
+    System.create ~mech ~trace:true ~epc_frames:(epc_limit + 1_024) ~epc_limit
+      ~enclave_pages ~self_paging:true
+      ~budget:(max 64 (epc_limit - 256))
+      ()
+  in
+  let dsink, dres = Trace.Sink.digest () in
+  Trace.Recorder.add_sink (System.tracer_exn sys) dsink;
+  let heap_pages = 4 * epc_limit in
+  let heap = System.allocator sys ~pages:heap_pages ~cluster_pages:10 in
+  let alloc ~bytes = Autarky.Allocator.alloc heap ~bytes in
+  let rt = System.runtime_exn sys in
+  let progress_hook = ref (fun () -> ()) in
+  let instrument = ref None in
+  let finish = ref (fun () -> ()) in
+  (match spec.sp_policy with
+  | "rate-limit" ->
+    let rl =
+      Autarky.Policy_rate_limit.create ~runtime:rt ~max_faults_per_unit:512 ()
+    in
+    progress_hook := (fun () -> Autarky.Policy_rate_limit.progress rl);
+    finish :=
+      fun () ->
+        Autarky.Runtime.set_policy rt (Autarky.Policy_rate_limit.policy rl);
+        System.manage sys (Autarky.Allocator.allocated_pages heap)
+  | "clusters" ->
+    finish :=
+      fun () ->
+        let pc =
+          Autarky.Policy_clusters.create ~runtime:rt
+            ~clusters:(Autarky.Allocator.clusters heap)
+        in
+        Autarky.Runtime.set_policy rt (Autarky.Policy_clusters.policy pc);
+        System.manage sys (Autarky.Allocator.allocated_pages heap)
+  | "oram" ->
+    let cache_pages = max 64 (epc_limit * 2 / 3) in
+    let cache_base = System.reserve sys ~pages:cache_pages in
+    let oram =
+      Oram.Path_oram.create ~clock:(System.clock sys)
+        ~rng:(Metrics.Rng.create ~seed:9L) ~n_blocks:heap_pages ()
+    in
+    let cache =
+      Autarky.Oram_cache.create ~machine:(System.machine sys)
+        ~enclave:(System.enclave sys)
+        ~touch:(fun a k -> Sgx.Cpu.access (System.cpu sys) a k)
+        ~oram
+        ~data_base_vpage:(Autarky.Allocator.base_vpage heap)
+        ~n_pages:heap_pages ~cache_base_vpage:cache_base
+        ~capacity_pages:cache_pages ()
+    in
+    System.pin sys (List.init cache_pages (fun i -> cache_base + i));
+    let pol = Autarky.Policy_oram.create ~runtime:rt ~cache in
+    instrument :=
+      Some
+        (Autarky.Policy_oram.accessor pol ~fallback:(fun a k ->
+             Sgx.Cpu.access (System.cpu sys) a k));
+    finish :=
+      fun () -> Autarky.Runtime.set_policy rt (Autarky.Policy_oram.policy pol)
+  | other ->
+    invalid_arg (Printf.sprintf "Longrun.build: unknown policy %S" other));
+  let vm =
+    match !instrument with
+    | Some i ->
+      System.vm sys ~instrument:i ~on_progress:(fun () -> !progress_hook ()) ()
+    | None -> System.vm sys ~on_progress:(fun () -> !progress_hook ()) ()
+  in
+  let op =
+    match spec.sp_workload with
+    | "ycsb" ->
+      let n_entries = heap_pages * 3 in
+      let kv =
+        Workloads.Kvstore.create ~vm ~alloc ~rng ~n_entries ~value_bytes:1_024 ()
+      in
+      let dist = Metrics.Dist.scrambled_zipfian ~n:n_entries () in
+      let gen = Workloads.Ycsb.workload_c ~dist ~rng in
+      fun _ ->
+        (match Workloads.Ycsb.next gen with
+        | Workloads.Ycsb.Get k -> ignore (Workloads.Kvstore.get kv ~key:k)
+        | _ -> ())
+    | "uthash" ->
+      let t =
+        Workloads.Uthash.create ~vm ~alloc ~rng ~n_items:(heap_pages * 12)
+          ~item_bytes:256 ~target_chain:10
+      in
+      let n = Workloads.Uthash.n_items t in
+      fun i ->
+        ignore (Workloads.Uthash.find t ~key:(i * 7919 mod n));
+        vm.Workloads.Vm.progress ()
+    | "kvstore" ->
+      let n_entries = heap_pages * 3 in
+      let kv =
+        Workloads.Kvstore.create ~vm ~alloc ~rng ~n_entries ~value_bytes:1_024 ()
+      in
+      let dist = Metrics.Dist.uniform ~n:n_entries in
+      fun _ ->
+        ignore (Workloads.Kvstore.get kv ~key:(Metrics.Dist.sample dist rng))
+    | other ->
+      invalid_arg (Printf.sprintf "Longrun.build: unknown workload %S" other)
+  in
+  !finish ();
+  {
+    w_spec = spec;
+    w_sys = sys;
+    w_op = (fun i -> System.run_in_enclave sys (fun () -> op i));
+    w_digest = dres;
+    w_done = 0;
+  }
+
+let step w =
+  if w.w_done >= w.w_spec.sp_ops then false
+  else begin
+    w.w_op (w.w_done + 1);
+    w.w_done <- w.w_done + 1;
+    true
+  end
+
+let machine w = System.machine w.w_sys
+
+(* One comparable line per completed horizon: the whole
+   resume-equivalence check is a string equality over this. *)
+type outcome = {
+  o_spec : spec;
+  o_done : int;
+  o_cycles : int;
+  o_faults : int;
+  o_digest : string;
+  o_counters : string;
+}
+
+let outcome w =
+  {
+    o_spec = w.w_spec;
+    o_done = w.w_done;
+    o_cycles = Metrics.Clock.now (System.clock w.w_sys);
+    o_faults = Metrics.Counters.get (System.counters w.w_sys) "cpu.page_fault";
+    o_digest = w.w_digest ();
+    o_counters = World.counters_fingerprint (System.counters w.w_sys);
+  }
+
+let outcome_line o =
+  Printf.sprintf
+    "longrun %s:%s:%s seed %d ops %d/%d cycles %d faults %d digest %s counters %s"
+    o.o_spec.sp_workload o.o_spec.sp_policy o.o_spec.sp_mech o.o_spec.sp_seed
+    o.o_done o.o_spec.sp_ops o.o_cycles o.o_faults o.o_digest o.o_counters
+
+(* --- sliced execution -------------------------------------------------- *)
+
+let sanitize s = String.map (function '/' -> '_' | c -> c) s
+
+let image_path ~dir spec =
+  Filename.concat dir (sanitize (spec_label spec) ^ ".snap")
+
+(* Run a built (or restored) world forward.  [stop_at] pauses the world
+   at that operation count and seals it; [snapshot_every] additionally
+   seals every K operations along the way (each save bumps the
+   monotonic counter, so the newest image is always the freshest).
+   Returns [Ok outcome] when the horizon completed, [Error path] when
+   the world was paused into [path]. *)
+let advance ?stop_at ?snapshot_every ?store ?dir w =
+  let store =
+    match store with
+    | Some s -> s
+    | None -> Image.Store.in_memory ()
+  in
+  let path () =
+    match dir with
+    | Some d -> image_path ~dir:d w.w_spec
+    | None -> invalid_arg "Longrun.advance: snapshotting requires ~dir"
+  in
+  let seal () =
+    let p = path () in
+    ignore
+      (World.save ~store ~kind ~label:(spec_label w.w_spec)
+         ~machine:(machine w) w ~path:p);
+    p
+  in
+  let stop = Option.value stop_at ~default:max_int in
+  let rec go () =
+    if w.w_done >= stop && w.w_done < w.w_spec.sp_ops then Error (seal ())
+    else if not (step w) then Ok (outcome w)
+    else begin
+      (match snapshot_every with
+      | Some k when k > 0 && w.w_done mod k = 0 && w.w_done < w.w_spec.sp_ops ->
+        ignore (seal ())
+      | _ -> ());
+      go ()
+    end
+  in
+  go ()
+
+let resume ?store ~path () =
+  World.load ?store ~kind ~machine_of:machine ~path ()
+  |> Result.map (fun (_h, w) -> w)

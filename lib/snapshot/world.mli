@@ -1,0 +1,50 @@
+(** Whole-system checkpoint/restore.
+
+    {!to_payload} serializes an entire simulated world — machine, OS,
+    runtime + policies, workload closures, trace digest state — as one
+    Marshal graph (closures included, sharing and cycles preserved);
+    {!save}/{!load} wrap that payload in the sealed {!Image} container
+    with the machine's {!probe} digest as a restore-time cross-check.
+
+    Determinism contract: capture at a quiescent point (between
+    operations/events), restore in a fresh process of the same binary,
+    continue — and every subsequent trace event, counter and digest is
+    bit-identical to the straight-through run.  The digest sink's FNV
+    accumulator rides the image, so the *final* digest of a resumed run
+    equals the straight-through digest. *)
+
+type error = Image.error
+
+val to_payload : 'w -> bytes
+(** [Marshal] (with closures) of the world graph.  The world must be
+    quiescent and must not reach channels, sockets or mutexes. *)
+
+val of_payload : bytes -> ('w, error) result
+(** Unmarshal; failures (wrong binary, corrupt bytes) come back as
+    [Unmarshal_failed].  The ['w] is whatever was captured — callers
+    dispatch on the image's kind string before choosing the type. *)
+
+val probe : Sgx.Machine.t -> int64
+(** FNV digest of the machine's hot state through the explicit
+    {!Codec}s (EPCM + page contents, raw TLB, raw VA map, branch ring,
+    clock, counters) — deliberately Marshal-free, so it cross-checks
+    the Marshal round-trip. *)
+
+val save :
+  store:Image.Store.t -> kind:string -> label:string ->
+  ?machine:Sgx.Machine.t -> 'w -> path:string -> int64
+(** Capture [w] into a sealed image.  When [machine] is given, its
+    {!probe} digest and clock cycle are recorded in the header.
+    Returns the image's monotonic counter. *)
+
+val load :
+  ?store:Image.Store.t -> kind:string ->
+  ?machine_of:('w -> Sgx.Machine.t) -> path:string -> unit ->
+  (Image.header * 'w, error) result
+(** Verified load: seal checks ({!Image.load}), then unmarshal, then —
+    when [machine_of] is given and a probe was recorded — recompute the
+    probe on the restored machine and compare. *)
+
+val counters_fingerprint : Metrics.Counters.t -> string
+(** FNV hex over the sorted non-zero counters: the "counter equality"
+    half of the resume-equivalence check as one comparable line. *)

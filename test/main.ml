@@ -26,4 +26,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("redteam", Test_redteam.suite);
       ("defense", Test_defense.suite);
+      ("snapshot", Test_snapshot.suite);
     ]
