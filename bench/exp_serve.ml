@@ -1,10 +1,13 @@
-(* Multi-tenant serving benchmark: the default three-tenant
-   mixed-policy scenario served in virtual time, with the EPC arbiter
-   rebalancing vEPC between tenant VMs.  Writes BENCH_serve.json
-   (schema autarky-serve/1) in the current directory — the committed
-   baseline lives at the repository root and is bit-reproducible from
-   the fixed seed. *)
+(* Fleet-scale serving benchmark: 100 tenants on one machine — the
+   fixed class mix (kv/clusters open loop, heavy-tailed uthash, diurnal
+   late joiners, closed-loop spellcheck, overloaded departers) with
+   streaming-sketch latency accounting and a pooled-sketch fleet
+   roll-up.  Writes BENCH_serve.json (schema autarky-serve/2) in the
+   current directory — the committed baseline lives at the repository
+   root and is bit-reproducible from the fixed seed at any --jobs. *)
 
 let run () =
-  print_endline "== serve: multi-tenant serving benchmark ==";
-  ignore (Serve.Driver.run ~quick:false ~seed:42 ~out:"BENCH_serve.json" ())
+  print_endline "== serve: fleet-scale serving benchmark ==";
+  ignore
+    (Serve.Driver.run_fleet_scale ~quick:false ~seed:42 ~tenants:100
+       ~out:"BENCH_serve.json" ())

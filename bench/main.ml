@@ -23,7 +23,7 @@ let experiments =
      Exp_ablation.run);
     ("perf", "perf-regression harness: crypto micro + workload matrix \
               (BENCH_perf.json)", Exp_perf.run);
-    ("serve", "multi-tenant serving: virtual-time scheduler + EPC arbiter \
+    ("serve", "fleet-scale serving: 100 tenants, sketch latencies, churn \
                (BENCH_serve.json)", Exp_serve.run);
     ("redteam", "red-team adversary suite: bits-leaked scoreboard across \
                  policies x SGX versions (BENCH_redteam.json)",

@@ -668,8 +668,9 @@ let serve_cmd =
   in
   let out_arg =
     let doc =
-      "Write the autarky-serve/1 JSON report to $(docv).  Defaults to \
-       BENCH_serve.json in full mode, no file in quick mode."
+      "Write the JSON report to $(docv).  With $(b,--tenants), defaults to \
+       BENCH_serve.json in full mode (the committed baseline); otherwise \
+       no file is written unless this flag is given."
     in
     Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc ~docv:"FILE")
   in
@@ -678,28 +679,112 @@ let serve_cmd =
       "Fleet mode: run $(docv) independent members of the default scenario \
        (member seeds split deterministically from $(b,--seed)) across \
        $(b,--jobs) domains and merge their SLO reports.  With $(b,--out), \
-       writes autarky-fleet/1 instead of autarky-serve/1."
+       writes autarky-fleet/2 instead of autarky-serve/1."
     in
     Arg.(value & opt (some int) None & info [ "fleet" ] ~doc ~docv:"K")
   in
-  let run quick no_arbiter out seed fleet jobs =
-    match fleet with
-    | Some members ->
-      ignore
-        (Serve.Driver.fleet ~quick ~seed ~members ~jobs ~no_arbiter ?out ())
-    | None ->
+  let tenants_arg =
+    let doc =
+      "Fleet-scale mode: pack $(docv) tenants (fixed mix of open-loop, \
+       heavy-tailed, diurnal, closed-loop and overloaded classes, with \
+       churn joins and departures) onto one machine with Metrics.Sketch \
+       latency accounting, and write/print the autarky-serve/2 report.  \
+       Byte-identical at any $(b,--jobs)."
+    in
+    Arg.(value & opt (some int) None & info [ "tenants" ] ~doc ~docv:"N")
+  in
+  let sketch_arg =
+    let doc =
+      "With $(b,--fleet): run every member with streaming-sketch latency \
+       accounting, upgrading the roll-up from worst-of-shards to a \
+       pooled-sketch merge."
+    in
+    Arg.(value & flag & info [ "sketch" ] ~doc)
+  in
+  let check_arg =
+    let doc =
+      "Regression gate: validate the committed autarky-serve/2 baseline \
+       $(docv) (schema, exact arrival conservation), re-run the \
+       fleet-scale scenario in quick mode at the baseline's (seed, \
+       tenants), and fail if any intensive metric (fleet p50/p95/p99/mean \
+       latency, shed rate) drifts more than $(b,--tolerance)."
+    in
+    Arg.(value & opt (some string) None & info [ "check" ] ~doc ~docv:"FILE")
+  in
+  let tolerance_arg =
+    let doc = "Allowed relative drift per metric with $(b,--check)." in
+    Arg.(value & opt float 0.25 & info [ "tolerance" ] ~doc ~docv:"T")
+  in
+  let run quick no_arbiter out seed fleet tenants sketch check tolerance jobs =
+    match (check, tenants, fleet) with
+    | Some baseline, _, _ ->
+      if not (Serve.Driver.check ~baseline ~tolerance ~jobs ()) then exit 1
+    | None, Some tenants, _ ->
       let out =
         match (out, quick) with
         | Some f, _ -> Some f
         | None, false -> Some "BENCH_serve.json"
         | None, true -> None
       in
+      ignore (Serve.Driver.run_fleet_scale ~quick ~seed ~tenants ~jobs ?out ())
+    | None, None, Some members ->
+      ignore
+        (Serve.Driver.fleet ~quick ~seed ~members ~jobs ~no_arbiter ~sketch
+           ?out ())
+    | None, None, None ->
+      (* The committed BENCH_serve.json is the fleet-scale serve/2
+         baseline (--tenants); the legacy 3-tenant run only writes a
+         file when asked, so it cannot clobber the baseline. *)
       ignore (Serve.Driver.run ~quick ~seed ~no_arbiter ?out ())
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ quick_arg $ no_arbiter_arg $ out_arg $ seed_arg $ fleet_arg
-      $ jobs_arg)
+      $ tenants_arg $ sketch_arg $ check_arg $ tolerance_arg $ jobs_arg)
+
+(* --- bench-validate -------------------------------------------------------- *)
+
+let bench_validate_cmd =
+  let doc =
+    "Validate committed benchmark reports against the schema registry: \
+     every file must carry a known \"schema\" string and every required \
+     field and row key that schema declares.  Catches writers drifting \
+     from their declared schema before a --check gate misreads the \
+     baseline.  With no FILES, validates every BENCH_*.json in the \
+     current directory."
+  in
+  let files_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"FILES")
+  in
+  let run files =
+    let files =
+      match files with
+      | [] ->
+        Sys.readdir "."
+        |> Array.to_list
+        |> List.filter (fun f ->
+               String.length f > 6
+               && String.sub f 0 6 = "BENCH_"
+               && Filename.check_suffix f ".json")
+        |> List.sort compare
+      | fs -> fs
+    in
+    if files = [] then begin
+      print_endline "bench-validate: no BENCH_*.json files found";
+      exit 1
+    end;
+    let failed = ref false in
+    List.iter
+      (fun f ->
+        match Harness.Schema.validate_file f with
+        | Ok () -> Printf.printf "bench-validate: %s ok\n" f
+        | Error es ->
+          failed := true;
+          List.iter (Printf.printf "bench-validate: FAIL %s\n") es)
+      files;
+    if !failed then exit 1
+  in
+  Cmd.v (Cmd.info "bench-validate" ~doc) Term.(const run $ files_arg)
 
 (* --- redteam --------------------------------------------------------------- *)
 
@@ -965,6 +1050,7 @@ let () =
             kernels_cmd;
             perf_cmd;
             serve_cmd;
+            bench_validate_cmd;
             redteam_cmd;
             defend_cmd;
             Snapshot_cmd.cmd;

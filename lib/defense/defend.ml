@@ -43,6 +43,8 @@ let scenario ~quick =
       queue_capacity = 32;
       deadline = None;
       requests = vr;
+      arrive_after = 0;
+      depart_after = None;
     };
     {
       Tenant.name = "kv";
@@ -56,6 +58,8 @@ let scenario ~quick =
       queue_capacity = 32;
       deadline = None;
       requests = br;
+      arrive_after = 0;
+      depart_after = None;
     };
   ]
 

@@ -49,7 +49,15 @@ val merge_summaries : summary list -> summary
     percentile/max is the component-wise worst (maximum) across inputs
     — a conservative tail bound ("no shard's p99 exceeded the merged
     p99"), not the percentile of the pooled samples.  Empty list (or
-    all-empty summaries) yields the all-zero summary. *)
+    all-empty summaries) yields the all-zero summary.
+
+    Reports built from this merge must label the percentiles as
+    worst-of-shards, not pooled — a shard with 10 slow requests can
+    dominate the "merged p50" of a million fast ones.  When the shards
+    still hold their sample streams, prefer {!Sketch.merge_into}: a
+    pooled-sketch merge is exact bucket addition and its percentiles
+    describe the pooled distribution (within {!Sketch.relative_error}).
+    [Serve.Driver] does exactly that for fleet roll-ups. *)
 
 val geomean : float list -> float
 (** Geometric mean of positive values; raises [Invalid_argument] on an

@@ -25,8 +25,21 @@ type tenant_report = {
   tr_epc_limit_end : int;
   tr_svc_mean_cycles : float;
   tr_latency : Metrics.Stats.summary;  (** request latency, virtual cycles *)
+  tr_latency_method : string;
+      (** ["exact"] (full {!Metrics.Stats} sample set) or ["sketch"]
+          ({!Metrics.Sketch}-derived, within
+          {!Metrics.Sketch.relative_error}) *)
+  tr_sketch : Metrics.Sketch.t option;
+      (** the sketch itself when the tenant ran with sketch accounting —
+          fleet roll-ups pool these by bucket addition *)
   tr_throughput_rps : float;  (** served requests per virtual second *)
   tr_shed_rate : float;  (** (shed + missed) / arrivals *)
+  tr_departed : bool;  (** churn: tenant left before the end of the run *)
+  tr_arrive_after : int;  (** churn join cycle; [0] = present from boot *)
+  tr_depart_after : int;  (** configured departure cycle; [-1] = never *)
+  tr_boot_cycles : int;
+      (** cold-start (build + attestation) cycles charged at the churn
+          join; [0] for tenants present from the start *)
 }
 
 type report = {
@@ -78,7 +91,15 @@ type fleet_tenant = {
   ft_shed : int;
   ft_missed : int;
   ft_latency : Metrics.Stats.summary;
-      (** {!Metrics.Stats.merge_summaries} over the members *)
+      (** pooled {!Metrics.Sketch} merge when every member ran with
+          sketch accounting, else the conservative
+          {!Metrics.Stats.merge_summaries} worst-of-shards bound —
+          [ft_latency_method] says which *)
+  ft_latency_method : string;
+      (** ["pooled-sketch"] (percentiles of the pooled distribution,
+          within {!Metrics.Sketch.relative_error}) or
+          ["worst-of-shards"] (no shard exceeded these percentiles —
+          not pooled percentiles) *)
   ft_throughput_rps : float;  (** mean over members *)
 }
 
@@ -90,15 +111,83 @@ type fleet_report = {
 }
 
 val fleet_to_json : fleet_report -> string
-(** Stable schema ["autarky-fleet/1"]; deterministic for a fixed
-    (root seed, member count, quick). *)
+(** Stable schema ["autarky-fleet/2"]; deterministic for a fixed
+    (root seed, member count, quick).  Each tenant row labels its
+    latency percentiles with the merge method ([latency_merge]). *)
 
 val print_fleet : fleet_report -> unit
 
 val fleet :
   ?quick:bool -> ?seed:int -> ?members:int -> ?jobs:int ->
-  ?no_arbiter:bool -> ?out:string -> ?print:bool -> unit -> fleet_report
+  ?no_arbiter:bool -> ?sketch:bool -> ?out:string -> ?print:bool -> unit ->
+  fleet_report
 (** Run the fleet ([members] defaults to 4) over a domain pool
     ([jobs] defaults to 1; [<= 0] means {!Parallel.Pool.default_jobs})
-    and merge the reports.
+    and merge the reports.  [sketch] (default false) runs every member
+    with {!Metrics.Sketch} latency accounting, which upgrades the
+    roll-up from worst-of-shards to a pooled-sketch merge.
     @raise Invalid_argument when [members <= 0]. *)
+
+(** {1 Fleet scale}
+
+    Many tenants on {e one} machine — the ISSUE-10 serving path.  All
+    latency accounting is sketch-based (O(1) state per tenant), the
+    trace recorder is off, and the report carries a pooled-sketch fleet
+    roll-up, so memory stays O(tenants) however many arrivals the run
+    generates. *)
+
+val fleet_scenario : tenants:int -> quick:bool -> Tenant.config list
+(** The committed fleet-scale benchmark scenario: a fixed per-index mix
+    of kv/clusters open-loop tenants, heavy-tailed (Pareto) uthash
+    tenants, diurnal late joiners (churn arrivals with cold-start
+    attestation cost), a closed-loop spellcheck population, and
+    overloaded tenants that depart mid-run.  Full mode generates ~16x
+    the quick-mode arrivals.
+    @raise Invalid_argument when [tenants <= 0]. *)
+
+type fleet_scale_report = {
+  fs_quick : bool;
+  fs_seed : int;
+  fs_tenants_n : int;
+  fs_rows : tenant_report list;  (** ordered by tenant index *)
+  fs_end_cycle : int;
+  fs_virtual_seconds : float;
+  fs_arbiter_moves : int;
+  fs_arrivals : int;
+  fs_served : int;
+  fs_shed : int;
+  fs_missed : int;
+  fs_joins : int;  (** tenants that joined after cycle 0 (churn) *)
+  fs_departures : int;
+  fs_refused : int;
+  fs_boot_cycles_total : int;  (** summed churn cold-start cost *)
+  fs_fleet_latency : Metrics.Stats.summary;
+      (** pooled-sketch roll-up over every tenant's served requests *)
+  fs_latency_method : string;
+      (** ["pooled-sketch"], or ["worst-of-shards"] if any tenant lacked
+          a sketch *)
+}
+
+val fleet_scale_to_json : fleet_scale_report -> string
+(** Stable schema ["autarky-serve/2"]: fleet totals (including churn
+    counts), the labeled fleet latency roll-up with its error bound,
+    and one row per tenant.  No worker-count-dependent value appears,
+    so the bytes are identical at any [jobs]. *)
+
+val print_fleet_scale : fleet_scale_report -> unit
+
+val run_fleet_scale :
+  ?quick:bool -> ?seed:int -> ?tenants:int -> ?jobs:int -> ?out:string ->
+  ?print:bool -> unit -> fleet_scale_report
+(** Run {!fleet_scenario} ([tenants] defaults to 100) and optionally
+    write the [autarky-serve/2] JSON.  [jobs] shards the report
+    extraction; the output is byte-identical at any value. *)
+
+val check : baseline:string -> ?tolerance:float -> ?jobs:int -> unit -> bool
+(** The serve regression gate ([autarky_sim serve --check]): validate
+    the committed [autarky-serve/2] baseline (schema, exact arrival
+    conservation per tenant and in total), then re-run the fleet-scale
+    scenario in quick mode at the baseline's (seed, tenants_n) and
+    compare the intensive metrics — fleet p50/p95/p99/mean latency and
+    the overall shed rate — within [tolerance] (default 0.25) relative
+    drift.  Prints a verdict table; [false] on any failure. *)

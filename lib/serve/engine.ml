@@ -18,13 +18,29 @@
    time); [Refuse] pins the tenant to [Refused] and every later request
    sheds — the termination channel is closed by admission control.
 
+   Tenant churn rides the same timeline: a config with
+   [arrive_after > 0] parks the tenant until a Join event, whose
+   handler builds the enclave inside a clock span (cold-start
+   attestation cost, charged as busy time through [free_at]) after the
+   restart monitor admits the identity; [depart_after] schedules a
+   Leave event that destroys the guest process, after which the
+   tenant's remaining generated arrivals are dropped uncounted.
+
    The EPC arbiter is the hypervisor-level half of §5.2.1/§5.4: each
    tick it compares per-tenant fault pressure (faults handled since the
    previous tick) and, when the gap is large enough, moves a batch of
    frames from the calmest VM to the most pressured one via
    [Vmm.rebalance] — which internally evicts the donor's OS-managed
    pages and issues cooperative balloon upcalls — then raises the
-   beneficiary's OS allowance and pager budget. *)
+   beneficiary's OS allowance and pager budget.
+
+   Events are bit-packed ints on an int-payload heap (tag in the low 3
+   bits, tenant index and client id above), and the per-event outcome
+   is an int code until a defense hook actually needs the [verdict]
+   variant — together with the tenants' reusable request thunks and
+   ring queues this keeps the served-request path free of per-event
+   allocation (measured by the Gc.allocated_bytes test in
+   test/test_serve.ml). *)
 
 module Vmm = Hypervisor.Vmm
 module System = Harness.System
@@ -71,6 +87,7 @@ type params = {
   p_arbiter : arbiter option;
   p_attack : attack option;
   p_trace : bool;
+  p_sketch : bool;
   p_hooks : hooks option;
 }
 
@@ -83,10 +100,34 @@ let default_params ~seed =
     p_arbiter = Some default_arbiter;
     p_attack = None;
     p_trace = true;
+    p_sketch = false;
     p_hooks = None;
   }
 
-type ev = Arrival of int | Client of int * int | Arbiter_tick | Defense_tick
+(* Events are ints: tag in bits 0-2, tenant index in bits 3-23 (up to
+   2M tenants), client id in bits 24+ for Client events. *)
+let tag_arrival = 0
+and tag_client = 1
+and tag_arbiter = 2
+and tag_defense = 3
+and tag_join = 4
+and tag_leave = 5
+
+let ev_arrival i = i lsl 3
+let ev_client ~i ~c = (c lsl 24) lor (i lsl 3) lor tag_client
+let ev_join i = (i lsl 3) lor tag_join
+let ev_leave i = (i lsl 3) lor tag_leave
+let ev_tag e = e land 7
+let ev_tenant e = (e asr 3) land 0x1f_ffff
+let ev_client_id e = e asr 24
+
+(* Request outcomes stay int-coded on the hot path; the [verdict]
+   variant is materialised only when a defense hook is attached. *)
+let out_shed = -1
+and out_missed = -2
+
+let verdict_of_outcome o =
+  if o >= 0 then Served o else if o = out_shed then Shed else Deadline_missed
 
 type result = {
   r_tenants : Tenant.t array;
@@ -105,16 +146,18 @@ type state = {
   st_tenants : Tenant.t array;
   st_ctx : hook_ctx;
   st_digest : (Trace.Recorder.t * (unit -> string)) option;
-  st_q : ev Event_queue.t;
-  (* Pending Arrival/Client events.  The periodic ticks (arbiter,
-     defense) reschedule themselves only while work remains; testing
-     queue emptiness instead would let two periodic events keep each
-     other alive forever. *)
+  st_q : Event_queue.t;
+  (* Pending Arrival/Client/Join/Leave events.  The periodic ticks
+     (arbiter, defense) reschedule themselves only while work remains;
+     testing queue emptiness instead would let two periodic events keep
+     each other alive forever. *)
   mutable st_work : int;
   st_scheduled : int array;  (* arrivals generated so far, per tenant *)
   st_interarrival : float array;  (* open-loop mean interarrival, cycles *)
   st_think : float array;  (* closed-loop mean think time, cycles *)
   st_deadline : int option array;  (* resolved deadline, cycles *)
+  st_period : int array;  (* resolved diurnal period, cycles *)
+  st_pressure : int array;  (* arbiter scratch, reused across ticks *)
   mutable st_end : int;
   mutable st_moves : int;
 }
@@ -128,81 +171,113 @@ let emit_on machine ~tenant ~action ~detail =
 
 let emit st ~tenant ~action ~detail = emit_on st.st_machine ~tenant ~action ~detail
 
-(* Exponential inter-event gap, floored at one cycle so the event
-   timeline always advances. *)
-let exp_sample rng mean =
-  let u = Metrics.Rng.float rng in
-  max 1 (int_of_float (ceil (-.log (1.0 -. u) *. mean)))
+(* Inter-arrival gap for tenant [i]'s generator at cycle [at].  The
+   open-loop exponential is exactly the sampler this engine has always
+   used (now shared via {!Workloads.Loadgen}), so pre-existing
+   scenarios replay bit-identical rng streams. *)
+let gen_gap st i tn ~at =
+  match (Tenant.config tn).Tenant.generator with
+  | Tenant.Open_loop _ ->
+    Workloads.Loadgen.exp_gap (Tenant.gen_rng tn) ~mean:st.st_interarrival.(i)
+  | Tenant.Heavy_tail { alpha; _ } ->
+    Workloads.Loadgen.pareto_gap (Tenant.gen_rng tn)
+      ~mean:st.st_interarrival.(i) ~alpha
+  | Tenant.Diurnal { depth; _ } ->
+    Workloads.Loadgen.diurnal_gap (Tenant.gen_rng tn)
+      ~mean:st.st_interarrival.(i) ~depth ~period:st.st_period.(i) ~at
+  | Tenant.Closed_loop _ -> invalid_arg "Serve.Engine.gen_gap: closed loop"
+
+(* Calibrate one tenant: measure its mean service time over uniform
+   draws, then resolve the quantities derived from it (deadline cycles,
+   diurnal period).  Runs at fleet start for present tenants and at the
+   Join event for churn arrivals. *)
+let calibrate_one st i tn =
+  let clock = st.st_machine.Sgx.Machine.clock in
+  let n = max 1 st.st_params.p_calibration in
+  let span = Metrics.Clock.start_span clock in
+  for _ = 1 to n do
+    Tenant.request tn ~key:(Tenant.calib_key tn)
+  done;
+  let total = Metrics.Clock.span_cycles clock span in
+  let mean = max 1.0 (float_of_int total /. float_of_int n) in
+  Tenant.set_svc_mean tn mean;
+  (* Start the arbiter's pressure bookmark after calibration so the
+     warmup faults don't count as serving pressure. *)
+  Tenant.set_faults_last_seen tn (Tenant.faults tn);
+  let cfg = Tenant.config tn in
+  st.st_deadline.(i) <-
+    Option.map (fun d -> max 1 (int_of_float (d *. mean))) cfg.Tenant.deadline;
+  (match cfg.Tenant.generator with
+  | Tenant.Diurnal { period; _ } ->
+    st.st_period.(i) <- max 1 (int_of_float (period *. mean))
+  | _ -> ());
+  emit st ~tenant:(Tenant.name tn) ~action:"calibrate"
+    ~detail:(int_of_float mean)
 
 let calibrate st =
-  let clock = st.st_machine.Sgx.Machine.clock in
-  Array.iter
-    (fun tn ->
-      let n = max 1 st.st_params.p_calibration in
-      let span = Metrics.Clock.start_span clock in
-      for _ = 1 to n do
-        Tenant.request tn ~key:(Tenant.calib_key tn)
-      done;
-      let total = Metrics.Clock.span_cycles clock span in
-      let mean = max 1.0 (float_of_int total /. float_of_int n) in
-      Tenant.set_svc_mean tn mean;
-      (* Start the arbiter's pressure bookmark after calibration so the
-         warmup faults don't count as serving pressure. *)
-      Tenant.set_faults_last_seen tn (Tenant.faults tn);
-      emit st ~tenant:(Tenant.name tn) ~action:"calibrate"
-        ~detail:(int_of_float mean))
+  Array.iteri
+    (fun i tn ->
+      if Tenant.state tn <> Tenant.Parked then calibrate_one st i tn)
     st.st_tenants
+
+(* Schedule tenant [i]'s first arrival(s) from virtual cycle [origin]
+   (0 at fleet start, the join cycle for churn arrivals). *)
+let schedule_tenant st i tn ~origin =
+  let cfg = Tenant.config tn in
+  if cfg.Tenant.requests > 0 then
+    match cfg.Tenant.generator with
+    | Tenant.Open_loop { load } | Tenant.Heavy_tail { load; _ }
+    | Tenant.Diurnal { load; _ } ->
+      st.st_interarrival.(i) <- Tenant.svc_mean tn /. load;
+      st.st_scheduled.(i) <- 1;
+      st.st_work <- st.st_work + 1;
+      Event_queue.push st.st_q
+        ~at:(origin + gen_gap st i tn ~at:origin)
+        (ev_arrival i)
+    | Tenant.Closed_loop { clients; think } ->
+      let mean = think *. Tenant.svc_mean tn in
+      st.st_think.(i) <- mean;
+      let n = min clients cfg.Tenant.requests in
+      for c = 0 to n - 1 do
+        st.st_scheduled.(i) <- st.st_scheduled.(i) + 1;
+        st.st_work <- st.st_work + 1;
+        Event_queue.push st.st_q
+          ~at:(origin + Workloads.Loadgen.exp_gap (Tenant.gen_rng tn) ~mean)
+          (ev_client ~i ~c)
+      done
+
+let tick_base st =
+  Array.fold_left (fun m tn -> max m (Tenant.svc_mean tn)) 1.0 st.st_tenants
 
 let schedule_initial st =
   Array.iteri
     (fun i tn ->
       let cfg = Tenant.config tn in
-      if cfg.Tenant.requests > 0 then
-        match cfg.Tenant.generator with
-        | Tenant.Open_loop { load } ->
-          let mean = Tenant.svc_mean tn /. load in
-          st.st_interarrival.(i) <- mean;
-          st.st_scheduled.(i) <- 1;
-          st.st_work <- st.st_work + 1;
-          Event_queue.push st.st_q
-            ~at:(exp_sample (Tenant.gen_rng tn) mean)
-            (Arrival i)
-        | Tenant.Closed_loop { clients; think } ->
-          let mean = think *. Tenant.svc_mean tn in
-          st.st_think.(i) <- mean;
-          let n = min clients cfg.Tenant.requests in
-          for c = 0 to n - 1 do
-            st.st_scheduled.(i) <- st.st_scheduled.(i) + 1;
-            st.st_work <- st.st_work + 1;
-            Event_queue.push st.st_q
-              ~at:(exp_sample (Tenant.gen_rng tn) mean)
-              (Client (i, c))
-          done)
+      if Tenant.state tn = Tenant.Parked then begin
+        st.st_work <- st.st_work + 1;
+        Event_queue.push st.st_q ~at:cfg.Tenant.arrive_after (ev_join i)
+      end
+      else schedule_tenant st i tn ~origin:0;
+      match cfg.Tenant.depart_after with
+      | Some d ->
+        (* A join at the same cycle pops first (lower time wins; the
+           clamp keeps a misconfigured leave from preceding its join). *)
+        st.st_work <- st.st_work + 1;
+        Event_queue.push st.st_q
+          ~at:(max d (cfg.Tenant.arrive_after + 1))
+          (ev_leave i)
+      | None -> ())
     st.st_tenants;
   (match st.st_params.p_arbiter with
   | None -> ()
   | Some arb ->
-    let base =
-      Array.fold_left (fun m tn -> max m (Tenant.svc_mean tn)) 1.0 st.st_tenants
-    in
-    let period = max 1 (int_of_float (arb.arb_period *. base)) in
-    Event_queue.push st.st_q ~at:period Arbiter_tick);
-  (match st.st_params.p_hooks with
+    let period = max 1 (int_of_float (arb.arb_period *. tick_base st)) in
+    Event_queue.push st.st_q ~at:period tag_arbiter);
+  match st.st_params.p_hooks with
   | None -> ()
   | Some h ->
-    let base =
-      Array.fold_left (fun m tn -> max m (Tenant.svc_mean tn)) 1.0 st.st_tenants
-    in
-    let period = max 1 (int_of_float (h.h_period *. base)) in
-    Event_queue.push st.st_q ~at:period Defense_tick);
-  Array.iteri
-    (fun i tn ->
-      let cfg = Tenant.config tn in
-      st.st_deadline.(i) <-
-        Option.map
-          (fun d -> max 1 (int_of_float (d *. Tenant.svc_mean tn)))
-          cfg.Tenant.deadline)
-    st.st_tenants
+    let period = max 1 (int_of_float (h.h_period *. tick_base st)) in
+    Event_queue.push st.st_q ~at:period tag_defense
 
 (* The hypervisor-attack injection (churn scenarios): before the
    victim's request runs, evict a resident ground-truth page of the key
@@ -226,6 +301,13 @@ let maybe_attack st tn ~key =
     | None -> ())
   | _ -> ()
 
+let post_hook st ~at ~i outcome =
+  match st.st_params.p_hooks with
+  | Some h ->
+    h.h_after_request st.st_ctx ~at ~tenant:i
+      ~verdict:(verdict_of_outcome outcome)
+  | None -> ()
+
 let execute st i tn ~at ~start =
   let key = Tenant.next_key tn in
   (match st.st_params.p_hooks with
@@ -233,23 +315,18 @@ let execute st i tn ~at ~start =
   | None -> ());
   maybe_attack st tn ~key;
   let clock = st.st_machine.Sgx.Machine.clock in
-  let finish verdict =
-    (match st.st_params.p_hooks with
-    | Some h -> h.h_after_request st.st_ctx ~at ~tenant:i ~verdict
-    | None -> ());
-    verdict
-  in
   let span = Metrics.Clock.start_span clock in
   try
     Tenant.request tn ~key;
     let s = max 1 (Metrics.Clock.span_cycles clock span) in
     let fin = start + s in
     Tenant.set_free_at tn fin;
-    Queue.push fin (Tenant.queue tn);
-    Metrics.Stats.add (Tenant.latencies tn) (float_of_int (fin - at));
+    Ring.push (Tenant.queue tn) fin;
+    Tenant.record_latency tn ~cycles:(fin - at);
     Tenant.incr_served tn;
     st.st_end <- max st.st_end fin;
-    finish (Served fin)
+    post_hook st ~at ~i fin;
+    fin
   with Sgx.Types.Enclave_terminated { reason; _ } ->
     Tenant.incr_terminations tn;
     let identity = Tenant.name tn in
@@ -261,32 +338,33 @@ let execute st i tn ~at ~start =
       (* The reboot ran inside this span: restart cost is busy time. *)
       let s = max 1 (Metrics.Clock.span_cycles clock span) in
       Tenant.set_free_at tn (start + s);
-      Queue.clear (Tenant.queue tn);
+      Ring.clear (Tenant.queue tn);
       emit st ~tenant:identity ~action:"restart" ~detail:(Tenant.restarts tn)
     | Autarky.Restart_monitor.Refuse ->
       Tenant.set_refused tn;
       emit st ~tenant:identity ~action:"refused" ~detail:(Tenant.terminations tn));
     Tenant.incr_shed tn;
-    finish Shed
+    post_hook st ~at ~i out_shed;
+    out_shed
 
 let admit st i ~at =
   let tn = st.st_tenants.(i) in
   Tenant.incr_arrivals tn;
   let q = Tenant.queue tn in
   (* Retire requests that completed before this arrival. *)
-  while (not (Queue.is_empty q)) && Queue.peek q <= at do
-    ignore (Queue.pop q)
+  while (not (Ring.is_empty q)) && Ring.peek q <= at do
+    ignore (Ring.pop q)
   done;
   let cfg = Tenant.config tn in
   if Tenant.state tn = Tenant.Refused then begin
     Tenant.incr_shed tn;
     emit st ~tenant:(Tenant.name tn) ~action:"shed-refused" ~detail:(Tenant.shed tn);
-    Shed
+    out_shed
   end
-  else if Queue.length q >= cfg.Tenant.queue_capacity then begin
+  else if Ring.length q >= cfg.Tenant.queue_capacity then begin
     Tenant.incr_shed tn;
     emit st ~tenant:(Tenant.name tn) ~action:"shed" ~detail:(Tenant.shed tn);
-    Shed
+    out_shed
   end
   else begin
     let start = max at (Tenant.free_at tn) in
@@ -295,23 +373,24 @@ let admit st i ~at =
       Tenant.incr_missed tn;
       emit st ~tenant:(Tenant.name tn) ~action:"deadline-missed"
         ~detail:(Tenant.missed tn);
-      Deadline_missed
+      out_missed
     | _ -> execute st i tn ~at ~start
   end
 
-(* A tenant VM never donates below its floor: refused tenants (whose
-   frames are pure waste) can be drained to the global minimum, while
-   active tenants keep at least their configured allowance — pressure
+(* A tenant VM never donates below its floor: refused and departed
+   tenants (whose frames are pure waste) can be drained to the global
+   minimum, while active — and parked, whose partition the join will
+   need — tenants keep at least their configured allowance; pressure
    elsewhere must not starve a well-behaved neighbour. *)
 let donor_floor arb tn =
   match Tenant.state tn with
-  | Tenant.Refused -> arb.arb_min_partition
-  | Tenant.Active ->
+  | Tenant.Refused | Tenant.Departed -> arb.arb_min_partition
+  | Tenant.Active | Tenant.Parked ->
     max arb.arb_min_partition (Tenant.config tn).Tenant.epc_limit
 
 let arbiter_tick st ~at arb =
   let n = Array.length st.st_tenants in
-  let pressure = Array.make n 0 in
+  let pressure = st.st_pressure in
   Array.iteri
     (fun i tn ->
       let f = Tenant.faults tn in
@@ -371,25 +450,29 @@ let arbiter_tick st ~at arb =
   end;
   st.st_end <- max st.st_end at
 
-let reschedule_generator st i ~at ~verdict ~client =
+(* [client] is the closed-loop client id, or -1 for open-loop arrivals
+   (int sentinel instead of an option — no per-event allocation). *)
+let reschedule_generator st i ~at ~outcome ~client =
   let tn = st.st_tenants.(i) in
   let cfg = Tenant.config tn in
   if st.st_scheduled.(i) < cfg.Tenant.requests then
-    match (cfg.Tenant.generator, client) with
-    | Tenant.Open_loop _, _ ->
+    match cfg.Tenant.generator with
+    | Tenant.Open_loop _ | Tenant.Heavy_tail _ | Tenant.Diurnal _ ->
       st.st_scheduled.(i) <- st.st_scheduled.(i) + 1;
       st.st_work <- st.st_work + 1;
-      Event_queue.push st.st_q
-        ~at:(at + exp_sample (Tenant.gen_rng tn) st.st_interarrival.(i))
-        (Arrival i)
-    | Tenant.Closed_loop _, Some c ->
-      let origin = match verdict with Served fin -> fin | _ -> at in
-      st.st_scheduled.(i) <- st.st_scheduled.(i) + 1;
-      st.st_work <- st.st_work + 1;
-      Event_queue.push st.st_q
-        ~at:(origin + exp_sample (Tenant.gen_rng tn) st.st_think.(i))
-        (Client (i, c))
-    | Tenant.Closed_loop _, None -> ()
+      Event_queue.push st.st_q ~at:(at + gen_gap st i tn ~at) (ev_arrival i)
+    | Tenant.Closed_loop _ ->
+      if client >= 0 then begin
+        let origin = if outcome >= 0 then outcome else at in
+        st.st_scheduled.(i) <- st.st_scheduled.(i) + 1;
+        st.st_work <- st.st_work + 1;
+        Event_queue.push st.st_q
+          ~at:
+            (origin
+            + Workloads.Loadgen.exp_gap (Tenant.gen_rng tn)
+                ~mean:st.st_think.(i))
+          (ev_client ~i ~c:client)
+      end
 
 let start ?params (cfgs : Tenant.config list) =
   if cfgs = [] then invalid_arg "Serve.Engine.run: no tenants";
@@ -428,13 +511,16 @@ let start ?params (cfgs : Tenant.config list) =
                ~epc_frames:cfg.Tenant.partition_frames
            in
            let tn =
-             Tenant.create ~machine ~hv ~vm
+             Tenant.create ~sketch:params.p_sketch ~machine ~hv ~vm
                ~seed_base:((params.p_seed * 1_000) + (i * 17))
                cfg
            in
-           ignore
-             (Autarky.Restart_monitor.record_start monitor
-                ~identity:cfg.Tenant.name);
+           (* Parked tenants announce themselves to the restart monitor
+              at their Join event — the cold-start attestation. *)
+           if Tenant.state tn <> Tenant.Parked then
+             ignore
+               (Autarky.Restart_monitor.record_start monitor
+                  ~identity:cfg.Tenant.name);
            tn)
          cfgs)
   in
@@ -464,6 +550,8 @@ let start ?params (cfgs : Tenant.config list) =
       st_interarrival = Array.make n 1.0;
       st_think = Array.make n 1.0;
       st_deadline = Array.make n None;
+      st_period = Array.make n 1;
+      st_pressure = Array.make n 0;
       st_end = 0;
       st_moves = 0;
     }
@@ -475,54 +563,90 @@ let start ?params (cfgs : Tenant.config list) =
   schedule_initial st;
   st
 
+(* Churn join: attest the identity with the restart monitor, build the
+   enclave inside a clock span (the cold-start cost occupies the
+   server via [free_at]), calibrate, and start the generator. *)
+let join st ~at i =
+  let tn = st.st_tenants.(i) in
+  if Tenant.state tn = Tenant.Parked then begin
+    let identity = Tenant.name tn in
+    match Autarky.Restart_monitor.record_start st.st_monitor ~identity with
+    | Autarky.Restart_monitor.Allow ->
+      let clock = st.st_machine.Sgx.Machine.clock in
+      let span = Metrics.Clock.start_span clock in
+      Tenant.boot tn;
+      let boot = max 1 (Metrics.Clock.span_cycles clock span) in
+      Tenant.set_boot_cycles tn boot;
+      Tenant.set_free_at tn (at + boot);
+      st.st_end <- max st.st_end (at + boot);
+      calibrate_one st i tn;
+      emit st ~tenant:identity ~action:"join" ~detail:boot;
+      schedule_tenant st i tn ~origin:at
+    | Autarky.Restart_monitor.Refuse ->
+      Tenant.set_refused tn;
+      emit st ~tenant:identity ~action:"join-refused" ~detail:at
+  end
+
+let leave st ~at i =
+  let tn = st.st_tenants.(i) in
+  if Tenant.state tn <> Tenant.Departed then begin
+    Tenant.depart tn;
+    emit st ~tenant:(Tenant.name tn) ~action:"depart" ~detail:at
+  end
+
 (* Process exactly one pending event; [false] when the timeline is
    exhausted.  This is the snapshot quiescent point: between two [step]
    calls no enclave is entered and no span is open, so the whole state
    graph is capturable. *)
 let step st =
-  match Event_queue.pop st.st_q with
-  | None -> false
-  | Some (at, ev) ->
+  if not (Event_queue.pop st.st_q) then false
+  else begin
+    let at = Event_queue.popped_at st.st_q in
+    let ev = Event_queue.popped_payload st.st_q in
     st.st_end <- max st.st_end at;
-    (match ev with
-    | Arrival i ->
+    let tag = ev_tag ev in
+    if tag = tag_arrival || tag = tag_client then begin
       st.st_work <- st.st_work - 1;
-      let verdict = admit st i ~at in
-      reschedule_generator st i ~at ~verdict ~client:None
-    | Client (i, c) ->
-      st.st_work <- st.st_work - 1;
-      let verdict = admit st i ~at in
-      reschedule_generator st i ~at ~verdict ~client:(Some c)
-    | Arbiter_tick -> (
+      let i = ev_tenant ev in
+      (* Arrivals already on the heap when their tenant departed are
+         dropped without being counted — the stream simply ends. *)
+      if Tenant.state st.st_tenants.(i) <> Tenant.Departed then begin
+        let outcome = admit st i ~at in
+        let client = if tag = tag_client then ev_client_id ev else -1 in
+        reschedule_generator st i ~at ~outcome ~client
+      end
+    end
+    else if tag = tag_arbiter then begin
       match st.st_params.p_arbiter with
       | Some arb ->
         arbiter_tick st ~at arb;
         if st.st_work > 0 then begin
-          let base =
-            Array.fold_left
-              (fun m tn -> max m (Tenant.svc_mean tn))
-              1.0 st.st_tenants
-          in
-          let period = max 1 (int_of_float (arb.arb_period *. base)) in
-          Event_queue.push st.st_q ~at:(at + period) Arbiter_tick
+          let period = max 1 (int_of_float (arb.arb_period *. tick_base st)) in
+          Event_queue.push st.st_q ~at:(at + period) tag_arbiter
         end
-      | None -> ())
-    | Defense_tick -> (
+      | None -> ()
+    end
+    else if tag = tag_defense then begin
       match st.st_params.p_hooks with
       | Some h ->
         h.h_on_tick st.st_ctx ~at;
         st.st_end <- max st.st_end at;
         if st.st_work > 0 then begin
-          let base =
-            Array.fold_left
-              (fun m tn -> max m (Tenant.svc_mean tn))
-              1.0 st.st_tenants
-          in
-          let period = max 1 (int_of_float (h.h_period *. base)) in
-          Event_queue.push st.st_q ~at:(at + period) Defense_tick
+          let period = max 1 (int_of_float (h.h_period *. tick_base st)) in
+          Event_queue.push st.st_q ~at:(at + period) tag_defense
         end
-      | None -> ()));
+      | None -> ()
+    end
+    else if tag = tag_join then begin
+      st.st_work <- st.st_work - 1;
+      join st ~at (ev_tenant ev)
+    end
+    else begin
+      st.st_work <- st.st_work - 1;
+      leave st ~at (ev_tenant ev)
+    end;
     true
+  end
 
 let finish st =
   Array.iter

@@ -3,20 +3,36 @@
     A binary min-heap keyed by [(cycle, sequence)]: events pop in
     non-decreasing virtual time, and simultaneous events pop in push
     order.  Deterministic by construction — no physical time, no
-    hashing. *)
+    hashing.
 
-type 'a t
+    Payloads are plain ints (the engine bit-packs its event variants)
+    and the heap stores them in parallel int arrays, so the serve hot
+    path performs zero allocation per push/pop: [pop] deposits the
+    popped event into two mutable cells read back via {!popped_at} /
+    {!popped_payload} instead of building an option/tuple. *)
 
-val create : unit -> 'a t
-val length : 'a t -> int
-val is_empty : 'a t -> bool
+type t
 
-val push : 'a t -> at:int -> 'a -> unit
+val create : unit -> t
+val length : t -> int
+val is_empty : t -> bool
+
+val push : t -> at:int -> int -> unit
 (** Schedule [payload] at virtual cycle [at] (raises [Invalid_argument]
-    on a negative time). *)
+    on a negative time).  Amortised allocation-free: the backing arrays
+    double on overflow but are reused across pops. *)
 
-val pop : 'a t -> (int * 'a) option
-(** Remove and return the earliest event as [(at, payload)]. *)
+val pop : t -> bool
+(** Remove the earliest event, leaving it readable through
+    {!popped_at} / {!popped_payload} until the next [pop].  Returns
+    [false] (and leaves the cells untouched) when the queue is empty. *)
 
-val peek_time : 'a t -> int option
+val popped_at : t -> int
+(** Virtual cycle of the last successfully popped event.  Meaningless
+    before the first [pop] returning [true]. *)
+
+val popped_payload : t -> int
+(** Payload of the last successfully popped event. *)
+
+val peek_time : t -> int option
 (** Virtual cycle of the earliest pending event, if any. *)

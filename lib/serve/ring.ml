@@ -1,0 +1,38 @@
+type t = {
+  slots : int array;
+  mutable head : int;
+  mutable len : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity";
+  { slots = Array.make capacity 0; head = 0; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+let is_full t = t.len = Array.length t.slots
+let capacity t = Array.length t.slots
+
+let push t v =
+  let cap = Array.length t.slots in
+  if t.len = cap then invalid_arg "Ring.push: full";
+  let tail = t.head + t.len in
+  let tail = if tail >= cap then tail - cap else tail in
+  t.slots.(tail) <- v;
+  t.len <- t.len + 1
+
+let peek t =
+  if t.len = 0 then invalid_arg "Ring.peek: empty";
+  t.slots.(t.head)
+
+let pop t =
+  if t.len = 0 then invalid_arg "Ring.pop: empty";
+  let v = t.slots.(t.head) in
+  let head = t.head + 1 in
+  t.head <- (if head = Array.length t.slots then 0 else head);
+  t.len <- t.len - 1;
+  v
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0

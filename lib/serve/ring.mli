@@ -1,0 +1,30 @@
+(** Bounded FIFO ring of ints for per-tenant admission queues.
+
+    The tenant hot path pushes a completion cycle on admit and pops it
+    on dispatch; [int Queue.t] allocates a cons cell per push, so the
+    queue lives in a fixed int array instead.  Capacity is the
+    admission bound — [push] on a full ring raises, callers check
+    {!is_full} first (the shed decision). *)
+
+type t
+
+val create : capacity:int -> t
+(** Raises [Invalid_argument] when [capacity <= 0]. *)
+
+val length : t -> int
+val is_empty : t -> bool
+val is_full : t -> bool
+val capacity : t -> int
+
+val push : t -> int -> unit
+(** Append at the tail.  Raises [Invalid_argument] when full. *)
+
+val peek : t -> int
+(** Head element without removing it.  Raises [Invalid_argument] when
+    empty. *)
+
+val pop : t -> int
+(** Remove and return the head.  Raises [Invalid_argument] when
+    empty. *)
+
+val clear : t -> unit

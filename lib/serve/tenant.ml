@@ -48,11 +48,17 @@ let policy_of_name = function
 type generator =
   | Open_loop of { load : float }
   | Closed_loop of { clients : int; think : float }
+  | Heavy_tail of { load : float; alpha : float }
+  | Diurnal of { load : float; depth : float; period : float }
 
 let generator_name = function
   | Open_loop { load } -> Printf.sprintf "open(load=%.2f)" load
   | Closed_loop { clients; think } ->
     Printf.sprintf "closed(n=%d,think=%.1f)" clients think
+  | Heavy_tail { load; alpha } ->
+    Printf.sprintf "pareto(load=%.2f,alpha=%.1f)" load alpha
+  | Diurnal { load; depth; period } ->
+    Printf.sprintf "diurnal(load=%.2f,depth=%.2f,period=%.0f)" load depth period
 
 type config = {
   name : string;
@@ -66,6 +72,8 @@ type config = {
   queue_capacity : int;
   deadline : float option;
   requests : int;
+  arrive_after : int;
+  depart_after : int option;
 }
 
 type oram_parts = {
@@ -86,12 +94,17 @@ type slice = {
   sl_progress : (unit -> unit) ref;
   mutable sl_policy : policy_kind;
   mutable sl_managed : bool;  (* heap pages marked enclave-managed yet? *)
+  (* Pre-allocated request thunk: [request] writes the key into the cell
+     and passes the same closure to the enclave entry every time, so the
+     served-request path allocates no per-call closure. *)
+  sl_req_key : int ref;
+  mutable sl_req_thunk : unit -> unit;
   (* ORAM machinery survives a de-escalation so a later re-escalation
      reuses the same (deterministically seeded) tree and cache. *)
   mutable sl_oram : oram_parts option;
 }
 
-type state = Active | Refused
+type state = Parked | Active | Refused | Departed
 
 type t = {
   cfg : config;
@@ -109,8 +122,12 @@ type t = {
   mutable policy_switches : int;
   mutable state : state;
   mutable free_at : int;
-  queue : int Queue.t;  (* completion cycles of admitted, unfinished requests *)
+  queue : Ring.t;  (* completion cycles of admitted, unfinished requests *)
   lat : Metrics.Stats.t;
+  lat_sketch : Metrics.Sketch.t option;
+      (* [Some _] switches latency accounting from the store-every-sample
+         [lat] to O(1) sketch state (the fleet-scale path). *)
+  mutable boot_cycles : int;  (* cold-start cost of a churn join; 0 otherwise *)
   mutable svc_mean : float;
   mutable arrivals : int;
   mutable served : int;
@@ -372,9 +389,12 @@ let build_slice t =
       sl_progress = ref (fun () -> ());
       sl_policy = t.active_policy;
       sl_managed = false;
+      sl_req_key = ref 0;
+      sl_req_thunk = (fun () -> ());
       sl_oram = None;
     }
   in
+  sl.sl_req_thunk <- (fun () -> sl.sl_op !(sl.sl_req_key));
   let finish = pre_install t sl t.active_policy in
   let vm =
     System.vm sys
@@ -417,7 +437,7 @@ let build_slice t =
   finish ();
   sl
 
-let create ~machine ~hv ~vm ~seed_base cfg =
+let create ?(sketch = false) ~machine ~hv ~vm ~seed_base cfg =
   let seed k = Int64.of_int ((seed_base * 31) + k) in
   let t =
     {
@@ -438,10 +458,12 @@ let create ~machine ~hv ~vm ~seed_base cfg =
       active_policy = cfg.policy;
       in_request = false;
       policy_switches = 0;
-      state = Active;
+      state = (if cfg.arrive_after > 0 then Parked else Active);
       free_at = 0;
-      queue = Queue.create ();
+      queue = Ring.create ~capacity:(max 1 cfg.queue_capacity);
       lat = Metrics.Stats.create ();
+      lat_sketch = (if sketch then Some (Metrics.Sketch.create ()) else None);
+      boot_cycles = 0;
       svc_mean = 1.0;
       arrivals = 0;
       served = 0;
@@ -456,7 +478,11 @@ let create ~machine ~hv ~vm ~seed_base cfg =
       balloon_upcalls = 0;
     }
   in
-  t.slice <- Some (build_slice t);
+  (* A parked tenant (arrive_after > 0) owns its VM partition from the
+     start — static vEPC partitioning reserves the slice — but builds no
+     enclave until {!boot} at its join event, so the cold-start cost
+     lands on the virtual timeline, not in setup. *)
+  if t.state <> Parked then t.slice <- Some (build_slice t);
   t
 
 let config t = t.cfg
@@ -473,6 +499,20 @@ let free_at t = t.free_at
 let set_free_at t at = t.free_at <- at
 let queue t = t.queue
 let latencies t = t.lat
+
+let record_latency t ~cycles =
+  match t.lat_sketch with
+  | Some sk -> Metrics.Sketch.add_int sk cycles
+  | None -> Metrics.Stats.add t.lat (float_of_int cycles)
+
+let sketch t = t.lat_sketch
+
+let latency_summary t =
+  match t.lat_sketch with
+  | Some sk -> Metrics.Sketch.summary sk
+  | None -> Metrics.Stats.summary t.lat
+
+let boot_cycles t = t.boot_cycles
 let svc_mean t = t.svc_mean
 let set_svc_mean t m = t.svc_mean <- m
 let active_policy t = t.active_policy
@@ -527,12 +567,18 @@ let next_key t = Metrics.Dist.sample t.dist t.key_rng
    estimate errs conservative. *)
 let calib_key t = Metrics.Rng.int t.calib_rng (Metrics.Dist.size t.dist)
 
+(* No [Fun.protect]: the wrapper and its two closures would be the last
+   per-request allocations on the served-request hot path.  The thunk is
+   built once per incarnation; only the key cell is written here. *)
 let request t ~key =
   let s = slice_exn t in
+  s.sl_req_key := key;
   t.in_request <- true;
-  Fun.protect
-    ~finally:(fun () -> t.in_request <- false)
-    (fun () -> System.run_in_enclave s.sl_sys (fun () -> s.sl_op key))
+  match System.run_in_enclave s.sl_sys s.sl_req_thunk with
+  | () -> t.in_request <- false
+  | exception e ->
+    t.in_request <- false;
+    raise e
 
 let probe_pages t ~key = (slice_exn t).sl_probe key
 
@@ -563,3 +609,25 @@ let reboot t =
   t.in_request <- false;
   t.slice <- Some (build_slice t);
   t.restarts <- t.restarts + 1
+
+(* Churn: a parked tenant joins the fleet.  The caller (the engine's
+   Join event) brackets this in a clock span so the build — the
+   cold-start attestation cost — lands on the virtual timeline. *)
+let boot t =
+  if t.state <> Parked then
+    invalid_arg (Printf.sprintf "Serve.Tenant.boot %s: not parked" t.cfg.name);
+  t.slice <- Some (build_slice t);
+  t.state <- Active
+
+let set_boot_cycles t c = t.boot_cycles <- c
+
+let depart t =
+  (match t.slice with
+  | Some s ->
+    t.faults_acc <- t.faults_acc + incarnation_faults t;
+    Vmm.destroy_guest_proc t.hv t.vm s.sl_proc;
+    t.slice <- None
+  | None -> ());
+  t.in_request <- false;
+  Ring.clear t.queue;
+  t.state <- Departed

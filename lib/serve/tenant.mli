@@ -22,10 +22,17 @@ val policy_of_name : string -> policy_kind option
     [load] times the tenant's calibrated service rate (load > 1 is an
     overload); [Closed_loop] models [clients] clients that each wait for
     their response and think for [think] mean service times before the
-    next request. *)
+    next request.  [Heavy_tail] is open-loop with Pareto inter-arrival
+    gaps (tail index [alpha > 1], same mean rate as [Open_loop] at equal
+    [load] — see {!Workloads.Loadgen.pareto_gap}); [Diurnal] is
+    open-loop with the arrival rate sinusoidally modulated by
+    [1 ± depth] over a period of [period] calibrated mean service
+    times. *)
 type generator =
   | Open_loop of { load : float }
   | Closed_loop of { clients : int; think : float }
+  | Heavy_tail of { load : float; alpha : float }
+  | Diurnal of { load : float; depth : float; period : float }
 
 val generator_name : generator -> string
 
@@ -43,18 +50,36 @@ type config = {
       (** queueing deadline in multiples of the calibrated mean service
           time; requests that would start later are dropped *)
   requests : int;  (** arrivals to generate for this tenant *)
+  arrive_after : int;
+      (** churn: virtual cycle at which this tenant joins the fleet.
+          [0] (the common case) boots it with the scenario; [> 0] parks
+          it — the VM partition is reserved up front (static vEPC
+          partitioning) but the enclave builds at the join event, on the
+          timeline, as cold-start attestation cost *)
+  depart_after : int option;
+      (** churn: virtual cycle at which the tenant leaves.  Its enclave
+          and guest process are destroyed; arrivals already scheduled
+          past that point are dropped without being counted *)
 }
 
-type state = Active | Refused
+(** Tenant lifecycle: [Parked] (created but not yet joined — churn),
+    [Active], [Refused] (restart monitor refused re-attestation; every
+    later request sheds), [Departed] (churn exit). *)
+type state = Parked | Active | Refused | Departed
 
 type t
 
 val create :
+  ?sketch:bool ->
   machine:Sgx.Machine.t -> hv:Hypervisor.Vmm.t -> vm:Hypervisor.Vmm.vm ->
   seed_base:int -> config -> t
 (** Boot the tenant's enclave inside [vm] and build its workload.  All
     randomness (build layout, request keys, arrival processes) derives
-    from [seed_base]. *)
+    from [seed_base].  [sketch] (default false) switches latency
+    accounting from the exact {!Metrics.Stats} accumulator to a
+    {!Metrics.Sketch} — O(1) memory per tenant, the fleet-scale path.
+    When [config.arrive_after > 0] the tenant is created [Parked]: no
+    enclave is built until {!boot}. *)
 
 val config : t -> config
 val name : t -> string
@@ -70,11 +95,35 @@ val set_refused : t -> unit
 
 val free_at : t -> int
 val set_free_at : t -> int -> unit
-val queue : t -> int Queue.t
+val queue : t -> Ring.t
 (** Completion cycles of admitted, not-yet-finished requests (the
-    virtual-time admission queue). *)
+    virtual-time admission queue).  Capacity is
+    [max 1 config.queue_capacity]; the engine's admission check sheds
+    before the ring can overflow. *)
 
 val latencies : t -> Metrics.Stats.t
+(** The exact accumulator — empty when the tenant was created with
+    [~sketch:true] (use {!latency_summary}, which dispatches). *)
+
+val record_latency : t -> cycles:int -> unit
+(** Record one served-request latency into whichever accounting backend
+    this tenant uses (sketch or exact stats).  Allocation-free on the
+    sketch path. *)
+
+val sketch : t -> Metrics.Sketch.t option
+(** The streaming sketch, when this tenant was created with
+    [~sketch:true] — the fleet roll-up merges these. *)
+
+val latency_summary : t -> Metrics.Stats.summary
+(** Latency summary from the active backend: sketch-derived (within
+    {!Metrics.Sketch.relative_error}) or exact. *)
+
+val boot_cycles : t -> int
+(** Cold-start cost (build + attestation, modeled cycles) charged at
+    this tenant's churn join; 0 for tenants present from the start. *)
+
+val set_boot_cycles : t -> int -> unit
+
 val svc_mean : t -> float
 val set_svc_mean : t -> float -> unit
 
@@ -136,6 +185,17 @@ val probe_pages : t -> key:int -> int list
 val reboot : t -> unit
 (** Tear the dead incarnation down ({!Hypervisor.Vmm.destroy_guest_proc})
     and boot a fresh one from the same build seed. *)
+
+val boot : t -> unit
+(** Churn join: build the enclave of a [Parked] tenant and mark it
+    [Active].  The caller wraps this in a clock span so the build cost
+    lands on the virtual timeline (see {!boot_cycles}).
+    @raise Invalid_argument when the tenant is not [Parked]. *)
+
+val depart : t -> unit
+(** Churn exit: destroy the guest process (if any), clear the admission
+    queue and mark the tenant [Departed].  Counters and latency
+    accounting survive for the final report.  Idempotent. *)
 
 (** {1 Engine-maintained accounting} *)
 

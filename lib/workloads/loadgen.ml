@@ -1,0 +1,25 @@
+let exp_gap rng ~mean =
+  let u = Metrics.Rng.float rng in
+  max 1 (int_of_float (ceil (-.log (1.0 -. u) *. mean)))
+
+(* Pareto with tail index [alpha] and scale xm has mean xm*alpha/(alpha-1)
+   (alpha > 1), so xm = mean*(alpha-1)/alpha matches the requested mean.
+   Inverse-CDF sampling: xm * u^(-1/alpha). *)
+let pareto_gap rng ~mean ~alpha =
+  if alpha <= 1.0 then invalid_arg "Loadgen.pareto_gap: alpha <= 1";
+  let xm = mean *. (alpha -. 1.0) /. alpha in
+  let u = 1.0 -. Metrics.Rng.float rng in
+  max 1 (int_of_float (ceil (xm *. (u ** (-1.0 /. alpha)))))
+
+let diurnal_factor ~depth ~period ~at =
+  if period <= 0 then invalid_arg "Loadgen.diurnal_factor: period";
+  if depth < 0.0 || depth >= 1.0 then
+    invalid_arg "Loadgen.diurnal_factor: depth";
+  let phase =
+    2.0 *. Float.pi *. float_of_int (at mod period) /. float_of_int period
+  in
+  Float.max 0.1 (1.0 +. (depth *. sin phase))
+
+let diurnal_gap rng ~mean ~depth ~period ~at =
+  let f = diurnal_factor ~depth ~period ~at in
+  exp_gap rng ~mean:(mean /. f)

@@ -1,0 +1,35 @@
+(** Inter-arrival samplers and load-shape modulation for the serving
+    generators.
+
+    All samplers draw from the caller's [Metrics.Rng] stream and return
+    integer cycle gaps floored at 1 so the virtual-time event loop
+    always advances.  Deterministic for a given rng state. *)
+
+val exp_gap : Metrics.Rng.t -> mean:float -> int
+(** Exponential inter-arrival gap with the given mean (a Poisson
+    arrival process) — the open-loop / think-time sampler the serve
+    engine has always used. *)
+
+val pareto_gap : Metrics.Rng.t -> mean:float -> alpha:float -> int
+(** Heavy-tailed (Pareto) inter-arrival gap.  [alpha > 1] is the tail
+    index (smaller = heavier tail; 1.5 is a typical bursty-service
+    choice); the scale is derived so the distribution's mean equals
+    [mean], making [Heavy_tail] directly comparable to [Open_loop] at
+    the same load factor.  Raises [Invalid_argument] when
+    [alpha <= 1]. *)
+
+val diurnal_factor : depth:float -> period:int -> at:int -> float
+(** Sinusoidal rate modulation for diurnal load: the factor multiplies
+    the instantaneous arrival *rate* at virtual cycle [at], completing
+    one full peak/trough cycle every [period] cycles, with
+    [1 - depth .. 1 + depth] swing ([0 <= depth < 1]).  The result is
+    clamped to at least 0.1 so the trough never stalls the generator.
+    Raises [Invalid_argument] on a non-positive [period] or [depth]
+    outside [0, 1). *)
+
+val diurnal_gap :
+  Metrics.Rng.t -> mean:float -> depth:float -> period:int -> at:int -> int
+(** Exponential gap whose rate is modulated by {!diurnal_factor} at the
+    moment of scheduling (a piecewise-homogeneous Poisson process:
+    cheap, deterministic, and accurate for periods much longer than the
+    mean gap, which the serve scenarios guarantee). *)

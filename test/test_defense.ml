@@ -31,6 +31,8 @@ let mk_tenant ?(policy = Serve.Tenant.Rate_limit) ?(heap_pages = 96)
       queue_capacity = 16;
       deadline = None;
       requests = 0;
+      arrive_after = 0;
+      depart_after = None;
     }
   in
   Serve.Tenant.create ~machine ~hv ~vm ~seed_base:4242 cfg
@@ -185,6 +187,8 @@ let quiet_cfgs () =
       queue_capacity = 16;
       deadline = None;
       requests = 60;
+      arrive_after = 0;
+      depart_after = None;
     };
     {
       Serve.Tenant.name = "hash";
@@ -198,6 +202,8 @@ let quiet_cfgs () =
       queue_capacity = 16;
       deadline = None;
       requests = 60;
+      arrive_after = 0;
+      depart_after = None;
     };
   ]
 

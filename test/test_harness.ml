@@ -96,6 +96,85 @@ let test_report_formatters () =
   Alcotest.(check string) "si small" "42.0" (Harness.Report.si 42.0);
   Alcotest.(check string) "f2" "3.14" (Harness.Report.f2 3.14159)
 
+(* --- bench-report schema validation ------------------------------------ *)
+
+let contains ~affix s =
+  let n = String.length s and m = String.length affix in
+  let rec go i = i + m <= n && (String.sub s i m = affix || go (i + 1)) in
+  m = 0 || go 0
+
+let mini_fleet2 =
+  {|{
+  "schema": "autarky-fleet/2",
+  "quick": true,
+  "root_seed": 7,
+  "members": [ {"shard": 0, "seed": 9, "end_cycle": 10, "arbiter_moves": 0} ],
+  "tenants": [
+    {"name": "kv", "workload": "kvstore", "policy": "clusters",
+     "arrivals": 4, "served": 4, "shed": 0, "deadline_missed": 0,
+     "throughput_rps": 1.0, "latency_merge": "pooled-sketch",
+     "latency_cycles": {"count": 4, "mean": 1.0, "p50": 1.0, "p95": 2.0,
+       "p99": 2.0, "max": 2.0}}
+  ]
+}|}
+
+let test_schema_accepts_valid () =
+  match
+    Harness.Schema.validate ~ctx:"mini" (Harness.Microjson.of_string mini_fleet2)
+  with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "unexpected errors: %s" (String.concat "; " es)
+
+let test_schema_rejects_unknown () =
+  let doc = {|{"schema": "autarky-mystery/9", "quick": true}|} in
+  match Harness.Schema.validate ~ctx:"x" (Harness.Microjson.of_string doc) with
+  | Ok () -> Alcotest.fail "unknown schema accepted"
+  | Error [ e ] ->
+    Alcotest.(check bool) "mentions schema" true
+      (contains ~affix:"unknown schema" e)
+  | Error es -> Alcotest.failf "expected one error, got %d" (List.length es)
+
+let test_schema_rejects_missing_schema_field () =
+  match
+    Harness.Schema.validate ~ctx:"x" (Harness.Microjson.of_string {|{"quick": true}|})
+  with
+  | Ok () -> Alcotest.fail "schemaless document accepted"
+  | Error _ -> ()
+
+let test_schema_rejects_missing_row_key () =
+  (* Drop a required row key and the validator must name it. *)
+  let doc =
+    (* Cut the latency_merge key out of the valid document. *)
+    let needle = {|"latency_merge": "pooled-sketch",|} in
+    let i =
+      let n = String.length mini_fleet2 and m = String.length needle in
+      let rec go i =
+        if i + m > n then -1
+        else if String.sub mini_fleet2 i m = needle then i
+        else go (i + 1)
+      in
+      go 0
+    in
+    String.sub mini_fleet2 0 i
+    ^ String.sub mini_fleet2
+        (i + String.length needle)
+        (String.length mini_fleet2 - i - String.length needle)
+  in
+  match Harness.Schema.validate ~ctx:"x" (Harness.Microjson.of_string doc) with
+  | Ok () -> Alcotest.fail "missing row key accepted"
+  | Error es ->
+    Alcotest.(check bool) "names the key" true
+      (List.exists (fun e -> contains ~affix:"latency_merge" e) es)
+
+let test_schema_rejects_wrong_shape () =
+  let doc = {|{"schema": "autarky-fleet/2", "quick": 1, "root_seed": 7,
+               "members": [], "tenants": []}|} in
+  match Harness.Schema.validate ~ctx:"x" (Harness.Microjson.of_string doc) with
+  | Ok () -> Alcotest.fail "bool-typed field accepted as number"
+  | Error es ->
+    Alcotest.(check bool) "names quick" true
+      (List.exists (fun e -> contains ~affix:{|"quick"|} e) es)
+
 let suite =
   [
     ("reserve carving", `Quick, test_reserve_carving);
@@ -108,4 +187,11 @@ let suite =
     ("measure throughput math", `Quick, test_measure_throughput_math);
     ("legacy system has no runtime", `Quick, test_legacy_system_has_no_runtime);
     ("report formatters", `Quick, test_report_formatters);
+    ("schema accepts valid report", `Quick, test_schema_accepts_valid);
+    ("schema rejects unknown schema", `Quick, test_schema_rejects_unknown);
+    ("schema rejects missing schema field", `Quick,
+     test_schema_rejects_missing_schema_field);
+    ("schema rejects missing row key", `Quick,
+     test_schema_rejects_missing_row_key);
+    ("schema rejects wrong shape", `Quick, test_schema_rejects_wrong_shape);
   ]

@@ -314,6 +314,119 @@ let test_cost_model_derived () =
   checki "hw page crypto" 4096 (Metrics.Cost_model.hw_page_crypto m);
   checkb "sw crypto positive" true (Metrics.Cost_model.sw_page_crypto m > 0)
 
+(* --- quantile sketch --------------------------------------------------- *)
+
+(* The sketch's one-sided guarantee, with a +1 absolute slack for the
+   integer rounding at bucket edges:
+   exact <= estimate <= exact * (1 + relative_error) + 1. *)
+let sketch_bound_ok ~exact ~est =
+  est >= exact -. 1e-9
+  && est <= (exact *. (1.0 +. Metrics.Sketch.relative_error)) +. 1.0 +. 1e-9
+
+let check_sketch_vs_exact ~what values =
+  let sk = Metrics.Sketch.create () in
+  let st = Metrics.Stats.create () in
+  List.iter
+    (fun v ->
+      Metrics.Sketch.add_int sk v;
+      Metrics.Stats.add st (float_of_int v))
+    values;
+  List.iter
+    (fun p ->
+      let exact = Metrics.Stats.percentile st p in
+      let est = Metrics.Sketch.quantile sk p in
+      if not (sketch_bound_ok ~exact ~est) then
+        Alcotest.failf "%s: p%.0f estimate %.0f outside [%.0f, %.2f]" what p
+          est exact
+          ((exact *. (1.0 +. Metrics.Sketch.relative_error)) +. 1.0))
+    [ 50.0; 95.0; 99.0 ]
+
+let test_sketch_uniform () =
+  let rng = Metrics.Rng.create ~seed:7L in
+  check_sketch_vs_exact ~what:"uniform"
+    (List.init 5_000 (fun _ -> Metrics.Rng.int rng 1_000_000))
+
+let test_sketch_heavy_tail () =
+  (* Pareto-ish: invert a uniform to get a long tail. *)
+  let rng = Metrics.Rng.create ~seed:11L in
+  check_sketch_vs_exact ~what:"heavy tail"
+    (List.init 5_000 (fun _ ->
+         let u = 1.0 -. Metrics.Rng.float rng in
+         int_of_float (20.0 *. (u ** (-1.5)))))
+
+let test_sketch_constant () =
+  check_sketch_vs_exact ~what:"constant" (List.init 500 (fun _ -> 123_457);)
+
+let test_sketch_small_values_exact () =
+  (* 0..63 live in unit buckets: every quantile is exact. *)
+  let sk = Metrics.Sketch.create () in
+  let st = Metrics.Stats.create () in
+  let rng = Metrics.Rng.create ~seed:3L in
+  for _ = 1 to 2_000 do
+    let v = Metrics.Rng.int rng 64 in
+    Metrics.Sketch.add_int sk v;
+    Metrics.Stats.add st (float_of_int v)
+  done;
+  List.iter
+    (fun p ->
+      checkb
+        (Printf.sprintf "p%.0f exact below 64" p)
+        true
+        (Metrics.Sketch.quantile sk p = Metrics.Stats.percentile st p))
+    [ 10.0; 50.0; 90.0; 99.0 ]
+
+let test_sketch_side_stats_exact () =
+  let sk = Metrics.Sketch.create () in
+  let st = Metrics.Stats.create () in
+  List.iter
+    (fun v ->
+      Metrics.Sketch.add_int sk v;
+      Metrics.Stats.add st (float_of_int v))
+    [ 5; 70_000; 123; 9_999_999; 0; 64 ];
+  checki "count" (Metrics.Stats.count st) (Metrics.Sketch.count sk);
+  checkb "mean exact" true (Metrics.Sketch.mean sk = Metrics.Stats.mean st);
+  checkb "min exact" true
+    (Metrics.Sketch.min_value sk = Metrics.Stats.min_value st);
+  checkb "max exact" true
+    (Metrics.Sketch.max_value sk = Metrics.Stats.max_value st);
+  let s = Metrics.Sketch.summary sk in
+  checkb "summary max is exact" true
+    (s.Metrics.Stats.s_max = Metrics.Stats.max_value st)
+
+let test_sketch_empty () =
+  let sk = Metrics.Sketch.create () in
+  let s = Metrics.Sketch.summary sk in
+  checki "empty count" 0 s.Metrics.Stats.s_count;
+  checkb "empty summary zero" true
+    (s.Metrics.Stats.s_p99 = 0.0 && s.Metrics.Stats.s_max = 0.0);
+  checkb "quantile raises" true
+    (match Metrics.Sketch.quantile sk 50.0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_sketch_merge_is_pooled () =
+  (* Merging shard sketches must equal sketching the pooled stream —
+     the property Stats.merge_summaries lacks. *)
+  let rng = Metrics.Rng.create ~seed:21L in
+  let shard1 = List.init 2_000 (fun _ -> Metrics.Rng.int rng 500_000) in
+  let shard2 = List.init 700 (fun _ -> 1_000_000 + Metrics.Rng.int rng 500) in
+  let sk_of vs =
+    let sk = Metrics.Sketch.create () in
+    List.iter (Metrics.Sketch.add_int sk) vs;
+    sk
+  in
+  let pooled = sk_of (shard1 @ shard2) in
+  let m12 = Metrics.Sketch.merged [ sk_of shard1; sk_of shard2 ] in
+  let m21 = Metrics.Sketch.merged [ sk_of shard2; sk_of shard1 ] in
+  List.iter
+    (fun p ->
+      let e = Metrics.Sketch.quantile pooled p in
+      checkb "merge = pooled" true (Metrics.Sketch.quantile m12 p = e);
+      checkb "merge commutes" true (Metrics.Sketch.quantile m21 p = e))
+    [ 25.0; 50.0; 95.0; 99.0; 100.0 ];
+  checki "merged count" (Metrics.Sketch.count pooled)
+    (Metrics.Sketch.count m12)
+
 (* --- QCheck properties ------------------------------------------------ *)
 
 let qcheck_cases =
@@ -345,6 +458,45 @@ let qcheck_cases =
           let s = Metrics.Stats.create () in
           List.iter (Metrics.Stats.add s) xs;
           Metrics.Stats.percentile s 25.0 <= Metrics.Stats.percentile s 75.0);
+      QCheck2.Test.make
+        ~name:"sketch quantiles within stated bound of exact percentiles"
+        ~count:200
+        QCheck2.Gen.(list_size (int_range 1 400) (int_range 0 50_000_000))
+        (fun vs ->
+          let sk = Metrics.Sketch.create () in
+          let st = Metrics.Stats.create () in
+          List.iter
+            (fun v ->
+              Metrics.Sketch.add_int sk v;
+              Metrics.Stats.add st (float_of_int v))
+            vs;
+          List.for_all
+            (fun p ->
+              sketch_bound_ok
+                ~exact:(Metrics.Stats.percentile st p)
+                ~est:(Metrics.Sketch.quantile sk p))
+            [ 50.0; 95.0; 99.0 ]);
+      QCheck2.Test.make ~name:"sketch merge commutative and pooled"
+        ~count:150
+        QCheck2.Gen.(
+          pair
+            (list_size (int_range 1 120) (int_range 0 5_000_000))
+            (list_size (int_range 1 120) (int_range 0 5_000_000)))
+        (fun (xs, ys) ->
+          let sk_of vs =
+            let sk = Metrics.Sketch.create () in
+            List.iter (Metrics.Sketch.add_int sk) vs;
+            sk
+          in
+          let pooled = sk_of (xs @ ys) in
+          let m12 = Metrics.Sketch.merged [ sk_of xs; sk_of ys ] in
+          let m21 = Metrics.Sketch.merged [ sk_of ys; sk_of xs ] in
+          List.for_all
+            (fun p ->
+              let e = Metrics.Sketch.quantile pooled p in
+              Metrics.Sketch.quantile m12 p = e
+              && Metrics.Sketch.quantile m21 p = e)
+            [ 50.0; 95.0; 99.0 ]);
     ]
 
 let suite =
@@ -383,5 +535,12 @@ let suite =
     ("clock charge/span/reset", `Quick, test_clock_charge);
     ("clock seconds", `Quick, test_clock_seconds);
     ("cost model derived", `Quick, test_cost_model_derived);
+    ("sketch vs exact: uniform", `Quick, test_sketch_uniform);
+    ("sketch vs exact: heavy tail", `Quick, test_sketch_heavy_tail);
+    ("sketch vs exact: constant", `Quick, test_sketch_constant);
+    ("sketch exact below 64", `Quick, test_sketch_small_values_exact);
+    ("sketch side stats exact", `Quick, test_sketch_side_stats_exact);
+    ("sketch empty", `Quick, test_sketch_empty);
+    ("sketch merge is pooled", `Quick, test_sketch_merge_is_pooled);
   ]
   @ qcheck_cases

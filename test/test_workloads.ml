@@ -368,6 +368,84 @@ let test_nbench_analytic_slowdown () =
     (Workloads.Nbench.analytic_slowdown ~check_cycles:10 ~fills:7 ~base_cycles:0
     = 0.0)
 
+(* --- serving load generators ------------------------------------------- *)
+
+let test_loadgen_deterministic () =
+  let gaps seed =
+    let rng = Metrics.Rng.create ~seed in
+    List.init 200 (fun i ->
+        if i mod 3 = 0 then Workloads.Loadgen.exp_gap rng ~mean:5_000.0
+        else if i mod 3 = 1 then
+          Workloads.Loadgen.pareto_gap rng ~mean:5_000.0 ~alpha:1.5
+        else
+          Workloads.Loadgen.diurnal_gap rng ~mean:5_000.0 ~depth:0.5
+            ~period:100_000 ~at:(i * 1_000))
+  in
+  checkb "same seed, same gaps" true (gaps 9L = gaps 9L);
+  checkb "different seed differs" true (gaps 9L <> gaps 10L)
+
+let test_loadgen_gaps_positive () =
+  let rng = Metrics.Rng.create ~seed:5L in
+  for _ = 1 to 1_000 do
+    checkb "exp >= 1" true (Workloads.Loadgen.exp_gap rng ~mean:0.01 >= 1);
+    checkb "pareto >= 1" true
+      (Workloads.Loadgen.pareto_gap rng ~mean:0.01 ~alpha:2.0 >= 1);
+    checkb "diurnal >= 1" true
+      (Workloads.Loadgen.diurnal_gap rng ~mean:0.01 ~depth:0.8 ~period:100 ~at:25
+      >= 1)
+  done
+
+let test_pareto_mean_matches_load () =
+  (* The scale is derived so E[gap] = mean: the sample mean over many
+     draws must land near it (alpha = 2.5 has finite variance). *)
+  let rng = Metrics.Rng.create ~seed:17L in
+  let n = 60_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Workloads.Loadgen.pareto_gap rng ~mean:10_000.0 ~alpha:2.5
+  done;
+  let m = float_of_int !sum /. float_of_int n in
+  if abs_float (m -. 10_000.0) > 600.0 then
+    Alcotest.failf "pareto sample mean %.0f too far from 10000" m
+
+let test_pareto_heavier_tail_than_exp () =
+  let max_of f =
+    let rng = Metrics.Rng.create ~seed:23L in
+    let m = ref 0 in
+    for _ = 1 to 20_000 do
+      m := max !m (f rng)
+    done;
+    !m
+  in
+  let pareto_max = max_of (Workloads.Loadgen.pareto_gap ~mean:1_000.0 ~alpha:1.5) in
+  let exp_max = max_of (Workloads.Loadgen.exp_gap ~mean:1_000.0) in
+  checkb "pareto tail dominates" true (pareto_max > 2 * exp_max)
+
+let test_pareto_validates_alpha () =
+  let rng = Metrics.Rng.create ~seed:1L in
+  checkb "alpha <= 1 rejected" true
+    (match Workloads.Loadgen.pareto_gap rng ~mean:100.0 ~alpha:1.0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_diurnal_factor_shape () =
+  let period = 1_000 in
+  let f at = Workloads.Loadgen.diurnal_factor ~depth:0.5 ~period ~at in
+  checkb "peak above trough" true (f (period / 4) > f (3 * period / 4));
+  checkb "periodic" true (abs_float (f 123 -. f (123 + period)) < 1e-9);
+  checkb "bounded above" true (f (period / 4) <= 1.5 +. 1e-9);
+  (* Depth near 1 would stall the trough without the clamp. *)
+  let g at = Workloads.Loadgen.diurnal_factor ~depth:0.99 ~period ~at in
+  checkb "trough clamped" true (g (3 * period / 4) >= 0.1 -. 1e-9);
+  checkb "bad period rejected" true
+    (match Workloads.Loadgen.diurnal_factor ~depth:0.5 ~period:0 ~at:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checkb "bad depth rejected" true
+    (match Workloads.Loadgen.diurnal_factor ~depth:1.0 ~period ~at:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 let suite =
   [
     ("vm recording", `Quick, test_vm_recording);
@@ -401,4 +479,10 @@ let suite =
     ("kernels touch all", `Quick, test_kernels_touch_all);
     ("nbench profiles", `Quick, test_nbench_profiles);
     ("nbench analytic slowdown", `Quick, test_nbench_analytic_slowdown);
+    ("loadgen deterministic", `Quick, test_loadgen_deterministic);
+    ("loadgen gaps positive", `Quick, test_loadgen_gaps_positive);
+    ("pareto mean matches load", `Quick, test_pareto_mean_matches_load);
+    ("pareto heavier tail than exp", `Quick, test_pareto_heavier_tail_than_exp);
+    ("pareto validates alpha", `Quick, test_pareto_validates_alpha);
+    ("diurnal factor shape", `Quick, test_diurnal_factor_shape);
   ]
